@@ -1,0 +1,130 @@
+// Ablation: the client read-cache / write-invalidate coherence extension.
+//
+// The paper's DSE serves every global-memory access with a home round trip.
+// This bench runs a read-mostly table workload (workers repeatedly consult
+// a shared lookup table with occasional updates) with the coherence layer
+// off and on, plus a write-heavy variant that shows the invalidation
+// overhead when caching cannot pay off.
+#include <cstdio>
+
+#include "apps/common.h"
+#include "benchlib/figure.h"
+#include "common/bytes.h"
+
+namespace {
+
+using namespace dse;
+
+struct TableConfig {
+  int workers = 4;
+  int table_kb = 64;        // shared lookup table size
+  int rounds = 200;         // lookups per worker
+  int writes_per_round = 0; // 0 = read-mostly; >0 = write-heavy
+};
+
+std::vector<std::uint8_t> EncodeTable(const TableConfig& c,
+                                      gmm::GlobalAddr table) {
+  ByteWriter w;
+  w.WriteI32(c.workers);
+  w.WriteI32(c.table_kb);
+  w.WriteI32(c.rounds);
+  w.WriteI32(c.writes_per_round);
+  w.WriteU64(table);
+  return w.TakeBuffer();
+}
+
+void RegisterTableApp(TaskRegistry& registry) {
+  registry.Register("table.worker", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    TableConfig c;
+    gmm::GlobalAddr table = 0;
+    DSE_CHECK_OK(r.ReadI32(&c.workers));
+    DSE_CHECK_OK(r.ReadI32(&c.table_kb));
+    DSE_CHECK_OK(r.ReadI32(&c.rounds));
+    DSE_CHECK_OK(r.ReadI32(&c.writes_per_round));
+    DSE_CHECK_OK(r.ReadU64(&table));
+
+    const std::uint64_t blocks =
+        static_cast<std::uint64_t>(c.table_kb);  // 1 KiB blocks
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL * (t.node() + 1);
+    std::uint8_t buf[256];
+    for (int round = 0; round < c.rounds; ++round) {
+      // Pseudo-random block, fixed offset inside it.
+      h ^= h >> 33;
+      h *= 0xFF51AFD7ED558CCDULL;
+      const std::uint64_t block = h % blocks;
+      DSE_CHECK_OK(t.Read(table + block * 1024, buf, sizeof(buf)));
+      t.Compute(512);  // consume the lookup
+      for (int wr = 0; wr < c.writes_per_round; ++wr) {
+        DSE_CHECK_OK(t.Write(table + block * 1024, buf, 64));
+      }
+    }
+  });
+
+  registry.Register("table.main", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    TableConfig c;
+    DSE_CHECK_OK(r.ReadI32(&c.workers));
+    DSE_CHECK_OK(r.ReadI32(&c.table_kb));
+    DSE_CHECK_OK(r.ReadI32(&c.rounds));
+    DSE_CHECK_OK(r.ReadI32(&c.writes_per_round));
+
+    auto table = t.AllocStriped(
+        static_cast<std::uint64_t>(c.table_kb) * 1024, 10);  // 1 KiB stripes
+    DSE_CHECK_OK(table.status());
+    auto gpids = apps::SpawnWorkers(t, "table.worker", c.workers, [&](int) {
+      return EncodeTable(c, *table);
+    });
+    apps::JoinAll(t, gpids);
+  });
+}
+
+double RunTable(const platform::Profile& profile, const TableConfig& c,
+                bool cache, SimReport* report) {
+  SimOptions opts;
+  opts.profile = profile;
+  opts.num_processors = c.workers;
+  opts.read_cache = cache;
+  SimRuntime rt(opts);
+  RegisterTableApp(rt.registry());
+  ByteWriter w;
+  w.WriteI32(c.workers);
+  w.WriteI32(c.table_kb);
+  w.WriteI32(c.rounds);
+  w.WriteI32(c.writes_per_round);
+  *report = rt.Run("table.main", w.TakeBuffer());
+  return report->virtual_seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dse;
+  const platform::Profile& profile = platform::LinuxPentiumII();
+  std::printf(
+      "== Ablation: DSM read cache + write-invalidate coherence (%s) ==\n",
+      profile.id.c_str());
+  std::printf("%-14s %8s %14s %14s %8s %10s %10s %10s\n", "workload",
+              "workers", "no-cache [s]", "cache [s]", "gain", "hits",
+              "misses", "invals");
+
+  for (const int workers : {2, 4, 6}) {
+    for (const int writes : {0, 4}) {
+      TableConfig c;
+      c.workers = workers;
+      c.writes_per_round = writes;
+      SimReport off;
+      SimReport on;
+      const double t_off = RunTable(profile, c, false, &off);
+      const double t_on = RunTable(profile, c, true, &on);
+      std::printf("%-14s %8d %14.4f %14.4f %7.2fx %10llu %10llu %10llu\n",
+                  writes == 0 ? "read-mostly" : "write-heavy", workers, t_off,
+                  t_on, t_off / t_on,
+                  static_cast<unsigned long long>(on.cache_hits),
+                  static_cast<unsigned long long>(on.cache_misses),
+                  static_cast<unsigned long long>(on.invalidations));
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation: shared-bus Ethernet (the paper's lab LAN, with CSMA/CD
+// collisions) versus an ideal switched network, for the two most
+// communication-intensive workloads. Quantifies how much of the scaling
+// limit the paper attributes to "occurrence of packet collision ... when
+// communication frequency between nodes increases" is really the bus.
+#include <cstdio>
+
+#include "apps/dct/dct.h"
+#include "apps/gauss/gauss.h"
+#include "apps/knight/knight.h"
+#include "benchlib/figure.h"
+
+namespace {
+
+using namespace dse;
+
+double Run(const platform::Profile& profile, int procs, MediumKind medium,
+           void (*register_fn)(TaskRegistry&), const char* main_task,
+           std::vector<std::uint8_t> arg, SimReport* report) {
+  benchlib::RunSpec spec;
+  spec.profile = profile;
+  spec.processors = procs;
+  spec.medium = medium;
+  return benchlib::RunApp(spec, register_fn, main_task, std::move(arg),
+                          report);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dse;
+  const platform::Profile& profile = platform::SunOsSparc();
+  std::printf("== Ablation: shared-bus Ethernet vs switched network (%s) ==\n",
+              profile.id.c_str());
+  std::printf("%-20s %6s %12s %12s %8s %12s\n", "workload", "procs",
+              "bus [s]", "switch [s]", "gain", "collisions");
+
+  for (const int procs : {2, 4, 6, 8, 12}) {
+    {
+      // Bulk transfers: every worker pulls the whole 7.2 KB solution vector
+      // each sweep, so the wire itself carries real load.
+      apps::gauss::Config c{.n = 900, .sweeps = 10, .workers = procs};
+      SimReport bus_report;
+      SimReport sw_report;
+      const double bus =
+          Run(profile, procs, MediumKind::kSharedBus, apps::gauss::Register,
+              apps::gauss::kMainTask, apps::gauss::MakeArg(c), &bus_report);
+      const double sw =
+          Run(profile, procs, MediumKind::kSwitched, apps::gauss::Register,
+              apps::gauss::kMainTask, apps::gauss::MakeArg(c), &sw_report);
+      std::printf("%-20s %6d %12.4f %12.4f %7.2fx %12llu\n",
+                  "gauss-seidel N=900", procs, bus, sw, bus / sw,
+                  static_cast<unsigned long long>(bus_report.collisions));
+    }
+    {
+      apps::dct::Config c{.width = 128,
+                          .height = 128,
+                          .block = 4,
+                          .keep_fraction = 0.25,
+                          .workers = procs};
+      SimReport bus_report;
+      SimReport sw_report;
+      const double bus =
+          Run(profile, procs, MediumKind::kSharedBus, apps::dct::Register,
+              apps::dct::kMainTask, apps::dct::MakeArg(c), &bus_report);
+      const double sw =
+          Run(profile, procs, MediumKind::kSwitched, apps::dct::Register,
+              apps::dct::kMainTask, apps::dct::MakeArg(c), &sw_report);
+      std::printf("%-20s %6d %12.4f %12.4f %7.2fx %12llu\n", "dct-ii 4x4",
+                  procs, bus, sw, bus / sw,
+                  static_cast<unsigned long long>(bus_report.collisions));
+    }
+    {
+      apps::knight::Config c{
+          .board = 5, .start = 0, .target_jobs = 128, .workers = procs};
+      SimReport bus_report;
+      SimReport sw_report;
+      const double bus =
+          Run(profile, procs, MediumKind::kSharedBus, apps::knight::Register,
+              apps::knight::kMainTask, apps::knight::MakeArg(c), &bus_report);
+      const double sw =
+          Run(profile, procs, MediumKind::kSwitched, apps::knight::Register,
+              apps::knight::kMainTask, apps::knight::MakeArg(c), &sw_report);
+      std::printf("%-20s %6d %12.4f %12.4f %7.2fx %12llu\n",
+                  "knight 128 jobs", procs, bus, sw, bus / sw,
+                  static_cast<unsigned long long>(bus_report.collisions));
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: the paper's unified-library DSE organization versus the older
+// two-process organization (kernel in a separate UNIX process, one IPC hop +
+// context switches per kernel interaction each way).
+//
+// The paper claims the reorganization yields "substantial enhancement to DSE
+// system performance" (older numbers are in its refs [3][4][9]); this bench
+// quantifies the claim across all four evaluation workloads.
+#include <cstdio>
+
+#include "apps/dct/dct.h"
+#include "apps/gauss/gauss.h"
+#include "apps/knight/knight.h"
+#include "apps/othello/othello.h"
+#include "benchlib/figure.h"
+
+namespace {
+
+using namespace dse;
+
+double Run(const platform::Profile& profile, int procs, OrganizationMode org,
+           void (*register_fn)(TaskRegistry&), const char* main_task,
+           std::vector<std::uint8_t> arg) {
+  benchlib::RunSpec spec;
+  spec.profile = profile;
+  spec.processors = procs;
+  spec.organization = org;
+  return benchlib::RunApp(spec, register_fn, main_task, std::move(arg));
+}
+
+}  // namespace
+
+int main() {
+  using namespace dse;
+  const int kProcs = 4;
+  std::printf(
+      "== Ablation: unified-library vs legacy two-process organization "
+      "(%d processors) ==\n",
+      kProcs);
+  std::printf("%-10s %-22s %14s %14s %10s\n", "platform", "workload",
+              "unified [s]", "legacy [s]", "legacy/new");
+
+  for (const platform::Profile& profile : platform::AllProfiles()) {
+    struct Row {
+      const char* name;
+      void (*reg)(TaskRegistry&);
+      const char* main_task;
+      std::vector<std::uint8_t> arg;
+    };
+    apps::gauss::Config gauss{.n = 300, .sweeps = 10, .workers = kProcs};
+    apps::dct::Config dct{.width = 128,
+                          .height = 128,
+                          .block = 8,
+                          .keep_fraction = 0.25,
+                          .workers = kProcs};
+    apps::othello::Config oth{.depth = 6, .workers = kProcs, .min_tasks = 24};
+    apps::knight::Config kni{
+        .board = 5, .start = 0, .target_jobs = 32, .workers = kProcs};
+    const Row rows[] = {
+        {"gauss-seidel N=300", apps::gauss::Register, apps::gauss::kMainTask,
+         apps::gauss::MakeArg(gauss)},
+        {"dct-ii 8x8", apps::dct::Register, apps::dct::kMainTask,
+         apps::dct::MakeArg(dct)},
+        {"othello depth 6", apps::othello::Register, apps::othello::kMainTask,
+         apps::othello::MakeArg(oth)},
+        {"knight 32 jobs", apps::knight::Register, apps::knight::kMainTask,
+         apps::knight::MakeArg(kni)},
+    };
+    for (const Row& row : rows) {
+      const double unified =
+          Run(profile, kProcs, OrganizationMode::kUnifiedLibrary, row.reg,
+              row.main_task, row.arg);
+      const double legacy =
+          Run(profile, kProcs, OrganizationMode::kLegacyTwoProcess, row.reg,
+              row.main_task, row.arg);
+      std::printf("%-10s %-22s %14.4f %14.4f %9.2fx\n", profile.id.c_str(),
+                  row.name, unified, legacy, legacy / unified);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

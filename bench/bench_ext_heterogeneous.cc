@@ -1,0 +1,73 @@
+// Extension beyond the paper: a heterogeneous virtual cluster — three 1993
+// SparcStations and three 1999 Pentium II boxes on one LAN. Shows how the
+// two distribution strategies the evaluation apps use cope with machines of
+// different speeds: barrier-synchronized Gauss-Seidel is paced by the slow
+// stragglers, while the self-scheduling Knight's-Tour farm lets fast
+// machines absorb the work.
+#include <cstdio>
+
+#include "apps/gauss/gauss.h"
+#include "apps/knight/knight.h"
+#include "benchlib/figure.h"
+
+namespace {
+
+using namespace dse;
+
+std::vector<platform::Profile> Machines(int slow, int fast) {
+  std::vector<platform::Profile> machines;
+  for (int i = 0; i < slow; ++i) machines.push_back(platform::SunOsSparc());
+  for (int i = 0; i < fast; ++i) {
+    machines.push_back(platform::LinuxPentiumII());
+  }
+  return machines;
+}
+
+double Run(std::vector<platform::Profile> machines, int procs,
+           void (*register_fn)(TaskRegistry&), const char* main_task,
+           std::vector<std::uint8_t> arg) {
+  SimOptions opts;
+  opts.profile = platform::SunOsSparc();  // the shared LAN
+  opts.machine_profiles = std::move(machines);
+  opts.num_processors = procs;
+  SimRuntime rt(opts);
+  register_fn(rt.registry());
+  return rt.Run(main_task, std::move(arg)).virtual_seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dse;
+  std::printf("== Extension: heterogeneous virtual cluster (6 machines) ==\n");
+  std::printf("%-26s %14s %14s %14s\n", "workload (6 workers)", "6 sparc [s]",
+              "3+3 mixed [s]", "6 pii [s]");
+
+  {
+    apps::gauss::Config c{.n = 700, .sweeps = 10, .workers = 6};
+    const double slow = Run(Machines(6, 0), 6, apps::gauss::Register,
+                            apps::gauss::kMainTask, apps::gauss::MakeArg(c));
+    const double mixed = Run(Machines(3, 3), 6, apps::gauss::Register,
+                             apps::gauss::kMainTask, apps::gauss::MakeArg(c));
+    const double fast = Run(Machines(0, 6), 6, apps::gauss::Register,
+                            apps::gauss::kMainTask, apps::gauss::MakeArg(c));
+    std::printf("%-26s %14.4f %14.4f %14.4f\n",
+                "gauss N=700 (barriers)", slow, mixed, fast);
+  }
+  {
+    apps::knight::Config c{
+        .board = 5, .start = 0, .target_jobs = 32, .workers = 6};
+    const double slow = Run(Machines(6, 0), 6, apps::knight::Register,
+                            apps::knight::kMainTask, apps::knight::MakeArg(c));
+    const double mixed = Run(Machines(3, 3), 6, apps::knight::Register,
+                             apps::knight::kMainTask, apps::knight::MakeArg(c));
+    const double fast = Run(Machines(0, 6), 6, apps::knight::Register,
+                            apps::knight::kMainTask, apps::knight::MakeArg(c));
+    std::printf("%-26s %14.4f %14.4f %14.4f\n",
+                "knight 32 jobs (farm)", slow, mixed, fast);
+  }
+  std::printf(
+      "\nBarrier-synchronized work is paced by the slowest machines; the\n"
+      "self-scheduling farm exploits the fast half of the cluster.\n\n");
+  return 0;
+}

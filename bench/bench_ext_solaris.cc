@@ -1,0 +1,25 @@
+// Extension beyond the paper: the authors' stated future work is to "carry
+// out experiments on other UNIX-based platforms in order to further assess
+// the portability function". This bench runs the Gauss-Seidel and Othello
+// sweeps on a fourth platform profile (Solaris 2.6 / UltraSPARC) and shows
+// the same performance patterns as Table 1's three.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  const auto& prof = platform::SolarisUltra();
+
+  benchlib::Figure gauss = benchlib::GaussTimes(
+      prof, benchparams::kGaussDims, benchparams::kGaussSweeps,
+      benchparams::kProcessors);
+  gauss.id = "Extension A";
+  int rc = benchlib::Output(
+      benchlib::ToSpeedup(gauss, "Extension A", gauss.title), argc, argv);
+  if (rc != 0) return rc;
+
+  benchlib::Figure othello = benchlib::OthelloSpeedups(
+      prof, benchparams::kOthelloDepths, benchparams::kProcessors);
+  othello.id = "Extension B";
+  return benchlib::Output(othello, argc, argv);
+}

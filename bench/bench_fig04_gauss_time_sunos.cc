@@ -1,0 +1,12 @@
+// Regenerates Figure 4: Gauss-Seidel execution time on SunOS over SparcStation.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::GaussTimes(
+      platform::SunOsSparc(), benchparams::kGaussDims, benchparams::kGaussSweeps,
+      benchparams::kProcessors);
+  fig.id = "Figure 4";
+  return benchlib::Output(fig, argc, argv);
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 5: Gauss-Seidel speed-up on SunOS over SparcStation.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure times = benchlib::GaussTimes(
+      platform::SunOsSparc(), benchparams::kGaussDims, benchparams::kGaussSweeps,
+      benchparams::kProcessors);
+  return benchlib::Output(
+      benchlib::ToSpeedup(times, "Figure 5", times.title), argc, argv);
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 6: Gauss-Seidel execution time on AIX over RS/6000.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::GaussTimes(
+      platform::AixRs6000(), benchparams::kGaussDims, benchparams::kGaussSweeps,
+      benchparams::kProcessors);
+  fig.id = "Figure 6";
+  return benchlib::Output(fig, argc, argv);
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 7: Gauss-Seidel speed-up on AIX over RS/6000.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure times = benchlib::GaussTimes(
+      platform::AixRs6000(), benchparams::kGaussDims, benchparams::kGaussSweeps,
+      benchparams::kProcessors);
+  return benchlib::Output(
+      benchlib::ToSpeedup(times, "Figure 7", times.title), argc, argv);
+}

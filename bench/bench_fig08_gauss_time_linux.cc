@@ -1,0 +1,12 @@
+// Regenerates Figure 8: Gauss-Seidel execution time on Linux over PC-AT.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::GaussTimes(
+      platform::LinuxPentiumII(), benchparams::kGaussDims, benchparams::kGaussSweeps,
+      benchparams::kProcessors);
+  fig.id = "Figure 8";
+  return benchlib::Output(fig, argc, argv);
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 9: Gauss-Seidel speed-up on Linux over PC-AT.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure times = benchlib::GaussTimes(
+      platform::LinuxPentiumII(), benchparams::kGaussDims, benchparams::kGaussSweeps,
+      benchparams::kProcessors);
+  return benchlib::Output(
+      benchlib::ToSpeedup(times, "Figure 9", times.title), argc, argv);
+}

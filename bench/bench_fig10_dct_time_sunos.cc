@@ -1,0 +1,12 @@
+// Regenerates Figure 10: DCT-II execution time on SunOS over SparcStation.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::DctTimes(
+      platform::SunOsSparc(), benchparams::kDctImage, benchparams::kDctBlocks,
+      benchparams::kDctKeep, benchparams::kProcessors);
+  fig.id = "Figure 10";
+  return benchlib::Output(fig, argc, argv);
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 11: DCT-II speed-up on SunOS over SparcStation.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure times = benchlib::DctTimes(
+      platform::SunOsSparc(), benchparams::kDctImage, benchparams::kDctBlocks,
+      benchparams::kDctKeep, benchparams::kProcessors);
+  return benchlib::Output(
+      benchlib::ToSpeedup(times, "Figure 11", times.title), argc, argv);
+}

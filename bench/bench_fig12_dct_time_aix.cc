@@ -1,0 +1,12 @@
+// Regenerates Figure 12: DCT-II execution time on AIX over RS/6000.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::DctTimes(
+      platform::AixRs6000(), benchparams::kDctImage, benchparams::kDctBlocks,
+      benchparams::kDctKeep, benchparams::kProcessors);
+  fig.id = "Figure 12";
+  return benchlib::Output(fig, argc, argv);
+}

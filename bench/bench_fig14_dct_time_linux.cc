@@ -1,0 +1,12 @@
+// Regenerates Figure 14: DCT-II execution time on Linux over PC-AT.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::DctTimes(
+      platform::LinuxPentiumII(), benchparams::kDctImage, benchparams::kDctBlocks,
+      benchparams::kDctKeep, benchparams::kProcessors);
+  fig.id = "Figure 14";
+  return benchlib::Output(fig, argc, argv);
+}

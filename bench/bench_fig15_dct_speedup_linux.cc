@@ -1,0 +1,12 @@
+// Regenerates Figure 15: DCT-II speed-up on Linux over PC-AT.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure times = benchlib::DctTimes(
+      platform::LinuxPentiumII(), benchparams::kDctImage, benchparams::kDctBlocks,
+      benchparams::kDctKeep, benchparams::kProcessors);
+  return benchlib::Output(
+      benchlib::ToSpeedup(times, "Figure 15", times.title), argc, argv);
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 16: Othello execution improvement ratio on SunOS over SparcStation.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::OthelloSpeedups(
+      platform::SunOsSparc(), benchparams::kOthelloDepths,
+      benchparams::kProcessors);
+  fig.id = "Figure 16";
+  return benchlib::Output(fig, argc, argv);
+}

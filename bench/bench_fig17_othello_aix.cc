@@ -1,0 +1,12 @@
+// Regenerates Figure 17: Othello execution improvement ratio on AIX over RS/6000.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::OthelloSpeedups(
+      platform::AixRs6000(), benchparams::kOthelloDepths,
+      benchparams::kProcessors);
+  fig.id = "Figure 17";
+  return benchlib::Output(fig, argc, argv);
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 18: Othello execution improvement ratio on Linux over PC-AT.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::OthelloSpeedups(
+      platform::LinuxPentiumII(), benchparams::kOthelloDepths,
+      benchparams::kProcessors);
+  fig.id = "Figure 18";
+  return benchlib::Output(fig, argc, argv);
+}

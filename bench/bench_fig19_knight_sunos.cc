@@ -1,0 +1,12 @@
+// Regenerates Figure 19: Knight's Tour execution time on SunOS over SparcStation.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::KnightTimes(
+      platform::SunOsSparc(), benchparams::kKnightBoard, benchparams::kKnightJobs,
+      benchparams::kProcessors);
+  fig.id = "Figure 19";
+  return benchlib::Output(fig, argc, argv);
+}

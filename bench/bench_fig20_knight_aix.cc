@@ -1,0 +1,12 @@
+// Regenerates Figure 20: Knight's Tour execution time on AIX over RS/6000.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::KnightTimes(
+      platform::AixRs6000(), benchparams::kKnightBoard, benchparams::kKnightJobs,
+      benchparams::kProcessors);
+  fig.id = "Figure 20";
+  return benchlib::Output(fig, argc, argv);
+}

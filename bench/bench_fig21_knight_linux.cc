@@ -1,0 +1,12 @@
+// Regenerates Figure 21: Knight's Tour execution time on Linux over PC-AT.
+#include "bench/figure_params.h"
+#include "benchlib/figure.h"
+
+int main(int argc, char** argv) {
+  using namespace dse;
+  benchlib::Figure fig = benchlib::KnightTimes(
+      platform::LinuxPentiumII(), benchparams::kKnightBoard, benchparams::kKnightJobs,
+      benchparams::kProcessors);
+  fig.id = "Figure 21";
+  return benchlib::Output(fig, argc, argv);
+}

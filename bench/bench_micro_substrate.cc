@@ -1,0 +1,160 @@
+// Micro-benchmarks of the substrates under the runtime: wire-protocol codec,
+// stream framing, the global-memory page store, access splitting, and the
+// discrete-event simulator's scheduling overhead.
+#include <benchmark/benchmark.h>
+
+#include "dse/gmm/addr.h"
+#include "dse/gmm/store.h"
+#include "dse/proto/messages.h"
+#include "net/framing.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace dse;
+
+void BM_ProtoEncodeSmall(benchmark::State& state) {
+  proto::Envelope env;
+  env.req_id = 42;
+  env.src_node = 3;
+  env.body = proto::ReadReq{0x1234, 64, false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::Encode(env));
+  }
+}
+BENCHMARK(BM_ProtoEncodeSmall);
+
+void BM_ProtoDecodeSmall(benchmark::State& state) {
+  proto::Envelope env;
+  env.req_id = 42;
+  env.src_node = 3;
+  env.body = proto::ReadReq{0x1234, 64, false};
+  const auto bytes = proto::Encode(env);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::Decode(bytes));
+  }
+}
+BENCHMARK(BM_ProtoDecodeSmall);
+
+void BM_ProtoRoundTripBulk(benchmark::State& state) {
+  proto::WriteReq req;
+  req.addr = 99;
+  req.data.assign(static_cast<size_t>(state.range(0)), 0x7F);
+  proto::Envelope env;
+  env.req_id = 1;
+  env.src_node = 0;
+  env.body = std::move(req);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::Decode(proto::Encode(env)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ProtoRoundTripBulk)->Arg(1024)->Arg(65536);
+
+void BM_FrameDecodeStream(benchmark::State& state) {
+  // A stream of 100 frames fed in 1400-byte chunks (like recv would).
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 100; ++i) {
+    const auto f =
+        net::EncodeFrame(i % 8, std::vector<std::uint8_t>(200, 0x22));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  for (auto _ : state) {
+    net::FrameDecoder dec;
+    size_t pos = 0;
+    int frames = 0;
+    while (pos < stream.size()) {
+      const size_t take = std::min<size_t>(1400, stream.size() - pos);
+      benchmark::DoNotOptimize(dec.Feed(stream.data() + pos, take));
+      pos += take;
+      while (dec.Next()) ++frames;
+    }
+    if (frames != 100) state.SkipWithError("lost frames");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_FrameDecodeStream);
+
+void BM_PageStoreWrite(benchmark::State& state) {
+  gmm::PageStore store;
+  std::vector<std::uint8_t> data(static_cast<size_t>(state.range(0)), 0xAB);
+  const gmm::GlobalAddr addr =
+      gmm::MakeAddr(gmm::AddrKind::kNodeHomed, 0, 128);
+  for (auto _ : state) {
+    store.Write(addr, data.data(), data.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PageStoreWrite)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_PageStoreRead(benchmark::State& state) {
+  gmm::PageStore store;
+  std::vector<std::uint8_t> data(static_cast<size_t>(state.range(0)), 0xCD);
+  const gmm::GlobalAddr addr = gmm::MakeAddr(gmm::AddrKind::kStriped, 16, 0);
+  store.Write(addr, data.data(), data.size());
+  for (auto _ : state) {
+    store.Read(addr, data.data(), data.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PageStoreRead)->Arg(4096)->Arg(262144);
+
+void BM_SplitAccessStriped(benchmark::State& state) {
+  const gmm::GlobalAddr addr = gmm::MakeAddr(gmm::AddrKind::kStriped, 10, 123);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmm::SplitAccess(addr, 100000, 6));
+  }
+}
+BENCHMARK(BM_SplitAccessStriped);
+
+void BM_SimProcessSwitch(benchmark::State& state) {
+  // Virtual-time ping-pong between two simulated processes: measures the
+  // scheduler's thread-handoff cost per event (the constant that bounds how
+  // fast figure sweeps run).
+  const std::int64_t rounds = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Channel<int> ping(&sim);
+    sim::Channel<int> pong(&sim);
+    sim.Spawn("a", [&](sim::Context& ctx) {
+      for (std::int64_t i = 0; i < rounds; ++i) {
+        ping.Push(1);
+        (void)pong.Pop(ctx);
+      }
+    });
+    sim.Spawn("b", [&](sim::Context& ctx) {
+      for (std::int64_t i = 0; i < rounds; ++i) {
+        (void)ping.Pop(ctx);
+        pong.Push(1);
+      }
+    });
+    sim.RunUntilIdle();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_SimProcessSwitch)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.05";
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) {
+      has_min_time = true;
+    }
+  }
+  if (!has_min_time) args.push_back(min_time.data());
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

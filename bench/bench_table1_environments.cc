@@ -1,0 +1,30 @@
+// Regenerates Table 1: the experiment environments, with the cost-model
+// parameters each simulated platform runs under.
+#include <cstdio>
+
+#include "platform/profile.h"
+#include "sim/time.h"
+
+int main() {
+  using namespace dse;
+  std::printf("== Table 1: Experiment environments ==\n");
+  std::printf("%-10s %-28s %-24s %s\n", "Platform", "Machine", "OS",
+              "machines");
+  int index = 1;
+  for (const platform::Profile& p : platform::AllProfiles()) {
+    std::printf("%-10d %-28s %-24s %d\n", index++, p.machine.c_str(),
+                p.os.c_str(), p.physical_machines);
+  }
+  std::printf("\nCost model (simulation substitutes for the testbeds):\n");
+  std::printf("%-10s %14s %14s %14s %14s %14s\n", "id", "ns/work-unit",
+              "send [us]", "recv [us]", "sigio [us]", "net [Mb/s]");
+  for (const platform::Profile& p : platform::AllProfiles()) {
+    std::printf("%-10s %14.1f %14.1f %14.1f %14.1f %14.1f\n", p.id.c_str(),
+                p.ns_per_work_unit, sim::ToMicros(p.send_overhead),
+                sim::ToMicros(p.recv_overhead),
+                sim::ToMicros(p.signal_dispatch),
+                p.net.bandwidth_bps / 1e6);
+  }
+  std::printf("\n");
+  return 0;
+}

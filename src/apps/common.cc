@@ -1,0 +1,15 @@
+#include "apps/common.h"
+
+#include <algorithm>
+
+#include "dse/gmm/addr.h"
+
+namespace dse::apps {
+
+std::uint8_t StripeLog2For(std::uint64_t bytes) {
+  std::uint8_t log2 = gmm::kMinStripeLog2;
+  while ((1ULL << log2) < bytes && log2 < gmm::kMaxStripeLog2) ++log2;
+  return log2;
+}
+
+}  // namespace dse::apps

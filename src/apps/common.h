@@ -1,0 +1,62 @@
+// Shared helpers for the four evaluation applications.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "dse/task.h"
+
+namespace dse::apps {
+
+// Spawns `count` workers of `task_name`, worker i on node i % num_nodes with
+// argument `make_arg(i)`. One worker per node matches the paper's setup
+// (P processors = P DSE kernels, one parallel process each).
+template <typename MakeArg>
+std::vector<Gpid> SpawnWorkers(Task& t, const std::string& task_name,
+                               int count, MakeArg make_arg) {
+  std::vector<Gpid> gpids;
+  gpids.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto gpid = t.Spawn(task_name, make_arg(i), i % t.num_nodes());
+    DSE_CHECK_OK(gpid.status());
+    gpids.push_back(*gpid);
+  }
+  return gpids;
+}
+
+// Joins every worker and returns their result payloads in spawn order.
+inline std::vector<std::vector<std::uint8_t>> JoinAll(
+    Task& t, const std::vector<Gpid>& gpids) {
+  std::vector<std::vector<std::uint8_t>> results;
+  results.reserve(gpids.size());
+  for (Gpid g : gpids) {
+    auto r = t.Join(g);
+    DSE_CHECK_OK(r.status());
+    results.push_back(std::move(*r));
+  }
+  return results;
+}
+
+// Smallest power-of-two exponent whose block covers `bytes` (clamped to the
+// striped-allocation limits) — used to pick stripe sizes for row blocks.
+std::uint8_t StripeLog2For(std::uint64_t bytes);
+
+// Reads an i64 out of a result payload (workers conventionally return one).
+inline std::int64_t ResultI64(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  std::int64_t v = 0;
+  DSE_CHECK_OK(r.ReadI64(&v));
+  return v;
+}
+
+inline double ResultF64(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  double v = 0;
+  DSE_CHECK_OK(r.ReadF64(&v));
+  return v;
+}
+
+}  // namespace dse::apps

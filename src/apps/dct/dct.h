@@ -1,0 +1,90 @@
+// Two-dimensional Discrete Cosine Transform image compression (paper §4.2).
+//
+// The source image is divided into independent N×N pixel blocks; every block
+// is transformed (DCT-II), quantized by keeping the strongest fraction of
+// coefficients in zig-zag order, and written back — each block fully
+// independent, the paper's motivation for parallelism.
+//
+// Parallel organization: the image lives in striped global memory; workers
+// self-schedule blocks through a global atomic counter (task farm). A worker
+// fetches its block row-by-row (N messages of N pixels — exactly the
+// fine-grain traffic that makes small blocks communication-bound), computes
+// the transform, and writes the quantized coefficients back row-by-row.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dse/registry.h"
+#include "dse/task.h"
+
+namespace dse::apps::dct {
+
+struct Config {
+  int width = 256;
+  int height = 256;
+  int block = 8;            // block edge N (4, 8, 16 in the figures)
+  double keep_fraction = 0.25;  // compression: fraction of coefficients kept
+  int workers = 1;
+  bool separable = false;   // use the O(N^3) fast kernel (ablation)
+};
+
+using Image = std::vector<float>;  // row-major width*height
+
+// Deterministic synthetic test image (smooth gradients + texture) with
+// realistic energy compaction under the DCT.
+Image MakeTestImage(int width, int height);
+
+// One N×N forward DCT-II in the direct (textbook double-sum) form the
+// paper's granularity discussion implies: O(N^4) per block, so computation
+// per pixel grows as N^2 while messages per pixel shrink — the interaction
+// the figures measure. `in`/`out` are N*N row-major.
+void DctBlock(const float* in, float* out, int n);
+// Inverse transform (direct DCT-III), for PSNR verification.
+void IdctBlock(const float* in, float* out, int n);
+
+// Separable O(N^3) variants (the modern implementation). Numerically equal
+// to the direct form up to float rounding; used by the fast-transform
+// ablation bench to show how an optimized kernel shifts the granularity
+// crossover.
+void DctBlockSeparable(const float* in, float* out, int n);
+void IdctBlockSeparable(const float* in, float* out, int n);
+
+// Layout conversion: the image is stored block-major in global memory (each
+// N×N block contiguous) so one block moves as one request.
+Image ToBlockMajor(const Image& image, int width, int height, int block);
+Image FromBlockMajor(const Image& blocks, int width, int height, int block);
+
+// Zig-zag scan order of an N×N block (exposed for tests).
+std::vector<int> ZigZagOrder(int n);
+
+// Keeps the first ceil(keep_fraction * N^2) coefficients in zig-zag order,
+// zeroing the rest (the paper's "% compression rate").
+void Quantize(float* coeffs, int n, double keep_fraction);
+
+// Sequential baseline: transforms + quantizes every block of `image`.
+// `use_separable` selects the fast kernel (ablation).
+Image CompressSequential(const Config& config, const Image& image,
+                         bool use_separable = false);
+
+// Reconstructs an image from quantized coefficients (inverse per block).
+Image Reconstruct(const Config& config, const Image& coeffs);
+
+// Peak signal-to-noise ratio between two images (dB).
+double Psnr(const Image& a, const Image& b);
+
+// Work units for one block transform (+quantize).
+double BlockWorkUnits(int n, bool separable = false);
+
+// Bit-stable checksum of an image.
+std::uint64_t Checksum(const Image& image);
+
+// Registers "dct.main" and "dct.worker". Main result payload: u64 checksum
+// of the compressed coefficients, then f64 PSNR vs the source image.
+void Register(TaskRegistry& registry);
+std::vector<std::uint8_t> MakeArg(const Config& config);
+
+inline const char* kMainTask = "dct.main";
+inline const char* kWorkerTask = "dct.worker";
+
+}  // namespace dse::apps::dct

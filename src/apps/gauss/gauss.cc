@@ -1,0 +1,275 @@
+#include "apps/gauss/gauss.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "apps/common.h"
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace dse::apps::gauss {
+namespace {
+
+// Row range [begin, end) owned by worker `w` of `p`.
+std::pair<int, int> RowRange(int n, int w, int p) {
+  const int base = n / p;
+  const int extra = n % p;
+  const int begin = w * base + std::min(w, extra);
+  const int rows = base + (w < extra ? 1 : 0);
+  return {begin, begin + rows};
+}
+
+// Relaxes rows [begin, end) of x in place, reading neighbours from x itself
+// (Gauss-Seidel order within the range). Returns the max-norm update delta.
+double RelaxRows(std::vector<double>& x, int begin, int end) {
+  const int n = static_cast<int>(x.size());
+  double delta = 0;
+  for (int i = begin; i < end; ++i) {
+    double sum = RhsEntry(i, n);
+    for (int j = 0; j < n; ++j) {
+      if (j != i) sum -= MatrixEntry(i, j) * x[static_cast<size_t>(j)];
+    }
+    const double next = sum / MatrixEntry(i, i);
+    delta = std::max(delta, std::abs(next - x[static_cast<size_t>(i)]));
+    x[static_cast<size_t>(i)] = next;
+  }
+  return delta;
+}
+
+}  // namespace
+
+double MatrixEntry(int i, int j) {
+  if (i == j) return 4.0;
+  const double d = 1.0 + std::abs(i - j);
+  return 1.0 / (d * d);
+}
+
+double ExactSolution(int i) { return 1.0 + static_cast<double>(i % 5); }
+
+double RhsEntry(int i, int n) {
+  double b = 0;
+  for (int j = 0; j < n; ++j) b += MatrixEntry(i, j) * ExactSolution(j);
+  return b;
+}
+
+std::vector<double> SolveSequential(const Config& config, int* sweeps_used) {
+  std::vector<double> x(static_cast<size_t>(config.n), 0.0);
+  int executed = 0;
+  for (int s = 0; s < config.sweeps; ++s) {
+    const double delta = RelaxRows(x, 0, config.n);
+    ++executed;
+    if (config.tolerance > 0 && delta < config.tolerance) break;
+  }
+  if (sweeps_used != nullptr) *sweeps_used = executed;
+  return x;
+}
+
+double Residual(const std::vector<double>& x) {
+  const int n = static_cast<int>(x.size());
+  double worst = 0;
+  for (int i = 0; i < n; ++i) {
+    double r = -RhsEntry(i, n);
+    for (int j = 0; j < n; ++j) {
+      r += MatrixEntry(i, j) * x[static_cast<size_t>(j)];
+    }
+    worst = std::max(worst, std::abs(r));
+  }
+  return worst / n;
+}
+
+double SweepWorkUnits(int n) {
+  // Per element: one MatrixEntry evaluation (abs, add, mul, div ≈ 4 ops),
+  // multiply + subtract. The b_i evaluation doubles the row cost.
+  return static_cast<double>(n) * static_cast<double>(n) * 12.0;
+}
+
+std::uint64_t Checksum(const std::vector<double>& x) {
+  // FNV-1a over the raw bits: detects any numeric divergence exactly.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const double v : x) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> MakeArg(const Config& config) {
+  ByteWriter w;
+  w.WriteI32(config.n);
+  w.WriteI32(config.sweeps);
+  w.WriteI32(config.workers);
+  w.WriteF64(config.tolerance);
+  return w.TakeBuffer();
+}
+
+namespace {
+
+Config ReadConfig(ByteReader& r) {
+  Config c;
+  DSE_CHECK_OK(r.ReadI32(&c.n));
+  DSE_CHECK_OK(r.ReadI32(&c.sweeps));
+  DSE_CHECK_OK(r.ReadI32(&c.workers));
+  DSE_CHECK_OK(r.ReadF64(&c.tolerance));
+  return c;
+}
+
+struct WorkerArg {
+  Config config;
+  gmm::GlobalAddr x_addr = 0;
+  gmm::GlobalAddr delta_addr = 0;  // convergence accumulator (scaled i64)
+  int worker_index = 0;
+};
+
+std::vector<std::uint8_t> EncodeWorkerArg(const WorkerArg& a) {
+  ByteWriter w;
+  w.WriteI32(a.config.n);
+  w.WriteI32(a.config.sweeps);
+  w.WriteI32(a.config.workers);
+  w.WriteF64(a.config.tolerance);
+  w.WriteU64(a.x_addr);
+  w.WriteU64(a.delta_addr);
+  w.WriteI32(a.worker_index);
+  return w.TakeBuffer();
+}
+
+WorkerArg DecodeWorkerArg(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  WorkerArg a;
+  a.config = ReadConfig(r);
+  DSE_CHECK_OK(r.ReadU64(&a.x_addr));
+  DSE_CHECK_OK(r.ReadU64(&a.delta_addr));
+  DSE_CHECK_OK(r.ReadI32(&a.worker_index));
+  return a;
+}
+
+// The distributed max-delta reduction carries a fixed-point value through
+// an atomic slot (atomics move integers): 2^32 steps per unit.
+std::int64_t ScaleDelta(double delta) {
+  return static_cast<std::int64_t>(std::min(delta, 1e6) * 4294967296.0);
+}
+
+constexpr std::uint64_t kReadBarrier = 0x6761757373'01ULL;
+constexpr std::uint64_t kWriteBarrier = 0x6761757373'02ULL;
+constexpr std::uint64_t kDeltaBarrier = 0x6761757373'03ULL;
+
+void WorkerBody(Task& t) {
+  const WorkerArg a = DecodeWorkerArg(t.arg());
+  const int n = a.config.n;
+  const int p = a.config.workers;
+  const auto [begin, end] = RowRange(n, a.worker_index, p);
+  const bool converging = a.config.tolerance > 0;
+
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  std::int32_t executed = 0;
+  for (int s = 0; s < a.config.sweeps; ++s) {
+    // (1) fetch the current solution vector from global memory,
+    t.ReadArray<double>(a.x_addr, x.data(), x.size());
+    // (2) everyone must have read before anyone publishes, or a worker
+    //     could observe a mix of sweep s and s+1 values (racy, and above
+    //     all nondeterministic),
+    DSE_CHECK_OK(t.Barrier(kReadBarrier, p));
+    // (3) relax our block (Gauss-Seidel inside the block, Jacobi across),
+    const double delta = RelaxRows(x, begin, end);
+    t.Compute(SweepWorkUnits(n) * static_cast<double>(end - begin) /
+              static_cast<double>(n));
+    // (4) publish our block,
+    t.WriteArray<double>(a.x_addr + static_cast<std::uint64_t>(begin) * 8,
+                         x.data() + begin, static_cast<size_t>(end - begin));
+    ++executed;
+
+    if (!converging) {
+      // (5) sweep barrier across all workers.
+      DSE_CHECK_OK(t.Barrier(kWriteBarrier, p));
+      continue;
+    }
+
+    // Convergence mode: distributed max-delta reduction. Each worker folds
+    // its block delta into a shared accumulator (max via compare-exchange),
+    // a barrier makes the combined value visible, everyone reads it and
+    // decides identically; a second barrier protects the accumulator reset.
+    for (;;) {
+      const auto current = t.ReadValue<std::int64_t>(a.delta_addr);
+      const std::int64_t mine = ScaleDelta(delta);
+      if (mine <= current) break;
+      auto prev = t.AtomicCompareExchange(a.delta_addr, current, mine);
+      DSE_CHECK_OK(prev.status());
+      if (*prev == current) break;  // our max landed
+    }
+    DSE_CHECK_OK(t.Barrier(kWriteBarrier, p));
+    const auto combined = t.ReadValue<std::int64_t>(a.delta_addr);
+    const bool done = combined < ScaleDelta(a.config.tolerance);
+    DSE_CHECK_OK(t.Barrier(kDeltaBarrier, p));
+    // Worker 0 resets the accumulator for the next sweep (after everyone
+    // has read it — the barrier above orders that).
+    if (a.worker_index == 0 && !done) {
+      t.WriteValue<std::int64_t>(a.delta_addr, 0);
+    }
+    // The reset must land before the next sweep's reduction begins; the
+    // next read barrier orders it for every other worker.
+    if (done) break;
+  }
+
+  ByteWriter w;
+  w.WriteI32(executed);
+  t.SetResult(w.TakeBuffer());
+}
+
+void MainBody(Task& t) {
+  ByteReader r(t.arg().data(), t.arg().size());
+  const Config config = ReadConfig(r);
+  DSE_CHECK(config.n > 0 && config.workers > 0);
+
+  // The solution vector, striped so each home holds ~1/P of it. The stripe
+  // covers one worker block where possible, mirroring per-PE global memory
+  // slices.
+  const std::uint64_t bytes = static_cast<std::uint64_t>(config.n) * 8;
+  const std::uint8_t stripe =
+      StripeLog2For((bytes + static_cast<std::uint64_t>(config.workers) - 1) /
+                    static_cast<std::uint64_t>(config.workers));
+  auto x_addr = t.AllocStriped(bytes, stripe);
+  DSE_CHECK_OK(x_addr.status());
+  auto delta_addr = t.AllocOnNode(8, 0);
+  DSE_CHECK_OK(delta_addr.status());
+
+  // x starts at zero (global memory is zero-initialized — no writes needed).
+  auto gpids = SpawnWorkers(t, kWorkerTask, config.workers, [&](int i) {
+    WorkerArg a;
+    a.config = config;
+    a.x_addr = *x_addr;
+    a.delta_addr = *delta_addr;
+    a.worker_index = i;
+    return EncodeWorkerArg(a);
+  });
+  const auto results = JoinAll(t, gpids);
+  std::int32_t sweeps_executed = 0;
+  for (const auto& res : results) {
+    ByteReader rr(res.data(), res.size());
+    std::int32_t executed = 0;
+    DSE_CHECK_OK(rr.ReadI32(&executed));
+    sweeps_executed = std::max(sweeps_executed, executed);
+  }
+
+  std::vector<double> x(static_cast<size_t>(config.n));
+  t.ReadArray<double>(*x_addr, x.data(), x.size());
+  DSE_CHECK_OK(t.Free(*x_addr));
+  DSE_CHECK_OK(t.Free(*delta_addr));
+
+  ByteWriter w;
+  w.WriteF64(Residual(x));
+  w.WriteU64(Checksum(x));
+  w.WriteI32(sweeps_executed);
+  t.SetResult(w.TakeBuffer());
+}
+
+}  // namespace
+
+void Register(TaskRegistry& registry) {
+  registry.Register(kMainTask, MainBody);
+  registry.Register(kWorkerTask, WorkerBody);
+}
+
+}  // namespace dse::apps::gauss

@@ -1,0 +1,71 @@
+// Gauss-Seidel solver for dense simultaneous equations (paper §4.1).
+//
+// The system Ax = b is synthetic but fixed: A is diagonally dominant with
+// a_ii = 4 and a_ij = 1 / (1 + |i-j|)^2, and b is chosen so the exact
+// solution is x*_i = 1 + (i mod 5). Matrix entries are evaluated on the fly
+// (every node can produce its rows locally, as the paper's per-PE local
+// memories would hold them); only the solution vector x lives in DSE global
+// memory.
+//
+// Parallelization is block Gauss-Seidel: each of P workers owns a
+// contiguous row block. Per sweep a worker (1) reads the whole current x
+// from global memory, (2) relaxes its own rows in order — Gauss-Seidel
+// within the block, Jacobi across blocks, (3) writes its block back, and
+// (4) enters a cluster barrier. With one worker the method degenerates to
+// exact sequential Gauss-Seidel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/registry.h"
+#include "dse/task.h"
+
+namespace dse::apps::gauss {
+
+struct Config {
+  int n = 100;           // dimension of the simultaneous equations
+  int sweeps = 10;       // fixed relaxation sweeps (paper-style timing runs)
+  int workers = 1;       // parallel processes
+
+  // Convergence mode: when tolerance > 0, iterate until the max-norm update
+  // delta falls below it (at most `sweeps` sweeps; set sweeps high). The
+  // workers agree on termination through a distributed reduction: each
+  // contributes its block's delta to a global accumulator between two
+  // barriers, and everyone reads the combined value.
+  double tolerance = 0.0;
+};
+
+// Matrix/vector definition (shared by sequential and parallel paths).
+double MatrixEntry(int i, int j);
+double ExactSolution(int i);
+double RhsEntry(int i, int n);  // b_i = sum_j a_ij x*_j
+
+// Sequential baseline: `sweeps` Gauss-Seidel sweeps from x = 0 (or until
+// the update delta drops below config.tolerance when set). `sweeps_used`
+// (optional) receives the executed sweep count.
+std::vector<double> SolveSequential(const Config& config,
+                                    int* sweeps_used = nullptr);
+
+// Max-norm residual ||Ax - b||_inf / n (work O(n^2)).
+double Residual(const std::vector<double>& x);
+
+// Approximate work units (ALU ops) of one full sweep — what the workers
+// charge to Task::Compute.
+double SweepWorkUnits(int n);
+
+// Registers "gauss.main" and "gauss.worker". The main task's result payload
+// is: f64 residual, u64 checksum of the final x bits, i32 sweeps executed.
+void Register(TaskRegistry& registry);
+
+// Serializes a Config as the "gauss.main" argument.
+std::vector<std::uint8_t> MakeArg(const Config& config);
+
+// Bit-stable checksum of a double vector (for parallel==sequential checks).
+std::uint64_t Checksum(const std::vector<double>& x);
+
+inline const char* kMainTask = "gauss.main";
+inline const char* kWorkerTask = "gauss.worker";
+
+}  // namespace dse::apps::gauss

@@ -1,0 +1,288 @@
+#include "apps/knight/knight.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "apps/common.h"
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace dse::apps::knight {
+namespace {
+
+constexpr int kDr[8] = {-2, -2, -1, -1, 1, 1, 2, 2};
+constexpr int kDc[8] = {-1, 1, -2, 2, -2, 2, -1, 1};
+
+// Knight moves from `square` on an n×n board, in fixed order.
+int Moves(int n, int square, int out[8]) {
+  const int r = square / n;
+  const int c = square % n;
+  int count = 0;
+  for (int k = 0; k < 8; ++k) {
+    const int nr = r + kDr[k];
+    const int nc = c + kDc[k];
+    if (nr >= 0 && nr < n && nc >= 0 && nc < n) {
+      out[count++] = nr * n + nc;
+    }
+  }
+  return count;
+}
+
+void Dfs(int n, int square, std::uint64_t visited, int depth,
+         CountResult* result) {
+  ++result->nodes;
+  if (depth == n * n) {
+    ++result->tours;
+    return;
+  }
+  int moves[8];
+  const int count = Moves(n, square, moves);
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t bit = 1ULL << moves[i];
+    if ((visited & bit) != 0) continue;
+    Dfs(n, moves[i], visited | bit, depth + 1, result);
+  }
+}
+
+}  // namespace
+
+CountResult CountFrom(int n, const Path& path) {
+  DSE_CHECK(!path.empty());
+  DSE_CHECK(n >= 3 && n * n <= 64);
+  std::uint64_t visited = 0;
+  for (const int sq : path) {
+    DSE_CHECK(sq >= 0 && sq < n * n);
+    DSE_CHECK_MSG((visited & (1ULL << sq)) == 0, "path revisits a square");
+    visited |= 1ULL << sq;
+  }
+  CountResult result;
+  Dfs(n, path.back(), visited, static_cast<int>(path.size()), &result);
+  return result;
+}
+
+std::vector<Path> MakeJobs(int n, int start, int target_jobs) {
+  std::vector<Path> frontier = {Path{start}};
+  // Expand whole levels until the frontier is large enough. Dead-end paths
+  // (no continuations) are retained so every tour is counted exactly once.
+  while (static_cast<int>(frontier.size()) < target_jobs) {
+    std::vector<Path> next;
+    bool grew = false;
+    for (const Path& p : frontier) {
+      if (static_cast<int>(p.size()) == n * n) {
+        next.push_back(p);  // already a complete tour
+        continue;
+      }
+      std::uint64_t visited = 0;
+      for (const int sq : p) visited |= 1ULL << sq;
+      int moves[8];
+      const int count = Moves(n, p.back(), moves);
+      bool extended = false;
+      for (int i = 0; i < count; ++i) {
+        if ((visited & (1ULL << moves[i])) != 0) continue;
+        Path child = p;
+        child.push_back(moves[i]);
+        next.push_back(std::move(child));
+        extended = true;
+      }
+      if (!extended) continue;  // dead end: drop (contributes zero tours)
+      grew = grew || extended;
+    }
+    if (!grew) break;  // nothing expandable (tiny boards)
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+CountResult CountDecomposed(const Config& config) {
+  CountResult total;
+  for (const Path& p :
+       MakeJobs(config.board, config.start, config.target_jobs)) {
+    if (static_cast<int>(p.size()) == config.board * config.board) {
+      ++total.tours;  // completed during expansion
+      ++total.nodes;
+      continue;
+    }
+    const CountResult r = CountFrom(config.board, p);
+    total.tours += r.tours;
+    total.nodes += r.nodes;
+  }
+  return total;
+}
+
+CountResult CountWholeTree(int n, int start) {
+  return CountFrom(n, Path{start});
+}
+
+double NodeWorkUnits() {
+  // Move generation (8 bound checks) + bookkeeping.
+  return 30.0;
+}
+
+std::vector<std::uint8_t> MakeArg(const Config& config) {
+  ByteWriter w;
+  w.WriteI32(config.board);
+  w.WriteI32(config.start);
+  w.WriteI32(config.target_jobs);
+  w.WriteI32(config.workers);
+  return w.TakeBuffer();
+}
+
+namespace {
+
+Config ReadConfig(ByteReader& r) {
+  Config c;
+  DSE_CHECK_OK(r.ReadI32(&c.board));
+  DSE_CHECK_OK(r.ReadI32(&c.start));
+  DSE_CHECK_OK(r.ReadI32(&c.target_jobs));
+  DSE_CHECK_OK(r.ReadI32(&c.workers));
+  return c;
+}
+
+// Job slot layout: i32 length, then up to 60 u8 squares (board ≤ 7x7 fits a
+// tour prefix comfortably in the expansion depths we use).
+constexpr std::uint64_t kSlotBytes = 64;
+constexpr size_t kMaxPrefix = 60;
+
+void EncodeJob(std::uint8_t* out, const Path& path) {
+  DSE_CHECK(path.size() <= kMaxPrefix);
+  ByteWriter w(kSlotBytes);
+  w.WriteI32(static_cast<std::int32_t>(path.size()));
+  for (const int sq : path) w.WriteU8(static_cast<std::uint8_t>(sq));
+  for (size_t i = path.size(); i < kSlotBytes - 4; ++i) w.WriteU8(0);
+  DSE_CHECK(w.size() == kSlotBytes);
+  std::memcpy(out, w.buffer().data(), kSlotBytes);
+}
+
+Path DecodeJob(const std::uint8_t* in) {
+  ByteReader r(in, kSlotBytes);
+  std::int32_t len = 0;
+  DSE_CHECK_OK(r.ReadI32(&len));
+  DSE_CHECK(len > 0 && static_cast<size_t>(len) <= kMaxPrefix);
+  Path path(static_cast<size_t>(len));
+  for (auto& sq : path) {
+    std::uint8_t b = 0;
+    DSE_CHECK_OK(r.ReadU8(&b));
+    sq = b;
+  }
+  return path;
+}
+
+struct WorkerArg {
+  gmm::GlobalAddr slots = 0;
+  gmm::GlobalAddr counter = 0;   // job claim counter
+  gmm::GlobalAddr totals = 0;    // [tours, nodes] atomic slots
+  int num_jobs = 0;
+  int board = 0;
+};
+
+std::vector<std::uint8_t> EncodeWorkerArg(const WorkerArg& a) {
+  ByteWriter w;
+  w.WriteU64(a.slots);
+  w.WriteU64(a.counter);
+  w.WriteU64(a.totals);
+  w.WriteI32(a.num_jobs);
+  w.WriteI32(a.board);
+  return w.TakeBuffer();
+}
+
+WorkerArg DecodeWorkerArg(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  WorkerArg a;
+  DSE_CHECK_OK(r.ReadU64(&a.slots));
+  DSE_CHECK_OK(r.ReadU64(&a.counter));
+  DSE_CHECK_OK(r.ReadU64(&a.totals));
+  DSE_CHECK_OK(r.ReadI32(&a.num_jobs));
+  DSE_CHECK_OK(r.ReadI32(&a.board));
+  return a;
+}
+
+void WorkerBody(Task& t) {
+  const WorkerArg a = DecodeWorkerArg(t.arg());
+  std::int64_t jobs_done = 0;
+  for (;;) {
+    auto claimed = t.AtomicFetchAdd(a.counter, 1);
+    DSE_CHECK_OK(claimed.status());
+    if (*claimed >= a.num_jobs) break;
+    const auto index = static_cast<std::uint64_t>(*claimed);
+
+    std::uint8_t slot[kSlotBytes];
+    DSE_CHECK_OK(t.Read(a.slots + index * kSlotBytes, slot, kSlotBytes));
+    const Path path = DecodeJob(slot);
+
+    CountResult r;
+    if (static_cast<int>(path.size()) == a.board * a.board) {
+      r.tours = 1;  // the prefix itself is a complete tour
+      r.nodes = 1;
+    } else {
+      r = CountFrom(a.board, path);
+    }
+    t.Compute(static_cast<double>(r.nodes) * NodeWorkUnits());
+
+    DSE_CHECK_OK(
+        t.AtomicFetchAdd(a.totals, static_cast<std::int64_t>(r.tours))
+            .status());
+    DSE_CHECK_OK(
+        t.AtomicFetchAdd(a.totals + 8, static_cast<std::int64_t>(r.nodes))
+            .status());
+    ++jobs_done;
+  }
+  ByteWriter w;
+  w.WriteI64(jobs_done);
+  t.SetResult(w.TakeBuffer());
+}
+
+void MainBody(Task& t) {
+  ByteReader r(t.arg().data(), t.arg().size());
+  const Config config = ReadConfig(r);
+  DSE_CHECK(config.board >= 3 && config.board * config.board <= 64);
+
+  const std::vector<Path> jobs =
+      MakeJobs(config.board, config.start, config.target_jobs);
+  const int num_jobs = static_cast<int>(jobs.size());
+
+  auto slots = t.AllocStriped(
+      static_cast<std::uint64_t>(num_jobs) * kSlotBytes, 6);  // 64 B stripes
+  auto counter = t.AllocOnNode(8, 0);
+  auto totals = t.AllocOnNode(16, 0);
+  DSE_CHECK_OK(slots.status());
+  DSE_CHECK_OK(counter.status());
+  DSE_CHECK_OK(totals.status());
+
+  for (int i = 0; i < num_jobs; ++i) {
+    std::uint8_t slot[kSlotBytes];
+    EncodeJob(slot, jobs[static_cast<size_t>(i)]);
+    DSE_CHECK_OK(t.Write(*slots + static_cast<std::uint64_t>(i) * kSlotBytes,
+                         slot, kSlotBytes));
+  }
+
+  auto gpids = SpawnWorkers(t, kWorkerTask, config.workers, [&](int) {
+    WorkerArg a;
+    a.slots = *slots;
+    a.counter = *counter;
+    a.totals = *totals;
+    a.num_jobs = num_jobs;
+    a.board = config.board;
+    return EncodeWorkerArg(a);
+  });
+  JoinAll(t, gpids);
+
+  std::int64_t packed[2];
+  DSE_CHECK_OK(t.Read(*totals, packed, sizeof(packed)));
+  DSE_CHECK_OK(t.Free(*slots));
+  DSE_CHECK_OK(t.Free(*counter));
+  DSE_CHECK_OK(t.Free(*totals));
+
+  ByteWriter w;
+  w.WriteI64(packed[0]);
+  w.WriteU64(static_cast<std::uint64_t>(packed[1]));
+  t.SetResult(w.TakeBuffer());
+}
+
+}  // namespace
+
+void Register(TaskRegistry& registry) {
+  registry.Register(kMainTask, MainBody);
+  registry.Register(kWorkerTask, WorkerBody);
+}
+
+}  // namespace dse::apps::knight

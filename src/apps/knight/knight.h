@@ -1,0 +1,66 @@
+// Knight's Tour enumeration (paper §4.4).
+//
+// Counts every open knight's tour on an N×N board from a fixed start square
+// (a deterministic amount of work, unlike first-tour searches). The paper
+// studies how computation granularity — the number of jobs the problem is
+// divided into — interacts with communication frequency: too few jobs leave
+// processors idle, too many drown in messaging.
+//
+// Parallel organization: the search tree is expanded breadth-first until at
+// least `target_jobs` prefix paths exist; the prefixes are written to global
+// memory; workers claim jobs via an atomic counter, run the depth-first
+// count under their prefix, and atomically add tour counts to a global
+// total.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dse/registry.h"
+#include "dse/task.h"
+
+namespace dse::apps::knight {
+
+struct Config {
+  int board = 5;         // N (5 in the figures: 5×5 board)
+  int start = 0;         // start square (row*N+col); 0 = corner
+  int target_jobs = 16;  // granularity knob of the figures
+  int workers = 1;
+};
+
+// One search prefix: the squares visited so far, in order.
+using Path = std::vector<int>;
+
+struct CountResult {
+  std::uint64_t tours = 0;
+  std::uint64_t nodes = 0;  // search-tree nodes visited
+};
+
+// Depth-first tour count continuing from `path` (path must be non-empty and
+// self-consistent). Board squares are 0..n*n-1.
+CountResult CountFrom(int n, const Path& path);
+
+// Expands prefixes breadth-first from `start` until at least `target_jobs`
+// exist (or the frontier stops growing). Dead-end prefixes are dropped
+// (they can contribute no tours); complete tours reached during expansion
+// are kept as length-n*n paths.
+std::vector<Path> MakeJobs(int n, int start, int target_jobs);
+
+// Sequential baseline with the same decomposition.
+CountResult CountDecomposed(const Config& config);
+
+// Plain whole-tree count (reference for decomposition-invariance tests).
+CountResult CountWholeTree(int n, int start);
+
+// Work units per search node.
+double NodeWorkUnits();
+
+// Registers "knight.main" and "knight.worker". Main result payload:
+// i64 tour count, u64 nodes.
+void Register(TaskRegistry& registry);
+std::vector<std::uint8_t> MakeArg(const Config& config);
+
+inline const char* kMainTask = "knight.main";
+inline const char* kWorkerTask = "knight.worker";
+
+}  // namespace dse::apps::knight

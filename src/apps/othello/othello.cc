@@ -1,0 +1,432 @@
+#include "apps/othello/othello.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <map>
+
+#include "apps/common.h"
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace dse::apps::othello {
+namespace {
+
+constexpr std::uint64_t kNotAFile = 0xFEFEFEFEFEFEFEFEULL;  // bit 0 = a-file
+constexpr std::uint64_t kNotHFile = 0x7F7F7F7F7F7F7F7FULL;
+
+// Directional shifts with edge masking.
+std::uint64_t ShiftE(std::uint64_t b) { return (b & kNotHFile) << 1; }
+std::uint64_t ShiftW(std::uint64_t b) { return (b & kNotAFile) >> 1; }
+std::uint64_t ShiftN(std::uint64_t b) { return b >> 8; }
+std::uint64_t ShiftS(std::uint64_t b) { return b << 8; }
+std::uint64_t ShiftNE(std::uint64_t b) { return (b & kNotHFile) >> 7; }
+std::uint64_t ShiftNW(std::uint64_t b) { return (b & kNotAFile) >> 9; }
+std::uint64_t ShiftSE(std::uint64_t b) { return (b & kNotHFile) << 9; }
+std::uint64_t ShiftSW(std::uint64_t b) { return (b & kNotAFile) << 7; }
+
+template <typename Shift>
+std::uint64_t MovesInDirection(std::uint64_t own, std::uint64_t opp,
+                               Shift shift) {
+  std::uint64_t flips = shift(own) & opp;
+  for (int i = 0; i < 5; ++i) flips |= shift(flips) & opp;
+  return shift(flips);
+}
+
+template <typename Shift>
+std::uint64_t FlipsInDirection(std::uint64_t move, std::uint64_t own,
+                               std::uint64_t opp, Shift shift) {
+  std::uint64_t flips = 0;
+  std::uint64_t cursor = shift(move);
+  while ((cursor & opp) != 0) {
+    flips |= cursor;
+    cursor = shift(cursor);
+  }
+  return (cursor & own) != 0 ? flips : 0;
+}
+
+// Positional weights (classic corner-heavy table).
+constexpr int kWeights[64] = {
+    120, -20, 20,  5,  5,  20, -20, 120,  //
+    -20, -40, -5, -5, -5,  -5, -40, -20,  //
+    20,  -5,  15,  3,  3,  15,  -5,  20,  //
+    5,   -5,   3,  3,  3,   3,  -5,   5,  //
+    5,   -5,   3,  3,  3,   3,  -5,   5,  //
+    20,  -5,  15,  3,  3,  15,  -5,  20,  //
+    -20, -40, -5, -5, -5,  -5, -40, -20,  //
+    120, -20, 20,  5,  5,  20, -20, 120,
+};
+
+int PopCount(std::uint64_t b) { return std::popcount(b); }
+
+int TerminalScore(const Position& pos) {
+  const int own = PopCount(pos.discs[pos.to_move]);
+  const int opp = PopCount(pos.discs[1 - pos.to_move]);
+  return (own - opp) * 1000;
+}
+
+SearchResult Negamax(const Position& pos, int depth) {
+  // Exhaustive fixed-depth negamax, no pruning: subtree sizes depend only on
+  // the position, so decomposed parallel work balances the way the paper's
+  // fixed-depth game searches do (and total node counts are independent of
+  // the decomposition).
+  SearchResult result;
+  result.nodes = 1;
+  if (depth <= 0) {
+    result.value = Evaluate(pos);
+    return result;
+  }
+  std::uint64_t moves = LegalMoves(pos);
+  if (moves == 0) {
+    const Position passed = Pass(pos);
+    if (LegalMoves(passed) == 0) {
+      result.value = TerminalScore(pos);
+      return result;
+    }
+    SearchResult child = Negamax(passed, depth - 1);
+    result.value = -child.value;
+    result.nodes += child.nodes;
+    return result;
+  }
+  int best = -1000000;
+  while (moves != 0) {
+    const int square = std::countr_zero(moves);
+    moves &= moves - 1;
+    SearchResult child = Negamax(Play(pos, square), depth - 1);
+    result.nodes += child.nodes;
+    best = std::max(best, -child.value);
+  }
+  result.value = best;
+  return result;
+}
+
+}  // namespace
+
+Position InitialPosition() {
+  Position pos;
+  pos.discs[1] = (1ULL << 27) | (1ULL << 36);  // white d4, e5 (bit=row*8+col)
+  pos.discs[0] = (1ULL << 28) | (1ULL << 35);  // black e4, d5
+  pos.to_move = 0;
+  return pos;
+}
+
+std::uint64_t LegalMoves(const Position& pos) {
+  const std::uint64_t own = pos.discs[pos.to_move];
+  const std::uint64_t opp = pos.discs[1 - pos.to_move];
+  const std::uint64_t empty = ~(own | opp);
+  std::uint64_t moves = 0;
+  moves |= MovesInDirection(own, opp, ShiftE);
+  moves |= MovesInDirection(own, opp, ShiftW);
+  moves |= MovesInDirection(own, opp, ShiftN);
+  moves |= MovesInDirection(own, opp, ShiftS);
+  moves |= MovesInDirection(own, opp, ShiftNE);
+  moves |= MovesInDirection(own, opp, ShiftNW);
+  moves |= MovesInDirection(own, opp, ShiftSE);
+  moves |= MovesInDirection(own, opp, ShiftSW);
+  return moves & empty;
+}
+
+Position Play(const Position& pos, int square) {
+  DSE_CHECK(square >= 0 && square < 64);
+  const std::uint64_t move = 1ULL << square;
+  const std::uint64_t own = pos.discs[pos.to_move];
+  const std::uint64_t opp = pos.discs[1 - pos.to_move];
+  DSE_CHECK_MSG((LegalMoves(pos) & move) != 0, "illegal move");
+
+  std::uint64_t flips = 0;
+  flips |= FlipsInDirection(move, own, opp, ShiftE);
+  flips |= FlipsInDirection(move, own, opp, ShiftW);
+  flips |= FlipsInDirection(move, own, opp, ShiftN);
+  flips |= FlipsInDirection(move, own, opp, ShiftS);
+  flips |= FlipsInDirection(move, own, opp, ShiftNE);
+  flips |= FlipsInDirection(move, own, opp, ShiftNW);
+  flips |= FlipsInDirection(move, own, opp, ShiftSE);
+  flips |= FlipsInDirection(move, own, opp, ShiftSW);
+
+  Position next;
+  next.discs[pos.to_move] = own | move | flips;
+  next.discs[1 - pos.to_move] = opp & ~flips;
+  next.to_move = 1 - pos.to_move;
+  return next;
+}
+
+Position Pass(const Position& pos) {
+  Position next = pos;
+  next.to_move = 1 - pos.to_move;
+  return next;
+}
+
+int Evaluate(const Position& pos) {
+  const std::uint64_t own = pos.discs[pos.to_move];
+  const std::uint64_t opp = pos.discs[1 - pos.to_move];
+  int score = 0;
+  for (std::uint64_t b = own; b != 0; b &= b - 1) {
+    score += kWeights[std::countr_zero(b)];
+  }
+  for (std::uint64_t b = opp; b != 0; b &= b - 1) {
+    score -= kWeights[std::countr_zero(b)];
+  }
+  score += 3 * (PopCount(LegalMoves(pos)) -
+                PopCount(LegalMoves(Pass(pos))));
+  score += PopCount(own) - PopCount(opp);
+  return score;
+}
+
+SearchResult Search(const Position& pos, int depth) {
+  return Negamax(pos, depth);
+}
+
+std::vector<Prefix> MakePrefixes(const Position& root, int min_tasks,
+                                 int max_expand_depth) {
+  std::vector<Prefix> frontier = {Prefix{root, {}}};
+  for (int level = 0; level < max_expand_depth &&
+                      static_cast<int>(frontier.size()) < min_tasks;
+       ++level) {
+    std::vector<Prefix> next;
+    for (const Prefix& p : frontier) {
+      std::uint64_t moves = LegalMoves(p.position);
+      if (moves == 0) {
+        const Position passed = Pass(p.position);
+        if (LegalMoves(passed) == 0) {
+          next.push_back(p);  // terminal: keep as-is
+          continue;
+        }
+        Prefix child{passed, p.path};
+        child.path.push_back(-1);
+        next.push_back(std::move(child));
+        continue;
+      }
+      while (moves != 0) {
+        const int square = std::countr_zero(moves);
+        moves &= moves - 1;
+        Prefix child{Play(p.position, square), p.path};
+        child.path.push_back(square);
+        next.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+namespace {
+
+struct TrieNode {
+  std::map<int, TrieNode> kids;
+  bool is_leaf = false;
+  int value = 0;
+};
+
+int EvalTrie(const TrieNode& node) {
+  if (node.is_leaf) return node.value;
+  DSE_CHECK(!node.kids.empty());
+  int best = -1000000;
+  for (const auto& [move, kid] : node.kids) {
+    best = std::max(best, -EvalTrie(kid));
+  }
+  return best;
+}
+
+}  // namespace
+
+int CombinePrefixValues(const Position& root,
+                        const std::vector<Prefix>& prefixes,
+                        const std::vector<int>& values) {
+  (void)root;
+  DSE_CHECK(prefixes.size() == values.size() && !prefixes.empty());
+  TrieNode trie;
+  for (size_t i = 0; i < prefixes.size(); ++i) {
+    TrieNode* node = &trie;
+    for (const int move : prefixes[i].path) {
+      node = &node->kids[move];
+    }
+    node->is_leaf = true;
+    node->value = values[i];
+  }
+  return EvalTrie(trie);
+}
+
+SequentialOutcome SearchDecomposed(const Position& root, int depth,
+                                   int min_tasks) {
+  // Mirrors the parallel master's decomposition exactly (same expansion
+  // depth rule) so node counts agree.
+  const int expand = std::clamp(depth / 2, 1, 3);
+  const std::vector<Prefix> prefixes = MakePrefixes(root, min_tasks, expand);
+  std::vector<int> values;
+  values.reserve(prefixes.size());
+  SequentialOutcome outcome;
+  for (const Prefix& p : prefixes) {
+    const int remaining =
+        std::max(0, depth - static_cast<int>(p.path.size()));
+    const SearchResult r = Search(p.position, remaining);
+    values.push_back(r.value);
+    outcome.nodes += r.nodes;
+  }
+  outcome.value = CombinePrefixValues(root, prefixes, values);
+  return outcome;
+}
+
+double NodeWorkUnits() {
+  // Move generation (8 directions × ~7 shift/and rounds) + evaluation.
+  return 180.0;
+}
+
+std::vector<std::uint8_t> MakeArg(const Config& config) {
+  ByteWriter w;
+  w.WriteI32(config.depth);
+  w.WriteI32(config.workers);
+  w.WriteI32(config.min_tasks);
+  return w.TakeBuffer();
+}
+
+namespace {
+
+Config ReadConfig(ByteReader& r) {
+  Config c;
+  DSE_CHECK_OK(r.ReadI32(&c.depth));
+  DSE_CHECK_OK(r.ReadI32(&c.workers));
+  DSE_CHECK_OK(r.ReadI32(&c.min_tasks));
+  return c;
+}
+
+// Worker argument: the subtrees statically assigned to this worker, carried
+// inline in the spawn message (positions travel with the process, results
+// come back in the join payload — parallel process management does all the
+// communication, one spawn + one join per worker).
+struct Assignment {
+  std::uint32_t index = 0;  // prefix index at the master
+  Position position;
+  std::int32_t remaining = 0;
+};
+
+std::vector<std::uint8_t> EncodeAssignments(
+    const std::vector<Assignment>& items) {
+  ByteWriter w;
+  w.WriteU32(static_cast<std::uint32_t>(items.size()));
+  for (const Assignment& a : items) {
+    w.WriteU32(a.index);
+    w.WriteU64(a.position.discs[0]);
+    w.WriteU64(a.position.discs[1]);
+    w.WriteI32(a.position.to_move);
+    w.WriteI32(a.remaining);
+  }
+  return w.TakeBuffer();
+}
+
+std::vector<Assignment> DecodeAssignments(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  std::uint32_t n = 0;
+  DSE_CHECK_OK(r.ReadU32(&n));
+  std::vector<Assignment> items(n);
+  for (Assignment& a : items) {
+    DSE_CHECK_OK(r.ReadU32(&a.index));
+    DSE_CHECK_OK(r.ReadU64(&a.position.discs[0]));
+    DSE_CHECK_OK(r.ReadU64(&a.position.discs[1]));
+    DSE_CHECK_OK(r.ReadI32(&a.position.to_move));
+    DSE_CHECK_OK(r.ReadI32(&a.remaining));
+  }
+  return items;
+}
+
+// Worker result: (index, value) pairs plus the node total.
+struct WorkerReport {
+  std::vector<std::pair<std::uint32_t, std::int32_t>> values;
+  std::uint64_t nodes = 0;
+};
+
+std::vector<std::uint8_t> EncodeReport(const WorkerReport& report) {
+  ByteWriter w;
+  w.WriteU32(static_cast<std::uint32_t>(report.values.size()));
+  for (const auto& [index, value] : report.values) {
+    w.WriteU32(index);
+    w.WriteI32(value);
+  }
+  w.WriteU64(report.nodes);
+  return w.TakeBuffer();
+}
+
+WorkerReport DecodeReport(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  WorkerReport report;
+  std::uint32_t n = 0;
+  DSE_CHECK_OK(r.ReadU32(&n));
+  report.values.resize(n);
+  for (auto& [index, value] : report.values) {
+    DSE_CHECK_OK(r.ReadU32(&index));
+    DSE_CHECK_OK(r.ReadI32(&value));
+  }
+  DSE_CHECK_OK(r.ReadU64(&report.nodes));
+  return report;
+}
+
+void WorkerBody(Task& t) {
+  const std::vector<Assignment> items = DecodeAssignments(t.arg());
+  WorkerReport report;
+  report.values.reserve(items.size());
+  for (const Assignment& a : items) {
+    const SearchResult r = Search(a.position, a.remaining);
+    t.Compute(static_cast<double>(r.nodes) * NodeWorkUnits());
+    report.values.emplace_back(a.index, r.value);
+    report.nodes += r.nodes;
+  }
+  t.SetResult(EncodeReport(report));
+}
+
+void MainBody(Task& t) {
+  ByteReader r(t.arg().data(), t.arg().size());
+  const Config config = ReadConfig(r);
+  const int min_tasks =
+      config.min_tasks > 0 ? config.min_tasks : 3 * config.workers;
+  // The tree cannot be split deeper than it is: expansion depth follows the
+  // search depth (up to 3 plies).
+  const int expand = std::clamp(config.depth / 2, 1, 3);
+
+  const Position root = InitialPosition();
+  const std::vector<Prefix> prefixes = MakePrefixes(root, min_tasks, expand);
+  const int num_tasks = static_cast<int>(prefixes.size());
+
+  // Static cyclic assignment of prefixes to workers.
+  std::vector<std::vector<Assignment>> plan(
+      static_cast<size_t>(config.workers));
+  for (int i = 0; i < num_tasks; ++i) {
+    Assignment a;
+    a.index = static_cast<std::uint32_t>(i);
+    a.position = prefixes[static_cast<size_t>(i)].position;
+    a.remaining = std::max(
+        0, config.depth -
+               static_cast<int>(prefixes[static_cast<size_t>(i)].path.size()));
+    plan[static_cast<size_t>(i % config.workers)].push_back(a);
+  }
+
+  auto gpids = SpawnWorkers(t, kWorkerTask, config.workers, [&](int i) {
+    return EncodeAssignments(plan[static_cast<size_t>(i)]);
+  });
+  const auto results = JoinAll(t, gpids);
+
+  std::vector<int> values(static_cast<size_t>(num_tasks), 0);
+  std::uint64_t total_nodes = 0;
+  for (const auto& res : results) {
+    const WorkerReport report = DecodeReport(res);
+    for (const auto& [index, value] : report.values) {
+      values[index] = value;
+    }
+    total_nodes += report.nodes;
+  }
+
+  const int root_value = CombinePrefixValues(root, prefixes, values);
+
+  ByteWriter w;
+  w.WriteI64(root_value);
+  w.WriteU64(total_nodes);
+  t.SetResult(w.TakeBuffer());
+}
+
+}  // namespace
+
+void Register(TaskRegistry& registry) {
+  registry.Register(kMainTask, MainBody);
+  registry.Register(kWorkerTask, WorkerBody);
+}
+
+}  // namespace dse::apps::othello

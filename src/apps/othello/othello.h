@@ -1,0 +1,107 @@
+// Othello (Reversi) game-tree search (paper §4.3).
+//
+// Board: 8×8 bitboards. Search: exhaustive fixed-depth negamax (no
+// pruning), so the total node count is identical however the tasks are
+// distributed and subtree sizes are position-determined — the parallel
+// search does exactly the sequential search's work and balances well, like
+// the paper's fixed-depth runs.
+//
+// Parallel organization: the move tree is expanded breadth-first from the
+// position until there are enough leaf prefixes (root tasks) to feed the
+// workers (never deeper than half the search depth); prefixes are assigned
+// to workers statically and travel inline in the spawn argument; leaf
+// values come back in the join payload; the master backs the values up
+// through the prefix tree. All communication is process management — one
+// spawn and one join per worker — so shallow searches are dominated by that
+// per-process communication, exactly the effect the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/registry.h"
+#include "dse/task.h"
+
+namespace dse::apps::othello {
+
+// Bitboard position; `to_move` plays next (0 = black, 1 = white).
+struct Position {
+  std::uint64_t discs[2] = {0, 0};
+  int to_move = 0;
+
+  bool operator==(const Position& other) const {
+    return discs[0] == other.discs[0] && discs[1] == other.discs[1] &&
+           to_move == other.to_move;
+  }
+};
+
+// Standard initial position.
+Position InitialPosition();
+
+// Bitmask of legal moves for the side to move.
+std::uint64_t LegalMoves(const Position& pos);
+
+// Plays the move at `square` (0..63; must be legal). Flips discs and passes
+// the turn.
+Position Play(const Position& pos, int square);
+
+// Position after a pass (no legal moves).
+Position Pass(const Position& pos);
+
+// Static evaluation from the perspective of `pos.to_move` (positional
+// weights + mobility + disc difference).
+int Evaluate(const Position& pos);
+
+// Statistics of one search.
+struct SearchResult {
+  int value = 0;
+  std::uint64_t nodes = 0;
+};
+
+// Exhaustive fixed-depth negamax; value from the mover's perspective.
+SearchResult Search(const Position& pos, int depth);
+
+// One root task: a prefix of moves from the root position.
+struct Prefix {
+  Position position;      // position after the prefix
+  std::vector<int> path;  // moves played (-1 = pass)
+};
+
+// Expands the game tree breadth-first until at least `min_tasks` leaf
+// prefixes exist (or `max_expand_depth` is reached). Never returns empty.
+std::vector<Prefix> MakePrefixes(const Position& root, int min_tasks,
+                                 int max_expand_depth = 3);
+
+// Backs leaf values up the prefix tree by negamax and returns the root
+// value (used by both the sequential reference and the parallel master).
+int CombinePrefixValues(const Position& root,
+                        const std::vector<Prefix>& prefixes,
+                        const std::vector<int>& values);
+
+// Sequential baseline with the same decomposition as the parallel version.
+struct SequentialOutcome {
+  int value = 0;
+  std::uint64_t nodes = 0;
+};
+SequentialOutcome SearchDecomposed(const Position& root, int depth,
+                                   int min_tasks);
+
+// Work units per search node (move generation + evaluation).
+double NodeWorkUnits();
+
+// Registers "othello.main" and "othello.worker". Main result payload:
+// i64 root value, u64 total nodes.
+void Register(TaskRegistry& registry);
+
+struct Config {
+  int depth = 4;       // total search depth from the root
+  int workers = 1;
+  int min_tasks = 0;   // 0 = 3 * workers
+};
+std::vector<std::uint8_t> MakeArg(const Config& config);
+
+inline const char* kMainTask = "othello.main";
+inline const char* kWorkerTask = "othello.worker";
+
+}  // namespace dse::apps::othello

@@ -1,0 +1,170 @@
+// Byte-level serialization used by the DSE wire protocol and transports.
+//
+// Encoding is explicit little-endian, fixed-width — the runtime targets
+// heterogeneous UNIX platforms (the paper runs SPARC big-endian next to x86),
+// so byte order must not depend on the host.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dse {
+
+// Growable output buffer with typed little-endian appends.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void WriteU8(std::uint8_t v) { buf_.push_back(v); }
+  void WriteU16(std::uint16_t v) { AppendLE(v); }
+  void WriteU32(std::uint32_t v) { AppendLE(v); }
+  void WriteU64(std::uint64_t v) { AppendLE(v); }
+  void WriteI32(std::int32_t v) { AppendLE(static_cast<std::uint32_t>(v)); }
+  void WriteI64(std::int64_t v) { AppendLE(static_cast<std::uint64_t>(v)); }
+
+  // Doubles travel as their IEEE-754 bit pattern.
+  void WriteF64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+
+  // Length-prefixed (u32) byte string.
+  void WriteBytes(std::string_view data) {
+    WriteU32(static_cast<std::uint32_t>(data.size()));
+    WriteRaw(data.data(), data.size());
+  }
+  void WriteString(std::string_view s) { WriteBytes(s); }
+
+  // Raw append without a length prefix (caller frames it some other way).
+  void WriteRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+  // Overwrites 4 bytes at `offset` (for back-patching frame lengths).
+  void PatchU32(size_t offset, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[offset + static_cast<size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+ private:
+  template <typename T>
+  void AppendLE(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+// Bounds-checked reader over a byte span. All reads return Status; a failed
+// read leaves the cursor unchanged.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+  Status ReadU8(std::uint8_t* out) { return ReadLE(out); }
+  Status ReadU16(std::uint16_t* out) { return ReadLE(out); }
+  Status ReadU32(std::uint32_t* out) { return ReadLE(out); }
+  Status ReadU64(std::uint64_t* out) { return ReadLE(out); }
+
+  Status ReadI32(std::int32_t* out) {
+    std::uint32_t raw = 0;
+    DSE_RETURN_IF_ERROR(ReadU32(&raw));
+    *out = static_cast<std::int32_t>(raw);
+    return Status::Ok();
+  }
+  Status ReadI64(std::int64_t* out) {
+    std::uint64_t raw = 0;
+    DSE_RETURN_IF_ERROR(ReadU64(&raw));
+    *out = static_cast<std::int64_t>(raw);
+    return Status::Ok();
+  }
+  Status ReadF64(double* out) {
+    std::uint64_t bits = 0;
+    DSE_RETURN_IF_ERROR(ReadU64(&bits));
+    std::memcpy(out, &bits, sizeof(bits));
+    return Status::Ok();
+  }
+
+  // Reads a u32 length prefix then that many bytes.
+  Status ReadBytes(std::vector<std::uint8_t>* out) {
+    std::uint32_t n = 0;
+    const size_t mark = pos_;
+    DSE_RETURN_IF_ERROR(ReadU32(&n));
+    if (remaining() < n) {
+      pos_ = mark;
+      return OutOfRange("byte string truncated");
+    }
+    out->assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return Status::Ok();
+  }
+  Status ReadString(std::string* out) {
+    std::uint32_t n = 0;
+    const size_t mark = pos_;
+    DSE_RETURN_IF_ERROR(ReadU32(&n));
+    if (remaining() < n) {
+      pos_ = mark;
+      return OutOfRange("string truncated");
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  // Copies exactly `n` raw bytes into `out`.
+  Status ReadRaw(void* out, size_t n) {
+    if (remaining() < n) return OutOfRange("raw read past end");
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  Status Skip(size_t n) {
+    if (remaining() < n) return OutOfRange("skip past end");
+    pos_ += n;
+    return Status::Ok();
+  }
+
+ private:
+  template <typename T>
+  Status ReadLE(T* out) {
+    if (remaining() < sizeof(T)) return OutOfRange("integer read past end");
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<std::uint64_t>(data_[pos_ + i])
+                              << (8 * i)));
+    }
+    *out = v;
+    pos_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  const std::uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dse

@@ -1,0 +1,39 @@
+// Contract-violation macros. These abort: they guard programmer errors, not
+// runtime failures (those use Status/Result, see status.h).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dse::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* extra) {
+  std::fprintf(stderr, "DSE_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               extra[0] ? " — " : "", extra);
+  std::abort();
+}
+
+}  // namespace dse::internal
+
+// Always-on assertion (cheap conditions only on hot paths).
+#define DSE_CHECK(cond)                                             \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::dse::internal::CheckFailed(__FILE__, __LINE__, #cond, "");  \
+  } while (false)
+
+#define DSE_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::dse::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+  } while (false)
+
+// Checks that a Status/Result-producing expression is OK.
+#define DSE_CHECK_OK(expr)                                               \
+  do {                                                                   \
+    const ::dse::Status dse_chk_status_ = (expr);                        \
+    if (!dse_chk_status_.ok())                                           \
+      ::dse::internal::CheckFailed(__FILE__, __LINE__, #expr,            \
+                                   dse_chk_status_.ToString().c_str());  \
+  } while (false)

@@ -1,0 +1,142 @@
+#include "common/config.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dse {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+Result<Config> Config::Parse(std::string_view text) {
+  Config cfg;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    // Strip comments and whitespace.
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return InvalidArgument("config line " + std::to_string(line_no) +
+                             ": missing '='");
+    }
+    const std::string key{Trim(line.substr(0, eq))};
+    const std::string value{Trim(line.substr(eq + 1))};
+    if (key.empty()) {
+      return InvalidArgument("config line " + std::to_string(line_no) +
+                             ": empty key");
+    }
+    if (cfg.values_.count(key) != 0) {
+      return InvalidArgument("config line " + std::to_string(line_no) +
+                             ": duplicate key '" + key + "'");
+    }
+    cfg.values_[key] = value;
+    cfg.order_.push_back(key);
+  }
+  return cfg;
+}
+
+Result<Config> Config::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFound("cannot open config file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+bool Config::Has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+Result<std::string> Config::GetString(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return NotFound("config key '" + key + "'");
+  return it->second;
+}
+
+Result<std::int64_t> Config::GetInt(const std::string& key) const {
+  auto str = GetString(key);
+  if (!str.ok()) return str.status();
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(str->c_str(), &end, 10);
+  if (errno != 0 || end == str->c_str() || *end != '\0') {
+    return InvalidArgument("config key '" + key + "' is not an integer: '" +
+                           *str + "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+Result<double> Config::GetDouble(const std::string& key) const {
+  auto str = GetString(key);
+  if (!str.ok()) return str.status();
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(str->c_str(), &end);
+  if (errno != 0 || end == str->c_str() || *end != '\0') {
+    return InvalidArgument("config key '" + key + "' is not a number: '" +
+                           *str + "'");
+  }
+  return v;
+}
+
+Result<bool> Config::GetBool(const std::string& key) const {
+  auto str = GetString(key);
+  if (!str.ok()) return str.status();
+  if (*str == "true" || *str == "1") return true;
+  if (*str == "false" || *str == "0") return false;
+  return InvalidArgument("config key '" + key + "' is not a bool: '" + *str +
+                         "'");
+}
+
+std::string Config::GetStringOr(const std::string& key,
+                                std::string def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::move(def) : it->second;
+}
+
+std::int64_t Config::GetIntOr(const std::string& key,
+                              std::int64_t def) const {
+  if (!Has(key)) return def;
+  return GetInt(key).value();
+}
+
+double Config::GetDoubleOr(const std::string& key, double def) const {
+  if (!Has(key)) return def;
+  return GetDouble(key).value();
+}
+
+bool Config::GetBoolOr(const std::string& key, bool def) const {
+  if (!Has(key)) return def;
+  return GetBool(key).value();
+}
+
+std::vector<std::string> Config::Keys() const { return order_; }
+
+void Config::Set(const std::string& key, std::string value) {
+  if (values_.count(key) == 0) order_.push_back(key);
+  values_[key] = std::move(value);
+}
+
+}  // namespace dse

@@ -1,0 +1,50 @@
+// Flat key=value configuration, used by the multi-process TCP cluster demo
+// (node lists, ports) and by bench parameter files.
+//
+// Format: one `key = value` per line; `#` comments; blank lines ignored.
+// Repeated keys are rejected (catches copy-paste config errors early).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dse {
+
+class Config {
+ public:
+  // Parses from text / from a file.
+  static Result<Config> Parse(std::string_view text);
+  static Result<Config> Load(const std::string& path);
+
+  bool Has(const std::string& key) const;
+
+  // Typed getters; error if missing or unparseable.
+  Result<std::string> GetString(const std::string& key) const;
+  Result<std::int64_t> GetInt(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<bool> GetBool(const std::string& key) const;  // true/false/1/0
+
+  // Getters with defaults; parse errors still surface as the default is only
+  // for *missing* keys.
+  std::string GetStringOr(const std::string& key, std::string def) const;
+  std::int64_t GetIntOr(const std::string& key, std::int64_t def) const;
+  double GetDoubleOr(const std::string& key, double def) const;
+  bool GetBoolOr(const std::string& key, bool def) const;
+
+  // Keys in insertion order (deterministic iteration for dumps).
+  std::vector<std::string> Keys() const;
+
+  // Programmatic construction (tests, launchers).
+  void Set(const std::string& key, std::string value);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace dse

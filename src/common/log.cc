@@ -1,0 +1,67 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace dse {
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("DSE_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int> g_level{static_cast<int>(LevelFromEnv())};
+std::mutex g_emit_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kTrace: return "T";
+  }
+  return "?";
+}
+
+// Trims a path down to its basename for compact log lines.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file),
+               line, message.c_str());
+}
+
+}  // namespace internal
+}  // namespace dse

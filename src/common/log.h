@@ -1,0 +1,61 @@
+// Minimal thread-safe leveled logger.
+//
+// Verbosity is controlled programmatically (SetLogLevel) or via the DSE_LOG
+// environment variable (error|warn|info|debug|trace). Default: warn, so tests
+// and benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dse {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+// Sets the global threshold; messages above it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// True if `level` would currently be emitted (guards expensive formatting).
+bool LogEnabled(LogLevel level);
+
+namespace internal {
+
+// Emits one formatted line to stderr; used by the DSE_LOG macro.
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+// Builds a message with ostream syntax, emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dse
+
+// Usage: DSE_LOG(kInfo) << "node " << id << " up";
+#define DSE_LOG(level)                                        \
+  if (!::dse::LogEnabled(::dse::LogLevel::level)) {           \
+  } else                                                      \
+    ::dse::internal::LogMessage(::dse::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// The discrete-event simulation must replay identically for a given seed, so
+// everything random in the runtime goes through this self-contained
+// SplitMix64 generator rather than std::mt19937 (whose distributions are not
+// pinned across standard library implementations).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace dse {
+
+// SplitMix64: tiny, fast, passes BigCrush for our purposes, and fully
+// specified here so every platform produces the same stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    DSE_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    DSE_CHECK(lo <= hi);
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? NextU64()
+                                                    : NextBelow(span));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli draw.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Derives an independent child generator (for per-entity streams).
+  Rng Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dse

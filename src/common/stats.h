@@ -1,0 +1,87 @@
+// Small statistics accumulator used by benches and the simulator's
+// instrumentation counters.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dse {
+
+// Streaming min/max/mean/variance (Welford). O(1) memory.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Exact percentile over retained samples (benches only; O(n) memory).
+class SampleSet {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Nearest-rank percentile; p in [0, 100]. Precondition: non-empty.
+  double Percentile(double p) const {
+    DSE_CHECK(!samples_.empty());
+    DSE_CHECK(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+  }
+
+  double Median() const { return Percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace dse

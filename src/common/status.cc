@@ -1,0 +1,52 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dse {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kProtocolError: return "PROTOCOL_ERROR";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string m) { return {ErrorCode::kInvalidArgument, std::move(m)}; }
+Status NotFound(std::string m) { return {ErrorCode::kNotFound, std::move(m)}; }
+Status AlreadyExists(std::string m) { return {ErrorCode::kAlreadyExists, std::move(m)}; }
+Status OutOfRange(std::string m) { return {ErrorCode::kOutOfRange, std::move(m)}; }
+Status ResourceExhausted(std::string m) { return {ErrorCode::kResourceExhausted, std::move(m)}; }
+Status FailedPrecondition(std::string m) { return {ErrorCode::kFailedPrecondition, std::move(m)}; }
+Status Unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
+Status ProtocolError(std::string m) { return {ErrorCode::kProtocolError, std::move(m)}; }
+Status Timeout(std::string m) { return {ErrorCode::kTimeout, std::move(m)}; }
+Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Result accessed without a value: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace dse

@@ -1,0 +1,137 @@
+// Error model for the DSE runtime.
+//
+// The runtime does not throw across API boundaries (guides: E.; I.); fallible
+// operations return `Status` or `Result<T>`. Exceptions are reserved for
+// programmer errors (contract violations), which abort via DSE_CHECK.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dse {
+
+// Coarse error taxonomy. Mirrors the failure classes the runtime can hit:
+// local programmer misuse, resource exhaustion, transport failures, protocol
+// violations from peers, and missing entities.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,      // transport/peer down
+  kProtocolError,    // malformed or unexpected message
+  kTimeout,
+  kInternal,
+};
+
+// Human-readable name for an ErrorCode ("OK", "NOT_FOUND", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A cheap, copyable success-or-error value. An OK status carries no message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such segment".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Convenience constructors, e.g. `return InvalidArgument("bad size");`.
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status OutOfRange(std::string message);
+Status ResourceExhausted(std::string message);
+Status FailedPrecondition(std::string message);
+Status Unavailable(std::string message);
+Status ProtocolError(std::string message);
+Status Timeout(std::string message);
+Status Internal(std::string message);
+
+// A value or an error. Minimal `expected`-style type (C++23 std::expected is
+// not assumed available on every target toolchain this runtime supports).
+template <typename T>
+class Result {
+ public:
+  // Implicit from value and from Status keeps call sites terse.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  // Status of the result; OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  // Precondition: ok(). Aborts otherwise (programmer error).
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(rep_);
+  }
+  // Returns by value on rvalues: `for (auto& x : F().value())` must not
+  // dangle (a T&& return would point into the destroyed temporary Result).
+  T value() && {
+    AbortIfError();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Value if present, `fallback` otherwise.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(rep_);
+    return fallback;
+  }
+
+ private:
+  void AbortIfError() const;
+  std::variant<T, Status> rep_;
+};
+
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) DieOnBadResultAccess(std::get<Status>(rep_));
+}
+
+// Propagation helper: `DSE_RETURN_IF_ERROR(DoThing());`
+#define DSE_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::dse::Status dse_status_ = (expr);            \
+    if (!dse_status_.ok()) return dse_status_;     \
+  } while (false)
+
+}  // namespace dse

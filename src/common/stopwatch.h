@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for benches and the threaded runtime's measurements.
+// (Simulated experiments use sim::Clock virtual time instead.)
+#pragma once
+
+#include <chrono>
+
+namespace dse {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using ClockType = std::chrono::steady_clock;
+  static ClockType::time_point Now() { return ClockType::now(); }
+  ClockType::time_point start_;
+};
+
+}  // namespace dse

@@ -1,0 +1,323 @@
+#include "dse/client.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dse {
+namespace {
+
+// Fetches the typed body out of a response envelope or reports a protocol
+// error (a matched req_id with the wrong body type means a broken peer).
+template <typename T>
+Result<T> Expect(Result<proto::Envelope> env) {
+  if (!env.ok()) return env.status();
+  if (auto* body = std::get_if<T>(&env->body)) return std::move(*body);
+  return ProtocolError(std::string("unexpected response type ") +
+                       std::string(proto::MsgTypeName(env->type())));
+}
+
+Status ErrorFrom(std::uint8_t code, const char* what) {
+  if (code == 0) return Status::Ok();
+  return Status(static_cast<ErrorCode>(code), what);
+}
+
+}  // namespace
+
+TaskClient::TaskClient(RpcChannel* rpc, KernelCore* core)
+    : rpc_(rpc), core_(core), spawn_rr_((core->self() + 1) % core->num_nodes()) {}
+
+Result<gmm::GlobalAddr> TaskClient::AllocStriped(std::uint64_t size,
+                                                 std::uint8_t block_log2) {
+  proto::AllocReq req;
+  req.size = size;
+  req.policy = proto::HomePolicy::kStriped;
+  req.param = block_log2;
+  auto resp = Expect<proto::AllocResp>(rpc_->Call(0, std::move(req)));
+  if (!resp.ok()) return resp.status();
+  DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "alloc failed"));
+  return resp->addr;
+}
+
+Result<gmm::GlobalAddr> TaskClient::AllocOnNode(std::uint64_t size,
+                                                NodeId home) {
+  proto::AllocReq req;
+  req.size = size;
+  req.policy = proto::HomePolicy::kOnNode;
+  req.param = static_cast<std::uint8_t>(home);
+  auto resp = Expect<proto::AllocResp>(rpc_->Call(0, std::move(req)));
+  if (!resp.ok()) return resp.status();
+  DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "alloc failed"));
+  return resp->addr;
+}
+
+Status TaskClient::Free(gmm::GlobalAddr addr) {
+  auto resp = Expect<proto::FreeAck>(rpc_->Call(0, proto::FreeReq{addr}));
+  if (!resp.ok()) return resp.status();
+  return ErrorFrom(resp->error, "free failed");
+}
+
+std::vector<gmm::Chunk> TaskClient::SplitForAccess(gmm::GlobalAddr addr,
+                                                   std::uint64_t len) const {
+  std::vector<gmm::Chunk> chunks = gmm::SplitAccess(addr, len, num_nodes());
+  if (!core_->read_cache_enabled()) return chunks;
+
+  // Coherent accesses must map to exactly one block each. Striped chunks
+  // already do (stripe == block); homed chunks may span several.
+  std::vector<gmm::Chunk> out;
+  out.reserve(chunks.size());
+  for (const gmm::Chunk& c : chunks) {
+    if (gmm::KindOf(c.addr) == gmm::AddrKind::kStriped) {
+      out.push_back(c);
+      continue;
+    }
+    std::uint64_t done = 0;
+    while (done < c.len) {
+      const gmm::GlobalAddr cur = c.addr + done;
+      const std::uint64_t in_block =
+          gmm::OffsetOf(cur) % gmm::kHomedBlockBytes;
+      const std::uint64_t take =
+          std::min(gmm::kHomedBlockBytes - in_block, c.len - done);
+      out.push_back(gmm::Chunk{cur, take, c.home, c.byte_offset + done});
+      done += take;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Copies one read reply into the destination buffer.
+Status ApplyReadResp(const proto::ReadResp& resp, const gmm::Chunk& c,
+                     std::uint8_t* dst) {
+  if (resp.block_fetch) {
+    // Block-widened reply: our range sits inside it. The service path has
+    // already inserted the block into the cache.
+    const std::uint64_t offset =
+        gmm::OffsetOf(c.addr) - gmm::OffsetOf(resp.addr);
+    if (offset + c.len > resp.data.size()) {
+      return ProtocolError("block fetch reply too small");
+    }
+    std::memcpy(dst + c.byte_offset, resp.data.data() + offset, c.len);
+    return Status::Ok();
+  }
+  if (resp.data.size() != c.len) return ProtocolError("short read reply");
+  std::memcpy(dst + c.byte_offset, resp.data.data(), c.len);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status TaskClient::Read(gmm::GlobalAddr addr, void* out, std::uint64_t len) {
+  auto* dst = static_cast<std::uint8_t*>(out);
+  const bool cached = core_->read_cache_enabled();
+
+  // Resolve cache hits first; everything left needs a home round trip.
+  std::vector<gmm::Chunk> misses;
+  std::vector<bool> cacheable_flags;
+  for (const gmm::Chunk& c : SplitForAccess(addr, len)) {
+    // Locally-homed data is never block-cached: the home does not track
+    // itself in copysets (it would have to self-invalidate), and the local
+    // kernel serves it over loopback anyway.
+    const bool cacheable = cached && c.home != core_->self();
+    if (cacheable && core_->CacheLookup(c.addr, c.len, dst + c.byte_offset)) {
+      continue;
+    }
+    misses.push_back(c);
+    cacheable_flags.push_back(cacheable);
+  }
+  if (misses.empty()) return Status::Ok();
+
+  auto make_req = [&](size_t i) {
+    proto::ReadReq req;
+    req.addr = misses[i].addr;
+    req.len = static_cast<std::uint32_t>(misses[i].len);
+    req.block_fetch = cacheable_flags[i];
+    return req;
+  };
+
+  if (core_->pipelined_transfers() && misses.size() > 1) {
+    std::vector<std::pair<NodeId, proto::Body>> calls;
+    calls.reserve(misses.size());
+    for (size_t i = 0; i < misses.size(); ++i) {
+      calls.emplace_back(misses[i].home, make_req(i));
+    }
+    auto resps = rpc_->CallMany(std::move(calls));
+    if (!resps.ok()) return resps.status();
+    for (size_t i = 0; i < misses.size(); ++i) {
+      auto resp = Expect<proto::ReadResp>(std::move((*resps)[i]));
+      if (!resp.ok()) return resp.status();
+      DSE_RETURN_IF_ERROR(ApplyReadResp(*resp, misses[i], dst));
+    }
+    return Status::Ok();
+  }
+
+  for (size_t i = 0; i < misses.size(); ++i) {
+    auto resp =
+        Expect<proto::ReadResp>(rpc_->Call(misses[i].home, make_req(i)));
+    if (!resp.ok()) return resp.status();
+    DSE_RETURN_IF_ERROR(ApplyReadResp(*resp, misses[i], dst));
+  }
+  return Status::Ok();
+}
+
+Status TaskClient::Write(gmm::GlobalAddr addr, const void* src,
+                         std::uint64_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  const bool cached = core_->read_cache_enabled();
+  const std::vector<gmm::Chunk> chunks = SplitForAccess(addr, len);
+
+  auto make_req = [&](const gmm::Chunk& c) {
+    // Keep our own cached copy fresh *before* the write serializes: if a
+    // conflicting remote write serializes after ours, its invalidation will
+    // drop this block anyway.
+    if (cached) core_->CacheUpdateLocal(c.addr, p + c.byte_offset, c.len);
+    proto::WriteReq req;
+    req.addr = c.addr;
+    req.data.assign(p + c.byte_offset, p + c.byte_offset + c.len);
+    return req;
+  };
+
+  if (core_->pipelined_transfers() && chunks.size() > 1) {
+    std::vector<std::pair<NodeId, proto::Body>> calls;
+    calls.reserve(chunks.size());
+    for (const gmm::Chunk& c : chunks) {
+      calls.emplace_back(c.home, make_req(c));
+    }
+    auto resps = rpc_->CallMany(std::move(calls));
+    if (!resps.ok()) return resps.status();
+    for (auto& env : *resps) {
+      auto ack = Expect<proto::WriteAck>(std::move(env));
+      if (!ack.ok()) return ack.status();
+    }
+    return Status::Ok();
+  }
+
+  for (const gmm::Chunk& c : chunks) {
+    auto resp = Expect<proto::WriteAck>(rpc_->Call(c.home, make_req(c)));
+    if (!resp.ok()) return resp.status();
+  }
+  return Status::Ok();
+}
+
+Result<std::int64_t> TaskClient::AtomicFetchAdd(gmm::GlobalAddr addr,
+                                                std::int64_t delta) {
+  proto::AtomicReq req;
+  req.op = proto::AtomicOp::kFetchAdd;
+  req.addr = addr;
+  req.operand = delta;
+  auto resp = Expect<proto::AtomicResp>(
+      rpc_->Call(gmm::HomeOf(addr, num_nodes()), std::move(req)));
+  if (!resp.ok()) return resp.status();
+  return resp->old_value;
+}
+
+Result<std::int64_t> TaskClient::AtomicCompareExchange(gmm::GlobalAddr addr,
+                                                       std::int64_t expected,
+                                                       std::int64_t desired) {
+  proto::AtomicReq req;
+  req.op = proto::AtomicOp::kCompareExchange;
+  req.addr = addr;
+  req.operand = desired;
+  req.expected = expected;
+  auto resp = Expect<proto::AtomicResp>(
+      rpc_->Call(gmm::HomeOf(addr, num_nodes()), std::move(req)));
+  if (!resp.ok()) return resp.status();
+  return resp->old_value;
+}
+
+Status TaskClient::Lock(std::uint64_t lock_id) {
+  auto resp = Expect<proto::LockGrant>(
+      rpc_->Call(LockHome(lock_id), proto::LockReq{lock_id}));
+  return resp.status();
+}
+
+Status TaskClient::Unlock(std::uint64_t lock_id) {
+  return rpc_->Post(LockHome(lock_id), proto::UnlockReq{lock_id});
+}
+
+Status TaskClient::Barrier(std::uint64_t barrier_id, int parties) {
+  if (parties <= 0) return InvalidArgument("barrier needs parties >= 1");
+  proto::BarrierEnter req;
+  req.barrier_id = barrier_id;
+  req.parties = static_cast<std::uint32_t>(parties);
+  auto resp = Expect<proto::BarrierRelease>(
+      rpc_->Call(LockHome(barrier_id), std::move(req)));
+  return resp.status();
+}
+
+Result<Gpid> TaskClient::Spawn(const std::string& task_name,
+                               std::vector<std::uint8_t> arg,
+                               NodeId node_hint) {
+  NodeId dst = node_hint;
+  if (dst == kLeastLoaded) {
+    // SSI scheduling: ask every kernel for its current load.
+    std::uint32_t best_load = 0;
+    dst = -1;
+    for (NodeId n = 0; n < num_nodes(); ++n) {
+      auto resp = Expect<proto::LoadResp>(rpc_->Call(n, proto::LoadReq{}));
+      if (!resp.ok()) return resp.status();
+      if (dst < 0 || resp->running_tasks < best_load) {
+        best_load = resp->running_tasks;
+        dst = n;
+      }
+    }
+  } else if (dst < 0) {
+    dst = spawn_rr_;
+    spawn_rr_ = (spawn_rr_ + 1) % num_nodes();
+  }
+  if (dst >= num_nodes()) return InvalidArgument("spawn node out of range");
+  proto::SpawnReq req;
+  req.task_name = task_name;
+  req.arg = std::move(arg);
+  auto resp = Expect<proto::SpawnResp>(rpc_->Call(dst, std::move(req)));
+  if (!resp.ok()) return resp.status();
+  DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "spawn failed"));
+  return resp->gpid;
+}
+
+Result<std::vector<std::uint8_t>> TaskClient::Join(Gpid gpid) {
+  auto resp =
+      Expect<proto::JoinResp>(rpc_->Call(GpidNode(gpid), proto::JoinReq{gpid}));
+  if (!resp.ok()) return resp.status();
+  DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "join failed"));
+  return std::move(resp->result);
+}
+
+Status TaskClient::Print(Gpid gpid, const std::string& text) {
+  proto::ConsoleOut msg;
+  msg.gpid = gpid;
+  msg.text = text;
+  return rpc_->Post(0, std::move(msg));
+}
+
+Status TaskClient::PublishName(const std::string& name,
+                               std::uint64_t value) {
+  proto::NamePublish req;
+  req.name = name;
+  req.value = value;
+  auto resp = Expect<proto::NameAck>(rpc_->Call(0, std::move(req)));
+  if (!resp.ok()) return resp.status();
+  return ErrorFrom(resp->error, "publish failed");
+}
+
+Result<std::uint64_t> TaskClient::LookupName(const std::string& name) {
+  auto resp = Expect<proto::NameResp>(rpc_->Call(0, proto::NameLookup{name}));
+  if (!resp.ok()) return resp.status();
+  DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "lookup failed"));
+  return resp->value;
+}
+
+Result<std::vector<proto::PsEntry>> TaskClient::ClusterPs() {
+  std::vector<proto::PsEntry> all;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    auto resp = Expect<proto::PsResp>(rpc_->Call(n, proto::PsReq{}));
+    if (!resp.ok()) return resp.status();
+    all.insert(all.end(), resp->entries.begin(), resp->entries.end());
+  }
+  return all;
+}
+
+}  // namespace dse

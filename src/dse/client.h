@@ -1,0 +1,101 @@
+// Client-side request logic shared by both runtimes.
+//
+// This is the paper's Parallel API library interior: it builds request
+// messages, splits accesses at home and coherence-block boundaries, consults
+// the node's read cache, and analyzes responses. The backend supplies only
+// the blocking transport (RpcChannel) — everything protocol-shaped lives
+// here once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "dse/gmm/addr.h"
+#include "dse/ids.h"
+#include "dse/kernel_core.h"
+#include "dse/task.h"
+#include "dse/proto/messages.h"
+
+namespace dse {
+
+// Backend-provided blocking message channel for one task.
+class RpcChannel {
+ public:
+  virtual ~RpcChannel() = default;
+
+  // Sends `body` to node `dst`'s kernel and blocks for the response with the
+  // matching req_id.
+  virtual Result<proto::Envelope> Call(NodeId dst, proto::Body body) = 0;
+
+  // Split-transaction variant: issues every request before waiting for any
+  // response, hiding round-trip latency behind each other. Responses are
+  // returned in request order. The default implementation degrades to
+  // serial Calls; backends override with true pipelining.
+  virtual Result<std::vector<proto::Envelope>> CallMany(
+      std::vector<std::pair<NodeId, proto::Body>> calls) {
+    std::vector<proto::Envelope> out;
+    out.reserve(calls.size());
+    for (auto& [dst, body] : calls) {
+      auto resp = Call(dst, std::move(body));
+      if (!resp.ok()) return resp.status();
+      out.push_back(std::move(*resp));
+    }
+    return out;
+  }
+
+  // One-way message (no response expected).
+  virtual Status Post(NodeId dst, proto::Body body) = 0;
+};
+
+class TaskClient {
+ public:
+  // `core` is the local node's kernel (for the read cache); `rpc` is this
+  // task's channel.
+  TaskClient(RpcChannel* rpc, KernelCore* core);
+
+  Result<gmm::GlobalAddr> AllocStriped(std::uint64_t size,
+                                       std::uint8_t block_log2);
+  Result<gmm::GlobalAddr> AllocOnNode(std::uint64_t size, NodeId home);
+  Status Free(gmm::GlobalAddr addr);
+
+  Status Read(gmm::GlobalAddr addr, void* out, std::uint64_t len);
+  Status Write(gmm::GlobalAddr addr, const void* src, std::uint64_t len);
+  Result<std::int64_t> AtomicFetchAdd(gmm::GlobalAddr addr,
+                                      std::int64_t delta);
+  Result<std::int64_t> AtomicCompareExchange(gmm::GlobalAddr addr,
+                                             std::int64_t expected,
+                                             std::int64_t desired);
+
+  Status Lock(std::uint64_t lock_id);
+  Status Unlock(std::uint64_t lock_id);
+  Status Barrier(std::uint64_t barrier_id, int parties);
+
+  Result<Gpid> Spawn(const std::string& task_name,
+                     std::vector<std::uint8_t> arg, NodeId node_hint);
+  Result<std::vector<std::uint8_t>> Join(Gpid gpid);
+
+  Status Print(Gpid gpid, const std::string& text);
+  Result<std::vector<proto::PsEntry>> ClusterPs();
+  Status PublishName(const std::string& name, std::uint64_t value);
+  Result<std::uint64_t> LookupName(const std::string& name);
+
+ private:
+  int num_nodes() const { return core_->num_nodes(); }
+  NodeId LockHome(std::uint64_t id) const {
+    return static_cast<NodeId>(id % static_cast<std::uint64_t>(num_nodes()));
+  }
+
+  // Splits an access into per-home chunks; with caching on, further splits
+  // at coherence-block boundaries so each piece maps to exactly one block.
+  std::vector<gmm::Chunk> SplitForAccess(gmm::GlobalAddr addr,
+                                         std::uint64_t len) const;
+
+  RpcChannel* rpc_;
+  KernelCore* core_;
+  int spawn_rr_;
+};
+
+}  // namespace dse

@@ -1,0 +1,158 @@
+// Typed convenience structures over DSE global memory.
+//
+// These are thin, header-only wrappers around the Task API: they hold only a
+// global address (plus shape), so a collection handle can be serialized into
+// a spawn argument and re-attached on any node — the idiomatic way tasks
+// share structured data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "dse/task.h"
+
+namespace dse {
+
+// A fixed-size array of trivially-copyable elements in global memory.
+template <typename T>
+class GlobalVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "global memory holds raw bytes");
+
+ public:
+  GlobalVector() = default;
+
+  // Allocates `count` elements striped across the cluster. Stripe blocks
+  // hold at least one element.
+  static Result<GlobalVector> CreateStriped(Task& t, std::uint64_t count,
+                                            std::uint8_t block_log2 = 10) {
+    while ((1ULL << block_log2) < sizeof(T)) ++block_log2;
+    auto addr = t.AllocStriped(count * sizeof(T), block_log2);
+    if (!addr.ok()) return addr.status();
+    return GlobalVector(*addr, count);
+  }
+
+  // Allocates `count` elements homed on one node.
+  static Result<GlobalVector> CreateOnNode(Task& t, std::uint64_t count,
+                                           NodeId home) {
+    auto addr = t.AllocOnNode(count * sizeof(T), home);
+    if (!addr.ok()) return addr.status();
+    return GlobalVector(*addr, count);
+  }
+
+  // Re-attaches a handle received from another task.
+  static GlobalVector Attach(gmm::GlobalAddr addr, std::uint64_t count) {
+    return GlobalVector(addr, count);
+  }
+
+  gmm::GlobalAddr addr() const { return addr_; }
+  std::uint64_t size() const { return count_; }
+
+  T Get(Task& t, std::uint64_t index) const {
+    DSE_CHECK(index < count_);
+    return t.ReadValue<T>(addr_ + index * sizeof(T));
+  }
+  void Set(Task& t, std::uint64_t index, const T& value) const {
+    DSE_CHECK(index < count_);
+    t.WriteValue<T>(addr_ + index * sizeof(T), value);
+  }
+
+  // Bulk transfer of [begin, begin+n).
+  void ReadRange(Task& t, std::uint64_t begin, T* out,
+                 std::uint64_t n) const {
+    DSE_CHECK(begin + n <= count_);
+    t.ReadArray<T>(addr_ + begin * sizeof(T), out, n);
+  }
+  void WriteRange(Task& t, std::uint64_t begin, const T* src,
+                  std::uint64_t n) const {
+    DSE_CHECK(begin + n <= count_);
+    t.WriteArray<T>(addr_ + begin * sizeof(T), src, n);
+  }
+
+  Status Free(Task& t) const { return t.Free(addr_); }
+
+ private:
+  GlobalVector(gmm::GlobalAddr addr, std::uint64_t count)
+      : addr_(addr), count_(count) {}
+
+  gmm::GlobalAddr addr_ = gmm::kNullAddr;
+  std::uint64_t count_ = 0;
+};
+
+// A cluster-wide monotonic counter (one atomic slot).
+class GlobalCounter {
+ public:
+  GlobalCounter() = default;
+
+  static Result<GlobalCounter> Create(Task& t, NodeId home = 0) {
+    auto addr = t.AllocOnNode(8, home);
+    if (!addr.ok()) return addr.status();
+    return GlobalCounter(*addr);
+  }
+  static GlobalCounter Attach(gmm::GlobalAddr addr) {
+    return GlobalCounter(addr);
+  }
+
+  gmm::GlobalAddr addr() const { return addr_; }
+
+  // Atomically adds `delta` and returns the previous value.
+  std::int64_t Add(Task& t, std::int64_t delta) const {
+    auto old = t.AtomicFetchAdd(addr_, delta);
+    DSE_CHECK_OK(old.status());
+    return *old;
+  }
+  // Claims and returns the next value (post-increment).
+  std::int64_t Next(Task& t) const { return Add(t, 1); }
+
+  std::int64_t Read(Task& t) const {
+    return t.ReadValue<std::int64_t>(addr_);
+  }
+
+  Status Free(Task& t) const { return t.Free(addr_); }
+
+ private:
+  explicit GlobalCounter(gmm::GlobalAddr addr) : addr_(addr) {}
+  gmm::GlobalAddr addr_ = gmm::kNullAddr;
+};
+
+// Self-scheduling index farm: `total` work items claimed one at a time —
+// the dynamic distribution pattern of the DCT and Knight's-Tour workers.
+class GlobalWorkQueue {
+ public:
+  GlobalWorkQueue() = default;
+
+  static Result<GlobalWorkQueue> Create(Task& t, std::int64_t total,
+                                        NodeId home = 0) {
+    auto counter = GlobalCounter::Create(t, home);
+    if (!counter.ok()) return counter.status();
+    return GlobalWorkQueue(*counter, total);
+  }
+  static GlobalWorkQueue Attach(gmm::GlobalAddr counter_addr,
+                                std::int64_t total) {
+    return GlobalWorkQueue(GlobalCounter::Attach(counter_addr), total);
+  }
+
+  gmm::GlobalAddr counter_addr() const { return counter_.addr(); }
+  std::int64_t total() const { return total_; }
+
+  // Claims the next unprocessed index, or nullopt when the queue is drained.
+  std::optional<std::int64_t> TryClaim(Task& t) const {
+    const std::int64_t index = counter_.Next(t);
+    if (index >= total_) return std::nullopt;
+    return index;
+  }
+
+  Status Free(Task& t) const { return counter_.Free(t); }
+
+ private:
+  GlobalWorkQueue(GlobalCounter counter, std::int64_t total)
+      : counter_(counter), total_(total) {}
+
+  GlobalCounter counter_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace dse

@@ -1,0 +1,34 @@
+#include "dse/gmm/addr.h"
+
+#include <algorithm>
+
+namespace dse::gmm {
+
+std::vector<Chunk> SplitAccess(GlobalAddr addr, std::uint64_t len,
+                               int num_nodes) {
+  std::vector<Chunk> chunks;
+  if (len == 0) return chunks;
+  DSE_CHECK_MSG(OffsetOf(addr) + len <= kOffsetMask + 1,
+                "access runs past the arena");
+
+  if (KindOf(addr) == AddrKind::kNodeHomed) {
+    chunks.push_back(Chunk{addr, len, HomeOf(addr, num_nodes), 0});
+    return chunks;
+  }
+
+  const std::uint64_t stripe = StripeBytes(addr);
+  std::uint64_t off = OffsetOf(addr);
+  const std::uint8_t param = ParamOf(addr);
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::uint64_t in_block = off % stripe;
+    const std::uint64_t take = std::min(stripe - in_block, len - done);
+    const GlobalAddr piece = MakeAddr(AddrKind::kStriped, param, off);
+    chunks.push_back(Chunk{piece, take, HomeOf(piece, num_nodes), done});
+    off += take;
+    done += take;
+  }
+  return chunks;
+}
+
+}  // namespace dse::gmm

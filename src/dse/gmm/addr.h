@@ -1,0 +1,114 @@
+// Global-memory address layout and routing.
+//
+// A GlobalAddr encodes everything a kernel needs to route an access — no
+// descriptor lookup, no directory round-trip:
+//
+//   bits 63..56  kind      (0 = node-homed, 1 = striped)
+//   bits 55..48  param     (kind 0: home node; kind 1: log2 block size)
+//   bits 47..0   offset    (within that kind's arena)
+//
+// * node-homed: the whole allocation lives on one node (good for per-worker
+//   buffers and owner-computes layouts).
+// * striped: consecutive blocks of 2^param bytes rotate across all nodes
+//   (good for large shared arrays — this is the PE "global memory slice"
+//   model of the paper's Figure 1).
+//
+// Global memory is zero-initialized: a read of never-written bytes returns
+// zeros, like anonymous mmap. The master allocator (node 0) hands out
+// disjoint ranges; access requests are split client-side so no request
+// crosses a home boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "dse/ids.h"
+
+namespace dse::gmm {
+
+using GlobalAddr = std::uint64_t;
+
+inline constexpr GlobalAddr kNullAddr = 0;
+inline constexpr std::uint64_t kOffsetBits = 48;
+inline constexpr std::uint64_t kOffsetMask = (1ULL << kOffsetBits) - 1;
+
+// Cache/invalidation granularity for node-homed memory (striped memory uses
+// its own stripe block as the unit).
+inline constexpr std::uint64_t kHomedBlockBytes = 1024;
+
+enum class AddrKind : std::uint8_t { kNodeHomed = 0, kStriped = 1 };
+
+// Striped block sizes must be powers of two in this range.
+inline constexpr int kMinStripeLog2 = 6;    // 64 B
+inline constexpr int kMaxStripeLog2 = 24;   // 16 MiB
+
+inline GlobalAddr MakeAddr(AddrKind kind, std::uint8_t param,
+                           std::uint64_t offset) {
+  DSE_CHECK(offset <= kOffsetMask);
+  return (static_cast<std::uint64_t>(kind) << 56) |
+         (static_cast<std::uint64_t>(param) << 48) | offset;
+}
+
+inline AddrKind KindOf(GlobalAddr addr) {
+  return static_cast<AddrKind>(addr >> 56);
+}
+inline std::uint8_t ParamOf(GlobalAddr addr) {
+  return static_cast<std::uint8_t>((addr >> 48) & 0xFF);
+}
+inline std::uint64_t OffsetOf(GlobalAddr addr) { return addr & kOffsetMask; }
+
+// Stripe block size in bytes for a striped address.
+inline std::uint64_t StripeBytes(GlobalAddr addr) {
+  return 1ULL << ParamOf(addr);
+}
+
+// Home node of one byte.
+inline NodeId HomeOf(GlobalAddr addr, int num_nodes) {
+  DSE_CHECK(num_nodes > 0);
+  if (KindOf(addr) == AddrKind::kNodeHomed) {
+    const auto home = static_cast<NodeId>(ParamOf(addr));
+    DSE_CHECK_MSG(home < num_nodes, "homed address for node outside cluster");
+    return home;
+  }
+  const std::uint64_t block = OffsetOf(addr) >> ParamOf(addr);
+  return static_cast<NodeId>(block % static_cast<std::uint64_t>(num_nodes));
+}
+
+// Coherence-block id (invalidate/copyset granularity) of one byte.
+inline std::uint64_t BlockIndexOf(GlobalAddr addr) {
+  if (KindOf(addr) == AddrKind::kNodeHomed) {
+    return OffsetOf(addr) / kHomedBlockBytes;
+  }
+  return OffsetOf(addr) >> ParamOf(addr);
+}
+
+// First address of the coherence block containing `addr`.
+inline GlobalAddr BlockBaseOf(GlobalAddr addr) {
+  const std::uint64_t block_bytes = KindOf(addr) == AddrKind::kNodeHomed
+                                        ? kHomedBlockBytes
+                                        : StripeBytes(addr);
+  const std::uint64_t off = OffsetOf(addr) / block_bytes * block_bytes;
+  return MakeAddr(KindOf(addr), ParamOf(addr), off);
+}
+
+inline std::uint64_t BlockBytesOf(GlobalAddr addr) {
+  return KindOf(addr) == AddrKind::kNodeHomed ? kHomedBlockBytes
+                                              : StripeBytes(addr);
+}
+
+// One contiguous piece of an access that stays within a single home.
+struct Chunk {
+  GlobalAddr addr = 0;
+  std::uint64_t len = 0;
+  NodeId home = -1;
+  std::uint64_t byte_offset = 0;  // offset of this chunk within the access
+};
+
+// Splits [addr, addr+len) into chunks that never cross a home boundary.
+// Node-homed ranges yield one chunk; striped ranges yield one per touched
+// stripe block. The access must stay within one kind/param region.
+std::vector<Chunk> SplitAccess(GlobalAddr addr, std::uint64_t len,
+                               int num_nodes);
+
+}  // namespace dse::gmm

@@ -1,0 +1,319 @@
+#include "dse/gmm/home.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace dse::gmm {
+
+GmmHome::GmmHome(NodeId self, int num_nodes, bool coherence)
+    : self_(self),
+      num_nodes_(num_nodes),
+      coherence_(coherence),
+      next_homed_offset_(static_cast<size_t>(num_nodes), 0) {
+  DSE_CHECK(self >= 0 && self < num_nodes);
+}
+
+GmmHome::Reply GmmHome::MakeReply(NodeId dst, std::uint64_t req_id,
+                                  proto::Body body) const {
+  proto::Envelope env;
+  env.req_id = req_id;
+  env.src_node = self_;
+  env.body = std::move(body);
+  return Reply{dst, std::move(env)};
+}
+
+GmmHome::Replies GmmHome::HandleRead(NodeId src, std::uint64_t req_id,
+                                     const proto::ReadReq& m) {
+  ++stats_.reads;
+  Replies out;
+  proto::ReadResp resp;
+  if (coherence_ && m.block_fetch) {
+    // Serve the whole coherence block and remember the reader.
+    const GlobalAddr base = BlockBaseOf(m.addr);
+    const std::uint64_t block_bytes = BlockBytesOf(m.addr);
+    resp.addr = base;
+    resp.data.resize(block_bytes);
+    store_.Read(base, resp.data.data(), block_bytes);
+    resp.block_fetch = true;
+    if (src != self_) block_states_[base].copyset.insert(src);
+    // A reader on the home node itself always sees fresh data locally; we
+    // still serve the block but do not track a copyset entry for self.
+  } else {
+    resp.addr = m.addr;
+    resp.data.resize(m.len);
+    store_.Read(m.addr, resp.data.data(), m.len);
+    resp.block_fetch = false;
+  }
+  out.push_back(MakeReply(src, req_id, std::move(resp)));
+  return out;
+}
+
+void GmmHome::Apply(PendingMutation& mut) {
+  if (mut.is_atomic) {
+    const proto::AtomicReq& a = mut.atomic;
+    const std::int64_t old = store_.Load64(a.addr);
+    mut.atomic_old = old;
+    switch (a.op) {
+      case proto::AtomicOp::kFetchAdd:
+        store_.Store64(a.addr, old + a.operand);
+        break;
+      case proto::AtomicOp::kCompareExchange:
+        if (old == a.expected) store_.Store64(a.addr, a.operand);
+        break;
+    }
+  } else {
+    store_.Write(mut.write.addr, mut.write.data.data(), mut.write.data.size());
+  }
+}
+
+void GmmHome::StartFront(GlobalAddr block_base, BlockState& block,
+                         Replies* out) {
+  PendingMutation& mut = block.pending.front();
+  Apply(mut);
+
+  // Invalidate every remote copy except the mutator's own (the mutator
+  // updates its local copy in place — write-update for the writer,
+  // write-invalidate for everyone else).
+  std::vector<NodeId> targets;
+  for (const NodeId n : block.copyset) {
+    if (n != mut.src) targets.push_back(n);
+  }
+  for (const NodeId n : targets) block.copyset.erase(n);
+
+  mut.acks_remaining = static_cast<int>(targets.size());
+  if (mut.acks_remaining == 0) {
+    CompleteFront(block_base, block, out);
+    return;
+  }
+
+  ++blocks_pending_;
+  for (const NodeId n : targets) {
+    ++stats_.invalidations;
+    out->push_back(
+        MakeReply(n, /*req_id=*/0, proto::InvalidateReq{block_base}));
+  }
+}
+
+void GmmHome::CompleteFront(GlobalAddr block_base, BlockState& block,
+                            Replies* out) {
+  PendingMutation mut = std::move(block.pending.front());
+  block.pending.pop_front();
+  if (mut.is_atomic) {
+    out->push_back(
+        MakeReply(mut.src, mut.req_id, proto::AtomicResp{mut.atomic_old}));
+  } else {
+    out->push_back(MakeReply(mut.src, mut.req_id, proto::WriteAck{}));
+  }
+  // Start the next queued mutation, if any.
+  if (!block.pending.empty()) {
+    StartFront(block_base, block, out);
+  } else if (block.copyset.empty()) {
+    block_states_.erase(block_base);  // nothing left to remember
+  }
+}
+
+void GmmHome::EnqueueMutation(GlobalAddr block_base, PendingMutation mut,
+                              Replies* out) {
+  if (!coherence_) {
+    // No copysets to invalidate: apply and answer immediately.
+    Apply(mut);
+    if (mut.is_atomic) {
+      out->push_back(
+          MakeReply(mut.src, mut.req_id, proto::AtomicResp{mut.atomic_old}));
+    } else {
+      out->push_back(MakeReply(mut.src, mut.req_id, proto::WriteAck{}));
+    }
+    return;
+  }
+
+  BlockState& block = block_states_[block_base];
+  const bool idle = block.pending.empty();
+  if (!idle) ++stats_.deferred_mutations;
+  block.pending.push_back(std::move(mut));
+  if (idle) StartFront(block_base, block, out);
+}
+
+GmmHome::Replies GmmHome::HandleWrite(NodeId src, std::uint64_t req_id,
+                                      proto::WriteReq m) {
+  ++stats_.writes;
+  Replies out;
+  if (coherence_) {
+    // The client splits writes at coherence-block boundaries.
+    DSE_CHECK_MSG(BlockBaseOf(m.addr) ==
+                      BlockBaseOf(m.addr + (m.data.empty()
+                                                ? 0
+                                                : m.data.size() - 1)),
+                  "coherent write crosses a block boundary");
+  }
+  const GlobalAddr base = BlockBaseOf(m.addr);
+  PendingMutation mut;
+  mut.src = src;
+  mut.req_id = req_id;
+  mut.is_atomic = false;
+  mut.write = std::move(m);
+  EnqueueMutation(base, std::move(mut), &out);
+  return out;
+}
+
+GmmHome::Replies GmmHome::HandleAtomic(NodeId src, std::uint64_t req_id,
+                                       const proto::AtomicReq& m) {
+  ++stats_.atomics;
+  Replies out;
+  PendingMutation mut;
+  mut.src = src;
+  mut.req_id = req_id;
+  mut.is_atomic = true;
+  mut.atomic = m;
+  EnqueueMutation(BlockBaseOf(m.addr), std::move(mut), &out);
+  return out;
+}
+
+GmmHome::Replies GmmHome::HandleAlloc(NodeId src, std::uint64_t req_id,
+                                      const proto::AllocReq& m) {
+  ++stats_.allocs;
+  Replies out;
+  proto::AllocResp resp;
+  if (self_ != 0) {
+    resp.error = static_cast<std::uint8_t>(ErrorCode::kFailedPrecondition);
+    out.push_back(MakeReply(src, req_id, std::move(resp)));
+    return out;
+  }
+  if (m.size == 0 || m.size > kOffsetMask) {
+    resp.error = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+    out.push_back(MakeReply(src, req_id, std::move(resp)));
+    return out;
+  }
+
+  if (m.policy == proto::HomePolicy::kOnNode) {
+    const auto node = static_cast<NodeId>(m.param);
+    if (node < 0 || node >= num_nodes_) {
+      resp.error = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+      out.push_back(MakeReply(src, req_id, std::move(resp)));
+      return out;
+    }
+    // Align to the homed coherence block so allocations never share blocks.
+    std::uint64_t& next = next_homed_offset_[static_cast<size_t>(node)];
+    const std::uint64_t aligned =
+        (next + kHomedBlockBytes - 1) / kHomedBlockBytes * kHomedBlockBytes;
+    if (aligned + m.size > kOffsetMask) {
+      resp.error = static_cast<std::uint8_t>(ErrorCode::kResourceExhausted);
+      out.push_back(MakeReply(src, req_id, std::move(resp)));
+      return out;
+    }
+    next = aligned + m.size;
+    resp.addr = MakeAddr(AddrKind::kNodeHomed,
+                         static_cast<std::uint8_t>(node), aligned);
+  } else {
+    if (m.param < kMinStripeLog2 || m.param > kMaxStripeLog2) {
+      resp.error = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+      out.push_back(MakeReply(src, req_id, std::move(resp)));
+      return out;
+    }
+    const std::uint64_t stripe = 1ULL << m.param;
+    const std::uint64_t aligned =
+        (next_striped_offset_ + stripe - 1) / stripe * stripe;
+    if (aligned + m.size > kOffsetMask) {
+      resp.error = static_cast<std::uint8_t>(ErrorCode::kResourceExhausted);
+      out.push_back(MakeReply(src, req_id, std::move(resp)));
+      return out;
+    }
+    next_striped_offset_ = aligned + m.size;
+    resp.addr = MakeAddr(AddrKind::kStriped, m.param, aligned);
+  }
+  live_allocs_[resp.addr] = m.size;
+  out.push_back(MakeReply(src, req_id, std::move(resp)));
+  return out;
+}
+
+GmmHome::Replies GmmHome::HandleFree(NodeId src, std::uint64_t req_id,
+                                     const proto::FreeReq& m) {
+  ++stats_.frees;
+  Replies out;
+  proto::FreeAck resp;
+  if (self_ != 0) {
+    resp.error = static_cast<std::uint8_t>(ErrorCode::kFailedPrecondition);
+  } else if (live_allocs_.erase(m.addr) == 0) {
+    resp.error = static_cast<std::uint8_t>(ErrorCode::kNotFound);
+  }
+  out.push_back(MakeReply(src, req_id, std::move(resp)));
+  return out;
+}
+
+GmmHome::Replies GmmHome::HandleLock(NodeId src, std::uint64_t req_id,
+                                     const proto::LockReq& m) {
+  Replies out;
+  LockState& lock = locks_[m.lock_id];
+  if (!lock.held) {
+    lock.held = true;
+    lock.holder = src;
+    ++stats_.lock_acquires;
+    out.push_back(MakeReply(src, req_id, proto::LockGrant{m.lock_id}));
+  } else {
+    ++stats_.lock_waits;
+    lock.waiters.emplace_back(src, req_id);
+  }
+  return out;
+}
+
+GmmHome::Replies GmmHome::HandleUnlock(NodeId src,
+                                       const proto::UnlockReq& m) {
+  Replies out;
+  auto it = locks_.find(m.lock_id);
+  if (it == locks_.end() || !it->second.held) {
+    DSE_LOG(kWarn) << "unlock of free lock " << m.lock_id << " from node "
+                   << src;
+    return out;
+  }
+  LockState& lock = it->second;
+  if (lock.waiters.empty()) {
+    lock.held = false;
+    lock.holder = -1;
+    locks_.erase(it);
+    return out;
+  }
+  const auto [next_node, next_req] = lock.waiters.front();
+  lock.waiters.pop_front();
+  lock.holder = next_node;
+  ++stats_.lock_acquires;
+  out.push_back(MakeReply(next_node, next_req, proto::LockGrant{m.lock_id}));
+  return out;
+}
+
+GmmHome::Replies GmmHome::HandleBarrierEnter(NodeId src, std::uint64_t req_id,
+                                             const proto::BarrierEnter& m) {
+  Replies out;
+  DSE_CHECK_MSG(m.parties > 0, "barrier with zero parties");
+  BarrierState& barrier = barriers_[m.barrier_id];
+  barrier.entered.emplace_back(src, req_id);
+  DSE_CHECK_MSG(barrier.entered.size() <= m.parties,
+                "more entrants than barrier parties (inconsistent counts?)");
+  if (barrier.entered.size() == m.parties) {
+    ++stats_.barriers;
+    for (const auto& [node, rid] : barrier.entered) {
+      out.push_back(MakeReply(node, rid, proto::BarrierRelease{m.barrier_id}));
+    }
+    barriers_.erase(m.barrier_id);
+  }
+  return out;
+}
+
+GmmHome::Replies GmmHome::HandleInvalidateAck(NodeId src,
+                                              const proto::InvalidateAck& m) {
+  Replies out;
+  auto it = block_states_.find(m.block_base);
+  DSE_CHECK_MSG(it != block_states_.end() && !it->second.pending.empty(),
+                "invalidate ack for idle block");
+  (void)src;
+  PendingMutation& mut = it->second.pending.front();
+  DSE_CHECK(mut.acks_remaining > 0);
+  if (--mut.acks_remaining == 0) {
+    --blocks_pending_;
+    CompleteFront(m.block_base, it->second, &out);
+  }
+  return out;
+}
+
+}  // namespace dse::gmm

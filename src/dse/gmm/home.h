@@ -1,0 +1,140 @@
+// Home-side global memory management.
+//
+// Each node's kernel owns one GmmHome serving the bytes, locks and barriers
+// this node is home for. It is a pure request → replies state machine (no
+// transport, no threads), which keeps it unit-testable and shared verbatim
+// between the threaded and simulated runtimes.
+//
+// Coherence (optional, `coherence=true`): clients may cache read blocks.
+// The home tracks a copyset per coherence block; a mutation (write/atomic)
+// of a block with remote copies starts an invalidation round and its
+// acknowledgement is deferred until every copy holder acks. Mutations to a
+// block are serialized: later ones queue until the running round finishes.
+// With coherence off (the paper's DSE), every request is answered
+// immediately.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dse/gmm/addr.h"
+#include "dse/gmm/store.h"
+#include "dse/ids.h"
+#include "dse/proto/messages.h"
+
+namespace dse::gmm {
+
+struct GmmHomeStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_waits = 0;   // lock requests that had to queue
+  std::uint64_t barriers = 0;     // completed barrier episodes
+  std::uint64_t invalidations = 0;
+  std::uint64_t deferred_mutations = 0;  // mutations that waited for a round
+};
+
+class GmmHome {
+ public:
+  struct Reply {
+    NodeId dst;
+    proto::Envelope env;
+  };
+  using Replies = std::vector<Reply>;
+
+  // `self` answers as src_node in replies. Allocation requests are only
+  // served when self == 0 (the SSI master allocator).
+  GmmHome(NodeId self, int num_nodes, bool coherence);
+
+  Replies HandleRead(NodeId src, std::uint64_t req_id,
+                     const proto::ReadReq& m);
+  Replies HandleWrite(NodeId src, std::uint64_t req_id, proto::WriteReq m);
+  Replies HandleAtomic(NodeId src, std::uint64_t req_id,
+                       const proto::AtomicReq& m);
+  Replies HandleAlloc(NodeId src, std::uint64_t req_id,
+                      const proto::AllocReq& m);
+  Replies HandleFree(NodeId src, std::uint64_t req_id,
+                     const proto::FreeReq& m);
+  Replies HandleLock(NodeId src, std::uint64_t req_id,
+                     const proto::LockReq& m);
+  Replies HandleUnlock(NodeId src, const proto::UnlockReq& m);
+  Replies HandleBarrierEnter(NodeId src, std::uint64_t req_id,
+                             const proto::BarrierEnter& m);
+  Replies HandleInvalidateAck(NodeId src, const proto::InvalidateAck& m);
+
+  const GmmHomeStats& stats() const { return stats_; }
+  PageStore& store() { return store_; }
+
+  // Number of blocks with an invalidation round in flight (tests).
+  size_t pending_block_count() const { return blocks_pending_; }
+
+ private:
+  struct PendingMutation {
+    NodeId src = -1;
+    std::uint64_t req_id = 0;
+    bool is_atomic = false;
+    proto::WriteReq write;
+    proto::AtomicReq atomic;
+    // Valid once the mutation has been applied (round started).
+    std::int64_t atomic_old = 0;
+    int acks_remaining = 0;
+  };
+
+  struct BlockState {
+    std::set<NodeId> copyset;
+    std::deque<PendingMutation> pending;  // front = in-flight round
+  };
+
+  struct LockState {
+    bool held = false;
+    NodeId holder = -1;
+    std::deque<std::pair<NodeId, std::uint64_t>> waiters;
+  };
+
+  struct BarrierState {
+    std::vector<std::pair<NodeId, std::uint64_t>> entered;
+  };
+
+  // Enqueues a mutation on its block; starts it immediately if the block is
+  // idle. Appends any immediate replies/invalidations to `out`.
+  void EnqueueMutation(GlobalAddr block_base, PendingMutation mut,
+                       Replies* out);
+
+  // Applies the front mutation of `block` and emits its invalidation round
+  // (or its completion reply if no remote copies exist).
+  void StartFront(GlobalAddr block_base, BlockState& block, Replies* out);
+
+  // Emits the deferred reply for a completed mutation.
+  void CompleteFront(GlobalAddr block_base, BlockState& block, Replies* out);
+
+  // Applies a mutation to the store; records atomic_old for atomics.
+  void Apply(PendingMutation& mut);
+
+  Reply MakeReply(NodeId dst, std::uint64_t req_id, proto::Body body) const;
+
+  NodeId self_;
+  int num_nodes_;
+  bool coherence_;
+
+  PageStore store_;
+  std::map<GlobalAddr, BlockState> block_states_;
+  size_t blocks_pending_ = 0;
+
+  std::map<std::uint64_t, LockState> locks_;
+  std::map<std::uint64_t, BarrierState> barriers_;
+
+  // Master allocator (node 0 only).
+  std::uint64_t next_striped_offset_ = 0;
+  std::vector<std::uint64_t> next_homed_offset_;
+  std::map<GlobalAddr, std::uint64_t> live_allocs_;  // base -> size
+
+  GmmHomeStats stats_;
+};
+
+}  // namespace dse::gmm

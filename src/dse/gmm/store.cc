@@ -1,0 +1,51 @@
+#include "dse/gmm/store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dse::gmm {
+
+void PageStore::Read(GlobalAddr addr, void* out, std::uint64_t len) const {
+  auto* dst = static_cast<std::uint8_t*>(out);
+  std::uint64_t done = 0;
+  while (done < len) {
+    const GlobalAddr cur = addr + done;  // offsets are contiguous in-page
+    const std::uint64_t in_page = OffsetOf(cur) % kPageBytes;
+    const std::uint64_t take = std::min(kPageBytes - in_page, len - done);
+    const auto it = pages_.find(KeyFor(cur));
+    if (it == pages_.end()) {
+      std::memset(dst + done, 0, take);
+    } else {
+      std::memcpy(dst + done, it->second->data() + in_page, take);
+    }
+    done += take;
+  }
+}
+
+void PageStore::Write(GlobalAddr addr, const void* src, std::uint64_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  std::uint64_t done = 0;
+  while (done < len) {
+    const GlobalAddr cur = addr + done;
+    const std::uint64_t in_page = OffsetOf(cur) % kPageBytes;
+    const std::uint64_t take = std::min(kPageBytes - in_page, len - done);
+    auto& page = pages_[KeyFor(cur)];
+    if (page == nullptr) page = std::make_unique<Page>(kPageBytes, 0);
+    std::memcpy(page->data() + in_page, p + done, take);
+    done += take;
+  }
+}
+
+std::int64_t PageStore::Load64(GlobalAddr addr) const {
+  DSE_CHECK_MSG(OffsetOf(addr) % 8 == 0, "atomic slot must be 8-aligned");
+  std::int64_t v = 0;
+  Read(addr, &v, sizeof(v));
+  return v;
+}
+
+void PageStore::Store64(GlobalAddr addr, std::int64_t value) {
+  DSE_CHECK_MSG(OffsetOf(addr) % 8 == 0, "atomic slot must be 8-aligned");
+  Write(addr, &value, sizeof(value));
+}
+
+}  // namespace dse::gmm

@@ -1,0 +1,45 @@
+// Per-node backing store for the bytes this node homes.
+//
+// Pages materialize zero-filled on first touch (anonymous-mmap semantics).
+// Keys are (kind, param-class, page index) flattened into the address's top
+// bits, so homed and striped arenas never collide.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dse/gmm/addr.h"
+
+namespace dse::gmm {
+
+class PageStore {
+ public:
+  static constexpr std::uint64_t kPageBytes = 4096;
+
+  // Copies [addr, addr+len) into out (zero for untouched pages).
+  void Read(GlobalAddr addr, void* out, std::uint64_t len) const;
+
+  // Copies [src, src+len) into the store, materializing pages as needed.
+  void Write(GlobalAddr addr, const void* src, std::uint64_t len);
+
+  // 64-bit atomic slot helpers (addr must be 8-aligned; checked).
+  std::int64_t Load64(GlobalAddr addr) const;
+  void Store64(GlobalAddr addr, std::int64_t value);
+
+  // Materialized page count (tests/stats).
+  size_t page_count() const { return pages_.size(); }
+
+ private:
+  // Page key: keep the kind/param bits so distinct arenas stay distinct.
+  static std::uint64_t KeyFor(GlobalAddr addr) {
+    const std::uint64_t meta = addr >> kOffsetBits;  // kind+param
+    return (meta << kOffsetBits) | (OffsetOf(addr) / kPageBytes);
+  }
+
+  using Page = std::vector<std::uint8_t>;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace dse::gmm

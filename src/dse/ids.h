@@ -1,0 +1,32 @@
+// Cluster-wide identifiers: nodes, global process ids, global addresses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dse {
+
+// Logical DSE node (one DSE kernel). Several nodes may share a physical
+// machine (the paper's "virtual cluster" past 6 processors).
+using NodeId = int;
+
+// Global process id — the SSI process namespace. Encodes the executing node
+// so any kernel can route a Join/kill to the right place without a lookup.
+using Gpid = std::uint64_t;
+
+inline constexpr Gpid kNoGpid = 0;
+
+inline Gpid MakeGpid(NodeId node, std::uint32_t seq) {
+  return (static_cast<Gpid>(static_cast<std::uint32_t>(node)) << 32) | seq;
+}
+inline NodeId GpidNode(Gpid gpid) {
+  return static_cast<NodeId>(gpid >> 32);
+}
+inline std::uint32_t GpidSeq(Gpid gpid) {
+  return static_cast<std::uint32_t>(gpid & 0xFFFFFFFFu);
+}
+inline std::string GpidToString(Gpid gpid) {
+  return std::to_string(GpidNode(gpid)) + "." + std::to_string(GpidSeq(gpid));
+}
+
+}  // namespace dse

@@ -1,0 +1,272 @@
+#include "dse/kernel_core.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dse {
+namespace {
+
+// Appends GmmHome replies to the action list.
+void Emit(KernelCore::Actions* actions, gmm::GmmHome::Replies replies) {
+  for (auto& r : replies) {
+    actions->out.push_back(KernelCore::Outgoing{r.dst, std::move(r.env)});
+  }
+}
+
+}  // namespace
+
+KernelCore::KernelCore(NodeId self, int num_nodes, KernelOptions options)
+    : self_(self),
+      num_nodes_(num_nodes),
+      options_(std::move(options)),
+      home_(self, num_nodes, options_.read_cache),
+      processes_(self) {}
+
+KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
+  DSE_CHECK_MSG(!proto::IsClientResponse(env.type()),
+                "client response leaked into KernelCore::Handle");
+  ++stats_.handled;
+  Actions actions;
+  const NodeId src = env.src_node;
+  const std::uint64_t rid = env.req_id;
+
+  switch (env.type()) {
+    case proto::MsgType::kReadReq:
+      Emit(&actions,
+           home_.HandleRead(src, rid, std::get<proto::ReadReq>(env.body)));
+      break;
+    case proto::MsgType::kWriteReq:
+      Emit(&actions,
+           home_.HandleWrite(src, rid, std::get<proto::WriteReq>(env.body)));
+      break;
+    case proto::MsgType::kAtomicReq:
+      Emit(&actions,
+           home_.HandleAtomic(src, rid, std::get<proto::AtomicReq>(env.body)));
+      break;
+    case proto::MsgType::kAllocReq:
+      Emit(&actions,
+           home_.HandleAlloc(src, rid, std::get<proto::AllocReq>(env.body)));
+      break;
+    case proto::MsgType::kFreeReq:
+      Emit(&actions,
+           home_.HandleFree(src, rid, std::get<proto::FreeReq>(env.body)));
+      break;
+    case proto::MsgType::kLockReq:
+      Emit(&actions,
+           home_.HandleLock(src, rid, std::get<proto::LockReq>(env.body)));
+      break;
+    case proto::MsgType::kUnlockReq:
+      Emit(&actions,
+           home_.HandleUnlock(src, std::get<proto::UnlockReq>(env.body)));
+      break;
+    case proto::MsgType::kBarrierEnter:
+      Emit(&actions, home_.HandleBarrierEnter(
+                         src, rid, std::get<proto::BarrierEnter>(env.body)));
+      break;
+    case proto::MsgType::kInvalidateReq:
+      HandleInvalidate(env, &actions);
+      break;
+    case proto::MsgType::kInvalidateAck:
+      Emit(&actions, home_.HandleInvalidateAck(
+                         src, std::get<proto::InvalidateAck>(env.body)));
+      break;
+
+    case proto::MsgType::kSpawnReq: {
+      ++stats_.spawns;
+      const auto& req = std::get<proto::SpawnReq>(env.body);
+      proto::SpawnResp resp;
+      if (options_.has_task && !options_.has_task(req.task_name)) {
+        resp.error = static_cast<std::uint8_t>(ErrorCode::kNotFound);
+      } else {
+        const Gpid gpid = processes_.Create(req.task_name);
+        resp.gpid = gpid;
+        actions.start.push_back(StartTask{gpid, req.task_name, req.arg});
+      }
+      proto::Envelope reply;
+      reply.req_id = rid;
+      reply.src_node = self_;
+      reply.body = std::move(resp);
+      actions.out.push_back(Outgoing{src, std::move(reply)});
+      break;
+    }
+
+    case proto::MsgType::kJoinReq: {
+      ++stats_.joins;
+      const auto& req = std::get<proto::JoinReq>(env.body);
+      std::vector<std::uint8_t> result;
+      bool unknown = false;
+      if (processes_.TryJoin(req.gpid, src, rid, &result, &unknown)) {
+        proto::JoinResp resp;
+        resp.gpid = req.gpid;
+        resp.result = std::move(result);
+        proto::Envelope reply;
+        reply.req_id = rid;
+        reply.src_node = self_;
+        reply.body = std::move(resp);
+        actions.out.push_back(Outgoing{src, std::move(reply)});
+      } else if (unknown) {
+        proto::JoinResp resp;
+        resp.gpid = req.gpid;
+        resp.error = static_cast<std::uint8_t>(ErrorCode::kNotFound);
+        proto::Envelope reply;
+        reply.req_id = rid;
+        reply.src_node = self_;
+        reply.body = std::move(resp);
+        actions.out.push_back(Outgoing{src, std::move(reply)});
+      }
+      // Otherwise the joiner is parked; OnLocalTaskExit answers later.
+      break;
+    }
+
+    case proto::MsgType::kPsReq: {
+      proto::PsResp resp;
+      resp.entries = processes_.Snapshot();
+      proto::Envelope reply;
+      reply.req_id = rid;
+      reply.src_node = self_;
+      reply.body = std::move(resp);
+      actions.out.push_back(Outgoing{src, std::move(reply)});
+      break;
+    }
+
+    case proto::MsgType::kConsoleOut: {
+      ++stats_.console_lines;
+      const auto& msg = std::get<proto::ConsoleOut>(env.body);
+      actions.console.push_back("[" + GpidToString(msg.gpid) + "] " +
+                                msg.text);
+      break;
+    }
+
+    case proto::MsgType::kShutdown:
+      actions.shutdown = true;
+      break;
+
+    case proto::MsgType::kNamePublish: {
+      const auto& req = std::get<proto::NamePublish>(env.body);
+      proto::NameAck resp;
+      if (self_ != 0) {
+        resp.error = static_cast<std::uint8_t>(ErrorCode::kFailedPrecondition);
+      } else if (!names_.emplace(req.name, req.value).second) {
+        resp.error = static_cast<std::uint8_t>(ErrorCode::kAlreadyExists);
+      }
+      proto::Envelope reply;
+      reply.req_id = rid;
+      reply.src_node = self_;
+      reply.body = resp;
+      actions.out.push_back(Outgoing{src, std::move(reply)});
+      break;
+    }
+
+    case proto::MsgType::kNameLookup: {
+      const auto& req = std::get<proto::NameLookup>(env.body);
+      proto::NameResp resp;
+      const auto it = names_.find(req.name);
+      if (self_ != 0) {
+        resp.error = static_cast<std::uint8_t>(ErrorCode::kFailedPrecondition);
+      } else if (it == names_.end()) {
+        resp.error = static_cast<std::uint8_t>(ErrorCode::kNotFound);
+      } else {
+        resp.value = it->second;
+      }
+      proto::Envelope reply;
+      reply.req_id = rid;
+      reply.src_node = self_;
+      reply.body = resp;
+      actions.out.push_back(Outgoing{src, std::move(reply)});
+      break;
+    }
+
+    case proto::MsgType::kLoadReq: {
+      proto::LoadResp resp;
+      resp.running_tasks =
+          static_cast<std::uint32_t>(processes_.running_count());
+      proto::Envelope reply;
+      reply.req_id = rid;
+      reply.src_node = self_;
+      reply.body = resp;
+      actions.out.push_back(Outgoing{src, std::move(reply)});
+      break;
+    }
+
+    default:
+      DSE_CHECK_MSG(false, "unhandled message type in KernelCore");
+  }
+  return actions;
+}
+
+void KernelCore::HandleInvalidate(const proto::Envelope& env,
+                                  Actions* actions) {
+  const auto& req = std::get<proto::InvalidateReq>(env.body);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_.erase(req.block_base) > 0) ++stats_.cache_invalidated;
+  }
+  proto::Envelope ack;
+  ack.req_id = 0;
+  ack.src_node = self_;
+  ack.body = proto::InvalidateAck{req.block_base};
+  actions->out.push_back(Outgoing{env.src_node, std::move(ack)});
+}
+
+KernelCore::Actions KernelCore::OnLocalTaskExit(
+    Gpid gpid, std::vector<std::uint8_t> result) {
+  Actions actions;
+  auto waiters = processes_.MarkDone(gpid, result);
+  for (const auto& [node, req_id] : waiters) {
+    proto::JoinResp resp;
+    resp.gpid = gpid;
+    resp.result = result;
+    proto::Envelope reply;
+    reply.req_id = req_id;
+    reply.src_node = self_;
+    reply.body = std::move(resp);
+    actions.out.push_back(Outgoing{node, std::move(reply)});
+  }
+  return actions;
+}
+
+Gpid KernelCore::RegisterLocalTask(const std::string& name) {
+  return processes_.Create(name);
+}
+
+void KernelCore::CacheInsert(gmm::GlobalAddr block_base,
+                             std::vector<std::uint8_t> data) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_[block_base] = std::move(data);
+}
+
+bool KernelCore::CacheLookup(gmm::GlobalAddr addr, std::uint64_t len,
+                             void* out) {
+  const gmm::GlobalAddr base = gmm::BlockBaseOf(addr);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto it = cache_.find(base);
+  if (it == cache_.end()) {
+    ++stats_.cache_misses;
+    return false;
+  }
+  const std::uint64_t offset = gmm::OffsetOf(addr) - gmm::OffsetOf(base);
+  DSE_CHECK(offset + len <= it->second.size());
+  std::memcpy(out, it->second.data() + offset, len);
+  ++stats_.cache_hits;
+  return true;
+}
+
+void KernelCore::CacheUpdateLocal(gmm::GlobalAddr addr, const void* data,
+                                  std::uint64_t len) {
+  const gmm::GlobalAddr base = gmm::BlockBaseOf(addr);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto it = cache_.find(base);
+  if (it == cache_.end()) return;
+  const std::uint64_t offset = gmm::OffsetOf(addr) - gmm::OffsetOf(base);
+  DSE_CHECK(offset + len <= it->second.size());
+  std::memcpy(it->second.data() + offset, data, len);
+}
+
+size_t KernelCore::cache_block_count() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.size();
+}
+
+}  // namespace dse

@@ -1,0 +1,387 @@
+#include "dse/node_host.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "dse/client.h"
+
+namespace dse {
+
+// One blocked client call waiting for its response.
+struct NodeHost::Waiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  proto::Envelope resp;
+};
+
+namespace {
+
+// RpcChannel over the host's endpoint + pending table.
+class HostRpc final : public RpcChannel {
+ public:
+  explicit HostRpc(NodeHost* host) : host_(host) {}
+
+  Result<proto::Envelope> Call(NodeId dst, proto::Body body) override {
+    NodeHost::Waiter waiter;
+    proto::Envelope env;
+    env.req_id = host_->NextReqId();
+    env.src_node = host_->self();
+    env.body = std::move(body);
+    host_->RegisterWaiter(env.req_id, &waiter);
+    const Status sent = host_->endpoint().Send(dst, proto::Encode(env));
+    if (!sent.ok()) {
+      host_->DropWaiter(env.req_id);
+      return sent;
+    }
+    std::unique_lock<std::mutex> lock(waiter.mu);
+    waiter.cv.wait(lock, [&] { return waiter.ready; });
+    return std::move(waiter.resp);
+  }
+
+  Result<std::vector<proto::Envelope>> CallMany(
+      std::vector<std::pair<NodeId, proto::Body>> calls) override {
+    // True pipelining: register every waiter, send every request, then
+    // collect. FIFO transports preserve per-destination order, so requests
+    // to one home still serialize there.
+    std::vector<std::unique_ptr<NodeHost::Waiter>> waiters;
+    waiters.reserve(calls.size());
+    std::vector<std::uint64_t> ids;
+    ids.reserve(calls.size());
+    for (auto& [dst, body] : calls) {
+      auto waiter = std::make_unique<NodeHost::Waiter>();
+      proto::Envelope env;
+      env.req_id = host_->NextReqId();
+      env.src_node = host_->self();
+      env.body = std::move(body);
+      host_->RegisterWaiter(env.req_id, waiter.get());
+      const Status sent = host_->endpoint().Send(dst, proto::Encode(env));
+      if (!sent.ok()) {
+        host_->DropWaiter(env.req_id);
+        // Waiters already sent will be answered; absorb them before failing
+        // so no response targets a dead waiter.
+        for (size_t i = 0; i < waiters.size(); ++i) {
+          std::unique_lock<std::mutex> lock(waiters[i]->mu);
+          waiters[i]->cv.wait(lock, [&] { return waiters[i]->ready; });
+        }
+        return sent;
+      }
+      ids.push_back(env.req_id);
+      waiters.push_back(std::move(waiter));
+    }
+    std::vector<proto::Envelope> out;
+    out.reserve(waiters.size());
+    for (auto& waiter : waiters) {
+      std::unique_lock<std::mutex> lock(waiter->mu);
+      waiter->cv.wait(lock, [&] { return waiter->ready; });
+      out.push_back(std::move(waiter->resp));
+    }
+    return out;
+  }
+
+  Status Post(NodeId dst, proto::Body body) override {
+    proto::Envelope env;
+    env.req_id = 0;
+    env.src_node = host_->self();
+    env.body = std::move(body);
+    return host_->endpoint().Send(dst, proto::Encode(env));
+  }
+
+ private:
+  NodeHost* host_;
+};
+
+// Task implementation handed to application code.
+class HostTask final : public Task {
+ public:
+  HostTask(NodeHost* host, Gpid gpid, std::vector<std::uint8_t> arg)
+      : host_(host),
+        gpid_(gpid),
+        arg_(std::move(arg)),
+        rpc_(host),
+        client_(&rpc_, &host->core()) {}
+
+  NodeId node() const override { return host_->self(); }
+  Gpid gpid() const override { return gpid_; }
+  int num_nodes() const override { return host_->core().num_nodes(); }
+  const std::vector<std::uint8_t>& arg() const override { return arg_; }
+  void SetResult(std::vector<std::uint8_t> result) override {
+    result_ = std::move(result);
+  }
+  std::vector<std::uint8_t> TakeResult() { return std::move(result_); }
+
+  Result<gmm::GlobalAddr> AllocStriped(std::uint64_t size,
+                                       std::uint8_t block_log2) override {
+    return client_.AllocStriped(size, block_log2);
+  }
+  Result<gmm::GlobalAddr> AllocOnNode(std::uint64_t size,
+                                      NodeId home) override {
+    return client_.AllocOnNode(size, home);
+  }
+  Status Free(gmm::GlobalAddr addr) override { return client_.Free(addr); }
+  Status Read(gmm::GlobalAddr addr, void* out, std::uint64_t len) override {
+    return client_.Read(addr, out, len);
+  }
+  Status Write(gmm::GlobalAddr addr, const void* src,
+               std::uint64_t len) override {
+    return client_.Write(addr, src, len);
+  }
+  Result<std::int64_t> AtomicFetchAdd(gmm::GlobalAddr addr,
+                                      std::int64_t delta) override {
+    return client_.AtomicFetchAdd(addr, delta);
+  }
+  Result<std::int64_t> AtomicCompareExchange(gmm::GlobalAddr addr,
+                                             std::int64_t expected,
+                                             std::int64_t desired) override {
+    return client_.AtomicCompareExchange(addr, expected, desired);
+  }
+  Status Lock(std::uint64_t lock_id) override { return client_.Lock(lock_id); }
+  Status Unlock(std::uint64_t lock_id) override {
+    return client_.Unlock(lock_id);
+  }
+  Status Barrier(std::uint64_t barrier_id, int parties) override {
+    return client_.Barrier(barrier_id, parties);
+  }
+  Result<Gpid> Spawn(const std::string& task_name,
+                     std::vector<std::uint8_t> arg,
+                     NodeId node_hint) override {
+    return client_.Spawn(task_name, std::move(arg), node_hint);
+  }
+  Result<std::vector<std::uint8_t>> Join(Gpid gpid) override {
+    return client_.Join(gpid);
+  }
+  void Compute(double work_units) override {
+    (void)work_units;  // real work already took real time on this backend
+  }
+  void Print(const std::string& text) override {
+    (void)client_.Print(gpid_, text);
+  }
+  Result<std::vector<proto::PsEntry>> ClusterPs() override {
+    return client_.ClusterPs();
+  }
+  Status PublishName(const std::string& name, std::uint64_t value) override {
+    return client_.PublishName(name, value);
+  }
+  Result<std::uint64_t> LookupName(const std::string& name) override {
+    return client_.LookupName(name);
+  }
+
+ private:
+  NodeHost* host_;
+  Gpid gpid_;
+  std::vector<std::uint8_t> arg_;
+  std::vector<std::uint8_t> result_;
+  HostRpc rpc_;
+  TaskClient client_;
+};
+
+}  // namespace
+
+namespace {
+
+KernelOptions MakeKernelOptions(const NodeHost::Options& options,
+                                TaskRegistry* registry) {
+  KernelOptions kopts;
+  kopts.read_cache = options.read_cache;
+  kopts.pipelined_transfers = options.pipelined_transfers;
+  kopts.has_task = [registry](const std::string& name) {
+    return registry->Has(name);
+  };
+  return kopts;
+}
+
+}  // namespace
+
+NodeHost::NodeHost(net::Endpoint* endpoint, int num_nodes, Options options)
+    : endpoint_(endpoint),
+      options_(std::move(options)),
+      core_(endpoint->self(), num_nodes,
+            MakeKernelOptions(options_, options_.registry)) {
+  DSE_CHECK(options_.registry != nullptr);
+}
+
+NodeHost::~NodeHost() {
+  endpoint_->Shutdown();
+  if (service_.joinable()) service_.join();
+  WaitTasksDrained();
+  std::lock_guard<std::mutex> lock(tasks_mu_);
+  for (auto& t : task_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void NodeHost::Start() {
+  DSE_CHECK_MSG(!service_.joinable(), "NodeHost started twice");
+  service_ = std::thread([this] {
+    ServiceLoop();
+    {
+      std::lock_guard<std::mutex> lock(service_exit_mu_);
+      service_exited_ = true;
+    }
+    service_exit_cv_.notify_all();
+  });
+}
+
+std::uint64_t NodeHost::NextReqId() {
+  return next_req_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NodeHost::RegisterWaiter(std::uint64_t req_id, Waiter* waiter) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.emplace(req_id, waiter);
+}
+
+void NodeHost::DropWaiter(std::uint64_t req_id) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.erase(req_id);
+}
+
+std::vector<std::uint8_t> NodeHost::RunLocalTask(
+    const std::string& name, std::vector<std::uint8_t> arg) {
+  DSE_CHECK_MSG(options_.registry->Has(name), "task not registered");
+  Gpid gpid;
+  {
+    std::lock_guard<std::mutex> lock(core_mu_);
+    gpid = core_.RegisterLocalTask(name);
+  }
+  std::vector<std::uint8_t> result;
+  {
+    HostTask task(this, gpid, std::move(arg));
+    options_.registry->Get(name)(task);
+    result = task.TakeResult();
+  }
+  FinishLocalTask(gpid, result);
+  return result;
+}
+
+void NodeHost::FinishLocalTask(Gpid gpid, std::vector<std::uint8_t> result) {
+  KernelCore::Actions actions;
+  {
+    std::lock_guard<std::mutex> lock(core_mu_);
+    actions = core_.OnLocalTaskExit(gpid, std::move(result));
+  }
+  Perform(std::move(actions));
+}
+
+void NodeHost::WaitTasksDrained() {
+  std::unique_lock<std::mutex> lock(tasks_mu_);
+  tasks_cv_.wait(lock, [&] { return live_tasks_ == 0; });
+  for (auto& t : task_threads_) {
+    if (t.joinable()) t.join();
+  }
+  task_threads_.clear();
+}
+
+void NodeHost::WaitServiceExit() {
+  std::unique_lock<std::mutex> lock(service_exit_mu_);
+  service_exit_cv_.wait(lock, [&] { return service_exited_; });
+}
+
+void NodeHost::BroadcastShutdown() {
+  for (NodeId n = 0; n < core_.num_nodes(); ++n) {
+    proto::Envelope env;
+    env.req_id = 0;
+    env.src_node = self();
+    env.body = proto::Shutdown{};
+    const Status s = endpoint_->Send(n, proto::Encode(env));
+    if (!s.ok()) {
+      DSE_LOG(kWarn) << "shutdown broadcast to node " << n
+                     << " failed: " << s.ToString();
+    }
+  }
+}
+
+void NodeHost::Perform(KernelCore::Actions actions) {
+  for (auto& line : actions.console) {
+    if (options_.console_sink) options_.console_sink(std::move(line));
+  }
+  for (auto& out : actions.out) {
+    const Status s = endpoint_->Send(out.dst, proto::Encode(out.env));
+    if (!s.ok()) {
+      DSE_LOG(kWarn) << "node " << self() << " send to " << out.dst
+                     << " failed: " << s.ToString();
+    }
+  }
+  for (auto& st : actions.start) {
+    StartTaskThread(std::move(st));
+  }
+}
+
+void NodeHost::StartTaskThread(KernelCore::StartTask st) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    ++live_tasks_;
+  }
+  std::thread thread([this, st = std::move(st)]() mutable {
+    {
+      HostTask task(this, st.gpid, std::move(st.arg));
+      options_.registry->Get(st.task_name)(task);
+      FinishLocalTask(st.gpid, task.TakeResult());
+    }
+    {
+      std::lock_guard<std::mutex> lock(tasks_mu_);
+      --live_tasks_;
+    }
+    tasks_cv_.notify_all();
+  });
+  std::lock_guard<std::mutex> lock(tasks_mu_);
+  task_threads_.push_back(std::move(thread));
+}
+
+void NodeHost::ServiceLoop() {
+  while (auto delivery = endpoint_->Recv()) {
+    auto decoded = proto::Decode(delivery->payload);
+    if (!decoded.ok()) {
+      DSE_LOG(kWarn) << "node " << self() << ": dropping malformed message: "
+                     << decoded.status().ToString();
+      continue;
+    }
+    proto::Envelope env = std::move(*decoded);
+
+    if (proto::IsClientResponse(env.type())) {
+      // Cache fills happen on this ordered path before the waiting task can
+      // observe the response — see kernel_core.h.
+      if (auto* rr = std::get_if<proto::ReadResp>(&env.body);
+          rr != nullptr && rr->block_fetch) {
+        core_.CacheInsert(rr->addr, rr->data);
+      }
+      Waiter* waiter = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        const auto it = pending_.find(env.req_id);
+        if (it != pending_.end()) {
+          waiter = it->second;
+          pending_.erase(it);
+        }
+      }
+      if (waiter == nullptr) {
+        DSE_LOG(kWarn) << "node " << self() << ": orphan response req_id "
+                       << env.req_id;
+        continue;
+      }
+      {
+        // The waiter lives on the calling task's stack and is destroyed as
+        // soon as that task observes `ready`; notifying while holding the
+        // mutex keeps the condition variable alive through the notify (the
+        // waiter cannot re-acquire the mutex, return and destruct until we
+        // release it).
+        std::lock_guard<std::mutex> lock(waiter->mu);
+        waiter->resp = std::move(env);
+        waiter->ready = true;
+        waiter->cv.notify_one();
+      }
+      continue;
+    }
+
+    KernelCore::Actions actions;
+    {
+      std::lock_guard<std::mutex> lock(core_mu_);
+      actions = core_.Handle(env);
+    }
+    if (actions.shutdown) return;
+    Perform(std::move(actions));
+  }
+}
+
+}  // namespace dse

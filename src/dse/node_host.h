@@ -1,0 +1,99 @@
+// One DSE node hosted on real OS threads: the kernel core, its message
+// service loop, the pending-call table, and the task threads running DSE
+// processes placed on this node.
+//
+// Used by two compositions:
+//   * ThreadedRuntime — N NodeHosts over the in-process fabric (one binary).
+//   * ProcessRuntime  — 1 NodeHost per UNIX process over the TCP fabric
+//     (the paper's actual deployment shape).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dse/kernel_core.h"
+#include "dse/registry.h"
+#include "dse/task.h"
+#include "net/endpoint.h"
+
+namespace dse {
+
+class NodeHost {
+ public:
+  struct Options {
+    bool read_cache = false;
+    bool pipelined_transfers = false;
+    TaskRegistry* registry = nullptr;            // required
+    // Receives SSI console lines (only ever called on node 0's host).
+    std::function<void(std::string)> console_sink;
+  };
+
+  NodeHost(net::Endpoint* endpoint, int num_nodes, Options options);
+  ~NodeHost();
+
+  NodeHost(const NodeHost&) = delete;
+  NodeHost& operator=(const NodeHost&) = delete;
+
+  KernelCore& core() { return core_; }
+  NodeId self() const { return core_.self(); }
+
+  // Starts the kernel service thread. Call exactly once.
+  void Start();
+
+  // Runs a registered task synchronously on the calling thread as a local
+  // DSE process (used to bootstrap the main task). Returns its result.
+  std::vector<std::uint8_t> RunLocalTask(const std::string& name,
+                                         std::vector<std::uint8_t> arg);
+
+  // Blocks until no task threads are live on this node.
+  void WaitTasksDrained();
+
+  // Blocks until the service loop has exited (endpoint shutdown or a
+  // Shutdown message). Does not itself stop anything.
+  void WaitServiceExit();
+
+  // Sends a Shutdown control message to every node (SSI teardown).
+  void BroadcastShutdown();
+
+  // --- internals shared with the Task implementation -----------------------
+  struct Waiter;
+  std::uint64_t NextReqId();
+  void RegisterWaiter(std::uint64_t req_id, Waiter* waiter);
+  void DropWaiter(std::uint64_t req_id);
+  net::Endpoint& endpoint() { return *endpoint_; }
+  void FinishLocalTask(Gpid gpid, std::vector<std::uint8_t> result);
+
+ private:
+  void ServiceLoop();
+  void Perform(KernelCore::Actions actions);
+  void StartTaskThread(KernelCore::StartTask st);
+
+  net::Endpoint* endpoint_;
+  Options options_;
+  KernelCore core_;
+
+  std::mutex core_mu_;  // serializes KernelCore server state
+  std::atomic<std::uint64_t> next_req_id_{1};
+  std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, Waiter*> pending_;
+
+  std::thread service_;
+  std::mutex service_exit_mu_;
+  std::condition_variable service_exit_cv_;
+  bool service_exited_ = false;
+
+  std::mutex tasks_mu_;
+  std::condition_variable tasks_cv_;
+  std::vector<std::thread> task_threads_;
+  int live_tasks_ = 0;
+};
+
+}  // namespace dse

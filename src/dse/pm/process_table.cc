@@ -1,0 +1,58 @@
+#include "dse/pm/process_table.h"
+
+#include "common/check.h"
+
+namespace dse::pm {
+
+Gpid ProcessTable::Create(const std::string& task_name) {
+  const Gpid gpid = MakeGpid(self_, next_seq_++);
+  Record rec;
+  rec.name = task_name;
+  tasks_.emplace(gpid, std::move(rec));
+  ++running_;
+  return gpid;
+}
+
+std::vector<std::pair<NodeId, std::uint64_t>> ProcessTable::MarkDone(
+    Gpid gpid, std::vector<std::uint8_t> result) {
+  auto it = tasks_.find(gpid);
+  DSE_CHECK_MSG(it != tasks_.end(), "MarkDone for unknown gpid");
+  DSE_CHECK_MSG(it->second.state == TaskState::kRunning,
+                "MarkDone for already-finished task");
+  it->second.state = TaskState::kDone;
+  it->second.result = std::move(result);
+  --running_;
+  return std::move(it->second.waiters);
+}
+
+bool ProcessTable::TryJoin(Gpid gpid, NodeId joiner, std::uint64_t req_id,
+                           std::vector<std::uint8_t>* result_out,
+                           bool* unknown) {
+  *unknown = false;
+  auto it = tasks_.find(gpid);
+  if (it == tasks_.end()) {
+    *unknown = true;
+    return false;
+  }
+  if (it->second.state == TaskState::kDone) {
+    *result_out = it->second.result;
+    return true;
+  }
+  it->second.waiters.emplace_back(joiner, req_id);
+  return false;
+}
+
+std::vector<proto::PsEntry> ProcessTable::Snapshot() const {
+  std::vector<proto::PsEntry> entries;
+  entries.reserve(tasks_.size());
+  for (const auto& [gpid, rec] : tasks_) {
+    proto::PsEntry e;
+    e.gpid = gpid;
+    e.task_name = rec.name;
+    e.state = static_cast<std::uint8_t>(rec.state);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace dse::pm

@@ -1,0 +1,60 @@
+// Parallel process management: the SSI global-process namespace.
+//
+// Each node's kernel keeps records for the DSE processes *executing on that
+// node*; the Gpid encodes the executing node, so any kernel can route Join
+// (and ps aggregation walks all nodes). Records persist after exit so late
+// joins and `ps` keep working.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dse/ids.h"
+#include "dse/proto/messages.h"
+
+namespace dse::pm {
+
+enum class TaskState : std::uint8_t { kRunning = 0, kDone = 1 };
+
+class ProcessTable {
+ public:
+  explicit ProcessTable(NodeId self) : self_(self) {}
+
+  // Creates a record for a task starting on this node; returns its gpid.
+  Gpid Create(const std::string& task_name);
+
+  // Marks a task finished and stores its result. Returns the (node, req_id)
+  // pairs of joiners that were parked waiting for it.
+  std::vector<std::pair<NodeId, std::uint64_t>> MarkDone(
+      Gpid gpid, std::vector<std::uint8_t> result);
+
+  // Join attempt. If the task already finished, `*result_out` is filled and
+  // true is returned; otherwise the joiner is queued and false is returned.
+  // Unknown gpids are reported via `*unknown`.
+  bool TryJoin(Gpid gpid, NodeId joiner, std::uint64_t req_id,
+               std::vector<std::uint8_t>* result_out, bool* unknown);
+
+  // Tasks currently running on this node.
+  int running_count() const { return running_; }
+
+  // Snapshot for the SSI `ps` service.
+  std::vector<proto::PsEntry> Snapshot() const;
+
+ private:
+  struct Record {
+    std::string name;
+    TaskState state = TaskState::kRunning;
+    std::vector<std::uint8_t> result;
+    std::vector<std::pair<NodeId, std::uint64_t>> waiters;
+  };
+
+  NodeId self_;
+  std::uint32_t next_seq_ = 1;
+  int running_ = 0;
+  std::map<Gpid, Record> tasks_;  // ordered: ps lists in creation order
+};
+
+}  // namespace dse::pm

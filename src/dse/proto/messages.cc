@@ -1,0 +1,359 @@
+#include "dse/proto/messages.h"
+
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace dse::proto {
+namespace {
+
+// --- Per-body encoders ------------------------------------------------------
+
+void Put(ByteWriter& w, const ReadReq& m) {
+  w.WriteU64(m.addr);
+  w.WriteU32(m.len);
+  w.WriteU8(m.block_fetch ? 1 : 0);
+}
+void Put(ByteWriter& w, const ReadResp& m) {
+  w.WriteU64(m.addr);
+  w.WriteBytes({reinterpret_cast<const char*>(m.data.data()), m.data.size()});
+  w.WriteU8(m.block_fetch ? 1 : 0);
+}
+void Put(ByteWriter& w, const WriteReq& m) {
+  w.WriteU64(m.addr);
+  w.WriteBytes({reinterpret_cast<const char*>(m.data.data()), m.data.size()});
+}
+void Put(ByteWriter&, const WriteAck&) {}
+void Put(ByteWriter& w, const AtomicReq& m) {
+  w.WriteU8(static_cast<std::uint8_t>(m.op));
+  w.WriteU64(m.addr);
+  w.WriteI64(m.operand);
+  w.WriteI64(m.expected);
+}
+void Put(ByteWriter& w, const AtomicResp& m) { w.WriteI64(m.old_value); }
+void Put(ByteWriter& w, const AllocReq& m) {
+  w.WriteU64(m.size);
+  w.WriteU8(static_cast<std::uint8_t>(m.policy));
+  w.WriteU8(m.param);
+}
+void Put(ByteWriter& w, const AllocResp& m) {
+  w.WriteU64(m.addr);
+  w.WriteU8(m.error);
+}
+void Put(ByteWriter& w, const FreeReq& m) { w.WriteU64(m.addr); }
+void Put(ByteWriter& w, const FreeAck& m) { w.WriteU8(m.error); }
+void Put(ByteWriter& w, const InvalidateReq& m) { w.WriteU64(m.block_base); }
+void Put(ByteWriter& w, const InvalidateAck& m) { w.WriteU64(m.block_base); }
+void Put(ByteWriter& w, const LockReq& m) { w.WriteU64(m.lock_id); }
+void Put(ByteWriter& w, const LockGrant& m) { w.WriteU64(m.lock_id); }
+void Put(ByteWriter& w, const UnlockReq& m) { w.WriteU64(m.lock_id); }
+void Put(ByteWriter& w, const BarrierEnter& m) {
+  w.WriteU64(m.barrier_id);
+  w.WriteU32(m.parties);
+}
+void Put(ByteWriter& w, const BarrierRelease& m) { w.WriteU64(m.barrier_id); }
+void Put(ByteWriter& w, const SpawnReq& m) {
+  w.WriteString(m.task_name);
+  w.WriteBytes({reinterpret_cast<const char*>(m.arg.data()), m.arg.size()});
+}
+void Put(ByteWriter& w, const SpawnResp& m) {
+  w.WriteU64(m.gpid);
+  w.WriteU8(m.error);
+}
+void Put(ByteWriter& w, const JoinReq& m) { w.WriteU64(m.gpid); }
+void Put(ByteWriter& w, const JoinResp& m) {
+  w.WriteU64(m.gpid);
+  w.WriteBytes(
+      {reinterpret_cast<const char*>(m.result.data()), m.result.size()});
+  w.WriteU8(m.error);
+}
+void Put(ByteWriter&, const PsReq&) {}
+void Put(ByteWriter& w, const PsResp& m) {
+  w.WriteU32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const PsEntry& e : m.entries) {
+    w.WriteU64(e.gpid);
+    w.WriteString(e.task_name);
+    w.WriteU8(e.state);
+  }
+}
+void Put(ByteWriter& w, const ConsoleOut& m) {
+  w.WriteU64(m.gpid);
+  w.WriteString(m.text);
+}
+void Put(ByteWriter&, const Shutdown&) {}
+void Put(ByteWriter& w, const NamePublish& m) {
+  w.WriteString(m.name);
+  w.WriteU64(m.value);
+}
+void Put(ByteWriter& w, const NameAck& m) { w.WriteU8(m.error); }
+void Put(ByteWriter& w, const NameLookup& m) { w.WriteString(m.name); }
+void Put(ByteWriter& w, const NameResp& m) {
+  w.WriteU64(m.value);
+  w.WriteU8(m.error);
+}
+void Put(ByteWriter&, const LoadReq&) {}
+void Put(ByteWriter& w, const LoadResp& m) { w.WriteU32(m.running_tasks); }
+
+// --- Per-body decoders ------------------------------------------------------
+
+Status Get(ByteReader& r, ReadReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->addr));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&m->len));
+  std::uint8_t flag;
+  DSE_RETURN_IF_ERROR(r.ReadU8(&flag));
+  m->block_fetch = flag != 0;
+  return Status::Ok();
+}
+Status Get(ByteReader& r, ReadResp* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->addr));
+  DSE_RETURN_IF_ERROR(r.ReadBytes(&m->data));
+  std::uint8_t flag;
+  DSE_RETURN_IF_ERROR(r.ReadU8(&flag));
+  m->block_fetch = flag != 0;
+  return Status::Ok();
+}
+Status Get(ByteReader& r, WriteReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->addr));
+  return r.ReadBytes(&m->data);
+}
+Status Get(ByteReader&, WriteAck*) { return Status::Ok(); }
+Status Get(ByteReader& r, AtomicReq* m) {
+  std::uint8_t op = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU8(&op));
+  if (op > static_cast<std::uint8_t>(AtomicOp::kCompareExchange)) {
+    return ProtocolError("bad atomic op");
+  }
+  m->op = static_cast<AtomicOp>(op);
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->addr));
+  DSE_RETURN_IF_ERROR(r.ReadI64(&m->operand));
+  return r.ReadI64(&m->expected);
+}
+Status Get(ByteReader& r, AtomicResp* m) { return r.ReadI64(&m->old_value); }
+Status Get(ByteReader& r, AllocReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->size));
+  std::uint8_t policy = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU8(&policy));
+  if (policy > static_cast<std::uint8_t>(HomePolicy::kStriped)) {
+    return ProtocolError("bad home policy");
+  }
+  m->policy = static_cast<HomePolicy>(policy);
+  return r.ReadU8(&m->param);
+}
+Status Get(ByteReader& r, AllocResp* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->addr));
+  return r.ReadU8(&m->error);
+}
+Status Get(ByteReader& r, FreeReq* m) { return r.ReadU64(&m->addr); }
+Status Get(ByteReader& r, FreeAck* m) { return r.ReadU8(&m->error); }
+Status Get(ByteReader& r, InvalidateReq* m) {
+  return r.ReadU64(&m->block_base);
+}
+Status Get(ByteReader& r, InvalidateAck* m) {
+  return r.ReadU64(&m->block_base);
+}
+Status Get(ByteReader& r, LockReq* m) { return r.ReadU64(&m->lock_id); }
+Status Get(ByteReader& r, LockGrant* m) { return r.ReadU64(&m->lock_id); }
+Status Get(ByteReader& r, UnlockReq* m) { return r.ReadU64(&m->lock_id); }
+Status Get(ByteReader& r, BarrierEnter* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->barrier_id));
+  return r.ReadU32(&m->parties);
+}
+Status Get(ByteReader& r, BarrierRelease* m) {
+  return r.ReadU64(&m->barrier_id);
+}
+Status Get(ByteReader& r, SpawnReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadString(&m->task_name));
+  return r.ReadBytes(&m->arg);
+}
+Status Get(ByteReader& r, SpawnResp* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->gpid));
+  return r.ReadU8(&m->error);
+}
+Status Get(ByteReader& r, JoinReq* m) { return r.ReadU64(&m->gpid); }
+Status Get(ByteReader& r, JoinResp* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->gpid));
+  DSE_RETURN_IF_ERROR(r.ReadBytes(&m->result));
+  return r.ReadU8(&m->error);
+}
+Status Get(ByteReader&, PsReq*) { return Status::Ok(); }
+Status Get(ByteReader& r, PsResp* m) {
+  std::uint32_t n = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  m->entries.clear();
+  m->entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PsEntry e;
+    DSE_RETURN_IF_ERROR(r.ReadU64(&e.gpid));
+    DSE_RETURN_IF_ERROR(r.ReadString(&e.task_name));
+    DSE_RETURN_IF_ERROR(r.ReadU8(&e.state));
+    m->entries.push_back(std::move(e));
+  }
+  return Status::Ok();
+}
+Status Get(ByteReader& r, ConsoleOut* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->gpid));
+  return r.ReadString(&m->text);
+}
+Status Get(ByteReader&, Shutdown*) { return Status::Ok(); }
+Status Get(ByteReader& r, NamePublish* m) {
+  DSE_RETURN_IF_ERROR(r.ReadString(&m->name));
+  return r.ReadU64(&m->value);
+}
+Status Get(ByteReader& r, NameAck* m) { return r.ReadU8(&m->error); }
+Status Get(ByteReader& r, NameLookup* m) { return r.ReadString(&m->name); }
+Status Get(ByteReader& r, NameResp* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->value));
+  return r.ReadU8(&m->error);
+}
+Status Get(ByteReader&, LoadReq*) { return Status::Ok(); }
+Status Get(ByteReader& r, LoadResp* m) { return r.ReadU32(&m->running_tasks); }
+
+template <typename T, MsgType kType>
+struct Tag {
+  using type = T;
+  static constexpr MsgType value = kType;
+};
+
+}  // namespace
+
+std::string_view MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kReadReq: return "ReadReq";
+    case MsgType::kReadResp: return "ReadResp";
+    case MsgType::kWriteReq: return "WriteReq";
+    case MsgType::kWriteAck: return "WriteAck";
+    case MsgType::kAtomicReq: return "AtomicReq";
+    case MsgType::kAtomicResp: return "AtomicResp";
+    case MsgType::kAllocReq: return "AllocReq";
+    case MsgType::kAllocResp: return "AllocResp";
+    case MsgType::kFreeReq: return "FreeReq";
+    case MsgType::kFreeAck: return "FreeAck";
+    case MsgType::kInvalidateReq: return "InvalidateReq";
+    case MsgType::kInvalidateAck: return "InvalidateAck";
+    case MsgType::kLockReq: return "LockReq";
+    case MsgType::kLockGrant: return "LockGrant";
+    case MsgType::kUnlockReq: return "UnlockReq";
+    case MsgType::kBarrierEnter: return "BarrierEnter";
+    case MsgType::kBarrierRelease: return "BarrierRelease";
+    case MsgType::kSpawnReq: return "SpawnReq";
+    case MsgType::kSpawnResp: return "SpawnResp";
+    case MsgType::kJoinReq: return "JoinReq";
+    case MsgType::kJoinResp: return "JoinResp";
+    case MsgType::kPsReq: return "PsReq";
+    case MsgType::kPsResp: return "PsResp";
+    case MsgType::kConsoleOut: return "ConsoleOut";
+    case MsgType::kShutdown: return "Shutdown";
+    case MsgType::kNamePublish: return "NamePublish";
+    case MsgType::kNameAck: return "NameAck";
+    case MsgType::kNameLookup: return "NameLookup";
+    case MsgType::kNameResp: return "NameResp";
+    case MsgType::kLoadReq: return "LoadReq";
+    case MsgType::kLoadResp: return "LoadResp";
+  }
+  return "Unknown";
+}
+
+bool IsClientResponse(MsgType type) {
+  switch (type) {
+    case MsgType::kReadResp:
+    case MsgType::kWriteAck:
+    case MsgType::kAtomicResp:
+    case MsgType::kAllocResp:
+    case MsgType::kFreeAck:
+    case MsgType::kLockGrant:
+    case MsgType::kBarrierRelease:
+    case MsgType::kSpawnResp:
+    case MsgType::kJoinResp:
+    case MsgType::kPsResp:
+    case MsgType::kNameAck:
+    case MsgType::kNameResp:
+    case MsgType::kLoadResp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MsgType TypeOf(const Body& body) {
+  // The variant's alternative order matches the MsgType enumeration.
+  return static_cast<MsgType>(body.index() + 1);
+}
+
+std::vector<std::uint8_t> Encode(const Envelope& env) {
+  ByteWriter w(64);
+  w.WriteU8(static_cast<std::uint8_t>(env.type()));
+  w.WriteU64(env.req_id);
+  w.WriteI32(env.src_node);
+  std::visit([&w](const auto& body) { Put(w, body); }, env.body);
+  return w.TakeBuffer();
+}
+
+namespace {
+
+template <typename T>
+Result<Envelope> DecodeBody(ByteReader& r, Envelope env) {
+  T body;
+  const Status s = Get(r, &body);
+  if (!s.ok()) return s;
+  if (!r.AtEnd()) return ProtocolError("trailing bytes in message");
+  env.body = std::move(body);
+  return env;
+}
+
+}  // namespace
+
+Result<Envelope> Decode(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  std::uint8_t type_raw;
+  Envelope env;
+  Status s = r.ReadU8(&type_raw);
+  if (!s.ok()) return s;
+  s = r.ReadU64(&env.req_id);
+  if (!s.ok()) return s;
+  s = r.ReadI32(&env.src_node);
+  if (!s.ok()) return s;
+
+  switch (static_cast<MsgType>(type_raw)) {
+    case MsgType::kReadReq: return DecodeBody<ReadReq>(r, std::move(env));
+    case MsgType::kReadResp: return DecodeBody<ReadResp>(r, std::move(env));
+    case MsgType::kWriteReq: return DecodeBody<WriteReq>(r, std::move(env));
+    case MsgType::kWriteAck: return DecodeBody<WriteAck>(r, std::move(env));
+    case MsgType::kAtomicReq: return DecodeBody<AtomicReq>(r, std::move(env));
+    case MsgType::kAtomicResp:
+      return DecodeBody<AtomicResp>(r, std::move(env));
+    case MsgType::kAllocReq: return DecodeBody<AllocReq>(r, std::move(env));
+    case MsgType::kAllocResp: return DecodeBody<AllocResp>(r, std::move(env));
+    case MsgType::kFreeReq: return DecodeBody<FreeReq>(r, std::move(env));
+    case MsgType::kFreeAck: return DecodeBody<FreeAck>(r, std::move(env));
+    case MsgType::kInvalidateReq:
+      return DecodeBody<InvalidateReq>(r, std::move(env));
+    case MsgType::kInvalidateAck:
+      return DecodeBody<InvalidateAck>(r, std::move(env));
+    case MsgType::kLockReq: return DecodeBody<LockReq>(r, std::move(env));
+    case MsgType::kLockGrant: return DecodeBody<LockGrant>(r, std::move(env));
+    case MsgType::kUnlockReq: return DecodeBody<UnlockReq>(r, std::move(env));
+    case MsgType::kBarrierEnter:
+      return DecodeBody<BarrierEnter>(r, std::move(env));
+    case MsgType::kBarrierRelease:
+      return DecodeBody<BarrierRelease>(r, std::move(env));
+    case MsgType::kSpawnReq: return DecodeBody<SpawnReq>(r, std::move(env));
+    case MsgType::kSpawnResp: return DecodeBody<SpawnResp>(r, std::move(env));
+    case MsgType::kJoinReq: return DecodeBody<JoinReq>(r, std::move(env));
+    case MsgType::kJoinResp: return DecodeBody<JoinResp>(r, std::move(env));
+    case MsgType::kPsReq: return DecodeBody<PsReq>(r, std::move(env));
+    case MsgType::kPsResp: return DecodeBody<PsResp>(r, std::move(env));
+    case MsgType::kConsoleOut:
+      return DecodeBody<ConsoleOut>(r, std::move(env));
+    case MsgType::kShutdown: return DecodeBody<Shutdown>(r, std::move(env));
+    case MsgType::kNamePublish:
+      return DecodeBody<NamePublish>(r, std::move(env));
+    case MsgType::kNameAck: return DecodeBody<NameAck>(r, std::move(env));
+    case MsgType::kNameLookup:
+      return DecodeBody<NameLookup>(r, std::move(env));
+    case MsgType::kNameResp: return DecodeBody<NameResp>(r, std::move(env));
+    case MsgType::kLoadReq: return DecodeBody<LoadReq>(r, std::move(env));
+    case MsgType::kLoadResp: return DecodeBody<LoadResp>(r, std::move(env));
+  }
+  return ProtocolError("unknown message type " + std::to_string(type_raw));
+}
+
+}  // namespace dse::proto

@@ -1,0 +1,231 @@
+// DSE kernel wire protocol.
+//
+// Every kernel interaction is one request message and (for blocking
+// operations) one response message carrying the same req_id — the paper's
+// "global memory access request message create" / "response message analyze"
+// module pair. Encoding is explicit little-endian (common/bytes.h) so
+// heterogeneous nodes interoperate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "dse/gmm/addr.h"
+#include "dse/ids.h"
+
+namespace dse::proto {
+
+enum class MsgType : std::uint8_t {
+  // Global memory management.
+  kReadReq = 1,
+  kReadResp,
+  kWriteReq,
+  kWriteAck,
+  kAtomicReq,
+  kAtomicResp,
+  kAllocReq,
+  kAllocResp,
+  kFreeReq,
+  kFreeAck,
+  kInvalidateReq,
+  kInvalidateAck,
+  // Synchronization.
+  kLockReq,
+  kLockGrant,
+  kUnlockReq,
+  kBarrierEnter,
+  kBarrierRelease,
+  // Parallel process management.
+  kSpawnReq,
+  kSpawnResp,
+  kJoinReq,
+  kJoinResp,
+  // Single-system-image services.
+  kPsReq,
+  kPsResp,
+  kConsoleOut,
+  // Control.
+  kShutdown,
+  // SSI global name service (node 0).
+  kNamePublish,
+  kNameAck,
+  kNameLookup,
+  kNameResp,
+  // SSI load query (for least-loaded process placement).
+  kLoadReq,
+  kLoadResp,
+};
+
+std::string_view MsgTypeName(MsgType type);
+
+// True for message types that answer a client's pending request (routed to
+// the blocked task rather than into the kernel's server logic).
+bool IsClientResponse(MsgType type);
+
+// --- Message bodies --------------------------------------------------------
+
+struct ReadReq {
+  gmm::GlobalAddr addr = 0;
+  std::uint32_t len = 0;
+  // Block-granularity fetch for the client read cache: the home widens the
+  // reply to the whole coherence block and records the reader in the
+  // block's copyset.
+  bool block_fetch = false;
+};
+struct ReadResp {
+  gmm::GlobalAddr addr = 0;  // start of returned range (block base if widened)
+  std::vector<std::uint8_t> data;
+  bool block_fetch = false;
+};
+
+struct WriteReq {
+  gmm::GlobalAddr addr = 0;
+  std::vector<std::uint8_t> data;
+};
+struct WriteAck {};
+
+enum class AtomicOp : std::uint8_t { kFetchAdd = 0, kCompareExchange = 1 };
+struct AtomicReq {
+  AtomicOp op = AtomicOp::kFetchAdd;
+  gmm::GlobalAddr addr = 0;  // 8-byte slot
+  std::int64_t operand = 0;  // add delta / desired value
+  std::int64_t expected = 0; // compare-exchange only
+};
+struct AtomicResp {
+  std::int64_t old_value = 0;  // value before the op (CAS succeeded iff == expected)
+};
+
+enum class HomePolicy : std::uint8_t { kOnNode = 0, kStriped = 1 };
+struct AllocReq {
+  std::uint64_t size = 0;
+  HomePolicy policy = HomePolicy::kStriped;
+  // kOnNode: target node; kStriped: log2 of the stripe block size.
+  std::uint8_t param = 0;
+};
+struct AllocResp {
+  gmm::GlobalAddr addr = 0;  // kNullAddr on failure
+  std::uint8_t error = 0;    // ErrorCode as u8; 0 = OK
+};
+
+struct FreeReq {
+  gmm::GlobalAddr addr = 0;
+};
+struct FreeAck {
+  std::uint8_t error = 0;
+};
+
+struct InvalidateReq {
+  gmm::GlobalAddr block_base = 0;
+};
+struct InvalidateAck {
+  gmm::GlobalAddr block_base = 0;
+};
+
+struct LockReq {
+  std::uint64_t lock_id = 0;
+};
+struct LockGrant {
+  std::uint64_t lock_id = 0;
+};
+struct UnlockReq {
+  std::uint64_t lock_id = 0;
+};
+
+struct BarrierEnter {
+  std::uint64_t barrier_id = 0;
+  std::uint32_t parties = 0;
+};
+struct BarrierRelease {
+  std::uint64_t barrier_id = 0;
+};
+
+struct SpawnReq {
+  std::string task_name;          // registered function
+  std::vector<std::uint8_t> arg;  // application-serialized argument
+};
+struct SpawnResp {
+  Gpid gpid = kNoGpid;
+  std::uint8_t error = 0;  // e.g. unknown task name
+};
+
+struct JoinReq {
+  Gpid gpid = kNoGpid;
+};
+struct JoinResp {
+  Gpid gpid = kNoGpid;
+  std::vector<std::uint8_t> result;
+  std::uint8_t error = 0;  // unknown gpid
+};
+
+struct PsReq {};
+struct PsEntry {
+  Gpid gpid = kNoGpid;
+  std::string task_name;
+  std::uint8_t state = 0;  // pm::TaskState as u8
+};
+struct PsResp {
+  std::vector<PsEntry> entries;
+};
+
+struct ConsoleOut {
+  Gpid gpid = kNoGpid;
+  std::string text;
+};
+
+struct Shutdown {};
+
+// SSI name service: publish/lookup of 64-bit values (addresses, gpids)
+// under cluster-wide string names, served by the master kernel.
+struct NamePublish {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct NameAck {
+  std::uint8_t error = 0;  // kAlreadyExists when the name is taken
+};
+struct NameLookup {
+  std::string name;
+};
+struct NameResp {
+  std::uint64_t value = 0;
+  std::uint8_t error = 0;  // kNotFound
+};
+
+// SSI load query: how many DSE processes run on a node right now.
+struct LoadReq {};
+struct LoadResp {
+  std::uint32_t running_tasks = 0;
+};
+
+using Body =
+    std::variant<ReadReq, ReadResp, WriteReq, WriteAck, AtomicReq, AtomicResp,
+                 AllocReq, AllocResp, FreeReq, FreeAck, InvalidateReq,
+                 InvalidateAck, LockReq, LockGrant, UnlockReq, BarrierEnter,
+                 BarrierRelease, SpawnReq, SpawnResp, JoinReq, JoinResp, PsReq,
+                 PsResp, ConsoleOut, Shutdown, NamePublish, NameAck,
+                 NameLookup, NameResp, LoadReq, LoadResp>;
+
+MsgType TypeOf(const Body& body);
+
+// --- Envelope ---------------------------------------------------------------
+
+// One kernel message. `req_id` is unique per (src_node, request); responses
+// echo the request's req_id and src routing happens via the transport.
+struct Envelope {
+  std::uint64_t req_id = 0;
+  NodeId src_node = -1;
+  Body body;
+
+  MsgType type() const { return TypeOf(body); }
+};
+
+// Serializes to transport payload bytes.
+std::vector<std::uint8_t> Encode(const Envelope& env);
+
+// Parses payload bytes (kProtocolError on malformed input).
+Result<Envelope> Decode(const std::vector<std::uint8_t>& payload);
+
+}  // namespace dse::proto

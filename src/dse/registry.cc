@@ -1,0 +1,32 @@
+#include "dse/registry.h"
+
+#include "common/check.h"
+
+namespace dse {
+
+void TaskRegistry::Register(const std::string& name, TaskFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fns_[name] = std::move(fn);
+}
+
+bool TaskRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fns_.count(name) != 0;
+}
+
+TaskFn TaskRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = fns_.find(name);
+  DSE_CHECK_MSG(it != fns_.end(), "unknown task function");
+  return it->second;
+}
+
+std::vector<std::string> TaskRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(fns_.size());
+  for (const auto& [name, fn] : fns_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dse

@@ -1,0 +1,41 @@
+// Task-function registry.
+//
+// Spawn requests carry a task *name* (the SSI analogue of spawning an
+// executable); every node resolves the name against its registry. In the
+// single-binary runtimes all nodes share one registry instance.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dse/task.h"
+
+namespace dse {
+
+// Thread-safe: kernels resolve names from service threads while the
+// application may still be registering (multi-process clusters can receive
+// spawn requests at any time).
+class TaskRegistry {
+ public:
+  // Registers `fn` under `name`; overwrites an existing entry of the same
+  // name (convenient for tests).
+  void Register(const std::string& name, TaskFn fn);
+
+  bool Has(const std::string& name) const;
+
+  // Looks up a task function (a copy — the entry may be re-registered
+  // concurrently); aborts if missing (callers validate names at spawn time
+  // via Has).
+  TaskFn Get(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TaskFn> fns_;
+};
+
+}  // namespace dse

@@ -1,0 +1,474 @@
+#include "dse/sim_runtime.h"
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "dse/client.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+#include "simnet/ethernet.h"
+
+namespace dse {
+namespace {
+
+// A message in flight inside the simulation, with its wire size (the size
+// the real runtime would have put on the socket).
+struct SimDelivery {
+  proto::Envelope env;
+  std::uint64_t bytes = 0;
+};
+
+struct SimNode;
+
+// Whole-simulation state for one Run() call.
+struct SimState {
+  const SimOptions* options = nullptr;
+  TaskRegistry* registry = nullptr;
+  sim::Simulator sim;
+  std::unique_ptr<simnet::Medium> medium;
+  std::vector<std::unique_ptr<SimNode>> nodes;
+
+  Gpid main_gpid = kNoGpid;
+  sim::SimTime main_finished_at = 0;
+  std::vector<std::uint8_t> main_result;
+  std::vector<std::string> console;
+  std::uint64_t messages = 0;
+  std::uint64_t loopback = 0;
+
+  int MachineCount() const {
+    return options->machine_profiles.empty()
+               ? options->profile.physical_machines
+               : static_cast<int>(options->machine_profiles.size());
+  }
+  int MachineOf(NodeId node) const { return node % MachineCount(); }
+  // Cost profile of the machine hosting `node` (heterogeneous clusters give
+  // every machine its own).
+  const platform::Profile& ProfileOf(NodeId node) const {
+    if (options->machine_profiles.empty()) return options->profile;
+    return options->machine_profiles[static_cast<size_t>(MachineOf(node))];
+  }
+  int KernelsOnMachine(int machine) const {
+    const int n = options->num_processors;
+    const int p = MachineCount();
+    return n / p + (machine < n % p ? 1 : 0);
+  }
+  int KernelsOf(NodeId node) const {
+    return KernelsOnMachine(MachineOf(node));
+  }
+  bool legacy() const {
+    return options->organization == OrganizationMode::kLegacyTwoProcess;
+  }
+
+  // Routes an encoded message from `src` to `dst`'s mailbox, through the
+  // medium when the nodes sit on different physical machines.
+  void Deliver(NodeId src, NodeId dst, proto::Envelope env,
+               std::uint64_t bytes);
+};
+
+struct SimNode {
+  SimNode(NodeId id, int num_nodes, KernelOptions kopts, SimState* state)
+      : core(id, num_nodes, std::move(kopts)),
+        mailbox(&state->sim),
+        state(state) {}
+
+  KernelCore core;
+  sim::Channel<SimDelivery> mailbox;
+  SimState* state;
+
+  std::uint64_t next_req_id = 1;
+  // Response channel of the task blocked on each req_id.
+  std::unordered_map<std::uint64_t, sim::Channel<proto::Envelope>*> pending;
+
+  bool shutting_down = false;
+};
+
+void SimState::Deliver(NodeId src, NodeId dst, proto::Envelope env,
+                       std::uint64_t bytes) {
+  ++messages;
+  SimNode& target = *nodes[static_cast<size_t>(dst)];
+  auto push = [&target, env = std::move(env), bytes]() mutable {
+    target.mailbox.Push(SimDelivery{std::move(env), bytes});
+  };
+  if (MachineOf(src) == MachineOf(dst)) {
+    ++loopback;
+    sim.After(ProfileOf(src).loopback_latency, std::move(push));
+  } else {
+    medium->Transmit(MachineOf(src), MachineOf(dst), bytes, std::move(push));
+  }
+}
+
+// Sends one kernel message, charging the sender's software path cost in the
+// calling process's virtual time.
+void ChargeAndSend(sim::Context& ctx, SimState& state, NodeId src, NodeId dst,
+                   proto::Envelope env) {
+  const std::uint64_t bytes = proto::Encode(env).size();
+  const int k = state.KernelsOf(src);
+  const platform::Profile& prof = state.ProfileOf(src);
+  sim::SimTime cost = platform::SendCost(prof, bytes, k);
+  if (state.legacy()) {
+    // Old organization: the request crosses to the kernel process first.
+    cost += prof.legacy_ipc_hop * k;
+  }
+  ctx.Sleep(cost);
+  if (state.options->trace != nullptr) {
+    state.options->trace->Record(trace::Event{
+        ctx.Now(), trace::EventKind::kSend, src, dst,
+        std::string(proto::MsgTypeName(env.type())), bytes});
+  }
+  state.Deliver(src, dst, std::move(env), bytes);
+}
+
+// --- Task-side RPC ----------------------------------------------------------
+
+class SimRpc final : public RpcChannel {
+ public:
+  SimRpc(SimNode* node, sim::Context* ctx)
+      : node_(node), ctx_(ctx), resp_(&node->state->sim) {}
+
+  Result<proto::Envelope> Call(NodeId dst, proto::Body body) override {
+    proto::Envelope env;
+    env.req_id = node_->next_req_id++;
+    env.src_node = node_->core.self();
+    env.body = std::move(body);
+    node_->pending.emplace(env.req_id, &resp_);
+    ChargeAndSend(*ctx_, *node_->state, node_->core.self(), dst,
+                  std::move(env));
+    return resp_.Pop(*ctx_);
+  }
+
+  Result<std::vector<proto::Envelope>> CallMany(
+      std::vector<std::pair<NodeId, proto::Body>> calls) override {
+    // Issue every request (each still pays its software send cost in this
+    // task's virtual time), then collect the responses, which may arrive in
+    // any order.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(calls.size());
+    for (auto& [dst, body] : calls) {
+      proto::Envelope env;
+      env.req_id = node_->next_req_id++;
+      env.src_node = node_->core.self();
+      env.body = std::move(body);
+      node_->pending.emplace(env.req_id, &resp_);
+      ids.push_back(env.req_id);
+      ChargeAndSend(*ctx_, *node_->state, node_->core.self(), dst,
+                    std::move(env));
+    }
+    std::unordered_map<std::uint64_t, proto::Envelope> got;
+    while (got.size() < ids.size()) {
+      proto::Envelope resp = resp_.Pop(*ctx_);
+      got.emplace(resp.req_id, std::move(resp));
+    }
+    std::vector<proto::Envelope> out;
+    out.reserve(ids.size());
+    for (const std::uint64_t id : ids) {
+      const auto it = got.find(id);
+      DSE_CHECK_MSG(it != got.end(), "pipelined response mismatch");
+      out.push_back(std::move(it->second));
+    }
+    return out;
+  }
+
+  Status Post(NodeId dst, proto::Body body) override {
+    proto::Envelope env;
+    env.req_id = 0;
+    env.src_node = node_->core.self();
+    env.body = std::move(body);
+    ChargeAndSend(*ctx_, *node_->state, node_->core.self(), dst,
+                  std::move(env));
+    return Status::Ok();
+  }
+
+ private:
+  SimNode* node_;
+  sim::Context* ctx_;
+  sim::Channel<proto::Envelope> resp_;
+};
+
+// --- Task implementation ----------------------------------------------------
+
+class SimTask final : public Task {
+ public:
+  SimTask(SimNode* node, sim::Context* ctx, Gpid gpid,
+          std::vector<std::uint8_t> arg)
+      : node_(node),
+        ctx_(ctx),
+        gpid_(gpid),
+        arg_(std::move(arg)),
+        rpc_(node, ctx),
+        client_(&rpc_, &node->core) {}
+
+  NodeId node() const override { return node_->core.self(); }
+  Gpid gpid() const override { return gpid_; }
+  int num_nodes() const override { return node_->core.num_nodes(); }
+  const std::vector<std::uint8_t>& arg() const override { return arg_; }
+  void SetResult(std::vector<std::uint8_t> result) override {
+    result_ = std::move(result);
+  }
+  std::vector<std::uint8_t> TakeResult() { return std::move(result_); }
+
+  Result<gmm::GlobalAddr> AllocStriped(std::uint64_t size,
+                                       std::uint8_t block_log2) override {
+    return client_.AllocStriped(size, block_log2);
+  }
+  Result<gmm::GlobalAddr> AllocOnNode(std::uint64_t size,
+                                      NodeId home) override {
+    return client_.AllocOnNode(size, home);
+  }
+  Status Free(gmm::GlobalAddr addr) override { return client_.Free(addr); }
+  Status Read(gmm::GlobalAddr addr, void* out, std::uint64_t len) override {
+    return client_.Read(addr, out, len);
+  }
+  Status Write(gmm::GlobalAddr addr, const void* src,
+               std::uint64_t len) override {
+    return client_.Write(addr, src, len);
+  }
+  Result<std::int64_t> AtomicFetchAdd(gmm::GlobalAddr addr,
+                                      std::int64_t delta) override {
+    return client_.AtomicFetchAdd(addr, delta);
+  }
+  Result<std::int64_t> AtomicCompareExchange(gmm::GlobalAddr addr,
+                                             std::int64_t expected,
+                                             std::int64_t desired) override {
+    return client_.AtomicCompareExchange(addr, expected, desired);
+  }
+  Status Lock(std::uint64_t lock_id) override { return client_.Lock(lock_id); }
+  Status Unlock(std::uint64_t lock_id) override {
+    return client_.Unlock(lock_id);
+  }
+  Status Barrier(std::uint64_t barrier_id, int parties) override {
+    return client_.Barrier(barrier_id, parties);
+  }
+  Result<Gpid> Spawn(const std::string& task_name,
+                     std::vector<std::uint8_t> arg,
+                     NodeId node_hint) override {
+    return client_.Spawn(task_name, std::move(arg), node_hint);
+  }
+  Result<std::vector<std::uint8_t>> Join(Gpid gpid) override {
+    return client_.Join(gpid);
+  }
+
+  void Compute(double work_units) override {
+    ctx_->Sleep(platform::ComputeTime(node_->state->ProfileOf(node()),
+                                      work_units,
+                                      node_->state->KernelsOf(node())));
+  }
+  void Print(const std::string& text) override {
+    (void)client_.Print(gpid_, text);
+  }
+  Result<std::vector<proto::PsEntry>> ClusterPs() override {
+    return client_.ClusterPs();
+  }
+  Status PublishName(const std::string& name, std::uint64_t value) override {
+    return client_.PublishName(name, value);
+  }
+  Result<std::uint64_t> LookupName(const std::string& name) override {
+    return client_.LookupName(name);
+  }
+
+ private:
+  SimNode* node_;
+  sim::Context* ctx_;
+  Gpid gpid_;
+  std::vector<std::uint8_t> arg_;
+  std::vector<std::uint8_t> result_;
+  SimRpc rpc_;
+  TaskClient client_;
+};
+
+// Performs kernel actions from whatever simulated process is running.
+void PerformActions(sim::Context& ctx, SimState& state, SimNode& node,
+                    KernelCore::Actions actions);
+
+// Body of a spawned DSE process.
+void RunTaskBody(sim::Context& ctx, SimState& state, SimNode& node,
+                 KernelCore::StartTask st) {
+  if (state.options->trace != nullptr) {
+    state.options->trace->Record(trace::Event{ctx.Now(),
+                                              trace::EventKind::kTaskStart,
+                                              node.core.self(), -1,
+                                              st.task_name, st.gpid});
+  }
+  std::vector<std::uint8_t> result;
+  {
+    SimTask task(&node, &ctx, st.gpid, std::move(st.arg));
+    state.registry->Get(st.task_name)(task);
+    result = task.TakeResult();
+  }
+  if (st.gpid == state.main_gpid) {
+    state.main_finished_at = ctx.Now();
+    state.main_result = result;
+  }
+  if (state.options->trace != nullptr) {
+    state.options->trace->Record(trace::Event{ctx.Now(),
+                                              trace::EventKind::kTaskExit,
+                                              node.core.self(), -1,
+                                              st.task_name, st.gpid});
+  }
+  KernelCore::Actions actions =
+      node.core.OnLocalTaskExit(st.gpid, std::move(result));
+  PerformActions(ctx, state, node, std::move(actions));
+
+  if (st.gpid == state.main_gpid) {
+    // SSI teardown: the master announces shutdown to every kernel.
+    for (NodeId n = 0; n < static_cast<NodeId>(state.nodes.size()); ++n) {
+      proto::Envelope env;
+      env.req_id = 0;
+      env.src_node = node.core.self();
+      env.body = proto::Shutdown{};
+      ChargeAndSend(ctx, state, node.core.self(), n, std::move(env));
+    }
+  }
+}
+
+void PerformActions(sim::Context& ctx, SimState& state, SimNode& node,
+                    KernelCore::Actions actions) {
+  for (auto& line : actions.console) {
+    state.console.push_back(std::move(line));
+  }
+  for (auto& out : actions.out) {
+    ChargeAndSend(ctx, state, node.core.self(), out.dst, std::move(out.env));
+  }
+  for (auto& st : actions.start) {
+    state.sim.Spawn(
+        "task-" + GpidToString(st.gpid),
+        [&state, &node, st = std::move(st)](sim::Context& task_ctx) mutable {
+          RunTaskBody(task_ctx, state, node, std::move(st));
+        });
+  }
+  // actions.shutdown is handled by the kernel loop.
+}
+
+// Body of a node's kernel service process.
+void KernelLoop(sim::Context& ctx, SimState& state, SimNode& node) {
+  const platform::Profile& prof = state.ProfileOf(node.core.self());
+  for (;;) {
+    SimDelivery d = node.mailbox.Pop(ctx);
+    const int k = state.KernelsOf(node.core.self());
+    ctx.Sleep(platform::RecvCost(prof, d.bytes, k));
+    if (state.options->trace != nullptr) {
+      state.options->trace->Record(trace::Event{
+          ctx.Now(), trace::EventKind::kHandle, node.core.self(),
+          d.env.src_node, std::string(proto::MsgTypeName(d.env.type())),
+          d.bytes});
+    }
+
+    if (proto::IsClientResponse(d.env.type())) {
+      if (auto* rr = std::get_if<proto::ReadResp>(&d.env.body);
+          rr != nullptr && rr->block_fetch) {
+        node.core.CacheInsert(rr->addr, rr->data);
+      }
+      const auto it = node.pending.find(d.env.req_id);
+      DSE_CHECK_MSG(it != node.pending.end(), "orphan response in sim");
+      sim::Channel<proto::Envelope>* resp = it->second;
+      node.pending.erase(it);
+      if (state.legacy()) {
+        // Old organization: response crosses back to the app process.
+        ctx.Sleep(prof.legacy_ipc_hop * k);
+      }
+      resp->Push(std::move(d.env));
+      continue;
+    }
+
+    KernelCore::Actions actions = node.core.Handle(d.env);
+    if (actions.shutdown) return;
+    PerformActions(ctx, state, node, std::move(actions));
+  }
+}
+
+}  // namespace
+
+SimRuntime::SimRuntime(SimOptions options) : options_(std::move(options)) {
+  DSE_CHECK(options_.num_processors > 0);
+  DSE_CHECK(options_.profile.physical_machines > 0);
+  // The shared medium spans the machines; a heterogeneous cluster still has
+  // one LAN (options_.profile.net).
+}
+
+int SimRuntime::KernelsOnMachineOf(NodeId node) const {
+  const int p = options_.machine_profiles.empty()
+                    ? options_.profile.physical_machines
+                    : static_cast<int>(options_.machine_profiles.size());
+  const int n = options_.num_processors;
+  const int machine = node % p;
+  return n / p + (machine < n % p ? 1 : 0);
+}
+
+SimReport SimRuntime::Run(const std::string& main_name,
+                          std::vector<std::uint8_t> arg) {
+  DSE_CHECK_MSG(registry_.Has(main_name), "main task not registered");
+  const int n = options_.num_processors;
+
+  SimState state;
+  state.options = &options_;
+  state.registry = &registry_;
+
+  switch (options_.medium) {
+    case MediumKind::kSharedBus:
+      state.medium = std::make_unique<simnet::SharedBusMedium>(
+          &state.sim, options_.profile.net, options_.seed);
+      break;
+    case MediumKind::kSwitched:
+      state.medium = std::make_unique<simnet::SwitchedMedium>(
+          &state.sim, options_.profile.net, state.MachineCount());
+      break;
+  }
+
+  for (NodeId i = 0; i < n; ++i) {
+    KernelOptions kopts;
+    kopts.read_cache = options_.read_cache;
+    kopts.pipelined_transfers = options_.pipelined_transfers;
+    kopts.has_task = [this](const std::string& name) {
+      return registry_.Has(name);
+    };
+    state.nodes.push_back(
+        std::make_unique<SimNode>(i, n, std::move(kopts), &state));
+  }
+
+  // Kernel service processes.
+  for (NodeId i = 0; i < n; ++i) {
+    SimNode* node = state.nodes[static_cast<size_t>(i)].get();
+    state.sim.Spawn("kernel-" + std::to_string(i),
+                    [&state, node](sim::Context& ctx) {
+                      KernelLoop(ctx, state, *node);
+                    });
+  }
+
+  // Bootstrap the main DSE process on node 0.
+  SimNode* node0 = state.nodes[0].get();
+  state.main_gpid = node0->core.RegisterLocalTask(main_name);
+  KernelCore::StartTask main_start{state.main_gpid, main_name,
+                                   std::move(arg)};
+  state.sim.Spawn("task-main",
+                  [&state, node0, st = std::move(main_start)](
+                      sim::Context& ctx) mutable {
+                    RunTaskBody(ctx, state, *node0, std::move(st));
+                  });
+
+  state.sim.RunUntilIdle();
+
+  SimReport report;
+  report.virtual_seconds = sim::ToSeconds(state.main_finished_at);
+  report.main_result = std::move(state.main_result);
+  report.console = std::move(state.console);
+  report.messages = state.messages;
+  report.loopback = state.loopback;
+  const simnet::MediumStats& net = state.medium->stats();
+  report.wire_frames = net.frames;
+  report.wire_bytes = net.wire_bytes;
+  report.collisions = net.collisions;
+  report.bus_utilization =
+      state.main_finished_at > 0
+          ? static_cast<double>(net.busy_time) /
+                static_cast<double>(state.main_finished_at)
+          : 0.0;
+  for (const auto& node : state.nodes) {
+    report.cache_hits += node->core.stats().cache_hits;
+    report.cache_misses += node->core.stats().cache_misses;
+    report.invalidations += node->core.gmm_stats().invalidations;
+  }
+  return report;
+}
+
+}  // namespace dse

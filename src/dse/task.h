@@ -1,0 +1,138 @@
+// The Parallel API — what application code programs against.
+//
+// A Task is one DSE process (SSI global process). The same application code
+// runs unchanged on the ThreadedRuntime (real concurrency, real sockets/
+// queues) and the SimRuntime (virtual time, simulated interconnect); only
+// the Task implementation behind this interface differs.
+//
+// All blocking operations are one request / one response against the home
+// kernel of the touched resource; a task therefore has at most one request
+// outstanding, which gives sequential consistency for the global memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "dse/gmm/addr.h"
+#include "dse/ids.h"
+#include "dse/proto/messages.h"
+
+namespace dse {
+
+// Spawn placement: any non-negative value pins the task to that node;
+// kAnyNode uses the runtime's round-robin; kLeastLoaded queries every
+// node's kernel and picks the one running the fewest DSE processes (ties
+// break toward the lowest node id).
+inline constexpr NodeId kAnyNode = -1;
+inline constexpr NodeId kLeastLoaded = -2;
+
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  // --- Identity / cluster view (SSI) ---------------------------------------
+  virtual NodeId node() const = 0;
+  virtual Gpid gpid() const = 0;
+  virtual int num_nodes() const = 0;
+
+  // Argument bytes this task was spawned with.
+  virtual const std::vector<std::uint8_t>& arg() const = 0;
+  // Result bytes returned to joiners (set before the task function returns).
+  virtual void SetResult(std::vector<std::uint8_t> result) = 0;
+
+  // --- Global memory --------------------------------------------------------
+  // Allocates `size` bytes striped across all nodes in 2^block_log2 chunks.
+  virtual Result<gmm::GlobalAddr> AllocStriped(std::uint64_t size,
+                                               std::uint8_t block_log2) = 0;
+  // Allocates `size` bytes homed on one node.
+  virtual Result<gmm::GlobalAddr> AllocOnNode(std::uint64_t size,
+                                              NodeId home) = 0;
+  virtual Status Free(gmm::GlobalAddr addr) = 0;
+
+  virtual Status Read(gmm::GlobalAddr addr, void* out, std::uint64_t len) = 0;
+  virtual Status Write(gmm::GlobalAddr addr, const void* src,
+                       std::uint64_t len) = 0;
+
+  // 8-byte atomic slot operations (addr must be 8-aligned).
+  virtual Result<std::int64_t> AtomicFetchAdd(gmm::GlobalAddr addr,
+                                              std::int64_t delta) = 0;
+  virtual Result<std::int64_t> AtomicCompareExchange(gmm::GlobalAddr addr,
+                                                     std::int64_t expected,
+                                                     std::int64_t desired) = 0;
+
+  // --- Synchronization ------------------------------------------------------
+  virtual Status Lock(std::uint64_t lock_id) = 0;
+  virtual Status Unlock(std::uint64_t lock_id) = 0;
+  // Blocks until `parties` tasks have entered barrier `barrier_id`.
+  virtual Status Barrier(std::uint64_t barrier_id, int parties) = 0;
+
+  // --- Parallel process management ------------------------------------------
+  // Starts a registered task function. node_hint < 0 lets the runtime place
+  // it (round-robin over the cluster — the SSI default).
+  virtual Result<Gpid> Spawn(const std::string& task_name,
+                             std::vector<std::uint8_t> arg,
+                             NodeId node_hint = -1) = 0;
+  // Waits for a task and returns its result bytes.
+  virtual Result<std::vector<std::uint8_t>> Join(Gpid gpid) = 0;
+
+  // --- Modeled computation ---------------------------------------------------
+  // Declares that `work_units` of application work (≈ arithmetic inner-loop
+  // operations) were just executed. The simulator charges virtual CPU time;
+  // the threaded runtime ignores it (work already took real time).
+  virtual void Compute(double work_units) = 0;
+
+  // --- SSI services -----------------------------------------------------------
+  // Routed console: the line is emitted by node 0 regardless of where this
+  // task runs.
+  virtual void Print(const std::string& text) = 0;
+  // Cluster-wide process listing.
+  virtual Result<std::vector<proto::PsEntry>> ClusterPs() = 0;
+  // Global name service: publishes a 64-bit value (a global address, a
+  // gpid, ...) under a cluster-wide name. kAlreadyExists if taken.
+  virtual Status PublishName(const std::string& name, std::uint64_t value) = 0;
+  // Resolves a published name; kNotFound until someone publishes it.
+  virtual Result<std::uint64_t> LookupName(const std::string& name) = 0;
+  // Blocking lookup convenience: retries until the name appears (the
+  // rendezvous idiom; non-virtual, built on LookupName).
+  std::uint64_t WaitForName(const std::string& name) {
+    for (;;) {
+      auto v = LookupName(name);
+      if (v.ok()) return *v;
+      DSE_CHECK_MSG(v.status().code() == ErrorCode::kNotFound,
+                    "name lookup failed");
+      Compute(50);  // back off a little between polls
+    }
+  }
+
+  // --- Typed conveniences (non-virtual) --------------------------------------
+  template <typename T>
+  T ReadValue(gmm::GlobalAddr addr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    DSE_CHECK_OK(Read(addr, &v, sizeof(T)));
+    return v;
+  }
+  template <typename T>
+  void WriteValue(gmm::GlobalAddr addr, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DSE_CHECK_OK(Write(addr, &v, sizeof(T)));
+  }
+  template <typename T>
+  void ReadArray(gmm::GlobalAddr addr, T* out, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DSE_CHECK_OK(Read(addr, out, count * sizeof(T)));
+  }
+  template <typename T>
+  void WriteArray(gmm::GlobalAddr addr, const T* src, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DSE_CHECK_OK(Write(addr, src, count * sizeof(T)));
+  }
+};
+
+using TaskFn = std::function<void(Task&)>;
+
+}  // namespace dse

@@ -1,0 +1,72 @@
+#include "dse/threaded_runtime.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "net/inproc.h"
+
+namespace dse {
+
+struct ThreadedRuntime::Fabric {
+  explicit Fabric(int n) : inproc(n) {}
+  net::InProcFabric inproc;
+};
+
+ThreadedRuntime::ThreadedRuntime(ThreadedOptions options)
+    : options_(options) {
+  DSE_CHECK(options_.num_nodes > 0);
+  fabric_ = std::make_unique<Fabric>(options_.num_nodes);
+  for (NodeId i = 0; i < options_.num_nodes; ++i) {
+    NodeHost::Options hopts;
+    hopts.read_cache = options_.read_cache;
+    hopts.pipelined_transfers = options_.pipelined_transfers;
+    hopts.registry = &registry_;
+    if (i == 0) {
+      hopts.console_sink = [this](std::string line) {
+        std::lock_guard<std::mutex> lock(console_mu_);
+        console_.push_back(std::move(line));
+      };
+    }
+    hosts_.push_back(std::make_unique<NodeHost>(
+        &fabric_->inproc.endpoint(i), options_.num_nodes, std::move(hopts)));
+  }
+  for (auto& host : hosts_) host->Start();
+}
+
+ThreadedRuntime::~ThreadedRuntime() {
+  fabric_->inproc.ShutdownAll();
+  hosts_.clear();  // joins service + task threads
+}
+
+std::vector<std::uint8_t> ThreadedRuntime::RunMain(
+    const std::string& main_name, std::vector<std::uint8_t> arg) {
+  {
+    std::lock_guard<std::mutex> lock(console_mu_);
+    console_.clear();
+  }
+  Stopwatch watch;
+  std::vector<std::uint8_t> result =
+      hosts_[0]->RunLocalTask(main_name, std::move(arg));
+  for (auto& host : hosts_) host->WaitTasksDrained();
+  last_run_seconds_ = watch.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(console_mu_);
+    last_console_ = console_;
+  }
+  return result;
+}
+
+const KernelStats& ThreadedRuntime::kernel_stats(NodeId node) const {
+  return hosts_[static_cast<size_t>(node)]->core().stats();
+}
+
+const gmm::GmmHomeStats& ThreadedRuntime::gmm_stats(NodeId node) const {
+  return hosts_[static_cast<size_t>(node)]->core().gmm_stats();
+}
+
+size_t ThreadedRuntime::cache_block_count(NodeId node) const {
+  return hosts_[static_cast<size_t>(node)]->core().cache_block_count();
+}
+
+}  // namespace dse

@@ -1,0 +1,75 @@
+// The real (concurrent) DSE runtime: N kernels in one process, one OS thread
+// per kernel service loop and one per DSE process (task), connected by the
+// in-process fabric. This is the functional runtime — the paper's software
+// organization with the kernel linked into the application as a library —
+// used by examples, tests and the primitive micro-benchmarks.
+//
+// For a cluster of separate UNIX processes over TCP (the paper's actual
+// deployment shape), see process_runtime.h, which hosts one kernel per OS
+// process on the same NodeHost machinery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dse/kernel_core.h"
+#include "dse/node_host.h"
+#include "dse/registry.h"
+
+namespace dse {
+
+struct ThreadedOptions {
+  int num_nodes = 4;
+  // Enables the client read cache + invalidation coherence protocol.
+  bool read_cache = false;
+  // Split-transaction transfers (latency hiding for multi-chunk accesses).
+  bool pipelined_transfers = false;
+};
+
+class ThreadedRuntime {
+ public:
+  explicit ThreadedRuntime(ThreadedOptions options);
+  ~ThreadedRuntime();
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  TaskRegistry& registry() { return registry_; }
+  int num_nodes() const { return options_.num_nodes; }
+
+  // Runs `main_name` (a registered task) as the main DSE process on node 0
+  // and blocks until every task in the cluster has finished. Returns the
+  // main task's result bytes. Callable repeatedly.
+  std::vector<std::uint8_t> RunMain(const std::string& main_name,
+                                    std::vector<std::uint8_t> arg = {});
+
+  // Wall-clock seconds of the most recent RunMain.
+  double last_run_seconds() const { return last_run_seconds_; }
+
+  // Console lines routed to node 0 during the most recent run.
+  const std::vector<std::string>& last_console() const {
+    return last_console_;
+  }
+
+  const KernelStats& kernel_stats(NodeId node) const;
+  const gmm::GmmHomeStats& gmm_stats(NodeId node) const;
+  size_t cache_block_count(NodeId node) const;
+
+ private:
+  struct Fabric;
+  ThreadedOptions options_;
+  TaskRegistry registry_;
+  std::unique_ptr<Fabric> fabric_;
+  std::vector<std::unique_ptr<NodeHost>> hosts_;
+
+  std::mutex console_mu_;
+  std::vector<std::string> console_;
+
+  double last_run_seconds_ = 0;
+  std::vector<std::string> last_console_;
+};
+
+}  // namespace dse

@@ -1,0 +1,93 @@
+#include "dse/trace.h"
+
+#include <cstdio>
+
+namespace dse::trace {
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSend: return "send";
+    case EventKind::kHandle: return "handle";
+    case EventKind::kTaskStart: return "task-start";
+    case EventKind::kTaskExit: return "task-exit";
+  }
+  return "?";
+}
+
+std::string Recorder::ToText() const {
+  std::string out;
+  char line[256];
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kSend || e.kind == EventKind::kHandle) {
+      std::snprintf(line, sizeof(line), "%12.6f  node %-2d %-10s %-14s %s%-2d  %llu B\n",
+                    sim::ToSeconds(e.at), e.node,
+                    std::string(EventKindName(e.kind)).c_str(),
+                    e.label.c_str(),
+                    e.kind == EventKind::kSend ? "-> " : "<- ", e.peer,
+                    static_cast<unsigned long long>(e.value));
+    } else {
+      std::snprintf(line, sizeof(line), "%12.6f  node %-2d %-10s %-14s gpid %s\n",
+                    sim::ToSeconds(e.at), e.node,
+                    std::string(EventKindName(e.kind)).c_str(),
+                    e.label.c_str(), GpidToString(e.value).c_str());
+    }
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+// Escapes a string for JSON (labels are ASCII identifiers, but be safe).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Recorder::ToChromeJson() const {
+  std::string out = "[\n";
+  char buf[512];
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        R"(  {"name": "%s %s", "ph": "i", "ts": %.3f, "pid": %d, "tid": 0, )"
+        R"("s": "p", "args": {"peer": %d, "value": %llu}})",
+        std::string(EventKindName(e.kind)).c_str(),
+        JsonEscape(e.label).c_str(), sim::ToMicros(e.at), e.node, e.peer,
+        static_cast<unsigned long long>(e.value));
+    out += buf;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Status Recorder::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Unavailable("cannot open '" + path + "'");
+  const std::string json = ToChromeJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+}  // namespace dse::trace

@@ -1,0 +1,60 @@
+// Execution tracing for simulated runs.
+//
+// A Recorder attached to SimOptions captures one event per kernel message
+// and per task lifetime transition, with virtual timestamps. Dumps either a
+// human-readable timeline or Chrome trace-event JSON (load in
+// chrome://tracing or https://ui.perfetto.dev to see the cluster timeline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dse/ids.h"
+#include "sim/time.h"
+
+namespace dse::trace {
+
+enum class EventKind : std::uint8_t {
+  kSend = 0,      // message left a node (after software send path)
+  kHandle,        // kernel finished receiving/dispatching a message
+  kTaskStart,     // DSE process began executing
+  kTaskExit,      // DSE process finished
+};
+
+std::string_view EventKindName(EventKind kind);
+
+struct Event {
+  sim::SimTime at = 0;
+  EventKind kind = EventKind::kSend;
+  NodeId node = -1;        // where the event happened
+  NodeId peer = -1;        // send/handle: the other end; else -1
+  std::string label;       // message type or task name
+  std::uint64_t value = 0; // bytes for messages, gpid for tasks
+};
+
+class Recorder {
+ public:
+  void Record(Event event) { events_.push_back(std::move(event)); }
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // One line per event, time-ordered (events arrive already ordered — the
+  // simulator is sequential).
+  std::string ToText() const;
+
+  // Chrome trace-event JSON: one instant event per record, grouped by node
+  // (pid = node, tid = 0). Times are microseconds as the format requires.
+  std::string ToChromeJson() const;
+
+  // Writes ToChromeJson() to a file.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace dse::trace

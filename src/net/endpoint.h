@@ -1,0 +1,47 @@
+// Message-exchange abstraction for the real (non-simulated) runtime.
+//
+// A fabric connects N numbered nodes; each node holds an Endpoint. The DSE
+// kernel is written against this interface only — swapping in-process queues
+// for TCP (or any future interconnect) never touches kernel code. This is
+// the "eliminates dependency on a specific communication protocol" property
+// the paper's reorganization targets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dse::net {
+
+using NodeId = int;
+
+// One delivered message.
+struct Delivery {
+  NodeId src = -1;
+  std::vector<std::uint8_t> payload;
+};
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  virtual NodeId self() const = 0;
+  virtual int world_size() const = 0;
+
+  // Enqueues `payload` for `dst`. Sending to self is allowed (loopback).
+  virtual Status Send(NodeId dst, std::vector<std::uint8_t> payload) = 0;
+
+  // Blocks for the next message; nullopt once the fabric is shut down and
+  // the inbound queue is drained.
+  virtual std::optional<Delivery> Recv() = 0;
+
+  // Non-blocking variant.
+  virtual std::optional<Delivery> TryRecv() = 0;
+
+  // Unblocks all receivers on this endpoint permanently.
+  virtual void Shutdown() = 0;
+};
+
+}  // namespace dse::net

@@ -1,0 +1,58 @@
+#include "net/framing.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace dse::net {
+
+std::vector<std::uint8_t> EncodeFrame(
+    NodeId src, const std::vector<std::uint8_t>& payload) {
+  ByteWriter w(payload.size() + 8);
+  w.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  w.WriteI32(src);
+  w.WriteRaw(payload.data(), payload.size());
+  return w.TakeBuffer();
+}
+
+Status FrameDecoder::Feed(const void* data, size_t n) {
+  if (poisoned_) return ProtocolError("decoder poisoned by earlier error");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+
+  // Peel off as many complete frames as the buffer holds.
+  size_t offset = 0;
+  while (buf_.size() - offset >= kHeaderSize) {
+    ByteReader r(buf_.data() + offset, buf_.size() - offset);
+    std::uint32_t len = 0;
+    std::int32_t src = 0;
+    DSE_CHECK_OK(r.ReadU32(&len));
+    DSE_CHECK_OK(r.ReadI32(&src));
+    if (len > kMaxFramePayload) {
+      poisoned_ = true;
+      return ProtocolError("frame length " + std::to_string(len) +
+                           " exceeds limit");
+    }
+    if (buf_.size() - offset - kHeaderSize < len) break;  // incomplete
+
+    Delivery d;
+    d.src = src;
+    d.payload.assign(buf_.begin() + static_cast<long>(offset + kHeaderSize),
+                     buf_.begin() +
+                         static_cast<long>(offset + kHeaderSize + len));
+    ready_.push_back(std::move(d));
+    offset += kHeaderSize + len;
+  }
+  if (offset > 0) buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(offset));
+  return Status::Ok();
+}
+
+std::optional<Delivery> FrameDecoder::Next() {
+  if (ready_.empty()) return std::nullopt;
+  Delivery d = std::move(ready_.front());
+  ready_.pop_front();
+  return d;
+}
+
+}  // namespace dse::net

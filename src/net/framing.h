@@ -1,0 +1,49 @@
+// Stream framing for TCP transports.
+//
+// Frame layout (little-endian):
+//   u32 payload_length
+//   i32 src_node
+//   u8  payload[payload_length]
+//
+// FrameDecoder is incremental: feed arbitrary byte chunks (as read(2)
+// returns them) and pop complete frames.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "net/endpoint.h"
+
+namespace dse::net {
+
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;  // sanity bound
+
+// Encodes one frame ready for the wire.
+std::vector<std::uint8_t> EncodeFrame(NodeId src,
+                                      const std::vector<std::uint8_t>& payload);
+
+// Incremental decoder. Not thread-safe (one per connection).
+class FrameDecoder {
+ public:
+  // Appends raw bytes from the stream. Returns kProtocolError if a frame
+  // header is malformed (oversized length); the decoder is then poisoned.
+  Status Feed(const void* data, size_t n);
+
+  // Pops the next complete frame, if any.
+  std::optional<Delivery> Next();
+
+  // Bytes buffered but not yet forming a complete frame.
+  size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  static constexpr size_t kHeaderSize = 8;
+
+  std::vector<std::uint8_t> buf_;
+  std::deque<Delivery> ready_;
+  bool poisoned_ = false;
+};
+
+}  // namespace dse::net

@@ -1,0 +1,59 @@
+#include "net/inproc.h"
+
+#include "common/check.h"
+
+namespace dse::net {
+
+class InProcFabric::NodeEndpoint final : public Endpoint {
+ public:
+  NodeEndpoint(InProcFabric* fabric, NodeId id)
+      : fabric_(fabric), id_(id) {}
+
+  NodeId self() const override { return id_; }
+  int world_size() const override { return fabric_->size(); }
+
+  Status Send(NodeId dst, std::vector<std::uint8_t> payload) override {
+    if (dst < 0 || dst >= fabric_->size()) {
+      return InvalidArgument("send to unknown node " + std::to_string(dst));
+    }
+    Delivery d;
+    d.src = id_;
+    d.payload = std::move(payload);
+    if (!fabric_->endpoints_[static_cast<size_t>(dst)]->inbox_.Push(
+            std::move(d))) {
+      return Unavailable("destination endpoint shut down");
+    }
+    return Status::Ok();
+  }
+
+  std::optional<Delivery> Recv() override { return inbox_.Pop(); }
+  std::optional<Delivery> TryRecv() override { return inbox_.TryPop(); }
+  void Shutdown() override { inbox_.Close(); }
+
+ private:
+  friend class InProcFabric;
+  InProcFabric* fabric_;
+  NodeId id_;
+  BlockingQueue<Delivery> inbox_;
+};
+
+InProcFabric::InProcFabric(int num_nodes) {
+  DSE_CHECK(num_nodes > 0);
+  endpoints_.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    endpoints_.push_back(std::make_unique<NodeEndpoint>(this, i));
+  }
+}
+
+InProcFabric::~InProcFabric() { ShutdownAll(); }
+
+Endpoint& InProcFabric::endpoint(NodeId id) {
+  DSE_CHECK(id >= 0 && id < size());
+  return *endpoints_[static_cast<size_t>(id)];
+}
+
+void InProcFabric::ShutdownAll() {
+  for (auto& ep : endpoints_) ep->Shutdown();
+}
+
+}  // namespace dse::net

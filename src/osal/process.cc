@@ -1,0 +1,79 @@
+#include "osal/process.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dse::osal {
+
+ChildProcess::~ChildProcess() {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+  }
+}
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept : pid_(other.pid_) {
+  other.pid_ = -1;
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    this->~ChildProcess();
+    pid_ = other.pid_;
+    other.pid_ = -1;
+  }
+  return *this;
+}
+
+Result<ChildProcess> ChildProcess::Spawn(
+    const std::vector<std::string>& argv) {
+  if (argv.empty()) return InvalidArgument("empty argv");
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return ResourceExhausted(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    // Exec failed; exit without running atexit handlers of the parent image.
+    _exit(127);
+  }
+  ChildProcess child;
+  child.pid_ = pid;
+  return child;
+}
+
+Result<int> ChildProcess::Wait() {
+  if (pid_ <= 0) return FailedPrecondition("no child");
+  int status = 0;
+  for (;;) {
+    if (::waitpid(pid_, &status, 0) >= 0) break;
+    if (errno == EINTR) continue;
+    return Internal(std::string("waitpid: ") + std::strerror(errno));
+  }
+  pid_ = -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return Internal("child neither exited nor signalled");
+}
+
+Status ChildProcess::Terminate() {
+  if (pid_ <= 0) return FailedPrecondition("no child");
+  if (::kill(pid_, SIGTERM) != 0) {
+    return Internal(std::string("kill: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dse::osal

@@ -1,0 +1,41 @@
+// Child-process management for the multi-process (TCP) cluster launcher.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dse::osal {
+
+// A spawned child process (fork/exec).
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  ~ChildProcess();
+
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  // Spawns `argv[0]` with the given arguments (argv[0] is the executable
+  // path; PATH is not searched).
+  static Result<ChildProcess> Spawn(const std::vector<std::string>& argv);
+
+  // Waits for exit; returns the exit code (or -signo for signal death).
+  Result<int> Wait();
+
+  // Sends SIGTERM.
+  Status Terminate();
+
+  pid_t pid() const { return pid_; }
+  bool running() const { return pid_ > 0; }
+
+ private:
+  pid_t pid_ = -1;
+};
+
+}  // namespace dse::osal

@@ -1,0 +1,93 @@
+#include "osal/signal_driver.h"
+
+#include <signal.h>
+#include <time.h>
+
+#include <cerrno>
+
+#include "common/check.h"
+
+namespace dse::osal {
+namespace {
+
+std::atomic<SignalSemaphore*> g_doorbell{nullptr};
+std::atomic<std::uint64_t> g_deliveries{0};
+struct sigaction g_previous;
+
+void SigioHandler(int /*signo*/) {
+  // Async-signal-safe path only: one atomic load, one sem_post.
+  SignalSemaphore* bell = g_doorbell.load(std::memory_order_acquire);
+  if (bell != nullptr) {
+    g_deliveries.fetch_add(1, std::memory_order_relaxed);
+    bell->Post();
+  }
+}
+
+}  // namespace
+
+SignalSemaphore::SignalSemaphore() {
+  DSE_CHECK(sem_init(&sem_, /*pshared=*/0, 0) == 0);
+}
+
+SignalSemaphore::~SignalSemaphore() { sem_destroy(&sem_); }
+
+void SignalSemaphore::Post() { sem_post(&sem_); }
+
+void SignalSemaphore::Wait() {
+  while (sem_wait(&sem_) != 0) {
+    DSE_CHECK(errno == EINTR);
+  }
+}
+
+bool SignalSemaphore::TryWait() {
+  for (;;) {
+    if (sem_trywait(&sem_) == 0) return true;
+    if (errno == EAGAIN) return false;
+    DSE_CHECK(errno == EINTR);
+  }
+}
+
+bool SignalSemaphore::TimedWait(std::int64_t micros) {
+  timespec ts{};
+  DSE_CHECK(clock_gettime(CLOCK_REALTIME, &ts) == 0);
+  ts.tv_sec += micros / 1000000;
+  ts.tv_nsec += (micros % 1000000) * 1000;
+  if (ts.tv_nsec >= 1000000000L) {
+    ts.tv_sec += 1;
+    ts.tv_nsec -= 1000000000L;
+  }
+  for (;;) {
+    if (sem_timedwait(&sem_, &ts) == 0) return true;
+    if (errno == ETIMEDOUT) return false;
+    DSE_CHECK(errno == EINTR);
+  }
+}
+
+Status SignalDriver::Install(SignalSemaphore* doorbell) {
+  SignalSemaphore* expected = nullptr;
+  if (!g_doorbell.compare_exchange_strong(expected, doorbell,
+                                          std::memory_order_acq_rel)) {
+    return FailedPrecondition("a SignalDriver is already installed");
+  }
+  struct sigaction sa{};
+  sa.sa_handler = &SigioHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (sigaction(SIGIO, &sa, &g_previous) != 0) {
+    g_doorbell.store(nullptr, std::memory_order_release);
+    return Internal("sigaction(SIGIO) failed");
+  }
+  return Status::Ok();
+}
+
+void SignalDriver::Uninstall() {
+  if (g_doorbell.load(std::memory_order_acquire) == nullptr) return;
+  sigaction(SIGIO, &g_previous, nullptr);
+  g_doorbell.store(nullptr, std::memory_order_release);
+}
+
+std::uint64_t SignalDriver::DeliveryCount() {
+  return g_deliveries.load(std::memory_order_relaxed);
+}
+
+}  // namespace dse::osal

@@ -1,0 +1,65 @@
+// Asynchronous-I/O (SIGIO) kernel-entry mechanism.
+//
+// The paper's DSE switches context from the application to the in-process
+// DSE kernel via "asynchronous I/O mode interruption": sockets are put in
+// O_ASYNC mode so message arrival raises SIGIO even while the application
+// computes. Running arbitrary kernel code inside a signal handler is not
+// async-signal-safe, so this driver does the safe modern rendering of the
+// same mechanism: the SIGIO handler performs exactly one sem_post (which is
+// async-signal-safe) on a semaphore the kernel's service path waits on. The
+// kernel is thereby *event-driven by the interrupt* — no polling — while its
+// actual code runs in a well-defined context.
+//
+// Process-global: SIGIO has one handler per process. All interested parties
+// share the singleton and wait on their registered semaphores.
+#pragma once
+
+#include <semaphore.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace dse::osal {
+
+// Counting wakeup semaphore usable from a signal handler.
+class SignalSemaphore {
+ public:
+  SignalSemaphore();
+  ~SignalSemaphore();
+  SignalSemaphore(const SignalSemaphore&) = delete;
+  SignalSemaphore& operator=(const SignalSemaphore&) = delete;
+
+  // Async-signal-safe.
+  void Post();
+
+  // Blocks until posted.
+  void Wait();
+
+  // Returns true if a post was consumed.
+  bool TryWait();
+
+  // Waits up to `micros`; false on timeout.
+  bool TimedWait(std::int64_t micros);
+
+ private:
+  sem_t sem_;
+};
+
+// Installs the process-wide SIGIO handler and fans wakeups out to one
+// registered semaphore (the DSE kernel's doorbell).
+class SignalDriver {
+ public:
+  // Installs the SIGIO handler targeting `doorbell`. Only one driver may be
+  // active per process; returns kFailedPrecondition otherwise.
+  static Status Install(SignalSemaphore* doorbell);
+
+  // Restores the previous disposition.
+  static void Uninstall();
+
+  // Number of SIGIO deliveries observed (stats/tests).
+  static std::uint64_t DeliveryCount();
+};
+
+}  // namespace dse::osal

@@ -1,0 +1,182 @@
+#include "osal/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dse::osal {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpSocket> TcpSocket::Connect(const std::string& host,
+                                     std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Unavailable(Errno("socket"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgument("bad address '" + host + "'");
+  }
+
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    return Unavailable(Errno("connect"));
+  }
+  return TcpSocket(std::move(fd));
+}
+
+Status TcpSocket::SendAll(const void* data, size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd_.get(), p + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(Errno("send"));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+Status TcpSocket::RecvAll(void* data, size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_.get(), p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(Errno("recv"));
+    }
+    if (r == 0) {
+      if (got == 0) return Unavailable("peer closed");
+      return ProtocolError("peer closed mid-message");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> TcpSocket::RecvSome(void* data, size_t n) {
+  for (;;) {
+    const ssize_t r = ::recv(fd_.get(), data, n, 0);
+    if (r >= 0) return static_cast<size_t>(r);
+    if (errno == EINTR) continue;
+    return Unavailable(Errno("recv"));
+  }
+}
+
+Status TcpSocket::SetNoDelay(bool on) {
+  const int flag = on ? 1 : 0;
+  if (::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &flag,
+                   sizeof(flag)) != 0) {
+    return Internal(Errno("setsockopt(TCP_NODELAY)"));
+  }
+  return Status::Ok();
+}
+
+Status TcpSocket::EnableSigio() {
+  if (::fcntl(fd_.get(), F_SETOWN, ::getpid()) != 0) {
+    return Internal(Errno("fcntl(F_SETOWN)"));
+  }
+  const int flags = ::fcntl(fd_.get(), F_GETFL);
+  if (flags < 0) return Internal(Errno("fcntl(F_GETFL)"));
+  if (::fcntl(fd_.get(), F_SETFL, flags | O_ASYNC) != 0) {
+    return Internal(Errno("fcntl(F_SETFL, O_ASYNC)"));
+  }
+  return Status::Ok();
+}
+
+void TcpSocket::ShutdownBoth() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Result<TcpListener> TcpListener::Listen(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Unavailable(Errno("socket"));
+
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Unavailable(Errno("bind"));
+  }
+  if (::listen(fd.get(), backlog) != 0) return Unavailable(Errno("listen"));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Internal(Errno("getsockname"));
+  }
+
+  TcpListener l;
+  l.fd_ = std::move(fd);
+  l.port_ = ntohs(bound.sin_port);
+  return l;
+}
+
+Result<TcpSocket> TcpListener::Accept() {
+  for (;;) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) return TcpSocket(Fd(fd));
+    if (errno == EINTR) continue;
+    return Unavailable(Errno("accept"));
+  }
+}
+
+Result<std::pair<TcpSocket, TcpSocket>> StreamPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Unavailable(Errno("socketpair"));
+  }
+  return std::make_pair(TcpSocket(Fd(fds[0])), TcpSocket(Fd(fds[1])));
+}
+
+}  // namespace dse::osal

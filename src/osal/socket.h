@@ -1,0 +1,99 @@
+// RAII TCP socket wrappers over POSIX.
+//
+// This is the runtime's portability layer for networking: everything above
+// it (framing, transports, the DSE kernel) sees only these types, mirroring
+// how the paper isolates DSE from any specific protocol stack. Only
+// plain-POSIX calls are used (socket/bind/listen/accept/connect/read/write,
+// fcntl) so the layer ports across UNIX systems unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dse::osal {
+
+// Owning file-descriptor handle.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release();
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// A connected stream socket.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(Fd fd) : fd_(std::move(fd)) {}
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  // Connects to host:port (blocking). `host` is a dotted quad or "localhost".
+  static Result<TcpSocket> Connect(const std::string& host, std::uint16_t port);
+
+  // Writes all `n` bytes (retrying short writes / EINTR).
+  Status SendAll(const void* data, size_t n);
+
+  // Reads exactly `n` bytes. kUnavailable on orderly peer close at a frame
+  // boundary (0 bytes read so far), kProtocolError on mid-buffer close.
+  Status RecvAll(void* data, size_t n);
+
+  // Reads up to `n` bytes; returns count (0 = orderly close).
+  Result<size_t> RecvSome(void* data, size_t n);
+
+  // Disables Nagle (the runtime does its own batching; DSM round-trips are
+  // latency-sensitive).
+  Status SetNoDelay(bool on);
+
+  // Enables O_ASYNC + F_SETOWN so the kernel raises SIGIO on arrival — the
+  // paper's asynchronous-I/O interruption mechanism.
+  Status EnableSigio();
+
+  // shutdown(SHUT_RDWR): wakes any thread blocked in recv on this socket
+  // (close alone does not guarantee that). Call before Close when another
+  // thread may be reading.
+  void ShutdownBoth();
+
+  void Close() { fd_.Reset(); }
+
+ private:
+  Fd fd_;
+};
+
+// A listening socket bound to 127.0.0.1:<port> (port 0 = ephemeral).
+class TcpListener {
+ public:
+  static Result<TcpListener> Listen(std::uint16_t port, int backlog = 16);
+
+  // Blocks for one inbound connection.
+  Result<TcpSocket> Accept();
+
+  std::uint16_t port() const { return port_; }
+  bool valid() const { return fd_.valid(); }
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+// Socketpair-based in-host duplex stream (unit tests, local IPC).
+Result<std::pair<TcpSocket, TcpSocket>> StreamPair();
+
+}  // namespace dse::osal

@@ -1,0 +1,142 @@
+#include "platform/profile.h"
+
+#include "common/check.h"
+
+namespace dse::platform {
+namespace {
+
+Profile MakeSunOs() {
+  Profile p;
+  p.id = "sunos";
+  p.machine = "Sun SparcStation 10";
+  p.os = "SunOS 4.1.4-JL";
+  p.physical_machines = 6;
+  p.ns_per_work_unit = 50.0;           // ~20 MFLOPS sustained
+  // ~8400 op-equivalents of socket + TCP/IP path at 50 ns each.
+  p.send_overhead = sim::Micros(420);
+  p.recv_overhead = sim::Micros(420);
+  p.copy_ns_per_byte = 25.0;
+  p.signal_dispatch = sim::Micros(120);
+  p.legacy_ipc_hop = sim::Micros(600);
+  p.net.bandwidth_bps = 10e6;          // shared 10BASE-T segment
+  p.net.backoff_slot = sim::Micros(51.2);
+  return p;
+}
+
+Profile MakeAix() {
+  Profile p;
+  p.id = "aix";
+  p.machine = "IBM RS/6000 397";
+  p.os = "AIX 4.2.1";
+  p.physical_machines = 6;
+  p.ns_per_work_unit = 12.0;           // ~80 MFLOPS sustained
+  // Protocol processing is CPU work: the same ~8400-op stack traversal as
+  // the Sparc runs ~4x faster here (AIX 4's stack is a little heavier,
+  // hence the 1.3x factor).
+  p.send_overhead = sim::Micros(130);
+  p.recv_overhead = sim::Micros(130);
+  p.copy_ns_per_byte = 7.0;
+  p.signal_dispatch = sim::Micros(40);
+  p.legacy_ipc_hop = sim::Micros(200);
+  p.net.bandwidth_bps = 100e6;         // the RS/6000 397's 10/100 adapters
+  p.net.backoff_slot = sim::Micros(5.12);
+  return p;
+}
+
+Profile MakeLinux() {
+  Profile p;
+  p.id = "linux";
+  p.machine = "PC-AT (Pentium II 400 MHz)";
+  p.os = "GNU/Linux (kernel 2.0.36)";
+  p.physical_machines = 6;
+  p.ns_per_work_unit = 6.0;            // ~160 MFLOPS sustained
+  // Same stack work at 8x the Sparc's clock (kernel 2.0 is less tuned than
+  // AIX's, hence the 1.5x factor).
+  p.send_overhead = sim::Micros(75);
+  p.recv_overhead = sim::Micros(75);
+  p.copy_ns_per_byte = 4.0;
+  p.signal_dispatch = sim::Micros(25);
+  p.legacy_ipc_hop = sim::Micros(120);
+  p.net.bandwidth_bps = 100e6;         // the PC lab runs 100BASE-TX
+  p.net.backoff_slot = sim::Micros(5.12);
+  return p;
+}
+
+Profile MakeSolaris() {
+  Profile p;
+  p.id = "solaris";
+  p.machine = "Sun Ultra 5 (UltraSPARC-IIi)";
+  p.os = "Solaris 2.6";
+  p.physical_machines = 6;
+  p.ns_per_work_unit = 9.0;            // ~110 MFLOPS sustained
+  // Same protocol work on the faster CPU; Solaris 2.6's STREAMS-based stack
+  // is a little heavier than AIX's.
+  p.send_overhead = sim::Micros(110);
+  p.recv_overhead = sim::Micros(110);
+  p.copy_ns_per_byte = 5.0;
+  p.signal_dispatch = sim::Micros(35);
+  p.legacy_ipc_hop = sim::Micros(170);
+  p.net.bandwidth_bps = 100e6;         // lab-standard 100BASE-TX by then
+  p.net.backoff_slot = sim::Micros(5.12);
+  return p;
+}
+
+}  // namespace
+
+const Profile& SunOsSparc() {
+  static const Profile p = MakeSunOs();
+  return p;
+}
+
+const Profile& AixRs6000() {
+  static const Profile p = MakeAix();
+  return p;
+}
+
+const Profile& LinuxPentiumII() {
+  static const Profile p = MakeLinux();
+  return p;
+}
+
+const std::vector<Profile>& AllProfiles() {
+  static const std::vector<Profile> all = {SunOsSparc(), AixRs6000(),
+                                           LinuxPentiumII()};
+  return all;
+}
+
+const Profile& SolarisUltra() {
+  static const Profile p = MakeSolaris();
+  return p;
+}
+
+const Profile& ProfileById(const std::string& id) {
+  for (const Profile& p : AllProfiles()) {
+    if (p.id == id) return p;
+  }
+  if (id == "solaris") return SolarisUltra();
+  DSE_CHECK_MSG(false, ("unknown platform id: " + id).c_str());
+}
+
+sim::SimTime ComputeTime(const Profile& p, double work_units,
+                         int kernels_on_machine) {
+  DSE_CHECK(work_units >= 0 && kernels_on_machine >= 1);
+  return static_cast<sim::SimTime>(work_units * p.ns_per_work_unit *
+                                   kernels_on_machine);
+}
+
+sim::SimTime SendCost(const Profile& p, std::uint64_t payload_bytes,
+                      int kernels_on_machine) {
+  const double base = static_cast<double>(p.send_overhead) +
+                      static_cast<double>(payload_bytes) * p.copy_ns_per_byte;
+  return static_cast<sim::SimTime>(base * kernels_on_machine);
+}
+
+sim::SimTime RecvCost(const Profile& p, std::uint64_t payload_bytes,
+                      int kernels_on_machine) {
+  const double base = static_cast<double>(p.recv_overhead) +
+                      static_cast<double>(p.signal_dispatch) +
+                      static_cast<double>(payload_bytes) * p.copy_ns_per_byte;
+  return static_cast<sim::SimTime>(base * kernels_on_machine);
+}
+
+}  // namespace dse::platform

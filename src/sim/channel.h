@@ -1,0 +1,67 @@
+// FIFO channel between simulated processes (and scheduler-context events).
+//
+// Push never blocks (unbounded); Pop parks the calling process until an item
+// arrives. Multiple consumers are served in blocking order. Because the
+// simulator runs one thread at a time, the channel needs no locks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace dse::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator* sim) : sim_(sim) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Enqueues an item; wakes the longest-waiting consumer, if any. Callable
+  // from scheduler context (events) or from any process.
+  void Push(T item) {
+    items_.push_back(std::move(item));
+    if (!waiters_.empty()) {
+      const std::uint64_t pid = waiters_.front();
+      waiters_.pop_front();
+      sim_->Unblock(pid);
+    }
+  }
+
+  // Blocks the calling process until an item is available.
+  T Pop(Context& ctx) {
+    while (items_.empty()) {
+      waiters_.push_back(ctx.pid());
+      ctx.Block();
+      // Another consumer may have raced us for the item at the same virtual
+      // time; loop and re-check.
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Non-blocking pop (usable from any context).
+  std::optional<T> TryPop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::deque<std::uint64_t> waiters_;
+};
+
+}  // namespace dse::sim

@@ -1,0 +1,166 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace dse::sim {
+
+SimTime Context::Now() const { return sim_->Now(); }
+
+void Context::Sleep(SimTime dt) {
+  DSE_CHECK(dt >= 0);
+  WaitUntil(sim_->Now() + dt);
+}
+
+void Context::WaitUntil(SimTime t) {
+  Simulator& s = *sim_;
+  DSE_CHECK_MSG(s.current_ != nullptr && s.current_->pid == pid_,
+                "WaitUntil called off-process");
+  if (t <= s.Now()) return;
+  Simulator::Process& p = *s.current_;
+  p.state = Simulator::ProcState::kSleeping;
+  s.ScheduleResume(p, t);
+  s.YieldToScheduler();
+}
+
+void Context::Block() {
+  Simulator& s = *sim_;
+  DSE_CHECK_MSG(s.current_ != nullptr && s.current_->pid == pid_,
+                "Block called off-process");
+  Simulator::Process& p = *s.current_;
+  if (p.unblock_permits > 0) {
+    --p.unblock_permits;
+    return;
+  }
+  p.state = Simulator::ProcState::kBlocked;
+  s.YieldToScheduler();
+}
+
+Simulator::Simulator() = default;
+
+Simulator::~Simulator() {
+  // Wake any still-parked process threads so they can exit: destroying a
+  // simulator with live processes is only legal in tests/error paths; guest
+  // bodies are expected to have finished. We simply detach nothing — join
+  // all threads after releasing them with a poison resume is unsafe for
+  // arbitrary guest code, so we require all processes finished.
+  for (auto& p : processes_) {
+    DSE_CHECK_MSG(p->state == ProcState::kFinished,
+                  "Simulator destroyed with live process (guest code must "
+                  "run to completion before teardown)");
+    if (p->thread.joinable()) p->thread.join();
+  }
+}
+
+void Simulator::At(SimTime t, std::function<void()> fn) {
+  DSE_CHECK_MSG(t >= now_, "event scheduled in the past");
+  events_.push(Event{t, next_event_seq_++, std::move(fn)});
+}
+
+void Simulator::After(SimTime dt, std::function<void()> fn) {
+  DSE_CHECK(dt >= 0);
+  At(now_ + dt, std::move(fn));
+}
+
+std::uint64_t Simulator::Spawn(std::string name, ProcessBody body,
+                               SimTime start) {
+  auto proc = std::make_unique<Process>();
+  Process& p = *proc;
+  p.pid = next_pid_++;
+  p.name = std::move(name);
+  p.body = std::move(body);
+  processes_.push_back(std::move(proc));
+  ++live_processes_;
+
+  p.thread = std::thread([this, &p] { ProcessThreadMain(p); });
+
+  const SimTime t = start < 0 ? now_ : start;
+  ScheduleResume(p, t);
+  return p.pid;
+}
+
+void Simulator::Unblock(std::uint64_t pid) {
+  for (auto& p : processes_) {
+    if (p->pid != pid) continue;
+    if (p->state == ProcState::kBlocked) {
+      ScheduleResume(*p, now_);
+    } else if (p->state != ProcState::kFinished) {
+      ++p->unblock_permits;
+    }
+    return;
+  }
+  DSE_CHECK_MSG(false, "Unblock of unknown pid");
+}
+
+SimTime Simulator::RunUntilIdle() {
+  DSE_CHECK_MSG(current_ == nullptr, "RunUntilIdle re-entered");
+  while (!events_.empty()) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    DSE_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    ev.fn();
+  }
+  if (live_processes_ > 0) {
+    std::string names;
+    for (const auto& n : BlockedProcessNames()) {
+      names += n;
+      names += ' ';
+    }
+    DSE_CHECK_MSG(false,
+                  ("simulation deadlock: blocked processes remain: " + names)
+                      .c_str());
+  }
+  return now_;
+}
+
+std::vector<std::string> Simulator::BlockedProcessNames() const {
+  std::vector<std::string> names;
+  for (const auto& p : processes_) {
+    if (p->state == ProcState::kBlocked) names.push_back(p->name);
+  }
+  return names;
+}
+
+void Simulator::Resume(Process& p) {
+  DSE_CHECK(current_ == nullptr);
+  DSE_CHECK(p.state != ProcState::kFinished);
+  p.state = ProcState::kRunning;
+  current_ = &p;
+  p.run.release();        // let the process thread run...
+  sched_sem_.acquire();   // ...and wait until it yields or finishes
+  DSE_CHECK(current_ == nullptr || current_ == &p);
+  current_ = nullptr;
+  if (p.state == ProcState::kFinished && p.thread.joinable()) {
+    p.thread.join();
+  }
+}
+
+void Simulator::YieldToScheduler() {
+  Process& p = *current_;
+  current_ = nullptr;
+  sched_sem_.release();
+  p.run.acquire();
+  current_ = &p;
+}
+
+void Simulator::ScheduleResume(Process& p, SimTime t) {
+  p.state = ProcState::kReady;
+  At(t, [this, &p] { Resume(p); });
+}
+
+void Simulator::ProcessThreadMain(Process& p) {
+  p.run.acquire();  // wait for first Resume
+  {
+    Context ctx(this, p.pid);
+    p.body(ctx);
+  }
+  p.body = nullptr;  // release captures while still deterministic
+  p.state = ProcState::kFinished;
+  --live_processes_;
+  current_ = nullptr;
+  sched_sem_.release();
+}
+
+}  // namespace dse::sim

@@ -1,0 +1,157 @@
+// Discrete-event simulator with thread-backed cooperative processes.
+//
+// Why threads: application code (Gauss-Seidel, Othello, ...) is written in
+// ordinary blocking style against the dse::Runtime API and must run unchanged
+// on both the real threaded runtime and this simulator. Each simulated
+// process is an OS thread, but the scheduler runs exactly ONE of them at a
+// time, handing control back and forth with binary semaphores. The
+// simulation is therefore sequential and — with a fixed seed — fully
+// deterministic, while the guest code keeps its natural blocking structure.
+//
+// Invariant: at any instant either the scheduler thread or exactly one
+// process thread is runnable. All simulator state (event queue, process
+// table, channels, guest global memory) is protected by that invariant, not
+// by locks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/time.h"
+
+namespace dse::sim {
+
+class Simulator;
+
+// Handle passed to process bodies; all blocking operations go through it.
+class Context {
+ public:
+  // Current virtual time.
+  SimTime Now() const;
+
+  // Advances this process's virtual clock by `dt` (models computation).
+  void Sleep(SimTime dt);
+
+  // Sleeps until absolute virtual time `t` (no-op if t <= Now()).
+  void WaitUntil(SimTime t);
+
+  // Parks the process until another party calls Simulator::Unblock on it.
+  // If an Unblock permit is already pending, consumes it and returns at once.
+  void Block();
+
+  // Simulator this process runs in (for spawning children, Unblock, etc.).
+  Simulator& simulator() const { return *sim_; }
+
+  // The process's own id.
+  std::uint64_t pid() const { return pid_; }
+
+ private:
+  friend class Simulator;
+  Context(Simulator* sim, std::uint64_t pid) : sim_(sim), pid_(pid) {}
+
+  Simulator* sim_;
+  std::uint64_t pid_;
+};
+
+using ProcessBody = std::function<void(Context&)>;
+
+// The simulator: event queue + process scheduler. Not thread-safe from the
+// outside; drive it from a single thread via Run()/RunUntilIdle().
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Schedules `fn` to run in scheduler context at absolute time `t`
+  // (>= Now()). Events at equal times run in scheduling order.
+  void At(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` after a delay from Now().
+  void After(SimTime dt, std::function<void()> fn);
+
+  // Creates a process whose body starts executing at time `start` (default:
+  // now). Callable from scheduler or process context. Returns the pid.
+  std::uint64_t Spawn(std::string name, ProcessBody body, SimTime start = -1);
+
+  // Grants a wake-up permit to a blocked (or about-to-block) process. The
+  // resume happens via the event queue at the current time.
+  void Unblock(std::uint64_t pid);
+
+  // Runs until the event queue is empty. Returns the final virtual time.
+  // Aborts if processes remain blocked with nothing to wake them (deadlock).
+  SimTime RunUntilIdle();
+
+  SimTime Now() const { return now_; }
+
+  // Number of processes that have not yet finished.
+  int live_process_count() const { return live_processes_; }
+
+  // Names of processes currently parked in Block() (deadlock diagnostics).
+  std::vector<std::string> BlockedProcessNames() const;
+
+ private:
+  friend class Context;
+
+  enum class ProcState : std::uint8_t {
+    kCreated,   // thread exists, body not started
+    kReady,     // wake event queued
+    kRunning,   // currently executing
+    kBlocked,   // parked in Block(), waiting for Unblock
+    kSleeping,  // parked in WaitUntil, wake event queued
+    kFinished,
+  };
+
+  struct Process {
+    std::uint64_t pid;
+    std::string name;
+    ProcessBody body;
+    ProcState state = ProcState::kCreated;
+    int unblock_permits = 0;
+    std::binary_semaphore run{0};  // scheduler -> process handoff
+    std::thread thread;
+  };
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break at equal times
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Transfers control to `p` until it yields or finishes.
+  void Resume(Process& p);
+
+  // Called on a process thread: hand control back to the scheduler.
+  void YieldToScheduler();
+
+  // Schedules an event that resumes `p`.
+  void ScheduleResume(Process& p, SimTime t);
+
+  void ProcessThreadMain(Process& p);
+
+  SimTime now_ = 0;
+  std::uint64_t next_event_seq_ = 0;
+  std::uint64_t next_pid_ = 1;
+  int live_processes_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::binary_semaphore sched_sem_{0};  // process -> scheduler handoff
+  Process* current_ = nullptr;          // set while a process runs
+};
+
+}  // namespace dse::sim

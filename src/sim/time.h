@@ -1,0 +1,30 @@
+// Virtual time for the discrete-event simulator.
+//
+// Time is integer nanoseconds. Integer ticks (rather than floating seconds)
+// keep event ordering exact and replays bit-identical across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace dse::sim {
+
+using SimTime = std::int64_t;  // nanoseconds since simulation start
+
+inline constexpr SimTime kNever = INT64_MAX;
+
+constexpr SimTime Nanos(std::int64_t n) { return n; }
+constexpr SimTime Micros(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+constexpr SimTime Millis(double ms) {
+  return static_cast<SimTime>(ms * 1e6);
+}
+constexpr SimTime Seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) * 1e-6; }
+constexpr double ToMicros(SimTime t) { return static_cast<double>(t) * 1e-3; }
+
+}  // namespace dse::sim

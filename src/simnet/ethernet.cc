@@ -1,0 +1,98 @@
+#include "simnet/ethernet.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dse::simnet {
+
+std::uint64_t FragmentCount(const MediumParams& p,
+                            std::uint64_t payload_bytes) {
+  const auto mss = static_cast<std::uint64_t>(p.max_frame_payload);
+  if (payload_bytes == 0) return 1;  // control frame still occupies the wire
+  return (payload_bytes + mss - 1) / mss;
+}
+
+sim::SimTime WireTime(const MediumParams& p, std::uint64_t payload_bytes) {
+  const std::uint64_t frags = FragmentCount(p, payload_bytes);
+  const std::uint64_t wire_bytes =
+      payload_bytes + frags * static_cast<std::uint64_t>(p.frame_overhead_bytes);
+  const double seconds =
+      static_cast<double>(wire_bytes) * 8.0 / p.bandwidth_bps;
+  return sim::Seconds(seconds);
+}
+
+SharedBusMedium::SharedBusMedium(sim::Simulator* sim, MediumParams params,
+                                 std::uint64_t seed)
+    : sim_(sim), params_(params), rng_(seed) {}
+
+void SharedBusMedium::Transmit(int src_node, int dst_node,
+                               std::uint64_t payload_bytes,
+                               DeliveryFn on_delivered) {
+  (void)src_node;
+  (void)dst_node;
+  const sim::SimTime now = sim_->Now();
+  const sim::SimTime tx = WireTime(params_, payload_bytes);
+
+  sim::SimTime start = std::max(now, busy_until_);
+  if (start > now) {
+    // Carrier was sensed busy: this is a contended start. Model CSMA/CD by
+    // occasionally charging an exponential-backoff penalty whose exponent
+    // tracks how bursty the current contention run is.
+    consecutive_contended_ = std::min(consecutive_contended_ + 1,
+                                      params_.max_backoff_exponent);
+    if (rng_.NextBool(params_.contention_collision_p)) {
+      ++stats_.collisions;
+      const std::uint64_t slots =
+          rng_.NextBelow(1ULL << consecutive_contended_) + 1;
+      start += static_cast<sim::SimTime>(slots) * params_.backoff_slot;
+    }
+    stats_.queueing_time += start - now;
+  } else {
+    consecutive_contended_ = 0;
+  }
+
+  busy_until_ = start + tx;
+
+  ++stats_.frames;
+  stats_.fragments += FragmentCount(params_, payload_bytes);
+  stats_.payload_bytes += payload_bytes;
+  stats_.wire_bytes +=
+      payload_bytes + FragmentCount(params_, payload_bytes) *
+                          static_cast<std::uint64_t>(params_.frame_overhead_bytes);
+  stats_.busy_time += tx;
+
+  sim_->At(busy_until_ + params_.propagation, std::move(on_delivered));
+}
+
+SwitchedMedium::SwitchedMedium(sim::Simulator* sim, MediumParams params,
+                               int num_nodes)
+    : sim_(sim),
+      params_(params),
+      port_busy_until_(static_cast<size_t>(num_nodes), 0) {}
+
+void SwitchedMedium::Transmit(int src_node, int dst_node,
+                              std::uint64_t payload_bytes,
+                              DeliveryFn on_delivered) {
+  (void)dst_node;
+  DSE_CHECK(src_node >= 0 &&
+            static_cast<size_t>(src_node) < port_busy_until_.size());
+  const sim::SimTime now = sim_->Now();
+  const sim::SimTime tx = WireTime(params_, payload_bytes);
+  sim::SimTime& busy = port_busy_until_[static_cast<size_t>(src_node)];
+
+  const sim::SimTime start = std::max(now, busy);
+  stats_.queueing_time += start - now;
+  busy = start + tx;
+
+  ++stats_.frames;
+  stats_.fragments += FragmentCount(params_, payload_bytes);
+  stats_.payload_bytes += payload_bytes;
+  stats_.wire_bytes +=
+      payload_bytes + FragmentCount(params_, payload_bytes) *
+                          static_cast<std::uint64_t>(params_.frame_overhead_bytes);
+  stats_.busy_time += tx;
+
+  sim_->At(busy + params_.propagation, std::move(on_delivered));
+}
+
+}  // namespace dse::simnet

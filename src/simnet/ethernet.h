@@ -1,0 +1,106 @@
+// Simulated interconnect media.
+//
+// The paper's testbeds hang ~6 workstations off bus-type Ethernet and
+// explicitly blame packet collisions for the performance decline at high
+// communication frequency (Knight's Tour discussion). This model reproduces
+// that mechanism: a single shared medium with FIFO acquisition, plus a
+// seeded stochastic CSMA/CD backoff penalty whose likelihood grows with
+// contention. A switched (full-duplex, per-destination queue) medium is also
+// provided for ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace dse::simnet {
+
+struct MediumParams {
+  double bandwidth_bps = 10e6;      // raw medium bandwidth
+  int frame_overhead_bytes = 58;    // Ethernet+IP+TCP headers per frame
+  int max_frame_payload = 1460;     // MSS; larger sends are fragmented
+  sim::SimTime propagation = sim::Micros(5);   // end-to-end propagation
+  sim::SimTime backoff_slot = sim::Micros(51.2);  // 10 Mb/s slot time
+  double contention_collision_p = 0.35;  // P(collision) per contended start
+  int max_backoff_exponent = 6;
+};
+
+struct MediumStats {
+  std::uint64_t frames = 0;
+  std::uint64_t fragments = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t collisions = 0;
+  sim::SimTime busy_time = 0;       // cumulative transmission time
+  sim::SimTime queueing_time = 0;   // cumulative wait-for-medium time
+};
+
+// Abstract medium: delivers a frame of `payload_bytes` from src to dst and
+// invokes `on_delivered` (in scheduler context) when the last bit arrives.
+class Medium {
+ public:
+  virtual ~Medium() = default;
+
+  using DeliveryFn = std::function<void()>;
+
+  // Begins transmission at the current virtual time. The callback fires at
+  // the (modelled) delivery time. Callable from process or scheduler context.
+  virtual void Transmit(int src_node, int dst_node, std::uint64_t payload_bytes,
+                        DeliveryFn on_delivered) = 0;
+
+  virtual const MediumStats& stats() const = 0;
+};
+
+// Shared bus (classic 10BASE Ethernet): one transmission at a time across
+// the whole cluster; contended starts may suffer collision backoff.
+class SharedBusMedium final : public Medium {
+ public:
+  SharedBusMedium(sim::Simulator* sim, MediumParams params,
+                  std::uint64_t seed);
+
+  void Transmit(int src_node, int dst_node, std::uint64_t payload_bytes,
+                DeliveryFn on_delivered) override;
+
+  const MediumStats& stats() const override { return stats_; }
+
+ private:
+  sim::Simulator* sim_;
+  MediumParams params_;
+  Rng rng_;
+  sim::SimTime busy_until_ = 0;
+  int consecutive_contended_ = 0;  // rough load signal for backoff growth
+  MediumStats stats_;
+};
+
+// Ideal switched network: each (src) port transmits independently at full
+// bandwidth; no collisions. Used by ablation benches to isolate how much of
+// the paper's scaling limit is the bus.
+class SwitchedMedium final : public Medium {
+ public:
+  SwitchedMedium(sim::Simulator* sim, MediumParams params, int num_nodes);
+
+  void Transmit(int src_node, int dst_node, std::uint64_t payload_bytes,
+                DeliveryFn on_delivered) override;
+
+  const MediumStats& stats() const override { return stats_; }
+
+ private:
+  sim::Simulator* sim_;
+  MediumParams params_;
+  std::vector<sim::SimTime> port_busy_until_;
+  MediumStats stats_;
+};
+
+// Transmission time for `payload` bytes under `p`, including per-fragment
+// header overhead (pure function; exposed for tests).
+sim::SimTime WireTime(const MediumParams& p, std::uint64_t payload_bytes);
+
+// Number of fragments a payload splits into (>= 1).
+std::uint64_t FragmentCount(const MediumParams& p,
+                            std::uint64_t payload_bytes);
+
+}  // namespace dse::simnet

@@ -1,0 +1,189 @@
+// Targeted interleavings of the coherence protocol at the GmmHome state
+// machine: reads during pending invalidation rounds, writers that hold
+// copies, queued mutations mixing writes and atomics, multi-block traffic.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dse/gmm/home.h"
+
+namespace dse::gmm {
+namespace {
+
+using proto::AtomicOp;
+using proto::AtomicReq;
+using proto::AtomicResp;
+using proto::InvalidateAck;
+using proto::InvalidateReq;
+using proto::ReadReq;
+using proto::ReadResp;
+using proto::WriteAck;
+using proto::WriteReq;
+
+template <typename T>
+const T& BodyOf(const GmmHome::Reply& reply) {
+  return std::get<T>(reply.env.body);
+}
+
+WriteReq MakeWrite(GlobalAddr addr, std::vector<std::uint8_t> data) {
+  WriteReq w;
+  w.addr = addr;
+  w.data = std::move(data);
+  return w;
+}
+
+ReadReq BlockFetch(GlobalAddr addr, std::uint32_t len = 1) {
+  ReadReq r;
+  r.addr = addr;
+  r.len = len;
+  r.block_fetch = true;
+  return r;
+}
+
+const GlobalAddr kBlock = MakeAddr(AddrKind::kNodeHomed, 0, 0);
+
+TEST(CoherenceInterleaving, ReadDuringPendingRoundSeesAppliedWrite) {
+  GmmHome home(0, 4, true);
+  (void)home.HandleRead(3, 1, BlockFetch(kBlock));  // node 3 caches
+
+  // Write from node 1 starts a round; the value is already applied.
+  auto replies = home.HandleWrite(1, 2, MakeWrite(kBlock, {0x55}));
+  ASSERT_EQ(replies.size(), 1u);
+  (void)BodyOf<InvalidateReq>(replies[0]);
+
+  // Node 2 reads while the round is in flight: it sees the NEW value and
+  // joins the copyset (it has current data; the in-flight round is not for
+  // it).
+  replies = home.HandleRead(2, 3, BlockFetch(kBlock));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(BodyOf<ReadResp>(replies[0]).data[0], 0x55);
+
+  // The round completes with node 3's ack only.
+  replies = home.HandleInvalidateAck(3, InvalidateAck{kBlock});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].dst, 1);
+  (void)BodyOf<WriteAck>(replies[0]);
+
+  // A later write must now invalidate node 2 (it joined mid-round).
+  replies = home.HandleWrite(1, 4, MakeWrite(kBlock, {0x66}));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].dst, 2);
+  (void)BodyOf<InvalidateReq>(replies[0]);
+}
+
+TEST(CoherenceInterleaving, QueuedMutationsMixWritesAndAtomics) {
+  GmmHome home(0, 4, true);
+  (void)home.HandleRead(3, 1, BlockFetch(kBlock, 8));
+
+  // Write starts the round; an atomic and another write queue behind it.
+  auto first = home.HandleWrite(1, 10, MakeWrite(kBlock, {8, 0, 0, 0, 0, 0, 0, 0}));
+  ASSERT_EQ(first.size(), 1u);
+  AtomicReq add;
+  add.op = AtomicOp::kFetchAdd;
+  add.addr = kBlock;
+  add.operand = 100;
+  EXPECT_TRUE(home.HandleAtomic(2, 20, add).empty());
+  EXPECT_TRUE(home.HandleWrite(1, 30, MakeWrite(kBlock, {1, 0, 0, 0, 0, 0, 0, 0})).empty());
+
+  // One ack releases the whole queue: the atomic sees the first write's
+  // value (8), then the second write overwrites with 1.
+  const auto done = home.HandleInvalidateAck(3, InvalidateAck{kBlock});
+  ASSERT_EQ(done.size(), 3u);
+  (void)BodyOf<WriteAck>(done[0]);
+  EXPECT_EQ(BodyOf<AtomicResp>(done[1]).old_value, 8);
+  (void)BodyOf<WriteAck>(done[2]);
+  EXPECT_EQ(home.store().Load64(kBlock), 1);
+  EXPECT_EQ(home.stats().deferred_mutations, 2u);
+}
+
+TEST(CoherenceInterleaving, RereadAfterInvalidationRejoinsCopyset) {
+  GmmHome home(0, 4, true);
+  (void)home.HandleRead(2, 1, BlockFetch(kBlock));
+
+  // Write invalidates node 2; ack completes it.
+  (void)home.HandleWrite(1, 2, MakeWrite(kBlock, {7}));
+  (void)home.HandleInvalidateAck(2, InvalidateAck{kBlock});
+
+  // Node 2 re-reads: back in the copyset; next write invalidates it again.
+  (void)home.HandleRead(2, 3, BlockFetch(kBlock));
+  const auto replies = home.HandleWrite(1, 4, MakeWrite(kBlock, {9}));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].dst, 2);
+}
+
+TEST(CoherenceInterleaving, IndependentBlocksDoNotSerialize) {
+  GmmHome home(0, 4, true);
+  const GlobalAddr block_b = MakeAddr(AddrKind::kNodeHomed, 0,
+                                      kHomedBlockBytes);
+  (void)home.HandleRead(2, 1, BlockFetch(kBlock));
+  (void)home.HandleRead(3, 2, BlockFetch(block_b));
+
+  // Rounds on both blocks in flight simultaneously.
+  (void)home.HandleWrite(1, 10, MakeWrite(kBlock, {1}));
+  (void)home.HandleWrite(1, 11, MakeWrite(block_b, {2}));
+  EXPECT_EQ(home.pending_block_count(), 2u);
+
+  // Acks in the *opposite* order complete independently.
+  auto done_b = home.HandleInvalidateAck(3, InvalidateAck{block_b});
+  ASSERT_EQ(done_b.size(), 1u);
+  EXPECT_EQ(done_b[0].env.req_id, 11u);
+  auto done_a = home.HandleInvalidateAck(2, InvalidateAck{kBlock});
+  ASSERT_EQ(done_a.size(), 1u);
+  EXPECT_EQ(done_a[0].env.req_id, 10u);
+  EXPECT_EQ(home.pending_block_count(), 0u);
+}
+
+TEST(CoherenceInterleaving, ManyCopyHoldersAllMustAck) {
+  GmmHome home(0, 6, true);
+  for (NodeId n = 1; n <= 5; ++n) {
+    (void)home.HandleRead(n, static_cast<std::uint64_t>(n), BlockFetch(kBlock));
+  }
+  const auto round = home.HandleWrite(0, 10, MakeWrite(kBlock, {1}));
+  ASSERT_EQ(round.size(), 5u);
+  std::set<NodeId> targets;
+  for (const auto& r : round) targets.insert(r.dst);
+  EXPECT_EQ(targets, (std::set<NodeId>{1, 2, 3, 4, 5}));
+
+  // Acks in arbitrary order; only the last completes.
+  for (const NodeId n : {3, 1, 5, 2}) {
+    EXPECT_TRUE(home.HandleInvalidateAck(n, InvalidateAck{kBlock}).empty());
+  }
+  const auto done = home.HandleInvalidateAck(4, InvalidateAck{kBlock});
+  ASSERT_EQ(done.size(), 1u);
+  (void)BodyOf<WriteAck>(done[0]);
+}
+
+TEST(CoherenceInterleaving, WriterWithCopyExcludedFromItsOwnRound) {
+  GmmHome home(0, 4, true);
+  (void)home.HandleRead(1, 1, BlockFetch(kBlock));
+  (void)home.HandleRead(2, 2, BlockFetch(kBlock));
+
+  // Node 1 (a copy holder) writes: only node 2 gets invalidated.
+  const auto round = home.HandleWrite(1, 10, MakeWrite(kBlock, {5}));
+  ASSERT_EQ(round.size(), 1u);
+  EXPECT_EQ(round[0].dst, 2);
+
+  (void)home.HandleInvalidateAck(2, InvalidateAck{kBlock});
+  // Node 2 writes next: node 1 kept its copy and must be invalidated.
+  const auto round2 = home.HandleWrite(2, 20, MakeWrite(kBlock, {6}));
+  ASSERT_EQ(round2.size(), 1u);
+  EXPECT_EQ(round2[0].dst, 1);
+}
+
+TEST(CoherenceInterleaving, NonCoherentHomeIgnoresBlockFetchTracking) {
+  GmmHome home(0, 4, /*coherence=*/false);
+  // A block_fetch request against a non-coherent home degrades to an exact
+  // read (no widening, no copyset) so a misconfigured client cannot corrupt
+  // anything.
+  const auto replies = home.HandleRead(2, 1, BlockFetch(kBlock, 16));
+  const auto& resp = BodyOf<ReadResp>(replies[0]);
+  EXPECT_FALSE(resp.block_fetch);
+  EXPECT_EQ(resp.data.size(), 16u);
+  // Writes ack immediately forever after.
+  const auto w = home.HandleWrite(1, 2, MakeWrite(kBlock, {1}));
+  ASSERT_EQ(w.size(), 1u);
+  (void)BodyOf<WriteAck>(w[0]);
+}
+
+}  // namespace
+}  // namespace dse::gmm

@@ -1,0 +1,187 @@
+#include "common/bytes.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dse {
+namespace {
+
+TEST(Bytes, IntegerRoundTrip) {
+  ByteWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0xBEEF);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+  w.WriteI32(-42);
+  w.WriteI64(std::numeric_limits<std::int64_t>::min());
+
+  ByteReader r(w.buffer());
+  std::uint8_t u8;
+  std::uint16_t u16;
+  std::uint32_t u32;
+  std::uint64_t u64;
+  std::int32_t i32;
+  std::int64_t i64;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI32(&i32).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, LittleEndianOnTheWire) {
+  ByteWriter w;
+  w.WriteU32(0x11223344);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x44);
+  EXPECT_EQ(w.buffer()[1], 0x33);
+  EXPECT_EQ(w.buffer()[2], 0x22);
+  EXPECT_EQ(w.buffer()[3], 0x11);
+}
+
+TEST(Bytes, DoubleRoundTripPreservesBits) {
+  for (const double v : {0.0, -0.0, 1.5, -3.25e300, 5e-324,
+                         std::numeric_limits<double>::infinity()}) {
+    ByteWriter w;
+    w.WriteF64(v);
+    ByteReader r(w.buffer());
+    double out;
+    ASSERT_TRUE(r.ReadF64(&out).ok());
+    std::uint64_t a, b;
+    std::memcpy(&a, &v, 8);
+    std::memcpy(&b, &out, 8);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Bytes, NanSurvives) {
+  ByteWriter w;
+  w.WriteF64(std::numeric_limits<double>::quiet_NaN());
+  ByteReader r(w.buffer());
+  double out;
+  ASSERT_TRUE(r.ReadF64(&out).ok());
+  EXPECT_TRUE(out != out);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.WriteString("hello");
+  w.WriteString("");
+  w.WriteString(std::string("\0binary\xFF", 8));
+  ByteReader r(w.buffer());
+  std::string a, b, c;
+  ASSERT_TRUE(r.ReadString(&a).ok());
+  ASSERT_TRUE(r.ReadString(&b).ok());
+  ASSERT_TRUE(r.ReadString(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string("\0binary\xFF", 8));
+}
+
+TEST(Bytes, BytesRoundTrip) {
+  ByteWriter w;
+  std::vector<std::uint8_t> data = {1, 2, 3, 255, 0};
+  w.WriteBytes({reinterpret_cast<const char*>(data.data()), data.size()});
+  ByteReader r(w.buffer());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(r.ReadBytes(&out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(Bytes, ReadPastEndFails) {
+  ByteWriter w;
+  w.WriteU16(7);
+  ByteReader r(w.buffer());
+  std::uint32_t v;
+  EXPECT_EQ(r.ReadU32(&v).code(), ErrorCode::kOutOfRange);
+  // Failed read leaves position unchanged.
+  std::uint16_t ok;
+  EXPECT_TRUE(r.ReadU16(&ok).ok());
+  EXPECT_EQ(ok, 7);
+}
+
+TEST(Bytes, TruncatedStringFailsAndRestoresCursor) {
+  ByteWriter w;
+  w.WriteU32(100);  // claims 100 bytes follow
+  w.WriteU8('x');
+  ByteReader r(w.buffer());
+  std::string s;
+  EXPECT_EQ(r.ReadString(&s).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(r.position(), 0u);  // cursor restored to before the length
+}
+
+TEST(Bytes, TruncatedBytesFailsAndRestoresCursor) {
+  ByteWriter w;
+  w.WriteU32(16);
+  w.WriteU8(1);
+  ByteReader r(w.buffer());
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(r.ReadBytes(&out).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(r.position(), 0u);
+}
+
+TEST(Bytes, RawReadWrite) {
+  ByteWriter w;
+  const char raw[4] = {'a', 'b', 'c', 'd'};
+  w.WriteRaw(raw, 4);
+  ByteReader r(w.buffer());
+  char out[4];
+  ASSERT_TRUE(r.ReadRaw(out, 4).ok());
+  EXPECT_EQ(std::memcmp(raw, out, 4), 0);
+  EXPECT_FALSE(r.ReadRaw(out, 1).ok());
+}
+
+TEST(Bytes, Skip) {
+  ByteWriter w;
+  w.WriteU32(1);
+  w.WriteU32(2);
+  ByteReader r(w.buffer());
+  ASSERT_TRUE(r.Skip(4).ok());
+  std::uint32_t v;
+  ASSERT_TRUE(r.ReadU32(&v).ok());
+  EXPECT_EQ(v, 2u);
+  EXPECT_FALSE(r.Skip(1).ok());
+}
+
+TEST(Bytes, PatchU32BackfillsLength) {
+  ByteWriter w;
+  w.WriteU32(0);  // placeholder
+  w.WriteString("payload");
+  w.PatchU32(0, static_cast<std::uint32_t>(w.size() - 4));
+  ByteReader r(w.buffer());
+  std::uint32_t len;
+  ASSERT_TRUE(r.ReadU32(&len).ok());
+  EXPECT_EQ(len, w.size() - 4);
+}
+
+TEST(Bytes, TakeBufferMovesOut) {
+  ByteWriter w;
+  w.WriteU8(9);
+  auto buf = w.TakeBuffer();
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(Bytes, RemainingTracksCursor) {
+  ByteWriter w;
+  w.WriteU64(1);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 8u);
+  std::uint32_t v;
+  ASSERT_TRUE(r.ReadU32(&v).ok());
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace dse

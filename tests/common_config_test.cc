@@ -1,0 +1,123 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace dse {
+namespace {
+
+TEST(Config, ParsesBasics) {
+  auto cfg = Config::Parse("a = 1\nname = dse cluster\npi=3.5\nflag = true");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a").value(), 1);
+  EXPECT_EQ(cfg->GetString("name").value(), "dse cluster");
+  EXPECT_EQ(cfg->GetDouble("pi").value(), 3.5);
+  EXPECT_TRUE(cfg->GetBool("flag").value());
+}
+
+TEST(Config, CommentsAndBlankLines) {
+  auto cfg = Config::Parse("# header\n\n  a = 1  # trailing\n\n# end\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a").value(), 1);
+  EXPECT_EQ(cfg->Keys().size(), 1u);
+}
+
+TEST(Config, WhitespaceTrimmed) {
+  auto cfg = Config::Parse("   key   =    value with spaces   ");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetString("key").value(), "value with spaces");
+}
+
+TEST(Config, MissingEqualsIsError) {
+  auto cfg = Config::Parse("just a line");
+  EXPECT_FALSE(cfg.ok());
+  EXPECT_EQ(cfg.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Config, EmptyKeyIsError) {
+  EXPECT_FALSE(Config::Parse("= value").ok());
+}
+
+TEST(Config, DuplicateKeyIsError) {
+  auto cfg = Config::Parse("a = 1\na = 2");
+  EXPECT_FALSE(cfg.ok());
+  EXPECT_NE(cfg.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(Config, MissingKeyIsNotFound) {
+  auto cfg = Config::Parse("a = 1");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetString("b").status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(cfg->Has("b"));
+  EXPECT_TRUE(cfg->Has("a"));
+}
+
+TEST(Config, BadIntIsInvalidArgument) {
+  auto cfg = Config::Parse("a = 12x");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a").status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Config, BadDoubleIsInvalidArgument) {
+  auto cfg = Config::Parse("a = 1.2.3");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_FALSE(cfg->GetDouble("a").ok());
+}
+
+TEST(Config, BoolForms) {
+  auto cfg = Config::Parse("a=true\nb=false\nc=1\nd=0\ne=yes");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->GetBool("a").value());
+  EXPECT_FALSE(cfg->GetBool("b").value());
+  EXPECT_TRUE(cfg->GetBool("c").value());
+  EXPECT_FALSE(cfg->GetBool("d").value());
+  EXPECT_FALSE(cfg->GetBool("e").ok());
+}
+
+TEST(Config, NegativeAndLargeInts) {
+  auto cfg = Config::Parse("a = -5\nb = 9223372036854775807");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a").value(), -5);
+  EXPECT_EQ(cfg->GetInt("b").value(), 9223372036854775807LL);
+}
+
+TEST(Config, DefaultsOnlyForMissingKeys) {
+  auto cfg = Config::Parse("a = 7");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetIntOr("a", -1), 7);
+  EXPECT_EQ(cfg->GetIntOr("zz", -1), -1);
+  EXPECT_EQ(cfg->GetStringOr("zz", "d"), "d");
+  EXPECT_EQ(cfg->GetDoubleOr("zz", 2.5), 2.5);
+  EXPECT_TRUE(cfg->GetBoolOr("zz", true));
+}
+
+TEST(Config, KeysPreserveInsertionOrder) {
+  auto cfg = Config::Parse("z = 1\na = 2\nm = 3");
+  ASSERT_TRUE(cfg.ok());
+  const auto keys = cfg->Keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "z");
+  EXPECT_EQ(keys[1], "a");
+  EXPECT_EQ(keys[2], "m");
+}
+
+TEST(Config, SetAddsAndOverwrites) {
+  Config cfg;
+  cfg.Set("x", "1");
+  cfg.Set("x", "2");
+  EXPECT_EQ(cfg.GetInt("x").value(), 2);
+  EXPECT_EQ(cfg.Keys().size(), 1u);
+}
+
+TEST(Config, LoadMissingFileIsNotFound) {
+  EXPECT_EQ(Config::Load("/nonexistent/path.conf").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(Config, EmptyInputIsValid) {
+  auto cfg = Config::Parse("");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->Keys().empty());
+}
+
+}  // namespace
+}  // namespace dse

@@ -1,0 +1,119 @@
+#include "common/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dse {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ConstructorsCarryCodeAndMessage) {
+  const Status s = NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(Status, EveryConstructorMapsToItsCode) {
+  EXPECT_EQ(InvalidArgument("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(NotFound("").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRange("").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhausted("").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(FailedPrecondition("").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(Unavailable("").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(ProtocolError("").code(), ErrorCode::kProtocolError);
+  EXPECT_EQ(Timeout("").code(), ErrorCode::kTimeout);
+  EXPECT_EQ(Internal("").code(), ErrorCode::kInternal);
+}
+
+TEST(Status, NamesAreStable) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOk), "OK");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kProtocolError), "PROTOCOL_ERROR");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(NotFound("x"), NotFound("x"));
+  EXPECT_FALSE(NotFound("x") == NotFound("y"));
+  EXPECT_FALSE(NotFound("x") == InvalidArgument("x"));
+}
+
+TEST(Status, EmptyMessageToString) {
+  EXPECT_EQ(Status(ErrorCode::kTimeout, "").ToString(), "TIMEOUT");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrPassesThroughValue) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(Result, MoveOutOfRvalue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, RangeForOverTemporaryDoesNotDangle) {
+  // Regression: rvalue value() must return by value, or the range-for below
+  // iterates freed memory.
+  auto make = []() -> Result<std::vector<int>> {
+    return std::vector<int>{1, 2, 3, 4};
+  };
+  int sum = 0;
+  for (const int v : make().value()) sum += v;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Result, AccessingErrorValueDies) {
+  Result<int> r = Internal("boom");
+  EXPECT_DEATH((void)r.value(), "boom");
+}
+
+TEST(Result, ReturnIfErrorMacroPropagates) {
+  auto inner = []() -> Status { return Timeout("slow"); };
+  auto outer = [&]() -> Status {
+    DSE_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), ErrorCode::kTimeout);
+}
+
+TEST(Result, ConstAccess) {
+  const Result<int> r = 9;
+  EXPECT_EQ(r.value(), 9);
+  EXPECT_EQ(*r, 9);
+}
+
+}  // namespace
+}  // namespace dse

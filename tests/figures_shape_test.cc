@@ -1,0 +1,128 @@
+// Guards the reproduction: scaled-down versions of the paper's sweeps must
+// keep the qualitative shapes the figures report. If a cost-model or
+// runtime change breaks a shape, these fail before anyone re-reads the
+// bench output.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/figure.h"
+
+namespace dse::benchlib {
+namespace {
+
+double Speedup(const std::vector<double>& times, size_t p_index) {
+  return times[0] / times[p_index];
+}
+
+// Processors 1,2,4,6,8 at indices 0..4.
+const std::vector<int> kProcs = {1, 2, 4, 6, 8};
+
+class ShapePerPlatform : public ::testing::TestWithParam<std::string> {
+ protected:
+  const platform::Profile& profile() const {
+    return platform::ProfileById(GetParam());
+  }
+};
+
+TEST_P(ShapePerPlatform, GaussSmallProblemsDoNotScale) {
+  Figure fig = GaussTimes(profile(), {100}, 6, kProcs);
+  const auto& t = fig.series[0].values;
+  // Speed-up never reaches 1.3 and is worse at 8 than at 2.
+  for (size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LT(Speedup(t, i), 1.3) << "p=" << kProcs[i];
+  }
+  EXPECT_LT(Speedup(t, 4), Speedup(t, 1));
+}
+
+TEST_P(ShapePerPlatform, GaussLargeProblemsPeakBeforeOversubscription) {
+  Figure fig = GaussTimes(profile(), {700}, 6, kProcs);
+  const auto& t = fig.series[0].values;
+  const double at4 = Speedup(t, 2);
+  const double at6 = Speedup(t, 3);
+  const double at8 = Speedup(t, 4);
+  EXPECT_GT(std::max(at4, at6), 2.0);      // real scaling up to the peak
+  EXPECT_LT(at8, std::max(at4, at6));      // collapse past 6 machines
+}
+
+TEST_P(ShapePerPlatform, GaussLargerProblemsScaleBetter) {
+  Figure fig = GaussTimes(profile(), {100, 700}, 6, kProcs);
+  const double small = Speedup(fig.series[0].values, 2);  // p=4
+  const double large = Speedup(fig.series[1].values, 2);
+  EXPECT_GT(large, small + 0.5);
+}
+
+TEST_P(ShapePerPlatform, DctSmallBlocksAreCommunicationBound) {
+  Figure fig = DctTimes(profile(), 64, {4, 16}, 0.25, kProcs);
+  const auto& b4 = fig.series[0].values;
+  const auto& b16 = fig.series[1].values;
+  // 16x16 clearly outruns 4x4 at every parallel point.
+  for (size_t i = 1; i < kProcs.size(); ++i) {
+    EXPECT_GT(Speedup(b16, i), Speedup(b4, i)) << "p=" << kProcs[i];
+  }
+  // And 4x4 ends essentially flat past the rollover.
+  EXPECT_LT(Speedup(b4, 4), 1.7);
+}
+
+TEST_P(ShapePerPlatform, OthelloShallowDepthNeverImproves) {
+  Figure fig = OthelloSpeedups(profile(), {3, 7}, kProcs);
+  const auto& shallow = fig.series[0].values;  // already speed-ups
+  const auto& deep = fig.series[1].values;
+  for (size_t i = 1; i < kProcs.size(); ++i) {
+    EXPECT_LT(shallow[i], 1.0) << "depth 3 sped up at p=" << kProcs[i];
+    EXPECT_GT(deep[i], shallow[i]);
+  }
+  EXPECT_GT(*std::max_element(deep.begin(), deep.end()), 3.0);
+}
+
+TEST_P(ShapePerPlatform, KnightGranularityTradeoff) {
+  Figure fig = KnightTimes(profile(), 5, {2, 8, 128}, kProcs);
+  const auto& jobs2 = fig.series[0].values;
+  const auto& jobs8 = fig.series[1].values;
+  const auto& jobs128 = fig.series[2].values;
+  // Two jobs cap at ~2x.
+  EXPECT_LT(Speedup(jobs2, 3), 2.3);
+  // The fine decomposition is the slowest at every processor count
+  // (communication frequency).
+  for (size_t i = 0; i < kProcs.size(); ++i) {
+    EXPECT_GT(jobs128[i], jobs8[i]) << "p=" << kProcs[i];
+  }
+  // The medium decomposition reaches real scaling.
+  EXPECT_GT(Speedup(jobs8, 3), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, ShapePerPlatform,
+                         ::testing::Values("sunos", "aix", "linux"));
+
+TEST(ShapeCrossPlatform, FasterMachinesFinishSooner) {
+  // Absolute times order by platform CPU speed for a compute-heavy point.
+  const std::vector<int> one = {1};
+  const double sparc =
+      GaussTimes(platform::SunOsSparc(), {500}, 6, one).series[0].values[0];
+  const double rs6k =
+      GaussTimes(platform::AixRs6000(), {500}, 6, one).series[0].values[0];
+  const double pii =
+      GaussTimes(platform::LinuxPentiumII(), {500}, 6, one).series[0].values[0];
+  EXPECT_GT(sparc, rs6k);
+  EXPECT_GT(rs6k, pii);
+}
+
+TEST(ShapeHarness, ToSpeedupInvertsTimes) {
+  Figure times;
+  times.x = {1, 2, 4};
+  times.series.push_back(Series{"s", {8.0, 4.0, 2.0}});
+  const Figure speedup = ToSpeedup(times, "f", "t");
+  EXPECT_DOUBLE_EQ(speedup.series[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(speedup.series[0].values[1], 2.0);
+  EXPECT_DOUBLE_EQ(speedup.series[0].values[2], 4.0);
+}
+
+TEST(ShapeHarness, FigureRunsAreDeterministic) {
+  const std::vector<int> procs = {1, 3};
+  const Figure a = GaussTimes(platform::SunOsSparc(), {100}, 4, procs);
+  const Figure b = GaussTimes(platform::SunOsSparc(), {100}, 4, procs);
+  EXPECT_EQ(a.series[0].values, b.series[0].values);
+}
+
+}  // namespace
+}  // namespace dse::benchlib

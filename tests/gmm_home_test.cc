@@ -1,0 +1,387 @@
+// GmmHome: the home-side global-memory state machine, tested without any
+// transport — requests in, replies out.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dse/gmm/home.h"
+
+namespace dse::gmm {
+namespace {
+
+using proto::AllocReq;
+using proto::AllocResp;
+using proto::AtomicOp;
+using proto::AtomicReq;
+using proto::AtomicResp;
+using proto::BarrierEnter;
+using proto::BarrierRelease;
+using proto::FreeAck;
+using proto::FreeReq;
+using proto::HomePolicy;
+using proto::InvalidateAck;
+using proto::InvalidateReq;
+using proto::LockGrant;
+using proto::LockReq;
+using proto::ReadReq;
+using proto::ReadResp;
+using proto::UnlockReq;
+using proto::WriteAck;
+using proto::WriteReq;
+
+template <typename T>
+const T& BodyOf(const GmmHome::Reply& reply) {
+  return std::get<T>(reply.env.body);
+}
+
+WriteReq MakeWrite(GlobalAddr addr, std::vector<std::uint8_t> data) {
+  WriteReq w;
+  w.addr = addr;
+  w.data = std::move(data);
+  return w;
+}
+
+TEST(GmmHome, WriteThenReadBack) {
+  GmmHome home(0, 4, /*coherence=*/false);
+  const GlobalAddr addr = MakeAddr(AddrKind::kNodeHomed, 0, 0);
+
+  auto replies = home.HandleWrite(2, 11, MakeWrite(addr, {1, 2, 3}));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].dst, 2);
+  EXPECT_EQ(replies[0].env.req_id, 11u);
+  (void)BodyOf<WriteAck>(replies[0]);
+
+  ReadReq r;
+  r.addr = addr;
+  r.len = 3;
+  replies = home.HandleRead(3, 12, r);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(BodyOf<ReadResp>(replies[0]).data,
+            (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(GmmHome, ReadOfUntouchedMemoryIsZero) {
+  GmmHome home(1, 4, false);
+  ReadReq r;
+  r.addr = MakeAddr(AddrKind::kNodeHomed, 1, 500);
+  r.len = 8;
+  const auto replies = home.HandleRead(0, 1, r);
+  EXPECT_EQ(BodyOf<ReadResp>(replies[0]).data,
+            std::vector<std::uint8_t>(8, 0));
+}
+
+TEST(GmmHome, AtomicFetchAddReturnsOldValue) {
+  GmmHome home(0, 2, false);
+  const GlobalAddr addr = MakeAddr(AddrKind::kNodeHomed, 0, 64);
+  AtomicReq a;
+  a.op = AtomicOp::kFetchAdd;
+  a.addr = addr;
+  a.operand = 5;
+  auto replies = home.HandleAtomic(1, 1, a);
+  EXPECT_EQ(BodyOf<AtomicResp>(replies[0]).old_value, 0);
+  replies = home.HandleAtomic(1, 2, a);
+  EXPECT_EQ(BodyOf<AtomicResp>(replies[0]).old_value, 5);
+}
+
+TEST(GmmHome, CompareExchangeSemantics) {
+  GmmHome home(0, 2, false);
+  const GlobalAddr addr = MakeAddr(AddrKind::kNodeHomed, 0, 128);
+  AtomicReq cas;
+  cas.op = AtomicOp::kCompareExchange;
+  cas.addr = addr;
+  cas.expected = 0;
+  cas.operand = 42;
+  auto replies = home.HandleAtomic(1, 1, cas);
+  EXPECT_EQ(BodyOf<AtomicResp>(replies[0]).old_value, 0);  // succeeded
+
+  cas.expected = 7;  // wrong expectation: must fail, value stays 42
+  cas.operand = 99;
+  replies = home.HandleAtomic(1, 2, cas);
+  EXPECT_EQ(BodyOf<AtomicResp>(replies[0]).old_value, 42);
+
+  EXPECT_EQ(home.store().Load64(addr), 42);
+}
+
+TEST(GmmHome, AllocStripedAlignsToStripe) {
+  GmmHome home(0, 4, false);
+  AllocReq a;
+  a.size = 100;
+  a.policy = HomePolicy::kStriped;
+  a.param = 10;
+  auto replies = home.HandleAlloc(1, 1, a);
+  const AllocResp r1 = BodyOf<AllocResp>(replies[0]);  // copy: replies is reused
+  EXPECT_EQ(r1.error, 0);
+  EXPECT_EQ(OffsetOf(r1.addr) % 1024, 0u);
+
+  replies = home.HandleAlloc(1, 2, a);
+  const AllocResp r2 = BodyOf<AllocResp>(replies[0]);
+  // Second allocation starts on a fresh stripe (no sharing).
+  EXPECT_GE(OffsetOf(r2.addr), OffsetOf(r1.addr) + 100);
+  EXPECT_EQ(OffsetOf(r2.addr) % 1024, 0u);
+}
+
+TEST(GmmHome, AllocOnNodeRoutesHome) {
+  GmmHome home(0, 4, false);
+  AllocReq a;
+  a.size = 64;
+  a.policy = HomePolicy::kOnNode;
+  a.param = 2;
+  const auto replies = home.HandleAlloc(1, 1, a);
+  const auto& resp = BodyOf<AllocResp>(replies[0]);
+  EXPECT_EQ(resp.error, 0);
+  EXPECT_EQ(HomeOf(resp.addr, 4), 2);
+}
+
+TEST(GmmHome, AllocErrors) {
+  GmmHome home(0, 4, false);
+  AllocReq a;
+  a.size = 0;
+  auto replies = home.HandleAlloc(1, 1, a);
+  EXPECT_NE(BodyOf<AllocResp>(replies[0]).error, 0);
+
+  a.size = 64;
+  a.policy = HomePolicy::kOnNode;
+  a.param = 9;  // node outside the cluster
+  replies = home.HandleAlloc(1, 2, a);
+  EXPECT_NE(BodyOf<AllocResp>(replies[0]).error, 0);
+
+  a.policy = HomePolicy::kStriped;
+  a.param = 3;  // below the minimum stripe
+  replies = home.HandleAlloc(1, 3, a);
+  EXPECT_NE(BodyOf<AllocResp>(replies[0]).error, 0);
+}
+
+TEST(GmmHome, AllocOnNonMasterFails) {
+  GmmHome home(2, 4, false);
+  AllocReq a;
+  a.size = 64;
+  const auto replies = home.HandleAlloc(1, 1, a);
+  EXPECT_EQ(BodyOf<AllocResp>(replies[0]).error,
+            static_cast<std::uint8_t>(ErrorCode::kFailedPrecondition));
+}
+
+TEST(GmmHome, FreeAndDoubleFree) {
+  GmmHome home(0, 4, false);
+  AllocReq a;
+  a.size = 64;
+  a.policy = HomePolicy::kStriped;
+  a.param = 10;
+  const auto alloc = home.HandleAlloc(1, 1, a);
+  const GlobalAddr addr = BodyOf<AllocResp>(alloc[0]).addr;
+
+  auto replies = home.HandleFree(1, 2, FreeReq{addr});
+  EXPECT_EQ(BodyOf<FreeAck>(replies[0]).error, 0);
+  replies = home.HandleFree(1, 3, FreeReq{addr});
+  EXPECT_EQ(BodyOf<FreeAck>(replies[0]).error,
+            static_cast<std::uint8_t>(ErrorCode::kNotFound));
+}
+
+TEST(GmmHome, LockGrantedImmediatelyWhenFree) {
+  GmmHome home(0, 2, false);
+  const auto replies = home.HandleLock(1, 1, LockReq{42});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(BodyOf<LockGrant>(replies[0]).lock_id, 42u);
+  EXPECT_EQ(home.stats().lock_acquires, 1u);
+}
+
+TEST(GmmHome, ContendedLockQueuesFifo) {
+  GmmHome home(0, 4, false);
+  (void)home.HandleLock(1, 1, LockReq{7});
+  EXPECT_TRUE(home.HandleLock(2, 2, LockReq{7}).empty());  // queued
+  EXPECT_TRUE(home.HandleLock(3, 3, LockReq{7}).empty());
+  EXPECT_EQ(home.stats().lock_waits, 2u);
+
+  auto replies = home.HandleUnlock(1, UnlockReq{7});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].dst, 2);  // FIFO: node 2 next
+  EXPECT_EQ(replies[0].env.req_id, 2u);
+
+  replies = home.HandleUnlock(2, UnlockReq{7});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].dst, 3);
+
+  // Final unlock leaves the lock free again.
+  EXPECT_TRUE(home.HandleUnlock(3, UnlockReq{7}).empty());
+  EXPECT_EQ(home.HandleLock(1, 9, LockReq{7}).size(), 1u);
+}
+
+TEST(GmmHome, UnlockOfFreeLockIsIgnored) {
+  GmmHome home(0, 2, false);
+  EXPECT_TRUE(home.HandleUnlock(1, UnlockReq{5}).empty());
+}
+
+TEST(GmmHome, BarrierReleasesAllAtOnce) {
+  GmmHome home(0, 4, false);
+  BarrierEnter e;
+  e.barrier_id = 3;
+  e.parties = 3;
+  EXPECT_TRUE(home.HandleBarrierEnter(0, 1, e).empty());
+  EXPECT_TRUE(home.HandleBarrierEnter(1, 2, e).empty());
+  const auto replies = home.HandleBarrierEnter(2, 3, e);
+  ASSERT_EQ(replies.size(), 3u);
+  for (const auto& r : replies) {
+    EXPECT_EQ(BodyOf<BarrierRelease>(r).barrier_id, 3u);
+  }
+  EXPECT_EQ(home.stats().barriers, 1u);
+}
+
+TEST(GmmHome, BarrierIsReusable) {
+  GmmHome home(0, 2, false);
+  BarrierEnter e;
+  e.barrier_id = 9;
+  e.parties = 2;
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(home.HandleBarrierEnter(0, 1, e).empty());
+    EXPECT_EQ(home.HandleBarrierEnter(1, 2, e).size(), 2u);
+  }
+  EXPECT_EQ(home.stats().barriers, 3u);
+}
+
+TEST(GmmHome, SinglePartyBarrierReleasesImmediately) {
+  GmmHome home(0, 2, false);
+  BarrierEnter e;
+  e.barrier_id = 1;
+  e.parties = 1;
+  EXPECT_EQ(home.HandleBarrierEnter(0, 1, e).size(), 1u);
+}
+
+// --- Coherence protocol ------------------------------------------------------
+
+TEST(GmmHomeCoherence, BlockFetchWidensAndTracksCopyset) {
+  GmmHome home(0, 4, /*coherence=*/true);
+  const GlobalAddr addr = MakeAddr(AddrKind::kNodeHomed, 0, 100);
+  home.store().Write(addr, "abc", 3);
+
+  ReadReq r;
+  r.addr = addr;
+  r.len = 3;
+  r.block_fetch = true;
+  const auto replies = home.HandleRead(2, 1, r);
+  const auto& resp = BodyOf<ReadResp>(replies[0]);
+  EXPECT_TRUE(resp.block_fetch);
+  EXPECT_EQ(resp.addr, BlockBaseOf(addr));
+  EXPECT_EQ(resp.data.size(), kHomedBlockBytes);
+  EXPECT_EQ(resp.data[100], 'a');
+}
+
+TEST(GmmHomeCoherence, WriteWithNoCopiesAcksImmediately) {
+  GmmHome home(0, 4, true);
+  const GlobalAddr addr = MakeAddr(AddrKind::kNodeHomed, 0, 0);
+  const auto replies = home.HandleWrite(1, 1, MakeWrite(addr, {9}));
+  ASSERT_EQ(replies.size(), 1u);
+  (void)BodyOf<WriteAck>(replies[0]);
+  EXPECT_EQ(home.pending_block_count(), 0u);
+}
+
+TEST(GmmHomeCoherence, WriteInvalidatesRemoteCopies) {
+  GmmHome home(0, 4, true);
+  const GlobalAddr addr = MakeAddr(AddrKind::kNodeHomed, 0, 0);
+
+  // Nodes 2 and 3 cache the block.
+  ReadReq r;
+  r.addr = addr;
+  r.len = 1;
+  r.block_fetch = true;
+  (void)home.HandleRead(2, 1, r);
+  (void)home.HandleRead(3, 2, r);
+
+  // Node 1 writes: invalidations to 2 and 3, no ack yet.
+  auto replies = home.HandleWrite(1, 10, MakeWrite(addr, {5}));
+  ASSERT_EQ(replies.size(), 2u);
+  std::set<NodeId> targets = {replies[0].dst, replies[1].dst};
+  EXPECT_EQ(targets, (std::set<NodeId>{2, 3}));
+  EXPECT_EQ(home.pending_block_count(), 1u);
+
+  // First ack: still pending.
+  EXPECT_TRUE(
+      home.HandleInvalidateAck(2, InvalidateAck{BlockBaseOf(addr)}).empty());
+  // Second ack completes the write.
+  replies = home.HandleInvalidateAck(3, InvalidateAck{BlockBaseOf(addr)});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].dst, 1);
+  EXPECT_EQ(replies[0].env.req_id, 10u);
+  (void)BodyOf<WriteAck>(replies[0]);
+  EXPECT_EQ(home.pending_block_count(), 0u);
+}
+
+TEST(GmmHomeCoherence, WriterKeepsItsOwnCopy) {
+  GmmHome home(0, 4, true);
+  const GlobalAddr addr = MakeAddr(AddrKind::kNodeHomed, 0, 0);
+  ReadReq r;
+  r.addr = addr;
+  r.len = 1;
+  r.block_fetch = true;
+  (void)home.HandleRead(2, 1, r);
+
+  // Node 2 writes its own cached block: nothing to invalidate.
+  const auto replies = home.HandleWrite(2, 5, MakeWrite(addr, {1}));
+  ASSERT_EQ(replies.size(), 1u);
+  (void)BodyOf<WriteAck>(replies[0]);
+}
+
+TEST(GmmHomeCoherence, ConcurrentWritesToOneBlockSerialize) {
+  GmmHome home(0, 4, true);
+  const GlobalAddr addr = MakeAddr(AddrKind::kNodeHomed, 0, 0);
+  ReadReq r;
+  r.addr = addr;
+  r.len = 1;
+  r.block_fetch = true;
+  (void)home.HandleRead(3, 1, r);
+
+  // Write A starts a round against node 3.
+  auto a = home.HandleWrite(1, 10, MakeWrite(addr, {1}));
+  ASSERT_EQ(a.size(), 1u);
+  (void)BodyOf<InvalidateReq>(a[0]);
+  // Write B queues behind it (no messages yet).
+  EXPECT_TRUE(home.HandleWrite(2, 20, MakeWrite(addr, {2})).empty());
+  EXPECT_EQ(home.stats().deferred_mutations, 1u);
+
+  // Ack finishes A and answers both A and (immediately appliable) B.
+  const auto done =
+      home.HandleInvalidateAck(3, InvalidateAck{BlockBaseOf(addr)});
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].dst, 1);
+  EXPECT_EQ(done[1].dst, 2);
+  // Final memory holds write B (serialized after A).
+  std::uint8_t out;
+  home.store().Read(addr, &out, 1);
+  EXPECT_EQ(out, 2);
+}
+
+TEST(GmmHomeCoherence, AtomicsAlsoInvalidate) {
+  GmmHome home(0, 4, true);
+  const GlobalAddr addr = MakeAddr(AddrKind::kNodeHomed, 0, 0);
+  ReadReq r;
+  r.addr = addr;
+  r.len = 8;
+  r.block_fetch = true;
+  (void)home.HandleRead(2, 1, r);
+
+  AtomicReq a;
+  a.op = AtomicOp::kFetchAdd;
+  a.addr = addr;
+  a.operand = 1;
+  auto replies = home.HandleAtomic(1, 9, a);
+  ASSERT_EQ(replies.size(), 1u);
+  (void)BodyOf<InvalidateReq>(replies[0]);  // deferred behind invalidation
+
+  replies = home.HandleInvalidateAck(2, InvalidateAck{BlockBaseOf(addr)});
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(BodyOf<AtomicResp>(replies[0]).old_value, 0);
+}
+
+TEST(GmmHomeCoherence, StripedBlockFetchServesWholeStripe) {
+  GmmHome home(1, 4, true);
+  const GlobalAddr addr = MakeAddr(AddrKind::kStriped, 10, 1024 + 200);
+  ReadReq r;
+  r.addr = addr;
+  r.len = 4;
+  r.block_fetch = true;
+  const auto replies = home.HandleRead(0, 1, r);
+  const auto& resp = BodyOf<ReadResp>(replies[0]);
+  EXPECT_EQ(resp.data.size(), 1024u);
+  EXPECT_EQ(resp.addr, MakeAddr(AddrKind::kStriped, 10, 1024));
+}
+
+}  // namespace
+}  // namespace dse::gmm

@@ -1,0 +1,148 @@
+// Heterogeneous virtual clusters: per-machine cost profiles.
+#include <gtest/gtest.h>
+
+#include "apps/gauss/gauss.h"
+#include "common/bytes.h"
+#include "dse/sim_runtime.h"
+#include "platform/profile.h"
+
+namespace dse {
+namespace {
+
+SimOptions MixedCluster(int processors) {
+  SimOptions opts;
+  opts.profile = platform::SunOsSparc();  // LAN + fallback
+  // Three slow SparcStations and three fast Pentium II boxes on one LAN.
+  opts.machine_profiles = {
+      platform::SunOsSparc(),      platform::SunOsSparc(),
+      platform::SunOsSparc(),      platform::LinuxPentiumII(),
+      platform::LinuxPentiumII(),  platform::LinuxPentiumII(),
+  };
+  opts.num_processors = processors;
+  return opts;
+}
+
+TEST(Heterogeneous, ResultsMatchHomogeneousRun) {
+  apps::gauss::Config c{.n = 64, .sweeps = 8, .workers = 4};
+  SimRuntime mixed(MixedCluster(4));
+  apps::gauss::Register(mixed.registry());
+  const SimReport a = mixed.Run(apps::gauss::kMainTask, apps::gauss::MakeArg(c));
+
+  SimOptions homo;
+  homo.profile = platform::SunOsSparc();
+  homo.num_processors = 4;
+  SimRuntime rt(homo);
+  apps::gauss::Register(rt.registry());
+  const SimReport b = rt.Run(apps::gauss::kMainTask, apps::gauss::MakeArg(c));
+
+  EXPECT_EQ(a.main_result, b.main_result);  // numerics independent of timing
+}
+
+TEST(Heterogeneous, Deterministic) {
+  apps::gauss::Config c{.n = 64, .sweeps = 5, .workers = 6};
+  SimRuntime rt(MixedCluster(6));
+  apps::gauss::Register(rt.registry());
+  const SimReport a = rt.Run(apps::gauss::kMainTask, apps::gauss::MakeArg(c));
+  const SimReport b = rt.Run(apps::gauss::kMainTask, apps::gauss::MakeArg(c));
+  EXPECT_EQ(a.virtual_seconds, b.virtual_seconds);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(Heterogeneous, MachineCountComesFromProfileList) {
+  SimOptions opts;
+  opts.profile = platform::SunOsSparc();  // says 6 machines...
+  opts.machine_profiles = {platform::SunOsSparc(),
+                           platform::LinuxPentiumII()};  // ...but we have 2
+  opts.num_processors = 4;
+  SimRuntime rt(opts);
+  // 4 kernels over 2 machines: 2 each.
+  EXPECT_EQ(rt.KernelsOnMachineOf(0), 2);
+  EXPECT_EQ(rt.KernelsOnMachineOf(1), 2);
+  EXPECT_EQ(rt.KernelsOnMachineOf(2), 2);
+}
+
+TEST(Heterogeneous, SlowMachinesStraggleBarriers) {
+  // A barrier-synchronized workload on a mixed cluster finishes when the
+  // slowest machines do: mixed lies between all-fast and all-slow, and much
+  // closer to all-slow.
+  auto run = [](std::vector<platform::Profile> machines) {
+    SimOptions opts;
+    opts.profile = platform::SunOsSparc();
+    opts.machine_profiles = std::move(machines);
+    opts.num_processors = 6;
+    SimRuntime rt(opts);
+    apps::gauss::Register(rt.registry());
+    apps::gauss::Config c{.n = 300, .sweeps = 8, .workers = 6};
+    return rt.Run(apps::gauss::kMainTask, apps::gauss::MakeArg(c))
+        .virtual_seconds;
+  };
+  const auto slow = platform::SunOsSparc();
+  const auto fast = platform::LinuxPentiumII();
+  const double all_slow = run({slow, slow, slow, slow, slow, slow});
+  const double all_fast = run({fast, fast, fast, fast, fast, fast});
+  const double mixed = run({slow, slow, slow, fast, fast, fast});
+  EXPECT_LT(all_fast, mixed);
+  // Stragglers dominate: halving the slow machines buys almost nothing (the
+  // mixed cluster can even be marginally slower than all-slow, because the
+  // fast nodes' requests contend at the slow homes).
+  EXPECT_LE(mixed, all_slow * 1.05);
+  EXPECT_GT(mixed - all_fast, (all_slow - all_fast) * 0.5);
+}
+
+TEST(Heterogeneous, FastMachinesClaimMoreDynamicWork) {
+  // A self-scheduling task farm lets fast machines take more blocks; the
+  // mixed cluster beats the all-slow one by more than the barrier workload
+  // did (relative to the gap).
+  SimOptions opts = MixedCluster(6);
+  SimRuntime rt(opts);
+  rt.registry().Register("worker", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    std::uint64_t counter = 0;
+    DSE_CHECK_OK(r.ReadU64(&counter));
+    std::int64_t claimed = 0;
+    for (;;) {
+      auto index = t.AtomicFetchAdd(counter, 1);
+      DSE_CHECK_OK(index.status());
+      if (*index >= 120) break;
+      t.Compute(300000);
+      ++claimed;
+    }
+    ByteWriter w;
+    w.WriteI64(claimed);
+    t.SetResult(w.TakeBuffer());
+  });
+  rt.registry().Register("main", [](Task& t) {
+    auto counter = t.AllocOnNode(8, 0).value();
+    std::vector<Gpid> gs;
+    for (int i = 0; i < 6; ++i) {
+      ByteWriter w;
+      w.WriteU64(counter);
+      gs.push_back(t.Spawn("worker", w.TakeBuffer(), i).value());
+    }
+    std::int64_t slow_claims = 0;
+    std::int64_t fast_claims = 0;
+    for (int i = 0; i < 6; ++i) {
+      const auto res = t.Join(gs[static_cast<size_t>(i)]).value();
+      ByteReader r(res.data(), res.size());
+      std::int64_t claimed = 0;
+      DSE_CHECK_OK(r.ReadI64(&claimed));
+      (i < 3 ? slow_claims : fast_claims) += claimed;
+    }
+    ByteWriter w;
+    w.WriteI64(slow_claims);
+    w.WriteI64(fast_claims);
+    t.SetResult(w.TakeBuffer());
+  });
+  const SimReport report = rt.Run("main");
+  ByteReader r(report.main_result.data(), report.main_result.size());
+  std::int64_t slow_claims = 0, fast_claims = 0;
+  ASSERT_TRUE(r.ReadI64(&slow_claims).ok());
+  ASSERT_TRUE(r.ReadI64(&fast_claims).ok());
+  EXPECT_EQ(slow_claims + fast_claims, 120);
+  // PII machines are ~8x faster per work unit; with compute-dominated items
+  // the self-scheduling farm must give them the bulk of the work.
+  EXPECT_GT(fast_claims, 3 * slow_claims);
+}
+
+}  // namespace
+}  // namespace dse

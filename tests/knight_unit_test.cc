@@ -1,0 +1,117 @@
+// Knight's Tour search and decomposition properties.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "apps/knight/knight.h"
+#include "common/bytes.h"
+#include "dse/threaded_runtime.h"
+
+namespace dse::apps::knight {
+namespace {
+
+TEST(Knight, KnownTourCounts) {
+  // Classic results for directed open tours on the 5x5 board.
+  EXPECT_EQ(CountWholeTree(5, 0).tours, 304u);   // from a corner
+  EXPECT_EQ(CountWholeTree(5, 12).tours, 64u);   // from the center
+  // From a "wrong-colour" square no tour exists on 5x5.
+  EXPECT_EQ(CountWholeTree(5, 1).tours, 0u);
+}
+
+TEST(Knight, TinyBoardsHaveNoTours) {
+  EXPECT_EQ(CountWholeTree(3, 0).tours, 0u);
+  EXPECT_EQ(CountWholeTree(4, 0).tours, 0u);
+}
+
+TEST(Knight, NodesCountedSensibly) {
+  const auto r = CountWholeTree(5, 0);
+  EXPECT_GT(r.nodes, r.tours);
+}
+
+TEST(KnightDeathTest, RevisitingPathRejected) {
+  EXPECT_DEATH((void)CountFrom(5, Path{0, 11, 0}), "revisits");
+}
+
+TEST(KnightJobs, ReachTargetWhenTreeAllows) {
+  for (const int target : {2, 8, 32, 128}) {
+    const auto jobs = MakeJobs(5, 0, target);
+    EXPECT_GE(static_cast<int>(jobs.size()), target) << "target " << target;
+  }
+}
+
+TEST(KnightJobs, AllPrefixesStartAtStart) {
+  for (const auto& job : MakeJobs(5, 0, 16)) {
+    ASSERT_FALSE(job.empty());
+    EXPECT_EQ(job.front(), 0);
+  }
+}
+
+TEST(KnightJobs, PrefixesAreValidKnightPaths) {
+  for (const auto& job : MakeJobs(5, 0, 32)) {
+    for (size_t i = 1; i < job.size(); ++i) {
+      const int a = job[i - 1];
+      const int b = job[i];
+      const int dr = std::abs(a / 5 - b / 5);
+      const int dc = std::abs(a % 5 - b % 5);
+      EXPECT_TRUE((dr == 1 && dc == 2) || (dr == 2 && dc == 1))
+          << a << "->" << b;
+    }
+  }
+}
+
+// Decomposition invariance: any job granularity counts exactly the same
+// tours as the whole-tree search.
+class KnightDecomposition
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KnightDecomposition, TourCountInvariant) {
+  const auto [start, target_jobs] = GetParam();
+  const auto whole = CountWholeTree(5, start);
+  Config c{.board = 5, .start = start, .target_jobs = target_jobs,
+           .workers = 1};
+  EXPECT_EQ(CountDecomposed(c).tours, whole.tours);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KnightDecomposition,
+                         ::testing::Combine(::testing::Values(0, 12),
+                                            ::testing::Values(1, 2, 8, 32,
+                                                              128)));
+
+TEST(KnightParallel, WorkerSweepMatches) {
+  const auto whole = CountWholeTree(5, 0);
+  for (const int workers : {2, 5}) {
+    Config c{.board = 5, .start = 0, .target_jobs = 16, .workers = workers};
+    ThreadedRuntime rt(ThreadedOptions{.num_nodes = std::min(workers, 4)});
+    Register(rt.registry());
+    const auto result = rt.RunMain(kMainTask, MakeArg(c));
+    ByteReader r(result.data(), result.size());
+    std::int64_t tours = 0;
+    ASSERT_TRUE(r.ReadI64(&tours).ok());
+    EXPECT_EQ(static_cast<std::uint64_t>(tours), whole.tours);
+  }
+}
+
+TEST(KnightParallel, SixBySixPrefixCount) {
+  // A quick 6x6 sanity pass at shallow prefix depth: decomposition must not
+  // lose or duplicate tours even on a board with many more of them. Full
+  // 6x6 enumeration is too slow for a unit test, so compare two different
+  // decompositions against each other on a *truncated* search: jobs
+  // restricted to the first two moves cover disjoint subtrees.
+  const auto a = MakeJobs(6, 0, 2);
+  const auto b = MakeJobs(6, 0, 8);
+  // Same frontier tree, different depths: total branches must be consistent
+  // (every longer prefix extends exactly one shorter prefix).
+  for (const auto& longer : b) {
+    int covered = 0;
+    for (const auto& shorter : a) {
+      if (longer.size() >= shorter.size() &&
+          std::equal(shorter.begin(), shorter.end(), longer.begin())) {
+        ++covered;
+      }
+    }
+    EXPECT_EQ(covered, 1);
+  }
+}
+
+}  // namespace
+}  // namespace dse::apps::knight

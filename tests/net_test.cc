@@ -1,0 +1,257 @@
+// Framing, in-process fabric, TCP fabric.
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+#include "net/framing.h"
+#include "net/inproc.h"
+#include "net/tcp_fabric.h"
+#include "osal/socket.h"
+
+namespace dse::net {
+namespace {
+
+std::vector<std::uint8_t> Payload(std::initializer_list<int> bytes) {
+  std::vector<std::uint8_t> v;
+  for (int b : bytes) v.push_back(static_cast<std::uint8_t>(b));
+  return v;
+}
+
+TEST(Framing, EncodeDecodeSingleFrame) {
+  const auto payload = Payload({1, 2, 3});
+  const auto frame = EncodeFrame(5, payload);
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.Feed(frame.data(), frame.size()).ok());
+  const auto d = dec.Next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, 5);
+  EXPECT_EQ(d->payload, payload);
+  EXPECT_FALSE(dec.Next().has_value());
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+}
+
+TEST(Framing, EmptyPayloadFrame) {
+  const auto frame = EncodeFrame(0, {});
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.Feed(frame.data(), frame.size()).ok());
+  const auto d = dec.Next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->payload.empty());
+}
+
+TEST(Framing, ByteAtATimeFeed) {
+  const auto payload = Payload({9, 8, 7, 6, 5});
+  const auto frame = EncodeFrame(3, payload);
+  FrameDecoder dec;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE(dec.Feed(&frame[i], 1).ok());
+    if (i + 1 < frame.size()) {
+      EXPECT_FALSE(dec.Next().has_value()) << "frame completed early at " << i;
+    }
+  }
+  const auto d = dec.Next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload, payload);
+}
+
+TEST(Framing, MultipleFramesOneFeed) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 4; ++i) {
+    const auto f = EncodeFrame(i, Payload({i, i, i}));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.Feed(stream.data(), stream.size()).ok());
+  for (int i = 0; i < 4; ++i) {
+    const auto d = dec.Next();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->src, i);
+  }
+  EXPECT_FALSE(dec.Next().has_value());
+}
+
+TEST(Framing, SplitAcrossFeeds) {
+  const auto a = EncodeFrame(1, Payload({1, 1}));
+  const auto b = EncodeFrame(2, Payload({2, 2, 2}));
+  std::vector<std::uint8_t> stream(a);
+  stream.insert(stream.end(), b.begin(), b.end());
+  FrameDecoder dec;
+  // Split in the middle of frame b's header.
+  const size_t cut = a.size() + 3;
+  ASSERT_TRUE(dec.Feed(stream.data(), cut).ok());
+  EXPECT_TRUE(dec.Next().has_value());
+  EXPECT_FALSE(dec.Next().has_value());
+  ASSERT_TRUE(dec.Feed(stream.data() + cut, stream.size() - cut).ok());
+  const auto d = dec.Next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, 2);
+}
+
+TEST(Framing, OversizedFrameRejectedAndPoisons) {
+  ByteWriter w;
+  w.WriteU32(kMaxFramePayload + 1);
+  w.WriteI32(0);
+  FrameDecoder dec;
+  EXPECT_EQ(dec.Feed(w.buffer().data(), w.buffer().size()).code(),
+            ErrorCode::kProtocolError);
+  // Subsequent feeds fail too.
+  std::uint8_t byte = 0;
+  EXPECT_FALSE(dec.Feed(&byte, 1).ok());
+}
+
+TEST(InProc, RoundTrip) {
+  InProcFabric fabric(3);
+  ASSERT_TRUE(fabric.endpoint(0).Send(2, Payload({42})).ok());
+  const auto d = fabric.endpoint(2).Recv();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, 0);
+  EXPECT_EQ(d->payload, Payload({42}));
+}
+
+TEST(InProc, SelfSend) {
+  InProcFabric fabric(2);
+  ASSERT_TRUE(fabric.endpoint(1).Send(1, Payload({7})).ok());
+  const auto d = fabric.endpoint(1).TryRecv();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, 1);
+}
+
+TEST(InProc, UnknownDestinationRejected) {
+  InProcFabric fabric(2);
+  EXPECT_FALSE(fabric.endpoint(0).Send(5, {}).ok());
+  EXPECT_FALSE(fabric.endpoint(0).Send(-1, {}).ok());
+}
+
+TEST(InProc, FifoPerSender) {
+  InProcFabric fabric(2);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fabric.endpoint(0).Send(1, Payload({i})).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto d = fabric.endpoint(1).Recv();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->payload[0], i);
+  }
+}
+
+TEST(InProc, ShutdownUnblocksReceiver) {
+  InProcFabric fabric(2);
+  std::thread receiver([&] {
+    EXPECT_FALSE(fabric.endpoint(1).Recv().has_value());
+  });
+  fabric.ShutdownAll();
+  receiver.join();
+  EXPECT_FALSE(fabric.endpoint(0).Send(1, {}).ok());
+}
+
+TEST(InProc, WorldSizeAndSelf) {
+  InProcFabric fabric(4);
+  EXPECT_EQ(fabric.endpoint(2).self(), 2);
+  EXPECT_EQ(fabric.endpoint(2).world_size(), 4);
+}
+
+// --- TCP fabric --------------------------------------------------------------
+
+std::vector<TcpNodeAddr> ReservePorts(int n) {
+  // Bind ephemeral listeners to discover free ports, then release them.
+  std::vector<TcpNodeAddr> nodes;
+  std::vector<osal::TcpListener> holders;
+  for (int i = 0; i < n; ++i) {
+    holders.push_back(osal::TcpListener::Listen(0).value());
+    nodes.push_back(TcpNodeAddr{"127.0.0.1", holders.back().port()});
+  }
+  return nodes;
+}
+
+TEST(TcpFabric, TwoNodeMesh) {
+  const auto nodes = ReservePorts(2);
+  std::unique_ptr<TcpFabricEndpoint> a, b;
+  std::thread tb([&] {
+    b = TcpFabricEndpoint::Create(1, nodes).value();
+  });
+  a = TcpFabricEndpoint::Create(0, nodes).value();
+  tb.join();
+
+  ASSERT_TRUE(a->Send(1, Payload({1, 2, 3})).ok());
+  auto d = b->Recv();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, 0);
+  EXPECT_EQ(d->payload, Payload({1, 2, 3}));
+
+  ASSERT_TRUE(b->Send(0, Payload({4})).ok());
+  d = a->Recv();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, 1);
+}
+
+TEST(TcpFabric, FourNodeAllToAll) {
+  const int n = 4;
+  const auto nodes = ReservePorts(n);
+  std::vector<std::unique_ptr<TcpFabricEndpoint>> eps(n);
+  std::vector<std::thread> starters;
+  for (int i = 0; i < n; ++i) {
+    starters.emplace_back([&, i] {
+      eps[static_cast<size_t>(i)] = TcpFabricEndpoint::Create(i, nodes).value();
+    });
+  }
+  for (auto& t : starters) t.join();
+
+  // Everyone sends to everyone (including self).
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      ASSERT_TRUE(
+          eps[static_cast<size_t>(src)]->Send(dst, Payload({src, dst})).ok());
+    }
+  }
+  for (int dst = 0; dst < n; ++dst) {
+    std::set<int> senders;
+    for (int k = 0; k < n; ++k) {
+      const auto d = eps[static_cast<size_t>(dst)]->Recv();
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->payload[1], dst);
+      EXPECT_EQ(d->payload[0], d->src);
+      senders.insert(d->src);
+    }
+    EXPECT_EQ(senders.size(), static_cast<size_t>(n));
+  }
+}
+
+TEST(TcpFabric, LargeMessage) {
+  const auto nodes = ReservePorts(2);
+  std::unique_ptr<TcpFabricEndpoint> a, b;
+  std::thread tb([&] { b = TcpFabricEndpoint::Create(1, nodes).value(); });
+  a = TcpFabricEndpoint::Create(0, nodes).value();
+  tb.join();
+
+  std::vector<std::uint8_t> big(3 * 1024 * 1024);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(a->Send(1, big).ok());
+  const auto d = b->Recv();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload, big);
+}
+
+TEST(TcpFabric, SelfIdOutOfRangeRejected) {
+  EXPECT_FALSE(TcpFabricEndpoint::Create(3, ReservePorts(2), 100).ok());
+}
+
+TEST(TcpFabric, ShutdownUnblocksReceiver) {
+  const auto nodes = ReservePorts(2);
+  std::unique_ptr<TcpFabricEndpoint> a, b;
+  std::thread tb([&] { b = TcpFabricEndpoint::Create(1, nodes).value(); });
+  a = TcpFabricEndpoint::Create(0, nodes).value();
+  tb.join();
+  std::thread receiver([&] { EXPECT_FALSE(a->Recv().has_value()); });
+  a->Shutdown();
+  receiver.join();
+}
+
+}  // namespace
+}  // namespace dse::net

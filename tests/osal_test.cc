@@ -1,0 +1,154 @@
+// POSIX abstraction layer: sockets, SIGIO driver, child processes.
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "osal/process.h"
+#include "osal/signal_driver.h"
+#include "osal/socket.h"
+
+namespace dse::osal {
+namespace {
+
+TEST(Socket, StreamPairRoundTrip) {
+  auto pair = StreamPair().value();
+  const char msg[] = "hello";
+  ASSERT_TRUE(pair.first.SendAll(msg, sizeof(msg)).ok());
+  char buf[sizeof(msg)];
+  ASSERT_TRUE(pair.second.RecvAll(buf, sizeof(buf)).ok());
+  EXPECT_STREQ(buf, "hello");
+}
+
+TEST(Socket, ListenerAcceptConnect) {
+  auto listener = TcpListener::Listen(0).value();
+  EXPECT_GT(listener.port(), 0);
+
+  TcpSocket client;
+  std::thread connector([&] {
+    client = TcpSocket::Connect("127.0.0.1", listener.port()).value();
+  });
+  TcpSocket server = listener.Accept().value();
+  connector.join();
+
+  const int v = 12345;
+  ASSERT_TRUE(client.SendAll(&v, sizeof(v)).ok());
+  int got = 0;
+  ASSERT_TRUE(server.RecvAll(&got, sizeof(got)).ok());
+  EXPECT_EQ(got, v);
+}
+
+TEST(Socket, LocalhostAlias) {
+  auto listener = TcpListener::Listen(0).value();
+  std::thread acceptor([&] { (void)listener.Accept(); });
+  auto sock = TcpSocket::Connect("localhost", listener.port());
+  EXPECT_TRUE(sock.ok());
+  acceptor.join();
+}
+
+TEST(Socket, ConnectRefusedFails) {
+  // Port 1 on loopback is essentially never listening.
+  EXPECT_FALSE(TcpSocket::Connect("127.0.0.1", 1).ok());
+}
+
+TEST(Socket, BadAddressRejected) {
+  EXPECT_EQ(TcpSocket::Connect("not-an-ip", 80).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Socket, PeerCloseDetected) {
+  auto pair = StreamPair().value();
+  pair.first.Close();
+  char b;
+  EXPECT_EQ(pair.second.RecvAll(&b, 1).code(), ErrorCode::kUnavailable);
+}
+
+TEST(Socket, MidMessageCloseIsProtocolError) {
+  auto pair = StreamPair().value();
+  const char half[2] = {'a', 'b'};
+  ASSERT_TRUE(pair.first.SendAll(half, 2).ok());
+  pair.first.Close();
+  char buf[8];
+  EXPECT_EQ(pair.second.RecvAll(buf, 8).code(), ErrorCode::kProtocolError);
+}
+
+TEST(Socket, ShutdownUnblocksBlockedReader) {
+  auto pair = StreamPair().value();
+  std::thread reader([&] {
+    char b;
+    EXPECT_FALSE(pair.second.RecvAll(&b, 1).ok());
+  });
+  pair.second.ShutdownBoth();
+  reader.join();
+}
+
+TEST(SignalSemaphore, PostThenWait) {
+  SignalSemaphore sem;
+  sem.Post();
+  sem.Wait();  // must not block
+  EXPECT_FALSE(sem.TryWait());
+  sem.Post();
+  EXPECT_TRUE(sem.TryWait());
+}
+
+TEST(SignalSemaphore, TimedWaitTimesOut) {
+  SignalSemaphore sem;
+  EXPECT_FALSE(sem.TimedWait(1000));  // 1 ms
+  sem.Post();
+  EXPECT_TRUE(sem.TimedWait(1000000));
+}
+
+TEST(SignalDriver, SigioDeliversDoorbell) {
+  auto pair = StreamPair().value();
+  SignalSemaphore doorbell;
+  ASSERT_TRUE(SignalDriver::Install(&doorbell).ok());
+  ASSERT_TRUE(pair.second.EnableSigio().ok());
+
+  const auto before = SignalDriver::DeliveryCount();
+  char b = 1;
+  ASSERT_TRUE(pair.first.SendAll(&b, 1).ok());
+  ASSERT_TRUE(doorbell.TimedWait(2000000)) << "SIGIO never arrived";
+  EXPECT_GT(SignalDriver::DeliveryCount(), before);
+
+  ASSERT_TRUE(pair.second.RecvAll(&b, 1).ok());
+  SignalDriver::Uninstall();
+}
+
+TEST(SignalDriver, DoubleInstallRejected) {
+  SignalSemaphore bell;
+  ASSERT_TRUE(SignalDriver::Install(&bell).ok());
+  SignalSemaphore other;
+  EXPECT_EQ(SignalDriver::Install(&other).code(),
+            ErrorCode::kFailedPrecondition);
+  SignalDriver::Uninstall();
+  // Re-install after uninstall works again.
+  ASSERT_TRUE(SignalDriver::Install(&bell).ok());
+  SignalDriver::Uninstall();
+}
+
+TEST(ChildProcess, SpawnAndExitCode) {
+  auto child = ChildProcess::Spawn({"/bin/sh", "-c", "exit 3"}).value();
+  EXPECT_EQ(child.Wait().value(), 3);
+}
+
+TEST(ChildProcess, SpawnSuccessIsZero) {
+  auto child = ChildProcess::Spawn({"/bin/true"}).value();
+  EXPECT_EQ(child.Wait().value(), 0);
+}
+
+TEST(ChildProcess, MissingBinaryExits127) {
+  auto child = ChildProcess::Spawn({"/no/such/binary"}).value();
+  EXPECT_EQ(child.Wait().value(), 127);
+}
+
+TEST(ChildProcess, EmptyArgvRejected) {
+  EXPECT_FALSE(ChildProcess::Spawn({}).ok());
+}
+
+TEST(ChildProcess, TerminateKills) {
+  auto child = ChildProcess::Spawn({"/bin/sleep", "100"}).value();
+  ASSERT_TRUE(child.Terminate().ok());
+  EXPECT_EQ(child.Wait().value(), -SIGTERM);
+}
+
+}  // namespace
+}  // namespace dse::osal

@@ -1,0 +1,232 @@
+// ProcessTable and KernelCore dispatch.
+#include <gtest/gtest.h>
+
+#include "dse/kernel_core.h"
+#include "dse/pm/process_table.h"
+
+namespace dse {
+namespace {
+
+TEST(ProcessTable, CreateAssignsSequentialGpids) {
+  pm::ProcessTable table(3);
+  const Gpid a = table.Create("one");
+  const Gpid b = table.Create("two");
+  EXPECT_EQ(GpidNode(a), 3);
+  EXPECT_EQ(GpidNode(b), 3);
+  EXPECT_EQ(GpidSeq(b), GpidSeq(a) + 1);
+  EXPECT_EQ(table.running_count(), 2);
+}
+
+TEST(ProcessTable, JoinAfterDoneReturnsResult) {
+  pm::ProcessTable table(0);
+  const Gpid g = table.Create("t");
+  EXPECT_TRUE(table.MarkDone(g, {1, 2}).empty());
+  std::vector<std::uint8_t> result;
+  bool unknown = false;
+  EXPECT_TRUE(table.TryJoin(g, 1, 7, &result, &unknown));
+  EXPECT_FALSE(unknown);
+  EXPECT_EQ(result, (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(table.running_count(), 0);
+}
+
+TEST(ProcessTable, JoinBeforeDoneQueuesWaiter) {
+  pm::ProcessTable table(0);
+  const Gpid g = table.Create("t");
+  std::vector<std::uint8_t> result;
+  bool unknown = false;
+  EXPECT_FALSE(table.TryJoin(g, 2, 11, &result, &unknown));
+  EXPECT_FALSE(unknown);
+  const auto waiters = table.MarkDone(g, {9});
+  ASSERT_EQ(waiters.size(), 1u);
+  EXPECT_EQ(waiters[0], (std::pair<NodeId, std::uint64_t>{2, 11}));
+}
+
+TEST(ProcessTable, MultipleWaiters) {
+  pm::ProcessTable table(0);
+  const Gpid g = table.Create("t");
+  std::vector<std::uint8_t> r;
+  bool unknown;
+  (void)table.TryJoin(g, 1, 1, &r, &unknown);
+  (void)table.TryJoin(g, 2, 2, &r, &unknown);
+  (void)table.TryJoin(g, 3, 3, &r, &unknown);
+  EXPECT_EQ(table.MarkDone(g, {}).size(), 3u);
+}
+
+TEST(ProcessTable, UnknownGpidReported) {
+  pm::ProcessTable table(0);
+  std::vector<std::uint8_t> r;
+  bool unknown = false;
+  EXPECT_FALSE(table.TryJoin(MakeGpid(0, 99), 1, 1, &r, &unknown));
+  EXPECT_TRUE(unknown);
+}
+
+TEST(ProcessTable, SnapshotListsAllStates) {
+  pm::ProcessTable table(1);
+  const Gpid a = table.Create("running");
+  const Gpid b = table.Create("done");
+  (void)table.MarkDone(b, {});
+  const auto snap = table.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].gpid, a);
+  EXPECT_EQ(snap[0].state, 0);
+  EXPECT_EQ(snap[1].gpid, b);
+  EXPECT_EQ(snap[1].state, 1);
+}
+
+// --- KernelCore ---------------------------------------------------------------
+
+proto::Envelope Env(proto::Body body, std::uint64_t rid = 1, NodeId src = 2) {
+  proto::Envelope env;
+  env.req_id = rid;
+  env.src_node = src;
+  env.body = std::move(body);
+  return env;
+}
+
+KernelCore MakeCore(NodeId self = 0, int nodes = 4, bool cache = false) {
+  KernelOptions opts;
+  opts.read_cache = cache;
+  opts.has_task = [](const std::string& name) { return name != "missing"; };
+  return KernelCore(self, nodes, std::move(opts));
+}
+
+TEST(KernelCore, SpawnCreatesTaskAndResponds) {
+  KernelCore core = MakeCore();
+  proto::SpawnReq req;
+  req.task_name = "worker";
+  req.arg = {7};
+  const auto actions = core.Handle(Env(req, 5, 1));
+  ASSERT_EQ(actions.start.size(), 1u);
+  EXPECT_EQ(actions.start[0].task_name, "worker");
+  EXPECT_EQ(actions.start[0].arg, (std::vector<std::uint8_t>{7}));
+  ASSERT_EQ(actions.out.size(), 1u);
+  const auto& resp = std::get<proto::SpawnResp>(actions.out[0].env.body);
+  EXPECT_EQ(resp.error, 0);
+  EXPECT_EQ(resp.gpid, actions.start[0].gpid);
+  EXPECT_EQ(GpidNode(resp.gpid), 0);
+}
+
+TEST(KernelCore, SpawnUnknownTaskFailsWithoutStarting) {
+  KernelCore core = MakeCore();
+  proto::SpawnReq req;
+  req.task_name = "missing";
+  const auto actions = core.Handle(Env(req));
+  EXPECT_TRUE(actions.start.empty());
+  const auto& resp = std::get<proto::SpawnResp>(actions.out[0].env.body);
+  EXPECT_NE(resp.error, 0);
+}
+
+TEST(KernelCore, JoinAnsweredAfterExit) {
+  KernelCore core = MakeCore();
+  proto::SpawnReq req;
+  req.task_name = "worker";
+  const auto spawn = core.Handle(Env(req, 1, 1));
+  const Gpid gpid = spawn.start[0].gpid;
+
+  // Join arrives first: queued, no reply.
+  EXPECT_TRUE(core.Handle(Env(proto::JoinReq{gpid}, 9, 3)).out.empty());
+
+  const auto exit_actions = core.OnLocalTaskExit(gpid, {42});
+  ASSERT_EQ(exit_actions.out.size(), 1u);
+  EXPECT_EQ(exit_actions.out[0].dst, 3);
+  const auto& resp = std::get<proto::JoinResp>(exit_actions.out[0].env.body);
+  EXPECT_EQ(resp.result, (std::vector<std::uint8_t>{42}));
+  EXPECT_EQ(exit_actions.out[0].env.req_id, 9u);
+}
+
+TEST(KernelCore, JoinUnknownGpidErrors) {
+  KernelCore core = MakeCore();
+  const auto actions = core.Handle(Env(proto::JoinReq{MakeGpid(0, 77)}));
+  ASSERT_EQ(actions.out.size(), 1u);
+  EXPECT_NE(std::get<proto::JoinResp>(actions.out[0].env.body).error, 0);
+}
+
+TEST(KernelCore, PsSnapshots) {
+  KernelCore core = MakeCore();
+  const Gpid g = core.RegisterLocalTask("main");
+  const auto actions = core.Handle(Env(proto::PsReq{}));
+  const auto& resp = std::get<proto::PsResp>(actions.out[0].env.body);
+  ASSERT_EQ(resp.entries.size(), 1u);
+  EXPECT_EQ(resp.entries[0].gpid, g);
+}
+
+TEST(KernelCore, ConsoleCollected) {
+  KernelCore core = MakeCore();
+  proto::ConsoleOut msg;
+  msg.gpid = MakeGpid(2, 1);
+  msg.text = "hi";
+  const auto actions = core.Handle(Env(msg));
+  ASSERT_EQ(actions.console.size(), 1u);
+  EXPECT_EQ(actions.console[0], "[2.1] hi");
+}
+
+TEST(KernelCore, ShutdownFlag) {
+  KernelCore core = MakeCore();
+  EXPECT_TRUE(core.Handle(Env(proto::Shutdown{})).shutdown);
+}
+
+TEST(KernelCore, GmmRequestsRouteThrough) {
+  KernelCore core = MakeCore();
+  proto::WriteReq w;
+  w.addr = gmm::MakeAddr(gmm::AddrKind::kNodeHomed, 0, 0);
+  w.data = {1};
+  const auto actions = core.Handle(Env(w));
+  ASSERT_EQ(actions.out.size(), 1u);
+  EXPECT_TRUE(
+      std::holds_alternative<proto::WriteAck>(actions.out[0].env.body));
+}
+
+TEST(KernelCoreDeathTest, ClientResponseRejected) {
+  KernelCore core = MakeCore();
+  EXPECT_DEATH((void)core.Handle(Env(proto::WriteAck{})), "client response");
+}
+
+TEST(KernelCore, CacheInsertLookup) {
+  KernelCore core = MakeCore(0, 4, true);
+  const gmm::GlobalAddr base = gmm::MakeAddr(gmm::AddrKind::kStriped, 10, 0);
+  std::vector<std::uint8_t> block(1024);
+  block[100] = 0xAB;
+  core.CacheInsert(base, block);
+  EXPECT_EQ(core.cache_block_count(), 1u);
+
+  std::uint8_t out[4] = {0};
+  EXPECT_TRUE(core.CacheLookup(base + 100, 4, out));
+  EXPECT_EQ(out[0], 0xAB);
+  EXPECT_EQ(core.stats().cache_hits, 1u);
+
+  EXPECT_FALSE(core.CacheLookup(base + 2048, 4, out));  // different block
+  EXPECT_EQ(core.stats().cache_misses, 1u);
+}
+
+TEST(KernelCore, CacheInvalidateDropsBlock) {
+  KernelCore core = MakeCore(1, 4, true);
+  const gmm::GlobalAddr base = gmm::MakeAddr(gmm::AddrKind::kStriped, 10, 1024);
+  core.CacheInsert(base, std::vector<std::uint8_t>(1024));
+
+  const auto actions = core.Handle(Env(proto::InvalidateReq{base}, 0, 0));
+  EXPECT_EQ(core.cache_block_count(), 0u);
+  EXPECT_EQ(core.stats().cache_invalidated, 1u);
+  // Ack emitted back to the home.
+  ASSERT_EQ(actions.out.size(), 1u);
+  EXPECT_EQ(actions.out[0].dst, 0);
+  EXPECT_TRUE(
+      std::holds_alternative<proto::InvalidateAck>(actions.out[0].env.body));
+}
+
+TEST(KernelCore, CacheUpdateLocalOnlyTouchesCachedBlocks) {
+  KernelCore core = MakeCore(0, 4, true);
+  const gmm::GlobalAddr base = gmm::MakeAddr(gmm::AddrKind::kStriped, 10, 0);
+  // Not cached: update is a no-op.
+  const std::uint8_t v = 9;
+  core.CacheUpdateLocal(base, &v, 1);
+  EXPECT_EQ(core.cache_block_count(), 0u);
+
+  core.CacheInsert(base, std::vector<std::uint8_t>(1024));
+  core.CacheUpdateLocal(base + 5, &v, 1);
+  std::uint8_t out = 0;
+  ASSERT_TRUE(core.CacheLookup(base + 5, 1, &out));
+  EXPECT_EQ(out, 9);
+}
+
+}  // namespace
+}  // namespace dse

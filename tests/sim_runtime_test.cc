@@ -1,0 +1,230 @@
+// SimRuntime properties: determinism across all platforms/processor counts,
+// cost-model effects (legacy organization, oversubscription, media), and
+// agreement with the threaded runtime on results.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "dse/sim_runtime.h"
+#include "platform/profile.h"
+
+namespace dse {
+namespace {
+
+// A small but representative program: striped memory, atomics, barrier,
+// spawn/join. Returns a checksum.
+void RegisterProbe(TaskRegistry& registry) {
+  registry.Register("probe.worker", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    std::uint64_t base = 0;
+    std::int32_t index = 0, parties = 0;
+    DSE_CHECK_OK(r.ReadU64(&base));
+    DSE_CHECK_OK(r.ReadI32(&index));
+    DSE_CHECK_OK(r.ReadI32(&parties));
+    t.Compute(5000);
+    t.WriteValue<std::int64_t>(base + static_cast<std::uint64_t>(index) * 8,
+                               (index + 1) * 3);
+    DSE_CHECK_OK(t.Barrier(1, parties));
+    std::int64_t sum = 0;
+    for (int i = 0; i < parties; ++i) {
+      sum += t.ReadValue<std::int64_t>(base +
+                                       static_cast<std::uint64_t>(i) * 8);
+    }
+    ByteWriter w;
+    w.WriteI64(sum);
+    t.SetResult(w.TakeBuffer());
+  });
+  registry.Register("probe.main", [](Task& t) {
+    const int n = t.num_nodes();
+    auto base = t.AllocStriped(static_cast<std::uint64_t>(n) * 8, 6).value();
+    std::vector<Gpid> gs;
+    for (int i = 0; i < n; ++i) {
+      ByteWriter w;
+      w.WriteU64(base);
+      w.WriteI32(i);
+      w.WriteI32(n);
+      gs.push_back(t.Spawn("probe.worker", w.TakeBuffer(), i).value());
+    }
+    std::int64_t total = 0;
+    for (Gpid g : gs) {
+      const auto res = t.Join(g).value();
+      ByteReader r(res.data(), res.size());
+      std::int64_t v = 0;
+      DSE_CHECK_OK(r.ReadI64(&v));
+      total += v;
+    }
+    ByteWriter w;
+    w.WriteI64(total);
+    t.SetResult(w.TakeBuffer());
+  });
+}
+
+std::int64_t ResultOf(const SimReport& report) {
+  ByteReader r(report.main_result.data(), report.main_result.size());
+  std::int64_t v = 0;
+  DSE_CHECK_OK(r.ReadI64(&v));
+  return v;
+}
+
+class SimSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(SimSweep, DeterministicAndCorrect) {
+  const auto& [platform_id, procs] = GetParam();
+  SimOptions opts;
+  opts.profile = platform::ProfileById(platform_id);
+  opts.num_processors = procs;
+  SimRuntime rt(opts);
+  RegisterProbe(rt.registry());
+
+  const SimReport a = rt.Run("probe.main");
+  const SimReport b = rt.Run("probe.main");
+
+  // Each worker sums all slots: n * Σ 3(i+1).
+  std::int64_t expect = 0;
+  for (int i = 0; i < procs; ++i) expect += (i + 1) * 3;
+  expect *= procs;
+  EXPECT_EQ(ResultOf(a), expect);
+
+  EXPECT_EQ(a.virtual_seconds, b.virtual_seconds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.wire_frames, b.wire_frames);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_GT(a.virtual_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, SimSweep,
+    ::testing::Combine(::testing::Values("sunos", "aix", "linux"),
+                       ::testing::Values(1, 2, 3, 6, 7, 12)));
+
+TEST(SimCost, LegacyOrganizationAlwaysSlower) {
+  for (const auto& profile : platform::AllProfiles()) {
+    SimOptions opts;
+    opts.profile = profile;
+    opts.num_processors = 4;
+    SimRuntime unified(opts);
+    RegisterProbe(unified.registry());
+    const double t_new = unified.Run("probe.main").virtual_seconds;
+
+    opts.organization = OrganizationMode::kLegacyTwoProcess;
+    SimRuntime legacy(opts);
+    RegisterProbe(legacy.registry());
+    const double t_old = legacy.Run("probe.main").virtual_seconds;
+    EXPECT_GT(t_old, t_new) << profile.id;
+  }
+}
+
+TEST(SimCost, SwitchedNeverSlowerThanBus) {
+  SimOptions opts;
+  opts.profile = platform::SunOsSparc();
+  opts.num_processors = 6;
+  SimRuntime bus(opts);
+  RegisterProbe(bus.registry());
+  const double t_bus = bus.Run("probe.main").virtual_seconds;
+
+  opts.medium = MediumKind::kSwitched;
+  SimRuntime sw(opts);
+  RegisterProbe(sw.registry());
+  const double t_sw = sw.Run("probe.main").virtual_seconds;
+  EXPECT_LE(t_sw, t_bus * 1.0001);
+}
+
+TEST(SimCost, OversubscriptionSlowsCompute) {
+  // A compute-only task on 7 processors shares machines; the same task on 6
+  // does not. Worker 0 (2 kernels on its machine at p=7) takes 2x longer.
+  auto run = [](int procs) {
+    SimOptions opts;
+    opts.profile = platform::SunOsSparc();
+    opts.num_processors = procs;
+    SimRuntime rt(opts);
+    rt.registry().Register("burn", [](Task& t) { t.Compute(1e6); });
+    rt.registry().Register("main", [](Task& t) {
+      const Gpid g = t.Spawn("burn", {}, 0).value();
+      (void)t.Join(g);
+    });
+    return rt.Run("main").virtual_seconds;
+  };
+  EXPECT_GT(run(7), 1.8 * run(6));
+}
+
+TEST(SimCost, KernelsOnMachineDistribution) {
+  SimOptions opts;
+  opts.profile = platform::SunOsSparc();  // 6 physical machines
+  opts.num_processors = 8;
+  SimRuntime rt(opts);
+  // Nodes 0,6 on machine 0; 1,7 on machine 1; 2..5 alone.
+  EXPECT_EQ(rt.KernelsOnMachineOf(0), 2);
+  EXPECT_EQ(rt.KernelsOnMachineOf(6), 2);
+  EXPECT_EQ(rt.KernelsOnMachineOf(1), 2);
+  EXPECT_EQ(rt.KernelsOnMachineOf(2), 1);
+  EXPECT_EQ(rt.KernelsOnMachineOf(5), 1);
+}
+
+TEST(SimNet, CoLocatedKernelsUseLoopback) {
+  // With 12 processors on 6 machines, node i and i+6 share a machine; their
+  // traffic must not touch the wire.
+  SimOptions opts;
+  opts.profile = platform::SunOsSparc();
+  opts.num_processors = 12;
+  SimRuntime rt(opts);
+  rt.registry().Register("toucher", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    std::uint64_t addr = 0;
+    DSE_CHECK_OK(r.ReadU64(&addr));
+    std::uint8_t buf[16];
+    for (int i = 0; i < 10; ++i) {
+      DSE_CHECK_OK(t.Read(addr, buf, sizeof(buf)));
+    }
+  });
+  rt.registry().Register("main", [](Task& t) {
+    // Memory homed on node 6 (same machine as node 0), toucher on node 0...
+    auto on6 = t.AllocOnNode(64, 6).value();
+    ByteWriter w;
+    w.WriteU64(on6);
+    const Gpid g = t.Spawn("toucher", w.TakeBuffer(), 0).value();
+    (void)t.Join(g);
+  });
+  const SimReport report = rt.Run("main");
+  EXPECT_GT(report.loopback, 20u);  // reads + responses stay on-machine
+}
+
+TEST(SimReportFields, MessageAccounting) {
+  SimOptions opts;
+  opts.profile = platform::LinuxPentiumII();
+  opts.num_processors = 3;
+  SimRuntime rt(opts);
+  RegisterProbe(rt.registry());
+  const SimReport report = rt.Run("probe.main");
+  EXPECT_GT(report.messages, 0u);
+  EXPECT_GE(report.messages, report.loopback);
+  EXPECT_GT(report.wire_bytes, 0u);
+  EXPECT_GE(report.bus_utilization, 0.0);
+  EXPECT_LE(report.bus_utilization, 1.0);
+}
+
+TEST(SimCache, HitsReduceVirtualTime) {
+  auto run = [](bool cache) {
+    SimOptions opts;
+    opts.profile = platform::SunOsSparc();
+    opts.num_processors = 2;
+    opts.read_cache = cache;
+    SimRuntime rt(opts);
+    rt.registry().Register("main", [](Task& t) {
+      auto addr = t.AllocOnNode(256, 1).value();
+      std::uint8_t buf[256];
+      for (int i = 0; i < 50; ++i) {
+        DSE_CHECK_OK(t.Read(addr, buf, sizeof(buf)));
+      }
+    });
+    return rt.Run("main");
+  };
+  const SimReport off = run(false);
+  const SimReport on = run(true);
+  EXPECT_LT(on.virtual_seconds, off.virtual_seconds);
+  EXPECT_GE(on.cache_hits, 49u);
+}
+
+}  // namespace
+}  // namespace dse

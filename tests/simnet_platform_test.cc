@@ -1,0 +1,181 @@
+// Simulated Ethernet media and platform cost models.
+#include <gtest/gtest.h>
+
+#include "platform/profile.h"
+#include "sim/simulator.h"
+#include "simnet/ethernet.h"
+
+namespace dse {
+namespace {
+
+using sim::Micros;
+using sim::Millis;
+using sim::SimTime;
+using simnet::FragmentCount;
+using simnet::MediumParams;
+using simnet::SharedBusMedium;
+using simnet::SwitchedMedium;
+using simnet::WireTime;
+
+TEST(WireMath, FragmentCounts) {
+  MediumParams p;
+  p.max_frame_payload = 1460;
+  EXPECT_EQ(FragmentCount(p, 0), 1u);     // control frame
+  EXPECT_EQ(FragmentCount(p, 1), 1u);
+  EXPECT_EQ(FragmentCount(p, 1460), 1u);
+  EXPECT_EQ(FragmentCount(p, 1461), 2u);
+  EXPECT_EQ(FragmentCount(p, 14600), 10u);
+}
+
+TEST(WireMath, WireTimeScalesWithBytes) {
+  MediumParams p;
+  p.bandwidth_bps = 10e6;
+  p.frame_overhead_bytes = 58;
+  // 1000 payload + 58 header = 1058 bytes = 846.4 us at 10 Mb/s.
+  EXPECT_NEAR(static_cast<double>(WireTime(p, 1000)), 846.4e3, 1e3);
+  EXPECT_GT(WireTime(p, 2000), WireTime(p, 1000));
+}
+
+TEST(WireMath, FragmentationAddsHeaderOverhead) {
+  MediumParams p;
+  // 2x700 B = two frames (two headers); 1400 B fits one frame (one header).
+  const SimTime two_small = 2 * WireTime(p, 700);
+  const SimTime one_large = WireTime(p, 1400);
+  EXPECT_GT(two_small, one_large);
+}
+
+TEST(SharedBus, SerializesTransmissions) {
+  sim::Simulator sim;
+  MediumParams p;
+  SharedBusMedium bus(&sim, p, /*seed=*/1);
+  std::vector<SimTime> delivered;
+  // Two frames submitted at t=0: the second must wait for the first.
+  bus.Transmit(0, 1, 1000, [&] { delivered.push_back(sim.Now()); });
+  bus.Transmit(2, 3, 1000, [&] { delivered.push_back(sim.Now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(delivered.size(), 2u);
+  const SimTime tx = WireTime(p, 1000);
+  EXPECT_EQ(delivered[0], tx + p.propagation);
+  EXPECT_GE(delivered[1], 2 * tx + p.propagation);
+}
+
+TEST(SharedBus, IdleBusHasNoQueueing) {
+  sim::Simulator sim;
+  MediumParams p;
+  SharedBusMedium bus(&sim, p, 1);
+  SimTime got = -1;
+  sim.At(Millis(10), [&] {
+    bus.Transmit(0, 1, 500, [&] { got = sim.Now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(got, Millis(10) + WireTime(p, 500) + p.propagation);
+  EXPECT_EQ(bus.stats().queueing_time, 0);
+  EXPECT_EQ(bus.stats().collisions, 0u);
+}
+
+TEST(SharedBus, StatsAccumulate) {
+  sim::Simulator sim;
+  MediumParams p;
+  SharedBusMedium bus(&sim, p, 1);
+  bus.Transmit(0, 1, 100, [] {});
+  bus.Transmit(1, 0, 200, [] {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(bus.stats().frames, 2u);
+  EXPECT_EQ(bus.stats().payload_bytes, 300u);
+  EXPECT_GT(bus.stats().wire_bytes, 300u);
+  EXPECT_GT(bus.stats().busy_time, 0);
+}
+
+TEST(SharedBus, CollisionsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    MediumParams p;
+    SharedBusMedium bus(&sim, p, seed);
+    for (int i = 0; i < 200; ++i) {
+      sim.At(Micros(i * 10), [&bus] { bus.Transmit(0, 1, 1400, [] {}); });
+    }
+    sim.RunUntilIdle();
+    return bus.stats().collisions;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_GT(run(7), 0u);  // heavy contention must show collisions
+}
+
+TEST(Switched, PortsTransmitInParallel) {
+  sim::Simulator sim;
+  MediumParams p;
+  SwitchedMedium sw(&sim, p, 4);
+  std::vector<SimTime> delivered;
+  sw.Transmit(0, 1, 1000, [&] { delivered.push_back(sim.Now()); });
+  sw.Transmit(2, 3, 1000, [&] { delivered.push_back(sim.Now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(delivered.size(), 2u);
+  // Different source ports: both arrive at the single-frame time.
+  EXPECT_EQ(delivered[0], delivered[1]);
+}
+
+TEST(Switched, SamePortSerializes) {
+  sim::Simulator sim;
+  MediumParams p;
+  SwitchedMedium sw(&sim, p, 4);
+  std::vector<SimTime> delivered;
+  sw.Transmit(0, 1, 1000, [&] { delivered.push_back(sim.Now()); });
+  sw.Transmit(0, 2, 1000, [&] { delivered.push_back(sim.Now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_GT(delivered[1], delivered[0]);
+}
+
+TEST(Profiles, TableOneRows) {
+  const auto& all = platform::AllProfiles();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, "sunos");
+  EXPECT_EQ(all[1].id, "aix");
+  EXPECT_EQ(all[2].id, "linux");
+  for (const auto& p : all) {
+    EXPECT_EQ(p.physical_machines, 6);
+    EXPECT_GT(p.ns_per_work_unit, 0);
+    EXPECT_GT(p.send_overhead, 0);
+  }
+  // Relative CPU speeds: Sparc < RS/6000 < Pentium II.
+  EXPECT_GT(all[0].ns_per_work_unit, all[1].ns_per_work_unit);
+  EXPECT_GT(all[1].ns_per_work_unit, all[2].ns_per_work_unit);
+}
+
+TEST(Profiles, LookupById) {
+  EXPECT_EQ(platform::ProfileById("sunos").machine,
+            platform::SunOsSparc().machine);
+  EXPECT_EQ(platform::ProfileById("aix").machine,
+            platform::AixRs6000().machine);
+  EXPECT_EQ(platform::ProfileById("linux").machine,
+            platform::LinuxPentiumII().machine);
+}
+
+TEST(ProfilesDeathTest, UnknownIdAborts) {
+  EXPECT_DEATH((void)platform::ProfileById("hp-ux"), "unknown platform");
+}
+
+TEST(CostModel, ComputeScalesWithWorkAndOversubscription) {
+  const auto& p = platform::SunOsSparc();
+  EXPECT_EQ(platform::ComputeTime(p, 1000, 1),
+            static_cast<SimTime>(1000 * p.ns_per_work_unit));
+  EXPECT_EQ(platform::ComputeTime(p, 1000, 2),
+            2 * platform::ComputeTime(p, 1000, 1));
+  EXPECT_EQ(platform::ComputeTime(p, 0, 3), 0);
+}
+
+TEST(CostModel, MessageCostsGrowWithSize) {
+  const auto& p = platform::AixRs6000();
+  EXPECT_GT(platform::SendCost(p, 4096, 1), platform::SendCost(p, 64, 1));
+  EXPECT_GT(platform::RecvCost(p, 4096, 1), platform::RecvCost(p, 64, 1));
+  EXPECT_EQ(platform::SendCost(p, 64, 2), 2 * platform::SendCost(p, 64, 1));
+}
+
+TEST(CostModel, RecvIncludesSignalDispatch) {
+  const auto& p = platform::LinuxPentiumII();
+  EXPECT_GE(platform::RecvCost(p, 0, 1),
+            p.recv_overhead + p.signal_dispatch);
+}
+
+}  // namespace
+}  // namespace dse

@@ -1,0 +1,213 @@
+// dse_run — command-line driver for the DSE runtime and its applications.
+//
+// Runs any of the four evaluation workloads on either the real threaded
+// runtime or a simulated 1999 testbed, with every knob exposed:
+//
+//   dse_run gauss   --n 500 --sweeps 10 --procs 6
+//   dse_run dct     --image 128 --block 8 --keep 0.25 --procs 4 --mode sim
+//   dse_run othello --depth 6 --procs 8  --mode sim --platform aix
+//   dse_run knight  --jobs 32 --procs 6  --mode sim --legacy
+//
+// Common flags:
+//   --mode threaded|sim      (default threaded)
+//   --platform sunos|aix|linux   (sim only; default sunos)
+//   --procs N                processors / workers (default 4)
+//   --cache                  enable the DSM read cache
+//   --legacy                 old two-process DSE organization (sim)
+//   --switched               ideal switched network instead of the bus (sim)
+//   --trace FILE             write a Chrome trace-event JSON timeline (sim)
+//   --machines a,b,...       heterogeneous cluster: one platform id per
+//                            physical machine (sim), e.g. sunos,sunos,linux
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/dct/dct.h"
+#include "apps/gauss/gauss.h"
+#include "apps/knight/knight.h"
+#include "apps/othello/othello.h"
+#include "common/bytes.h"
+#include "dse/sim_runtime.h"
+#include "dse/threaded_runtime.h"
+#include "dse/trace.h"
+#include "platform/profile.h"
+
+namespace {
+
+using namespace dse;
+
+// Minimal flag parser: --key value and boolean --key forms.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+  std::string Str(const std::string& key, const std::string& def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  int Int(const std::string& key, int def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::atoi(it->second.c_str());
+  }
+  double Double(const std::string& key, double def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+struct Workload {
+  void (*register_fn)(TaskRegistry&);
+  const char* main_task;
+  std::vector<std::uint8_t> arg;
+  std::string description;
+};
+
+Workload BuildWorkload(const std::string& app, const Flags& flags,
+                       int procs) {
+  if (app == "gauss") {
+    apps::gauss::Config c{.n = flags.Int("n", 300),
+                          .sweeps = flags.Int("sweeps", 10),
+                          .workers = procs};
+    return {apps::gauss::Register, apps::gauss::kMainTask,
+            apps::gauss::MakeArg(c),
+            "gauss-seidel N=" + std::to_string(c.n) + " sweeps=" +
+                std::to_string(c.sweeps)};
+  }
+  if (app == "dct") {
+    const int image = flags.Int("image", 128);
+    apps::dct::Config c{.width = image,
+                        .height = image,
+                        .block = flags.Int("block", 8),
+                        .keep_fraction = flags.Double("keep", 0.25),
+                        .workers = procs,
+                        .separable = flags.Has("separable")};
+    return {apps::dct::Register, apps::dct::kMainTask, apps::dct::MakeArg(c),
+            "dct-ii " + std::to_string(image) + "^2 block=" +
+                std::to_string(c.block)};
+  }
+  if (app == "othello") {
+    apps::othello::Config c{.depth = flags.Int("depth", 5),
+                            .workers = procs,
+                            .min_tasks = flags.Int("tasks", 0)};
+    return {apps::othello::Register, apps::othello::kMainTask,
+            apps::othello::MakeArg(c),
+            "othello depth=" + std::to_string(c.depth)};
+  }
+  if (app == "knight") {
+    apps::knight::Config c{.board = flags.Int("board", 5),
+                           .start = flags.Int("start", 0),
+                           .target_jobs = flags.Int("jobs", 16),
+                           .workers = procs};
+    return {apps::knight::Register, apps::knight::kMainTask,
+            apps::knight::MakeArg(c),
+            "knight " + std::to_string(c.board) + "x" +
+                std::to_string(c.board) + " jobs=" +
+                std::to_string(c.target_jobs)};
+  }
+  std::fprintf(stderr, "unknown app '%s' (gauss|dct|othello|knight)\n",
+               app.c_str());
+  std::exit(2);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dse_run <gauss|dct|othello|knight> [--mode "
+               "threaded|sim] [--platform sunos|aix|linux] [--procs N] "
+               "[--cache] [--legacy] [--switched] [app flags]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string app = argv[1];
+  if (app == "--help" || app == "-h") return Usage();
+  const Flags flags(argc, argv, 2);
+
+  const int procs = flags.Int("procs", 4);
+  Workload workload = BuildWorkload(app, flags, procs);
+  const std::string mode = flags.Str("mode", "threaded");
+
+  if (mode == "threaded") {
+    ThreadedRuntime rt(ThreadedOptions{
+        .num_nodes = procs, .read_cache = flags.Has("cache")});
+    workload.register_fn(rt.registry());
+    const auto result = rt.RunMain(workload.main_task, workload.arg);
+    std::printf("%s | threaded %d nodes | %.1f ms wall | result %zu bytes\n",
+                workload.description.c_str(), procs,
+                rt.last_run_seconds() * 1e3, result.size());
+    return 0;
+  }
+  if (mode == "sim") {
+    SimOptions opts;
+    opts.profile = platform::ProfileById(flags.Str("platform", "sunos"));
+    opts.num_processors = procs;
+    opts.read_cache = flags.Has("cache");
+    if (flags.Has("legacy")) {
+      opts.organization = OrganizationMode::kLegacyTwoProcess;
+    }
+    if (flags.Has("switched")) opts.medium = MediumKind::kSwitched;
+    const std::string machines = flags.Str("machines", "");
+    if (!machines.empty()) {
+      size_t pos = 0;
+      while (pos <= machines.size()) {
+        const size_t comma = machines.find(',', pos);
+        const std::string id = machines.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        opts.machine_profiles.push_back(platform::ProfileById(id));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
+    trace::Recorder recorder;
+    const std::string trace_path = flags.Str("trace", "");
+    if (!trace_path.empty()) opts.trace = &recorder;
+    SimRuntime rt(opts);
+    workload.register_fn(rt.registry());
+    const SimReport report = rt.Run(workload.main_task, workload.arg);
+    if (!trace_path.empty()) {
+      const Status s = recorder.WriteChromeJson(trace_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace: %zu events -> %s\n", recorder.size(),
+                  trace_path.c_str());
+    }
+    std::printf(
+        "%s | sim %s x%d | %.4f s virtual | %llu msgs (%llu loopback) | "
+        "%llu frames, %llu collisions | bus %.1f%%\n",
+        workload.description.c_str(), opts.profile.id.c_str(), procs,
+        report.virtual_seconds,
+        static_cast<unsigned long long>(report.messages),
+        static_cast<unsigned long long>(report.loopback),
+        static_cast<unsigned long long>(report.wire_frames),
+        static_cast<unsigned long long>(report.collisions),
+        report.bus_utilization * 100);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+  return 2;
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Plot the figure CSVs emitted by the bench binaries.
+
+Usage:
+    mkdir -p out && for b in build/bench/bench_fig*; do $b --csv out; done
+    tools/plot_figures.py out            # writes out/figure_N.png (needs matplotlib)
+    tools/plot_figures.py out --ascii    # terminal charts, no dependencies
+"""
+import csv
+import sys
+from pathlib import Path
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    header = rows[0]
+    xs = [int(r[0]) for r in rows[1:]]
+    series = {
+        label: [float(r[i + 1]) for r in rows[1:]]
+        for i, label in enumerate(header[1:])
+    }
+    return header[0], xs, series
+
+
+def ascii_plot(name, xlabel, xs, series, width=60, height=16):
+    print(f"--- {name} ---")
+    lo = min(min(v) for v in series.values())
+    hi = max(max(v) for v in series.values())
+    if hi == lo:
+        hi = lo + 1
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#@%&"
+    for si, (label, values) in enumerate(series.items()):
+        for x, v in zip(xs, values):
+            col = int((x - xs[0]) / max(1, xs[-1] - xs[0]) * (width - 1))
+            row = height - 1 - int((v - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = marks[si % len(marks)]
+    for row in grid:
+        print("  |" + "".join(row))
+    print("  +" + "-" * width)
+    print(f"   {xlabel}: {xs[0]}..{xs[-1]}   y: {lo:.3g}..{hi:.3g}")
+    for si, label in enumerate(series):
+        print(f"   {marks[si % len(marks)]} = {label}")
+    print()
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    directory = Path(sys.argv[1])
+    use_ascii = "--ascii" in sys.argv
+    files = sorted(directory.glob("*.csv"))
+    if not files:
+        print(f"no CSVs in {directory} (run the fig benches with --csv)")
+        return 1
+
+    if not use_ascii:
+        try:
+            import matplotlib
+            matplotlib.use("Agg")
+            import matplotlib.pyplot as plt
+        except ImportError:
+            print("matplotlib unavailable; falling back to --ascii")
+            use_ascii = True
+
+    for path in files:
+        xlabel, xs, series = read_csv(path)
+        if use_ascii:
+            ascii_plot(path.stem, xlabel, xs, series)
+        else:
+            fig, ax = plt.subplots(figsize=(6, 4))
+            for label, values in series.items():
+                ax.plot(xs, values, marker="o", label=label)
+            ax.set_xlabel(xlabel)
+            ax.set_title(path.stem.replace("_", " "))
+            ax.legend(fontsize=8)
+            ax.grid(True, alpha=0.3)
+            out = path.with_suffix(".png")
+            fig.savefig(out, dpi=120, bbox_inches="tight")
+            plt.close(fig)
+            print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
