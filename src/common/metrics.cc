@@ -1,0 +1,40 @@
+#include "common/metrics.h"
+
+namespace dse {
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    const std::uint64_t v = c->value();
+    if (v != 0) snap.emplace(name, v);
+  }
+  return snap;
+}
+
+std::map<std::string, RunningStats> MetricsRegistry::HistogramSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, RunningStats> snap;
+  for (const auto& [name, h] : histograms_) {
+    RunningStats s = h->snapshot();
+    if (s.count() != 0) snap.emplace(name, s);
+  }
+  return snap;
+}
+
+}  // namespace dse

@@ -1,0 +1,88 @@
+// Per-node metrics substrate: named monotonic counters and value histograms.
+//
+// One MetricsRegistry lives in each DSE kernel and is shared by every layer
+// running on that node (transport, kernel dispatch, GMM, client library).
+// Hot paths hold a Counter*/Histogram* obtained once at construction, so an
+// increment is a relaxed atomic add; the registry mutex is only taken on
+// first registration and when snapshotting. Snapshots are plain
+// name -> value maps, which is what the StatsQuery/StatsReply protocol pair
+// ships across the cluster for SSI-wide aggregation (see src/dse/ssi/).
+//
+// Counter naming scheme (docs/observability.md):
+//   <layer>.<what>[.<detail>]   e.g. msg.sent.ReadReq, net.bytes_sent,
+//   dsm.remote_reads, sync.lock_waits, bus.collisions
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/stats.h"
+
+namespace dse {
+
+// A cluster-/node-level counter snapshot: counter name -> value.
+using MetricsSnapshot = std::map<std::string, std::uint64_t>;
+
+// Monotonic counter. Thread-safe; increments are relaxed (counters are
+// observational — no ordering is derived from them).
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Value distribution (count/min/max/mean/stddev via RunningStats).
+// Mutex-guarded: histogram points are off the per-message fast path.
+class Histogram {
+ public:
+  void Record(double x) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.Add(x);
+  }
+  RunningStats snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+};
+
+class MetricsRegistry {
+ public:
+  // Finds or creates; the returned pointer is stable for the registry's
+  // lifetime, so callers cache it and increment without further lookups.
+  Counter* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // Slow-path convenience for cold call sites.
+  void Add(const std::string& name, std::uint64_t delta = 1) {
+    counter(name)->Add(delta);
+  }
+
+  // Counters with a non-zero value (zero-valued registrations are noise in
+  // cluster tables and would bloat StatsReply messages).
+  MetricsSnapshot CounterSnapshot() const;
+
+  // All histograms with at least one recorded point.
+  std::map<std::string, RunningStats> HistogramSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dse

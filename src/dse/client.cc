@@ -27,7 +27,15 @@ Status ErrorFrom(std::uint8_t code, const char* what) {
 }  // namespace
 
 TaskClient::TaskClient(RpcChannel* rpc, KernelCore* core)
-    : rpc_(rpc), core_(core), spawn_rr_((core->self() + 1) % core->num_nodes()) {}
+    : rpc_(rpc),
+      core_(core),
+      spawn_rr_((core->self() + 1) % core->num_nodes()),
+      reads_(core->metrics().counter("dsm.reads")),
+      writes_(core->metrics().counter("dsm.writes")),
+      atomics_(core->metrics().counter("dsm.atomics")),
+      remote_misses_(core->metrics().counter("dsm.remote_misses")),
+      lock_requests_(core->metrics().counter("sync.lock_requests")),
+      barrier_enters_(core->metrics().counter("sync.barrier_enters")) {}
 
 Result<gmm::GlobalAddr> TaskClient::AllocStriped(std::uint64_t size,
                                                  std::uint8_t block_log2) {
@@ -113,6 +121,7 @@ Status ApplyReadResp(const proto::ReadResp& resp, const gmm::Chunk& c,
 Status TaskClient::Read(gmm::GlobalAddr addr, void* out, std::uint64_t len) {
   auto* dst = static_cast<std::uint8_t*>(out);
   const bool cached = core_->read_cache_enabled();
+  reads_->Add();
 
   // Resolve cache hits first; everything left needs a home round trip.
   std::vector<gmm::Chunk> misses;
@@ -125,6 +134,7 @@ Status TaskClient::Read(gmm::GlobalAddr addr, void* out, std::uint64_t len) {
     if (cacheable && core_->CacheLookup(c.addr, c.len, dst + c.byte_offset)) {
       continue;
     }
+    if (c.home != core_->self()) remote_misses_->Add();
     misses.push_back(c);
     cacheable_flags.push_back(cacheable);
   }
@@ -165,6 +175,7 @@ Status TaskClient::Read(gmm::GlobalAddr addr, void* out, std::uint64_t len) {
 
 Status TaskClient::Write(gmm::GlobalAddr addr, const void* src,
                          std::uint64_t len) {
+  writes_->Add();
   const auto* p = static_cast<const std::uint8_t*>(src);
   const bool cached = core_->read_cache_enabled();
   const std::vector<gmm::Chunk> chunks = SplitForAccess(addr, len);
@@ -204,6 +215,7 @@ Status TaskClient::Write(gmm::GlobalAddr addr, const void* src,
 
 Result<std::int64_t> TaskClient::AtomicFetchAdd(gmm::GlobalAddr addr,
                                                 std::int64_t delta) {
+  atomics_->Add();
   proto::AtomicReq req;
   req.op = proto::AtomicOp::kFetchAdd;
   req.addr = addr;
@@ -217,6 +229,7 @@ Result<std::int64_t> TaskClient::AtomicFetchAdd(gmm::GlobalAddr addr,
 Result<std::int64_t> TaskClient::AtomicCompareExchange(gmm::GlobalAddr addr,
                                                        std::int64_t expected,
                                                        std::int64_t desired) {
+  atomics_->Add();
   proto::AtomicReq req;
   req.op = proto::AtomicOp::kCompareExchange;
   req.addr = addr;
@@ -229,6 +242,7 @@ Result<std::int64_t> TaskClient::AtomicCompareExchange(gmm::GlobalAddr addr,
 }
 
 Status TaskClient::Lock(std::uint64_t lock_id) {
+  lock_requests_->Add();
   auto resp = Expect<proto::LockGrant>(
       rpc_->Call(LockHome(lock_id), proto::LockReq{lock_id}));
   return resp.status();
@@ -240,6 +254,7 @@ Status TaskClient::Unlock(std::uint64_t lock_id) {
 
 Status TaskClient::Barrier(std::uint64_t barrier_id, int parties) {
   if (parties <= 0) return InvalidArgument("barrier needs parties >= 1");
+  barrier_enters_->Add();
   proto::BarrierEnter req;
   req.barrier_id = barrier_id;
   req.parties = static_cast<std::uint32_t>(parties);
@@ -318,6 +333,17 @@ Result<std::vector<proto::PsEntry>> TaskClient::ClusterPs() {
     all.insert(all.end(), resp->entries.begin(), resp->entries.end());
   }
   return all;
+}
+
+Result<std::vector<MetricsSnapshot>> TaskClient::ClusterStats() {
+  std::vector<MetricsSnapshot> per_node;
+  per_node.reserve(static_cast<size_t>(num_nodes()));
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    auto resp = Expect<proto::StatsResp>(rpc_->Call(n, proto::StatsReq{}));
+    if (!resp.ok()) return resp.status();
+    per_node.push_back(std::move(resp->counters));
+  }
+  return per_node;
 }
 
 }  // namespace dse

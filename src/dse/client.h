@@ -79,6 +79,8 @@ class TaskClient {
 
   Status Print(Gpid gpid, const std::string& text);
   Result<std::vector<proto::PsEntry>> ClusterPs();
+  // One StatsReq round trip per node; index in the result == NodeId.
+  Result<std::vector<MetricsSnapshot>> ClusterStats();
   Status PublishName(const std::string& name, std::uint64_t value);
   Result<std::uint64_t> LookupName(const std::string& name);
 
@@ -96,6 +98,15 @@ class TaskClient {
   RpcChannel* rpc_;
   KernelCore* core_;
   int spawn_rr_;
+
+  // Client-side access counters, pre-resolved from the node's registry so
+  // the data path never takes the registry mutex.
+  Counter* reads_;
+  Counter* writes_;
+  Counter* atomics_;
+  Counter* remote_misses_;   // read chunks served by a remote home
+  Counter* lock_requests_;   // sync points entered (waits counted home-side)
+  Counter* barrier_enters_;
 };
 
 }  // namespace dse

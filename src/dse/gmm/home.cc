@@ -296,6 +296,8 @@ GmmHome::Replies GmmHome::HandleBarrierEnter(NodeId src, std::uint64_t req_id,
       out.push_back(MakeReply(node, rid, proto::BarrierRelease{m.barrier_id}));
     }
     barriers_.erase(m.barrier_id);
+  } else {
+    ++stats_.barrier_waits;  // this entrant parks until the last arrival
   }
   return out;
 }

@@ -36,6 +36,7 @@ struct GmmHomeStats {
   std::uint64_t lock_acquires = 0;
   std::uint64_t lock_waits = 0;   // lock requests that had to queue
   std::uint64_t barriers = 0;     // completed barrier episodes
+  std::uint64_t barrier_waits = 0;  // entrants parked until the last arrival
   std::uint64_t invalidations = 0;
   std::uint64_t deferred_mutations = 0;  // mutations that waited for a round
 };

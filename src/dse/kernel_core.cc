@@ -22,7 +22,19 @@ KernelCore::KernelCore(NodeId self, int num_nodes, KernelOptions options)
       num_nodes_(num_nodes),
       options_(std::move(options)),
       home_(self, num_nodes, options_.read_cache),
-      processes_(self) {}
+      processes_(self),
+      ssi_(self, &processes_, [this] { return StatsSnapshot(); }) {
+  for (std::uint8_t t = 1; t <= proto::kMaxMsgType; ++t) {
+    const std::string name(proto::MsgTypeName(static_cast<proto::MsgType>(t)));
+    msg_sent_[t] = metrics_.counter("msg.sent." + name);
+    msg_recv_[t] = metrics_.counter("msg.recv." + name);
+  }
+  net_msgs_sent_ = metrics_.counter("net.msgs_sent");
+  net_bytes_sent_ = metrics_.counter("net.bytes_sent");
+  net_msgs_recv_ = metrics_.counter("net.msgs_recv");
+  net_bytes_recv_ = metrics_.counter("net.bytes_recv");
+  sent_bytes_hist_ = metrics_.histogram("net.sent_bytes");
+}
 
 KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
   DSE_CHECK_MSG(!proto::IsClientResponse(env.type()),
@@ -31,6 +43,16 @@ KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
   Actions actions;
   const NodeId src = env.src_node;
   const std::uint64_t rid = env.req_id;
+
+  if (ssi::SsiServices::Handles(env.type())) {
+    if (env.type() == proto::MsgType::kConsoleOut) ++stats_.console_lines;
+    ssi::SsiServices::Effects fx = ssi_.Handle(env);
+    for (auto& r : fx.out) {
+      actions.out.push_back(Outgoing{r.dst, std::move(r.env)});
+    }
+    for (auto& line : fx.console) actions.console.push_back(std::move(line));
+    return actions;
+  }
 
   switch (env.type()) {
     case proto::MsgType::kReadReq:
@@ -78,7 +100,10 @@ KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
       const auto& req = std::get<proto::SpawnReq>(env.body);
       proto::SpawnResp resp;
       if (options_.has_task && !options_.has_task(req.task_name)) {
-        resp.error = static_cast<std::uint8_t>(ErrorCode::kNotFound);
+        // A bad task name is the caller's mistake, not a missing resource:
+        // refuse the spawn and let the Status propagate back.
+        ++stats_.spawn_rejects;
+        resp.error = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
       } else {
         const Gpid gpid = processes_.Create(req.task_name);
         resp.gpid = gpid;
@@ -120,75 +145,9 @@ KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
       break;
     }
 
-    case proto::MsgType::kPsReq: {
-      proto::PsResp resp;
-      resp.entries = processes_.Snapshot();
-      proto::Envelope reply;
-      reply.req_id = rid;
-      reply.src_node = self_;
-      reply.body = std::move(resp);
-      actions.out.push_back(Outgoing{src, std::move(reply)});
-      break;
-    }
-
-    case proto::MsgType::kConsoleOut: {
-      ++stats_.console_lines;
-      const auto& msg = std::get<proto::ConsoleOut>(env.body);
-      actions.console.push_back("[" + GpidToString(msg.gpid) + "] " +
-                                msg.text);
-      break;
-    }
-
     case proto::MsgType::kShutdown:
       actions.shutdown = true;
       break;
-
-    case proto::MsgType::kNamePublish: {
-      const auto& req = std::get<proto::NamePublish>(env.body);
-      proto::NameAck resp;
-      if (self_ != 0) {
-        resp.error = static_cast<std::uint8_t>(ErrorCode::kFailedPrecondition);
-      } else if (!names_.emplace(req.name, req.value).second) {
-        resp.error = static_cast<std::uint8_t>(ErrorCode::kAlreadyExists);
-      }
-      proto::Envelope reply;
-      reply.req_id = rid;
-      reply.src_node = self_;
-      reply.body = resp;
-      actions.out.push_back(Outgoing{src, std::move(reply)});
-      break;
-    }
-
-    case proto::MsgType::kNameLookup: {
-      const auto& req = std::get<proto::NameLookup>(env.body);
-      proto::NameResp resp;
-      const auto it = names_.find(req.name);
-      if (self_ != 0) {
-        resp.error = static_cast<std::uint8_t>(ErrorCode::kFailedPrecondition);
-      } else if (it == names_.end()) {
-        resp.error = static_cast<std::uint8_t>(ErrorCode::kNotFound);
-      } else {
-        resp.value = it->second;
-      }
-      proto::Envelope reply;
-      reply.req_id = rid;
-      reply.src_node = self_;
-      reply.body = resp;
-      actions.out.push_back(Outgoing{src, std::move(reply)});
-      break;
-    }
-
-    case proto::MsgType::kLoadReq: {
-      proto::LoadResp resp;
-      resp.running_tasks =
-          static_cast<std::uint32_t>(processes_.running_count());
-      proto::Envelope reply;
-      reply.req_id = rid;
-      reply.src_node = self_;
-      reply.body = resp;
-      actions.out.push_back(Outgoing{src, std::move(reply)});
-      break;
-    }
 
     default:
       DSE_CHECK_MSG(false, "unhandled message type in KernelCore");
@@ -267,6 +226,43 @@ void KernelCore::CacheUpdateLocal(gmm::GlobalAddr addr, const void* data,
 size_t KernelCore::cache_block_count() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   return cache_.size();
+}
+
+MetricsSnapshot KernelCore::StatsSnapshot() const {
+  MetricsSnapshot snap = metrics_.CounterSnapshot();
+
+  auto put = [&snap](const char* name, std::uint64_t v) {
+    if (v != 0) snap[name] = v;
+  };
+  // Kernel-side counters (KernelStats fields are written only under the
+  // backend's Handle serialization; the cache fields also race with task
+  // threads but are monotonic uint64s — good enough for introspection).
+  put("pm.handled", stats_.handled);
+  put("pm.spawns", stats_.spawns);
+  put("pm.spawn_rejects", stats_.spawn_rejects);
+  put("pm.joins", stats_.joins);
+  put("ssi.console_lines", stats_.console_lines);
+  put("dsm.cache_hits", stats_.cache_hits);
+  put("dsm.cache_misses", stats_.cache_misses);
+  put("dsm.cache_invalidated", stats_.cache_invalidated);
+  put("ssi.names_published", ssi_.name_count());
+
+  // Home-side GMM counters.
+  const gmm::GmmHomeStats& g = home_.stats();
+  put("dsm.home_reads", g.reads);
+  put("dsm.home_writes", g.writes);
+  put("dsm.home_atomics", g.atomics);
+  put("dsm.allocs", g.allocs);
+  put("dsm.frees", g.frees);
+  put("sync.lock_acquires", g.lock_acquires);
+  put("sync.lock_waits", g.lock_waits);
+  put("sync.barriers", g.barriers);
+  put("sync.barrier_waits", g.barrier_waits);
+  put("dsm.invalidations", g.invalidations);
+  put("dsm.deferred_mutations", g.deferred_mutations);
+
+  if (options_.augment_stats) options_.augment_stats(&snap);
+  return snap;
 }
 
 }  // namespace dse

@@ -5,7 +5,8 @@
 //   * the global memory management module (GmmHome),
 //   * the parallel process management module (ProcessTable),
 //   * the client-side read cache (coherence extension),
-//   * SSI services (console routing, cluster ps).
+//   * the SSI services facade (src/dse/ssi/: console routing, cluster ps,
+//     name service, load query, metrics snapshot query).
 //
 // The backends (ThreadedRuntime, SimRuntime) own the message loop; they feed
 // inbound server-side messages into Handle() and carry out the returned
@@ -14,8 +15,15 @@
 // blocked task — with one exception: block-fetch ReadResps pass through
 // CacheInsert() on the service path so cache updates stay ordered with
 // invalidations.
+//
+// Observability: the core owns the node's MetricsRegistry. Backends count
+// per-type message traffic via CountSent/CountRecv and wire bytes via
+// CountWireSent/CountWireRecv at their transport choke points;
+// StatsSnapshot() merges those live counters with the kernel/GMM stats
+// structs into the flat map served over the StatsReq/StatsResp pair.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -23,10 +31,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "dse/gmm/home.h"
 #include "dse/ids.h"
 #include "dse/pm/process_table.h"
 #include "dse/proto/messages.h"
+#include "dse/ssi/services.h"
 
 namespace dse {
 
@@ -37,14 +47,18 @@ struct KernelOptions {
   // requests before waiting (latency hiding; an extension beyond the
   // paper's strictly request/response DSE).
   bool pipelined_transfers = false;
-  // Validates SpawnReq task names; unknown names fail the spawn instead of
-  // crashing the target node.
+  // Validates SpawnReq task names; unknown names fail the spawn with
+  // kInvalidArgument instead of crashing the target node.
   std::function<bool(const std::string&)> has_task;
+  // Lets the backend merge transport-level counters (e.g. the endpoint's
+  // wire byte counts) into StatsSnapshot(). May be null.
+  std::function<void(MetricsSnapshot*)> augment_stats;
 };
 
 struct KernelStats {
   std::uint64_t handled = 0;          // server-side messages processed
   std::uint64_t spawns = 0;
+  std::uint64_t spawn_rejects = 0;    // unknown-task spawn requests refused
   std::uint64_t joins = 0;
   std::uint64_t console_lines = 0;
   std::uint64_t cache_hits = 0;
@@ -100,9 +114,42 @@ class KernelCore {
                         std::uint64_t len);
   size_t cache_block_count() const;
 
+  // --- Observability --------------------------------------------------------
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // Per-type traffic accounting (backend transport choke points; atomic).
+  void CountSent(proto::MsgType type) {
+    msg_sent_[static_cast<size_t>(type)]->Add();
+  }
+  void CountRecv(proto::MsgType type) {
+    msg_recv_[static_cast<size_t>(type)]->Add();
+  }
+  void CountWireSent(std::uint64_t bytes) {
+    net_msgs_sent_->Add();
+    net_bytes_sent_->Add(bytes);
+    sent_bytes_hist_->Record(static_cast<double>(bytes));
+  }
+  void CountWireRecv(std::uint64_t bytes) {
+    net_msgs_recv_->Add();
+    net_bytes_recv_->Add(bytes);
+  }
+
+  // Point-in-time merged counter view: live registry counters plus the
+  // KernelStats/GmmHomeStats structs (and the backend's augment hook). This
+  // is what StatsReq answers with. Thread-safe.
+  MetricsSnapshot StatsSnapshot() const;
+
+  // SSI `ps` view of this node's process table (quiescent or externally
+  // serialized callers only — backends serialize Handle the same way).
+  std::vector<proto::PsEntry> PsSnapshot() const {
+    return processes_.Snapshot();
+  }
+
   const KernelStats& stats() const { return stats_; }
   const gmm::GmmHomeStats& gmm_stats() const { return home_.stats(); }
   gmm::GmmHome& home_for_test() { return home_; }
+  ssi::SsiServices& ssi_for_test() { return ssi_; }
 
  private:
   void HandleInvalidate(const proto::Envelope& env, Actions* actions);
@@ -117,8 +164,18 @@ class KernelCore {
   mutable std::mutex cache_mu_;
   std::unordered_map<gmm::GlobalAddr, std::vector<std::uint8_t>> cache_;
 
-  // SSI name service registry (meaningful on node 0).
-  std::unordered_map<std::string, std::uint64_t> names_;
+  MetricsRegistry metrics_;
+  // Pre-resolved counter handles so the hot paths never take the registry
+  // mutex. Indexed by the raw MsgType value (1..kMaxMsgType).
+  std::array<Counter*, proto::kMaxMsgType + 1> msg_sent_{};
+  std::array<Counter*, proto::kMaxMsgType + 1> msg_recv_{};
+  Counter* net_msgs_sent_ = nullptr;
+  Counter* net_bytes_sent_ = nullptr;
+  Counter* net_msgs_recv_ = nullptr;
+  Counter* net_bytes_recv_ = nullptr;
+  Histogram* sent_bytes_hist_ = nullptr;
+
+  ssi::SsiServices ssi_;
 
   KernelStats stats_;
 };

@@ -30,7 +30,7 @@ class HostRpc final : public RpcChannel {
     env.src_node = host_->self();
     env.body = std::move(body);
     host_->RegisterWaiter(env.req_id, &waiter);
-    const Status sent = host_->endpoint().Send(dst, proto::Encode(env));
+    const Status sent = host_->SendEnvelope(dst, env);
     if (!sent.ok()) {
       host_->DropWaiter(env.req_id);
       return sent;
@@ -56,7 +56,7 @@ class HostRpc final : public RpcChannel {
       env.src_node = host_->self();
       env.body = std::move(body);
       host_->RegisterWaiter(env.req_id, waiter.get());
-      const Status sent = host_->endpoint().Send(dst, proto::Encode(env));
+      const Status sent = host_->SendEnvelope(dst, env);
       if (!sent.ok()) {
         host_->DropWaiter(env.req_id);
         // Waiters already sent will be answered; absorb them before failing
@@ -85,7 +85,7 @@ class HostRpc final : public RpcChannel {
     env.req_id = 0;
     env.src_node = host_->self();
     env.body = std::move(body);
-    return host_->endpoint().Send(dst, proto::Encode(env));
+    return host_->SendEnvelope(dst, env);
   }
 
  private:
@@ -160,6 +160,9 @@ class HostTask final : public Task {
   Result<std::vector<proto::PsEntry>> ClusterPs() override {
     return client_.ClusterPs();
   }
+  Result<std::vector<MetricsSnapshot>> ClusterStats() override {
+    return client_.ClusterStats();
+  }
   Status PublishName(const std::string& name, std::uint64_t value) override {
     return client_.PublishName(name, value);
   }
@@ -181,12 +184,23 @@ class HostTask final : public Task {
 namespace {
 
 KernelOptions MakeKernelOptions(const NodeHost::Options& options,
-                                TaskRegistry* registry) {
+                                TaskRegistry* registry,
+                                net::Endpoint* endpoint) {
   KernelOptions kopts;
   kopts.read_cache = options.read_cache;
   kopts.pipelined_transfers = options.pipelined_transfers;
   kopts.has_task = [registry](const std::string& name) {
     return registry->Has(name);
+  };
+  // Endpoint-level byte counts (serialized frames at the fabric boundary)
+  // ride along in stats snapshots as a cross-check of the kernel's own
+  // net.* accounting.
+  kopts.augment_stats = [endpoint](MetricsSnapshot* snap) {
+    const net::WireCounts w = endpoint->wire_counts();
+    if (w.msgs_sent != 0) (*snap)["wire.msgs_sent"] = w.msgs_sent;
+    if (w.bytes_sent != 0) (*snap)["wire.bytes_sent"] = w.bytes_sent;
+    if (w.msgs_recv != 0) (*snap)["wire.msgs_recv"] = w.msgs_recv;
+    if (w.bytes_recv != 0) (*snap)["wire.bytes_recv"] = w.bytes_recv;
   };
   return kopts;
 }
@@ -197,7 +211,7 @@ NodeHost::NodeHost(net::Endpoint* endpoint, int num_nodes, Options options)
     : endpoint_(endpoint),
       options_(std::move(options)),
       core_(endpoint->self(), num_nodes,
-            MakeKernelOptions(options_, options_.registry)) {
+            MakeKernelOptions(options_, options_.registry, endpoint)) {
   DSE_CHECK(options_.registry != nullptr);
 }
 
@@ -284,7 +298,7 @@ void NodeHost::BroadcastShutdown() {
     env.req_id = 0;
     env.src_node = self();
     env.body = proto::Shutdown{};
-    const Status s = endpoint_->Send(n, proto::Encode(env));
+    const Status s = SendEnvelope(n, env);
     if (!s.ok()) {
       DSE_LOG(kWarn) << "shutdown broadcast to node " << n
                      << " failed: " << s.ToString();
@@ -292,12 +306,23 @@ void NodeHost::BroadcastShutdown() {
   }
 }
 
+Status NodeHost::SendEnvelope(NodeId dst, const proto::Envelope& env) {
+  std::vector<std::uint8_t> payload = proto::Encode(env);
+  const std::uint64_t bytes = payload.size();
+  const Status s = endpoint_->Send(dst, std::move(payload));
+  if (s.ok()) {
+    core_.CountSent(env.type());
+    core_.CountWireSent(bytes);
+  }
+  return s;
+}
+
 void NodeHost::Perform(KernelCore::Actions actions) {
   for (auto& line : actions.console) {
     if (options_.console_sink) options_.console_sink(std::move(line));
   }
   for (auto& out : actions.out) {
-    const Status s = endpoint_->Send(out.dst, proto::Encode(out.env));
+    const Status s = SendEnvelope(out.dst, out.env);
     if (!s.ok()) {
       DSE_LOG(kWarn) << "node " << self() << " send to " << out.dst
                      << " failed: " << s.ToString();
@@ -316,7 +341,15 @@ void NodeHost::StartTaskThread(KernelCore::StartTask st) {
   std::thread thread([this, st = std::move(st)]() mutable {
     {
       HostTask task(this, st.gpid, std::move(st.arg));
-      options_.registry->Get(st.task_name)(task);
+      // Spawn validation runs before a StartTask is emitted, so a missing
+      // entry here means the registry changed underneath us; degrade to an
+      // empty result instead of killing the node.
+      if (TaskFn fn = options_.registry->TryGet(st.task_name)) {
+        fn(task);
+      } else {
+        DSE_LOG(kWarn) << "node " << self() << ": task '" << st.task_name
+                       << "' vanished from the registry; finishing empty";
+      }
       FinishLocalTask(st.gpid, task.TakeResult());
     }
     {
@@ -338,6 +371,8 @@ void NodeHost::ServiceLoop() {
       continue;
     }
     proto::Envelope env = std::move(*decoded);
+    core_.CountRecv(env.type());
+    core_.CountWireRecv(delivery->payload.size());
 
     if (proto::IsClientResponse(env.type())) {
       // Cache fills happen on this ordered path before the waiting task can

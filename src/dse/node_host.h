@@ -69,6 +69,10 @@ class NodeHost {
   void RegisterWaiter(std::uint64_t req_id, Waiter* waiter);
   void DropWaiter(std::uint64_t req_id);
   net::Endpoint& endpoint() { return *endpoint_; }
+  // Encodes, counts (per-type + wire bytes) and sends. The single outbound
+  // choke point — all kernel and client traffic flows through here so the
+  // metrics registry sees every message exactly once.
+  Status SendEnvelope(NodeId dst, const proto::Envelope& env);
   void FinishLocalTask(Gpid gpid, std::vector<std::uint8_t> result);
 
  private:

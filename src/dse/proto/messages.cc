@@ -92,6 +92,14 @@ void Put(ByteWriter& w, const NameResp& m) {
 }
 void Put(ByteWriter&, const LoadReq&) {}
 void Put(ByteWriter& w, const LoadResp& m) { w.WriteU32(m.running_tasks); }
+void Put(ByteWriter&, const StatsReq&) {}
+void Put(ByteWriter& w, const StatsResp& m) {
+  w.WriteU32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const auto& [name, value] : m.counters) {  // map: sorted, stable wire
+    w.WriteString(name);
+    w.WriteU64(value);
+  }
+}
 
 // --- Per-body decoders ------------------------------------------------------
 
@@ -206,6 +214,20 @@ Status Get(ByteReader& r, NameResp* m) {
 }
 Status Get(ByteReader&, LoadReq*) { return Status::Ok(); }
 Status Get(ByteReader& r, LoadResp* m) { return r.ReadU32(&m->running_tasks); }
+Status Get(ByteReader&, StatsReq*) { return Status::Ok(); }
+Status Get(ByteReader& r, StatsResp* m) {
+  std::uint32_t n = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  m->counters.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t value = 0;
+    DSE_RETURN_IF_ERROR(r.ReadString(&name));
+    DSE_RETURN_IF_ERROR(r.ReadU64(&value));
+    m->counters.emplace(std::move(name), value);
+  }
+  return Status::Ok();
+}
 
 template <typename T, MsgType kType>
 struct Tag {
@@ -248,6 +270,8 @@ std::string_view MsgTypeName(MsgType type) {
     case MsgType::kNameResp: return "NameResp";
     case MsgType::kLoadReq: return "LoadReq";
     case MsgType::kLoadResp: return "LoadResp";
+    case MsgType::kStatsReq: return "StatsReq";
+    case MsgType::kStatsResp: return "StatsResp";
   }
   return "Unknown";
 }
@@ -267,6 +291,7 @@ bool IsClientResponse(MsgType type) {
     case MsgType::kNameAck:
     case MsgType::kNameResp:
     case MsgType::kLoadResp:
+    case MsgType::kStatsResp:
       return true;
     default:
       return false;
@@ -352,6 +377,9 @@ Result<Envelope> Decode(const std::vector<std::uint8_t>& payload) {
     case MsgType::kNameResp: return DecodeBody<NameResp>(r, std::move(env));
     case MsgType::kLoadReq: return DecodeBody<LoadReq>(r, std::move(env));
     case MsgType::kLoadResp: return DecodeBody<LoadResp>(r, std::move(env));
+    case MsgType::kStatsReq: return DecodeBody<StatsReq>(r, std::move(env));
+    case MsgType::kStatsResp:
+      return DecodeBody<StatsResp>(r, std::move(env));
   }
   return ProtocolError("unknown message type " + std::to_string(type_raw));
 }

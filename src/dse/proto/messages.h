@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <variant>
 #include <vector>
@@ -57,7 +58,15 @@ enum class MsgType : std::uint8_t {
   // SSI load query (for least-loaded process placement).
   kLoadReq,
   kLoadResp,
+  // SSI cluster-wide introspection: a node's metrics-counter snapshot.
+  kStatsReq,
+  kStatsResp,
 };
+
+// Highest MsgType value; message types are contiguous from 1, so fixed-size
+// per-type counter tables are indexed by the raw enum value.
+inline constexpr std::uint8_t kMaxMsgType =
+    static_cast<std::uint8_t>(MsgType::kStatsResp);
 
 std::string_view MsgTypeName(MsgType type);
 
@@ -200,13 +209,22 @@ struct LoadResp {
   std::uint32_t running_tasks = 0;
 };
 
+// SSI introspection: asks a kernel for its metrics-counter snapshot. The
+// reply carries name -> value pairs (sorted by name on the wire) so any node
+// can aggregate a cluster-wide view over the normal request/response path.
+struct StatsReq {};
+struct StatsResp {
+  std::map<std::string, std::uint64_t> counters;
+};
+
 using Body =
     std::variant<ReadReq, ReadResp, WriteReq, WriteAck, AtomicReq, AtomicResp,
                  AllocReq, AllocResp, FreeReq, FreeAck, InvalidateReq,
                  InvalidateAck, LockReq, LockGrant, UnlockReq, BarrierEnter,
                  BarrierRelease, SpawnReq, SpawnResp, JoinReq, JoinResp, PsReq,
                  PsResp, ConsoleOut, Shutdown, NamePublish, NameAck,
-                 NameLookup, NameResp, LoadReq, LoadResp>;
+                 NameLookup, NameResp, LoadReq, LoadResp, StatsReq,
+                 StatsResp>;
 
 MsgType TypeOf(const Body& body);
 

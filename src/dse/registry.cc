@@ -21,6 +21,12 @@ TaskFn TaskRegistry::Get(const std::string& name) const {
   return it->second;
 }
 
+TaskFn TaskRegistry::TryGet(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = fns_.find(name);
+  return it == fns_.end() ? TaskFn{} : it->second;
+}
+
 std::vector<std::string> TaskRegistry::Names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;

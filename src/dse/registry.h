@@ -31,6 +31,11 @@ class TaskRegistry {
   // via Has).
   TaskFn Get(const std::string& name) const;
 
+  // Non-aborting lookup: empty function if the name is unknown. Backends use
+  // this defensively so a spawn that slipped past validation degrades to a
+  // no-op task instead of killing the node.
+  TaskFn TryGet(const std::string& name) const;
+
   std::vector<std::string> Names() const;
 
  private:

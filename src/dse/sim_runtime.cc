@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/log.h"
 #include "dse/client.h"
 #include "sim/channel.h"
 #include "sim/simulator.h"
@@ -104,6 +105,9 @@ void SimState::Deliver(NodeId src, NodeId dst, proto::Envelope env,
 void ChargeAndSend(sim::Context& ctx, SimState& state, NodeId src, NodeId dst,
                    proto::Envelope env) {
   const std::uint64_t bytes = proto::Encode(env).size();
+  KernelCore& src_core = state.nodes[static_cast<size_t>(src)]->core;
+  src_core.CountSent(env.type());
+  src_core.CountWireSent(bytes);
   const int k = state.KernelsOf(src);
   const platform::Profile& prof = state.ProfileOf(src);
   sim::SimTime cost = platform::SendCost(prof, bytes, k);
@@ -260,6 +264,9 @@ class SimTask final : public Task {
   Result<std::vector<proto::PsEntry>> ClusterPs() override {
     return client_.ClusterPs();
   }
+  Result<std::vector<MetricsSnapshot>> ClusterStats() override {
+    return client_.ClusterStats();
+  }
   Status PublishName(const std::string& name, std::uint64_t value) override {
     return client_.PublishName(name, value);
   }
@@ -293,7 +300,14 @@ void RunTaskBody(sim::Context& ctx, SimState& state, SimNode& node,
   std::vector<std::uint8_t> result;
   {
     SimTask task(&node, &ctx, st.gpid, std::move(st.arg));
-    state.registry->Get(st.task_name)(task);
+    // Validation happened at spawn time; a miss here means a concurrent
+    // re-registration — degrade to an empty result rather than aborting.
+    if (TaskFn fn = state.registry->TryGet(st.task_name)) {
+      fn(task);
+    } else {
+      DSE_LOG(kWarn) << "sim node " << node.core.self() << ": task '"
+                     << st.task_name << "' not registered; finishing empty";
+    }
     result = task.TakeResult();
   }
   if (st.gpid == state.main_gpid) {
@@ -345,6 +359,8 @@ void KernelLoop(sim::Context& ctx, SimState& state, SimNode& node) {
   const platform::Profile& prof = state.ProfileOf(node.core.self());
   for (;;) {
     SimDelivery d = node.mailbox.Pop(ctx);
+    node.core.CountRecv(d.env.type());
+    node.core.CountWireRecv(d.bytes);
     const int k = state.KernelsOf(node.core.self());
     ctx.Sleep(platform::RecvCost(prof, d.bytes, k));
     if (state.options->trace != nullptr) {
@@ -468,6 +484,37 @@ SimReport SimRuntime::Run(const std::string& main_name,
     report.cache_misses += node->core.stats().cache_misses;
     report.invalidations += node->core.gmm_stats().invalidations;
   }
+
+  // SSI introspection views. Counter values are a pure function of
+  // (options, arg): all counting happens in the deterministic event loop.
+  report.node_stats.reserve(state.nodes.size());
+  for (const auto& node : state.nodes) {
+    report.node_stats.push_back(node->core.StatsSnapshot());
+    auto entries = node->core.PsSnapshot();
+    report.ps.insert(report.ps.end(), entries.begin(), entries.end());
+    for (const auto& [name, s] : node->core.metrics().HistogramSnapshot()) {
+      report.histograms[name].Merge(s);
+    }
+  }
+  report.medium_counters = simnet::MediumStatsToCounters(net);
+
+  // Final counter samples into the trace (Chrome counter tracks). Stamped at
+  // the simulator's final time so the timeline stays monotonic — the cluster
+  // keeps draining shutdowns after the main task finishes.
+  if (options_.trace != nullptr) {
+    for (size_t n = 0; n < report.node_stats.size(); ++n) {
+      for (const auto& [name, value] : report.node_stats[n]) {
+        options_.trace->Record(trace::Event{state.sim.Now(),
+                                            trace::EventKind::kCounter,
+                                            static_cast<NodeId>(n), -1, name,
+                                            value});
+      }
+    }
+  }
+
+  last_node_stats_ = report.node_stats;
+  last_ps_ = report.ps;
+  last_medium_counters_ = report.medium_counters;
   return report;
 }
 

@@ -70,6 +70,14 @@ struct SimReport {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t invalidations = 0;
+
+  // SSI introspection, captured as the simulation quiesces: one counter
+  // snapshot per node (index == NodeId), the global process listing, and the
+  // medium's counters (cluster-wide — the bus has no owning node).
+  std::vector<MetricsSnapshot> node_stats;
+  std::vector<proto::PsEntry> ps;
+  MetricsSnapshot medium_counters;
+  std::map<std::string, RunningStats> histograms;  // merged across nodes
 };
 
 class SimRuntime {
@@ -88,9 +96,23 @@ class SimRuntime {
   SimReport Run(const std::string& main_name,
                 std::vector<std::uint8_t> arg = {});
 
+  // SSI introspection views of the most recent Run (same data as the
+  // report; mirrors ThreadedRuntime's accessors).
+  const std::vector<MetricsSnapshot>& ClusterStats() const {
+    return last_node_stats_;
+  }
+  const std::vector<proto::PsEntry>& Ps() const { return last_ps_; }
+  const MetricsSnapshot& MediumCounters() const {
+    return last_medium_counters_;
+  }
+
  private:
   SimOptions options_;
   TaskRegistry registry_;
+
+  std::vector<MetricsSnapshot> last_node_stats_;
+  std::vector<proto::PsEntry> last_ps_;
+  MetricsSnapshot last_medium_counters_;
 };
 
 }  // namespace dse

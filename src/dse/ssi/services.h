@@ -1,0 +1,66 @@
+// Single-system-image services (DESIGN.md inventory #12).
+//
+// The SSI layer is what makes the cluster answer like one machine: a global
+// name service, routed console output, the cluster-wide process listing
+// behind `ps`, the load query behind least-loaded placement, and the
+// metrics-snapshot query behind `top`-style introspection. Each kernel owns
+// one SsiServices facade; KernelCore routes every SSI message type here and
+// forwards the resulting replies/console lines unchanged.
+//
+// Like GmmHome, this is a pure request -> effects state machine: no
+// transport, no threads, shared verbatim by the threaded, simulated and
+// multi-process runtimes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "dse/ids.h"
+#include "dse/pm/process_table.h"
+#include "dse/proto/messages.h"
+
+namespace dse::ssi {
+
+class SsiServices {
+ public:
+  struct Reply {
+    NodeId dst;
+    proto::Envelope env;
+  };
+  struct Effects {
+    std::vector<Reply> out;
+    std::vector<std::string> console;  // aggregated lines (node 0)
+  };
+
+  // Produces this node's point-in-time counter snapshot for StatsReq.
+  using StatsFn = std::function<MetricsSnapshot()>;
+
+  // `processes` backs the ps/load services (not owned; the kernel's table).
+  SsiServices(NodeId self, const pm::ProcessTable* processes, StatsFn stats);
+
+  // True for the message types this facade serves.
+  static bool Handles(proto::MsgType type);
+
+  // Serves one SSI request. Precondition: Handles(env.type()).
+  Effects Handle(const proto::Envelope& env);
+
+  // Name-service introspection (tests).
+  size_t name_count() const { return names_.size(); }
+
+ private:
+  Effects WithReply(NodeId dst, std::uint64_t req_id, proto::Body body) const;
+
+  NodeId self_;
+  const pm::ProcessTable* processes_;
+  StatsFn stats_;
+  // Global name registry; authoritative on node 0 (the SSI master). First
+  // publish wins — republishing an existing name is rejected, never
+  // overwritten, so rendezvous values stay stable.
+  std::unordered_map<std::string, std::uint64_t> names_;
+};
+
+}  // namespace dse::ssi

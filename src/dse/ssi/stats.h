@@ -1,0 +1,41 @@
+// Cluster-stats aggregation and rendering for the SSI introspection tools
+// (`dse_run --stats`, `--ps`) and for tests that compare per-node snapshots
+// against cluster aggregates.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/stats.h"
+#include "dse/proto/messages.h"
+
+namespace dse::ssi {
+
+// Sums per-node counter snapshots into one cluster-wide snapshot.
+MetricsSnapshot Aggregate(const std::vector<MetricsSnapshot>& per_node);
+
+// Fixed-width table: one row per counter name, one column per node plus a
+// `total` column. `cluster_only` rows (e.g. the simulated bus medium, which
+// has no owning node) appear with empty node cells and a total only.
+std::string FormatStatsTable(const std::vector<MetricsSnapshot>& per_node,
+                             const MetricsSnapshot& cluster_only = {});
+
+// Histogram summary table (count/min/mean/max), cluster-merged.
+std::string FormatHistogramTable(
+    const std::map<std::string, RunningStats>& merged);
+
+// Machine-readable exports of the same data.
+// JSON: {"nodes": [{...}, ...], "cluster": {...}}.
+std::string StatsToJson(const std::vector<MetricsSnapshot>& per_node,
+                        const MetricsSnapshot& cluster_only = {});
+// CSV (long format): counter,node,value — node is `cluster` for the
+// aggregate rows.
+std::string StatsToCsv(const std::vector<MetricsSnapshot>& per_node,
+                       const MetricsSnapshot& cluster_only = {});
+
+// `ps`-style listing of the SSI global process namespace.
+std::string FormatPsTable(const std::vector<proto::PsEntry>& entries);
+
+}  // namespace dse::ssi

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,10 @@ class Task {
   virtual void Print(const std::string& text) = 0;
   // Cluster-wide process listing.
   virtual Result<std::vector<proto::PsEntry>> ClusterPs() = 0;
+  // Cluster-wide metrics snapshot: one counter map per node (index ==
+  // NodeId), gathered over the StatsReq/StatsResp protocol.
+  virtual Result<std::vector<std::map<std::string, std::uint64_t>>>
+  ClusterStats() = 0;
   // Global name service: publishes a 64-bit value (a global address, a
   // gpid, ...) under a cluster-wide name. kAlreadyExists if taken.
   virtual Status PublishName(const std::string& name, std::uint64_t value) = 0;

@@ -69,4 +69,33 @@ size_t ThreadedRuntime::cache_block_count(NodeId node) const {
   return hosts_[static_cast<size_t>(node)]->core().cache_block_count();
 }
 
+std::vector<MetricsSnapshot> ThreadedRuntime::ClusterStats() const {
+  std::vector<MetricsSnapshot> per_node;
+  per_node.reserve(hosts_.size());
+  for (const auto& host : hosts_) {
+    per_node.push_back(host->core().StatsSnapshot());
+  }
+  return per_node;
+}
+
+std::vector<proto::PsEntry> ThreadedRuntime::Ps() const {
+  std::vector<proto::PsEntry> all;
+  for (const auto& host : hosts_) {
+    auto entries = host->core().PsSnapshot();
+    all.insert(all.end(), entries.begin(), entries.end());
+  }
+  return all;
+}
+
+std::map<std::string, RunningStats> ThreadedRuntime::ClusterHistograms()
+    const {
+  std::map<std::string, RunningStats> merged;
+  for (const auto& host : hosts_) {
+    for (const auto& [name, s] : host->core().metrics().HistogramSnapshot()) {
+      merged[name].Merge(s);
+    }
+  }
+  return merged;
+}
+
 }  // namespace dse

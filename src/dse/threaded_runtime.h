@@ -58,6 +58,14 @@ class ThreadedRuntime {
   const gmm::GmmHomeStats& gmm_stats(NodeId node) const;
   size_t cache_block_count(NodeId node) const;
 
+  // SSI introspection: per-node metrics snapshots (index == NodeId) and the
+  // cluster-wide process listing, read directly from the kernels. Call when
+  // the cluster is quiescent (e.g. after RunMain returns).
+  std::vector<MetricsSnapshot> ClusterStats() const;
+  std::vector<proto::PsEntry> Ps() const;
+  // Histograms merged across all nodes.
+  std::map<std::string, RunningStats> ClusterHistograms() const;
+
  private:
   struct Fabric;
   ThreadedOptions options_;

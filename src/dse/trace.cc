@@ -10,6 +10,7 @@ std::string_view EventKindName(EventKind kind) {
     case EventKind::kHandle: return "handle";
     case EventKind::kTaskStart: return "task-start";
     case EventKind::kTaskExit: return "task-exit";
+    case EventKind::kCounter: return "counter";
   }
   return "?";
 }
@@ -24,6 +25,11 @@ std::string Recorder::ToText() const {
                     std::string(EventKindName(e.kind)).c_str(),
                     e.label.c_str(),
                     e.kind == EventKind::kSend ? "-> " : "<- ", e.peer,
+                    static_cast<unsigned long long>(e.value));
+    } else if (e.kind == EventKind::kCounter) {
+      std::snprintf(line, sizeof(line), "%12.6f  node %-2d %-10s %-24s = %llu\n",
+                    sim::ToSeconds(e.at), e.node,
+                    std::string(EventKindName(e.kind)).c_str(), e.label.c_str(),
                     static_cast<unsigned long long>(e.value));
     } else {
       std::snprintf(line, sizeof(line), "%12.6f  node %-2d %-10s %-14s gpid %s\n",
@@ -68,13 +74,23 @@ std::string Recorder::ToChromeJson() const {
   for (const Event& e : events_) {
     if (!first) out += ",\n";
     first = false;
-    std::snprintf(
-        buf, sizeof(buf),
-        R"(  {"name": "%s %s", "ph": "i", "ts": %.3f, "pid": %d, "tid": 0, )"
-        R"("s": "p", "args": {"peer": %d, "value": %llu}})",
-        std::string(EventKindName(e.kind)).c_str(),
-        JsonEscape(e.label).c_str(), sim::ToMicros(e.at), e.node, e.peer,
-        static_cast<unsigned long long>(e.value));
+    if (e.kind == EventKind::kCounter) {
+      // Chrome counter sample: shows up as a per-node counter track.
+      std::snprintf(
+          buf, sizeof(buf),
+          R"(  {"name": "%s", "ph": "C", "ts": %.3f, "pid": %d, "tid": 0, )"
+          R"("args": {"value": %llu}})",
+          JsonEscape(e.label).c_str(), sim::ToMicros(e.at), e.node,
+          static_cast<unsigned long long>(e.value));
+    } else {
+      std::snprintf(
+          buf, sizeof(buf),
+          R"(  {"name": "%s %s", "ph": "i", "ts": %.3f, "pid": %d, "tid": 0, )"
+          R"("s": "p", "args": {"peer": %d, "value": %llu}})",
+          std::string(EventKindName(e.kind)).c_str(),
+          JsonEscape(e.label).c_str(), sim::ToMicros(e.at), e.node, e.peer,
+          static_cast<unsigned long long>(e.value));
+    }
     out += buf;
   }
   out += "\n]\n";

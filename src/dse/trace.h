@@ -21,6 +21,7 @@ enum class EventKind : std::uint8_t {
   kHandle,        // kernel finished receiving/dispatching a message
   kTaskStart,     // DSE process began executing
   kTaskExit,      // DSE process finished
+  kCounter,       // metrics sample: label = counter name, value = count
 };
 
 std::string_view EventKindName(EventKind kind);

@@ -7,6 +7,7 @@
 // the paper's reorganization targets.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -21,6 +22,17 @@ using NodeId = int;
 struct Delivery {
   NodeId src = -1;
   std::vector<std::uint8_t> payload;
+};
+
+// Point-in-time transport-level traffic counts for one endpoint. These are
+// counted at the fabric boundary (serialized payload bytes), independent of
+// the kernel's own per-message-type accounting — the two views cross-check
+// each other in tests.
+struct WireCounts {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_recv = 0;
 };
 
 class Endpoint {
@@ -42,6 +54,32 @@ class Endpoint {
 
   // Unblocks all receivers on this endpoint permanently.
   virtual void Shutdown() = 0;
+
+  WireCounts wire_counts() const {
+    WireCounts w;
+    w.msgs_sent = msgs_sent_.load(std::memory_order_relaxed);
+    w.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    w.msgs_recv = msgs_recv_.load(std::memory_order_relaxed);
+    w.bytes_recv = bytes_recv_.load(std::memory_order_relaxed);
+    return w;
+  }
+
+ protected:
+  // Implementations call these on every successful Send/Recv.
+  void NoteSend(std::uint64_t bytes) {
+    msgs_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void NoteRecv(std::uint64_t bytes) {
+    msgs_recv_.fetch_add(1, std::memory_order_relaxed);
+    bytes_recv_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> msgs_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> msgs_recv_{0};
+  std::atomic<std::uint64_t> bytes_recv_{0};
 };
 
 }  // namespace dse::net

@@ -16,6 +16,7 @@ class InProcFabric::NodeEndpoint final : public Endpoint {
     if (dst < 0 || dst >= fabric_->size()) {
       return InvalidArgument("send to unknown node " + std::to_string(dst));
     }
+    const std::uint64_t bytes = payload.size();
     Delivery d;
     d.src = id_;
     d.payload = std::move(payload);
@@ -23,11 +24,20 @@ class InProcFabric::NodeEndpoint final : public Endpoint {
             std::move(d))) {
       return Unavailable("destination endpoint shut down");
     }
+    NoteSend(bytes);
     return Status::Ok();
   }
 
-  std::optional<Delivery> Recv() override { return inbox_.Pop(); }
-  std::optional<Delivery> TryRecv() override { return inbox_.TryPop(); }
+  std::optional<Delivery> Recv() override {
+    std::optional<Delivery> d = inbox_.Pop();
+    if (d) NoteRecv(d->payload.size());
+    return d;
+  }
+  std::optional<Delivery> TryRecv() override {
+    std::optional<Delivery> d = inbox_.TryPop();
+    if (d) NoteRecv(d->payload.size());
+    return d;
+  }
   void Shutdown() override { inbox_.Close(); }
 
  private:

@@ -187,11 +187,20 @@ Result<std::unique_ptr<TcpFabricEndpoint>> TcpFabricEndpoint::Create(
 NodeId TcpFabricEndpoint::self() const { return impl_->self(); }
 int TcpFabricEndpoint::world_size() const { return impl_->world_size(); }
 Status TcpFabricEndpoint::Send(NodeId dst, std::vector<std::uint8_t> payload) {
-  return impl_->Send(dst, std::move(payload));
+  const std::uint64_t bytes = payload.size();
+  Status s = impl_->Send(dst, std::move(payload));
+  if (s.ok()) NoteSend(bytes);
+  return s;
 }
-std::optional<Delivery> TcpFabricEndpoint::Recv() { return impl_->Recv(); }
+std::optional<Delivery> TcpFabricEndpoint::Recv() {
+  std::optional<Delivery> d = impl_->Recv();
+  if (d) NoteRecv(d->payload.size());
+  return d;
+}
 std::optional<Delivery> TcpFabricEndpoint::TryRecv() {
-  return impl_->TryRecv();
+  std::optional<Delivery> d = impl_->TryRecv();
+  if (d) NoteRecv(d->payload.size());
+  return d;
 }
 void TcpFabricEndpoint::Shutdown() { impl_->Shutdown(); }
 

@@ -109,12 +109,25 @@ const Profile& SolarisUltra() {
   return p;
 }
 
-const Profile& ProfileById(const std::string& id) {
+const Profile* TryProfileById(const std::string& id) {
   for (const Profile& p : AllProfiles()) {
-    if (p.id == id) return p;
+    if (p.id == id) return &p;
   }
-  if (id == "solaris") return SolarisUltra();
-  DSE_CHECK_MSG(false, ("unknown platform id: " + id).c_str());
+  if (id == "solaris") return &SolarisUltra();
+  return nullptr;
+}
+
+std::vector<std::string> ProfileIds() {
+  std::vector<std::string> ids;
+  for (const Profile& p : AllProfiles()) ids.push_back(p.id);
+  ids.push_back(SolarisUltra().id);
+  return ids;
+}
+
+const Profile& ProfileById(const std::string& id) {
+  const Profile* p = TryProfileById(id);
+  DSE_CHECK_MSG(p != nullptr, ("unknown platform id: " + id).c_str());
+  return *p;
 }
 
 sim::SimTime ComputeTime(const Profile& p, double work_units,

@@ -73,6 +73,13 @@ const Profile& SolarisUltra();
 // Lookup by id ("sunos" | "aix" | "linux" | "solaris"); aborts on unknown.
 const Profile& ProfileById(const std::string& id);
 
+// Non-aborting lookup: nullptr for an unknown id. Front-ends (dse_run) use
+// this to turn a typo into a usable error listing the known ids.
+const Profile* TryProfileById(const std::string& id);
+
+// Every id TryProfileById accepts, in Table 1 order plus extensions.
+std::vector<std::string> ProfileIds();
+
 // --- Cost model -----------------------------------------------------------
 
 // Virtual time to execute `work_units` of application work on a machine

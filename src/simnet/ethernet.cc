@@ -5,6 +5,23 @@
 
 namespace dse::simnet {
 
+std::map<std::string, std::uint64_t> MediumStatsToCounters(
+    const MediumStats& stats) {
+  std::map<std::string, std::uint64_t> out;
+  auto put = [&out](const char* name, std::uint64_t v) {
+    if (v != 0) out[name] = v;
+  };
+  put("bus.frames", stats.frames);
+  put("bus.fragments", stats.fragments);
+  put("bus.payload_bytes", stats.payload_bytes);
+  put("bus.wire_bytes", stats.wire_bytes);
+  put("bus.collisions", stats.collisions);
+  put("bus.busy_us", static_cast<std::uint64_t>(sim::ToMicros(stats.busy_time)));
+  put("bus.queueing_us",
+      static_cast<std::uint64_t>(sim::ToMicros(stats.queueing_time)));
+  return out;
+}
+
 std::uint64_t FragmentCount(const MediumParams& p,
                             std::uint64_t payload_bytes) {
   const auto mss = static_cast<std::uint64_t>(p.max_frame_payload);

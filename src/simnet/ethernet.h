@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -94,6 +96,11 @@ class SwitchedMedium final : public Medium {
   std::vector<sim::SimTime> port_busy_until_;
   MediumStats stats_;
 };
+
+// Flattens medium stats into `bus.*` counters for the SSI metrics registry
+// (time fields are exported in microseconds).
+std::map<std::string, std::uint64_t> MediumStatsToCounters(
+    const MediumStats& stats);
 
 // Transmission time for `payload` bytes under `p`, including per-fragment
 // header overhead (pure function; exposed for tests).

@@ -113,7 +113,10 @@ TEST(KernelCore, SpawnUnknownTaskFailsWithoutStarting) {
   const auto actions = core.Handle(Env(req));
   EXPECT_TRUE(actions.start.empty());
   const auto& resp = std::get<proto::SpawnResp>(actions.out[0].env.body);
-  EXPECT_NE(resp.error, 0);
+  // A bad task name is the caller's mistake, not a missing resource.
+  EXPECT_EQ(resp.error, static_cast<std::uint8_t>(ErrorCode::kInvalidArgument));
+  EXPECT_EQ(core.stats().spawn_rejects, 1u);
+  EXPECT_EQ(core.stats().spawns, 1u);
 }
 
 TEST(KernelCore, JoinAnsweredAfterExit) {
@@ -163,6 +166,56 @@ TEST(KernelCore, ConsoleCollected) {
 TEST(KernelCore, ShutdownFlag) {
   KernelCore core = MakeCore();
   EXPECT_TRUE(core.Handle(Env(proto::Shutdown{})).shutdown);
+}
+
+TEST(KernelCore, StatsQueryReturnsLiveSnapshot) {
+  KernelCore core = MakeCore();
+  proto::SpawnReq spawn;
+  spawn.task_name = "worker";
+  (void)core.Handle(Env(spawn, 1, 1));
+
+  const auto actions = core.Handle(Env(proto::StatsReq{}, 2, 3));
+  ASSERT_EQ(actions.out.size(), 1u);
+  EXPECT_EQ(actions.out[0].dst, 3);
+  EXPECT_EQ(actions.out[0].env.req_id, 2u);
+  const auto& resp = std::get<proto::StatsResp>(actions.out[0].env.body);
+  EXPECT_EQ(resp.counters.at("pm.spawns"), 1u);
+  // The StatsReq itself has already been counted when the snapshot is taken.
+  EXPECT_EQ(resp.counters.at("pm.handled"), 2u);
+}
+
+TEST(KernelCore, NameServiceRoutesThroughSsiFacade) {
+  KernelCore core = MakeCore(0);
+  proto::NamePublish pub;
+  pub.name = "rendezvous";
+  pub.value = 42;
+  auto actions = core.Handle(Env(pub, 1, 2));
+  ASSERT_EQ(actions.out.size(), 1u);
+  EXPECT_EQ(std::get<proto::NameAck>(actions.out[0].env.body).error, 0);
+  EXPECT_EQ(core.ssi_for_test().name_count(), 1u);
+
+  actions = core.Handle(Env(proto::NameLookup{"rendezvous"}, 2, 2));
+  const auto& resp = std::get<proto::NameResp>(actions.out[0].env.body);
+  EXPECT_EQ(resp.error, 0);
+  EXPECT_EQ(resp.value, 42u);
+}
+
+TEST(KernelCore, LoadQueryCountsOnlyRunningTasks) {
+  KernelCore core = MakeCore();
+  (void)core.RegisterLocalTask("main");
+  proto::SpawnReq spawn;
+  spawn.task_name = "worker";
+  const auto spawned = core.Handle(Env(spawn, 1, 1));
+  const Gpid g = spawned.start[0].gpid;
+
+  auto actions = core.Handle(Env(proto::LoadReq{}, 2, 1));
+  EXPECT_EQ(std::get<proto::LoadResp>(actions.out[0].env.body).running_tasks,
+            2u);
+
+  (void)core.OnLocalTaskExit(g, {});
+  actions = core.Handle(Env(proto::LoadReq{}, 3, 1));
+  EXPECT_EQ(std::get<proto::LoadResp>(actions.out[0].env.body).running_tasks,
+            1u);
 }
 
 TEST(KernelCore, GmmRequestsRouteThrough) {

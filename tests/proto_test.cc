@@ -226,14 +226,15 @@ TEST_P(ProtoAllTypes, EncodedSizeIsStable) {
       InvalidateReq{}, InvalidateAck{}, LockReq{}, LockGrant{}, UnlockReq{},
       BarrierEnter{}, BarrierRelease{}, SpawnReq{}, SpawnResp{}, JoinReq{},
       JoinResp{}, PsReq{}, PsResp{}, ConsoleOut{}, Shutdown{}, NamePublish{},
-      NameAck{}, NameLookup{}, NameResp{}, LoadReq{}, LoadResp{}};
+      NameAck{}, NameLookup{}, NameResp{}, LoadReq{}, LoadResp{}, StatsReq{},
+      StatsResp{{{"msg.sent.ReadReq", 3}, {"net.bytes_sent", 120}}}};
   const auto& body = bodies[static_cast<size_t>(GetParam())];
   const Envelope env = Env(body);
   EXPECT_EQ(Encode(env), Encode(env));
   RoundTrip(env);
 }
 
-INSTANTIATE_TEST_SUITE_P(EveryType, ProtoAllTypes, ::testing::Range(0, 31));
+INSTANTIATE_TEST_SUITE_P(EveryType, ProtoAllTypes, ::testing::Range(0, 33));
 
 }  // namespace
 }  // namespace dse::proto

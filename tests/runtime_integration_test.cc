@@ -173,7 +173,8 @@ TEST(RuntimeSsi, SpawnUnknownTaskFails) {
   RunMain(2, false, [](Task& t) {
     auto r = t.Spawn("no.such.task", {});
     EXPECT_FALSE(r.ok());
-    EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+    // A bad task name is the caller's mistake, not a missing resource.
+    EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
   });
 }
 

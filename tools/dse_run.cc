@@ -10,14 +10,22 @@
 //
 // Common flags:
 //   --mode threaded|sim      (default threaded)
-//   --platform sunos|aix|linux   (sim only; default sunos)
+//   --platform sunos|aix|linux|solaris  (sim only; default sunos)
 //   --procs N                processors / workers (default 4)
 //   --cache                  enable the DSM read cache
 //   --legacy                 old two-process DSE organization (sim)
 //   --switched               ideal switched network instead of the bus (sim)
-//   --trace FILE             write a Chrome trace-event JSON timeline (sim)
+//   --trace FILE             write a Chrome trace-event JSON timeline (sim);
+//                            includes final per-node counter samples
 //   --machines a,b,...       heterogeneous cluster: one platform id per
 //                            physical machine (sim), e.g. sunos,sunos,linux
+//
+// SSI introspection (the cluster answering like one machine):
+//   --stats                  per-node + cluster counter table after the run
+//   --stats-json [FILE]      same data as JSON (stdout if FILE omitted)
+//   --stats-csv [FILE]       same data as CSV long format
+//   --ps                     cluster-wide process listing after the run
+//   --list-tasks             print the workload's registered task names
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +39,7 @@
 #include "apps/othello/othello.h"
 #include "common/bytes.h"
 #include "dse/sim_runtime.h"
+#include "dse/ssi/stats.h"
 #include "dse/threaded_runtime.h"
 #include "dse/trace.h"
 #include "platform/profile.h"
@@ -72,6 +81,29 @@ class Flags {
     return it == values_.end() ? def : std::atof(it->second.c_str());
   }
 
+  // Fails with a list of every flag this invocation does not understand —
+  // `known` holds the accepted keys (a typo'd flag should not be silently
+  // ignored).
+  void RejectUnknown(const std::vector<std::string>& known) const {
+    bool bad = false;
+    for (const auto& [key, value] : values_) {
+      bool ok = false;
+      for (const auto& k : known) {
+        if (key == k) { ok = true; break; }
+      }
+      if (!ok) {
+        std::fprintf(stderr, "unknown flag '--%s'\n", key.c_str());
+        bad = true;
+      }
+    }
+    if (bad) {
+      std::fprintf(stderr, "known flags:");
+      for (const auto& k : known) std::fprintf(stderr, " --%s", k.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };
@@ -81,6 +113,7 @@ struct Workload {
   const char* main_task;
   std::vector<std::uint8_t> arg;
   std::string description;
+  std::vector<std::string> flags;  // app-specific flag names
 };
 
 Workload BuildWorkload(const std::string& app, const Flags& flags,
@@ -92,7 +125,8 @@ Workload BuildWorkload(const std::string& app, const Flags& flags,
     return {apps::gauss::Register, apps::gauss::kMainTask,
             apps::gauss::MakeArg(c),
             "gauss-seidel N=" + std::to_string(c.n) + " sweeps=" +
-                std::to_string(c.sweeps)};
+                std::to_string(c.sweeps),
+            {"n", "sweeps"}};
   }
   if (app == "dct") {
     const int image = flags.Int("image", 128);
@@ -104,7 +138,8 @@ Workload BuildWorkload(const std::string& app, const Flags& flags,
                         .separable = flags.Has("separable")};
     return {apps::dct::Register, apps::dct::kMainTask, apps::dct::MakeArg(c),
             "dct-ii " + std::to_string(image) + "^2 block=" +
-                std::to_string(c.block)};
+                std::to_string(c.block),
+            {"image", "block", "keep", "separable"}};
   }
   if (app == "othello") {
     apps::othello::Config c{.depth = flags.Int("depth", 5),
@@ -112,7 +147,8 @@ Workload BuildWorkload(const std::string& app, const Flags& flags,
                             .min_tasks = flags.Int("tasks", 0)};
     return {apps::othello::Register, apps::othello::kMainTask,
             apps::othello::MakeArg(c),
-            "othello depth=" + std::to_string(c.depth)};
+            "othello depth=" + std::to_string(c.depth),
+            {"depth", "tasks"}};
   }
   if (app == "knight") {
     apps::knight::Config c{.board = flags.Int("board", 5),
@@ -123,7 +159,8 @@ Workload BuildWorkload(const std::string& app, const Flags& flags,
             apps::knight::MakeArg(c),
             "knight " + std::to_string(c.board) + "x" +
                 std::to_string(c.board) + " jobs=" +
-                std::to_string(c.target_jobs)};
+                std::to_string(c.target_jobs),
+            {"board", "start", "jobs"}};
   }
   std::fprintf(stderr, "unknown app '%s' (gauss|dct|othello|knight)\n",
                app.c_str());
@@ -133,9 +170,72 @@ Workload BuildWorkload(const std::string& app, const Flags& flags,
 int Usage() {
   std::fprintf(stderr,
                "usage: dse_run <gauss|dct|othello|knight> [--mode "
-               "threaded|sim] [--platform sunos|aix|linux] [--procs N] "
-               "[--cache] [--legacy] [--switched] [app flags]\n");
+               "threaded|sim] [--platform sunos|aix|linux|solaris] "
+               "[--procs N] [--cache] [--legacy] [--switched] "
+               "[--stats] [--stats-json [FILE]] [--stats-csv [FILE]] "
+               "[--ps] [--list-tasks] [app flags]\n");
   return 2;
+}
+
+// Resolves a platform id or exits with the accepted ids spelled out.
+const platform::Profile& ProfileOrDie(const std::string& id) {
+  const platform::Profile* p = platform::TryProfileById(id);
+  if (p == nullptr) {
+    std::fprintf(stderr, "unknown platform '%s'; known platforms:",
+                 id.c_str());
+    for (const auto& known : platform::ProfileIds()) {
+      std::fprintf(stderr, " %s", known.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+  return *p;
+}
+
+// Writes `text` to `path`, or stdout when the flag was given bare.
+int Export(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("stats -> %s\n", path.c_str());
+  return 0;
+}
+
+// Renders every requested --stats/--ps view of a finished run.
+int EmitIntrospection(const Flags& flags,
+                      const std::vector<MetricsSnapshot>& per_node,
+                      const MetricsSnapshot& cluster_only,
+                      const std::map<std::string, RunningStats>& histograms,
+                      const std::vector<proto::PsEntry>& ps) {
+  if (flags.Has("stats")) {
+    std::fputs(ssi::FormatStatsTable(per_node, cluster_only).c_str(), stdout);
+    if (!histograms.empty()) {
+      std::fputs("\n", stdout);
+      std::fputs(ssi::FormatHistogramTable(histograms).c_str(), stdout);
+    }
+  }
+  if (flags.Has("stats-json")) {
+    const int rc = Export(flags.Str("stats-json", ""),
+                          ssi::StatsToJson(per_node, cluster_only));
+    if (rc != 0) return rc;
+  }
+  if (flags.Has("stats-csv")) {
+    const int rc = Export(flags.Str("stats-csv", ""),
+                          ssi::StatsToCsv(per_node, cluster_only));
+    if (rc != 0) return rc;
+  }
+  if (flags.Has("ps")) {
+    std::fputs(ssi::FormatPsTable(ps).c_str(), stdout);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -144,12 +244,39 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string app = argv[1];
   if (app == "--help" || app == "-h") return Usage();
+  if (app.rfind("--", 0) == 0) {
+    std::fprintf(stderr, "first argument must be an app, got '%s'\n",
+                 app.c_str());
+    return Usage();
+  }
   const Flags flags(argc, argv, 2);
 
   const int procs = flags.Int("procs", 4);
+  if (procs < 1) {
+    std::fprintf(stderr, "--procs must be >= 1 (got %d)\n", procs);
+    return 2;
+  }
   Workload workload = BuildWorkload(app, flags, procs);
-  const std::string mode = flags.Str("mode", "threaded");
 
+  std::vector<std::string> known = {
+      "mode",  "platform", "procs",      "cache",     "legacy",
+      "switched", "trace", "machines",   "stats",     "stats-json",
+      "stats-csv", "ps",   "list-tasks", "help"};
+  known.insert(known.end(), workload.flags.begin(), workload.flags.end());
+  flags.RejectUnknown(known);
+
+  if (flags.Has("list-tasks")) {
+    TaskRegistry registry;
+    workload.register_fn(registry);
+    std::printf("tasks registered by '%s' (main: %s):\n", app.c_str(),
+                workload.main_task);
+    for (const auto& name : registry.Names()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  const std::string mode = flags.Str("mode", "threaded");
   if (mode == "threaded") {
     ThreadedRuntime rt(ThreadedOptions{
         .num_nodes = procs, .read_cache = flags.Has("cache")});
@@ -158,11 +285,12 @@ int main(int argc, char** argv) {
     std::printf("%s | threaded %d nodes | %.1f ms wall | result %zu bytes\n",
                 workload.description.c_str(), procs,
                 rt.last_run_seconds() * 1e3, result.size());
-    return 0;
+    return EmitIntrospection(flags, rt.ClusterStats(), /*cluster_only=*/{},
+                             rt.ClusterHistograms(), rt.Ps());
   }
   if (mode == "sim") {
     SimOptions opts;
-    opts.profile = platform::ProfileById(flags.Str("platform", "sunos"));
+    opts.profile = ProfileOrDie(flags.Str("platform", "sunos"));
     opts.num_processors = procs;
     opts.read_cache = flags.Has("cache");
     if (flags.Has("legacy")) {
@@ -176,7 +304,7 @@ int main(int argc, char** argv) {
         const size_t comma = machines.find(',', pos);
         const std::string id = machines.substr(
             pos, comma == std::string::npos ? comma : comma - pos);
-        opts.machine_profiles.push_back(platform::ProfileById(id));
+        opts.machine_profiles.push_back(ProfileOrDie(id));
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
@@ -206,8 +334,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(report.wire_frames),
         static_cast<unsigned long long>(report.collisions),
         report.bus_utilization * 100);
-    return 0;
+    return EmitIntrospection(flags, report.node_stats, report.medium_counters,
+                             report.histograms, report.ps);
   }
-  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+  std::fprintf(stderr, "unknown mode '%s' (threaded|sim)\n", mode.c_str());
   return 2;
 }
