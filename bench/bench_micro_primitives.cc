@@ -1,5 +1,6 @@
 // Micro-benchmarks of the real (threaded) runtime's primitive operations:
-// global-memory round trips, atomics, locks, barriers, spawn/join — and the
+// global-memory round trips, atomics, locks, barriers, spawn/join, the GMM
+// data-plane fast path (batching / read-ahead / write-combining) — and the
 // SIGIO doorbell versus a blocking-read service thread (the paper's
 // asynchronous-I/O kernel-entry mechanism).
 #include <benchmark/benchmark.h>
@@ -139,6 +140,81 @@ void BM_Barrier2(benchmark::State& state) {
   rt.RunMain("bench.main");
 }
 BENCHMARK(BM_Barrier2)->UseManualTime();
+
+// --- GMM data-plane fast path -----------------------------------------------
+
+// Sequential block-stride reads over a fresh remote region each iteration —
+// the ascending pattern the adaptive read-ahead detects. Arg = prefetch
+// depth (0 = demand read cache only). A fresh allocation per pass keeps the
+// stream cold, so the depth>0 variants show read-ahead, not cache residency.
+void BM_StridedReadPrefetch(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  ThreadedRuntime rt(ThreadedOptions{.num_nodes = 4,
+                                     .read_cache = true,
+                                     .batching = true,
+                                     .prefetch_depth = depth});
+  rt.registry().Register("bench.main", [&state](Task& t) {
+    constexpr std::uint64_t kBlock = gmm::kHomedBlockBytes;
+    constexpr std::uint64_t kBlocks = 64;
+    std::vector<std::uint8_t> buf(kBlock);
+    for (auto _ : state) {
+      auto addr = t.AllocOnNode(kBlock * kBlocks, 1).value();
+      for (std::uint64_t b = 0; b < kBlocks; ++b) {
+        benchmark::DoNotOptimize(t.Read(addr + b * kBlock, buf.data(), kBlock));
+      }
+      (void)t.Free(addr);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kBlock * kBlocks));
+  });
+  rt.RunMain("bench.main");
+}
+BENCHMARK(BM_StridedReadPrefetch)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
+// One wide read over a finely striped region: the access splits into many
+// per-home chunks; batching coalesces them into one envelope per home.
+// Arg: 0 = serial chunk requests, 1 = per-home batch envelopes.
+void BM_ScatterReadBatch(benchmark::State& state) {
+  const bool batch = state.range(0) != 0;
+  ThreadedRuntime rt(
+      ThreadedOptions{.num_nodes = 4, .batching = batch});
+  rt.registry().Register("bench.main", [&state](Task& t) {
+    constexpr std::uint64_t kBytes = 64 * 64;  // 64 chunks of 64 B
+    auto addr = t.AllocStriped(kBytes, 6).value();
+    std::vector<std::uint8_t> buf(kBytes);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(t.Read(addr, buf.data(), kBytes));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kBytes));
+  });
+  rt.RunMain("bench.main");
+}
+BENCHMARK(BM_ScatterReadBatch)->Arg(0)->Arg(1);
+
+// A burst of small adjacent remote writes followed by one sync point.
+// Arg: 0 = every write is a round trip, 1 = write-combining merges the burst
+// into one span flushed (batched) at the barrier.
+void BM_SmallWriteBurst(benchmark::State& state) {
+  const bool wc = state.range(0) != 0;
+  ThreadedRuntime rt(ThreadedOptions{.num_nodes = 4,
+                                     .batching = wc,
+                                     .write_combine = wc});
+  rt.registry().Register("bench.main", [&state](Task& t) {
+    constexpr std::uint64_t kWrites = 32;
+    constexpr std::uint64_t kStride = 8;
+    auto addr = t.AllocOnNode(kWrites * kStride, 1).value();
+    std::uint8_t v[kStride] = {0x5A};
+    for (auto _ : state) {
+      for (std::uint64_t i = 0; i < kWrites; ++i) {
+        benchmark::DoNotOptimize(t.Write(addr + i * kStride, v, kStride));
+      }
+      (void)t.Barrier(21, 1);  // sync point: flushes the combine buffer
+    }
+  });
+  rt.RunMain("bench.main");
+}
+BENCHMARK(BM_SmallWriteBurst)->Arg(0)->Arg(1);
 
 // --- SIGIO doorbell vs blocking read ----------------------------------------
 

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -56,6 +58,10 @@ class TaskClient {
   // task's channel.
   TaskClient(RpcChannel* rpc, KernelCore* core);
 
+  // Flushes any write-combined spans still buffered: a task that returns
+  // without reaching a sync point must not lose its writes.
+  ~TaskClient();
+
   Result<gmm::GlobalAddr> AllocStriped(std::uint64_t size,
                                        std::uint8_t block_log2);
   Result<gmm::GlobalAddr> AllocOnNode(std::uint64_t size, NodeId home);
@@ -63,6 +69,13 @@ class TaskClient {
 
   Status Read(gmm::GlobalAddr addr, void* out, std::uint64_t len);
   Status Write(gmm::GlobalAddr addr, const void* src, std::uint64_t len);
+
+  // Sends every buffered write-combined span to its home and blocks until
+  // all are acked. No-op unless write combining is on and spans are
+  // buffered. Called automatically at sync points (lock/unlock/barrier/
+  // atomic/free/spawn/join/publish), on a read that overlaps a buffered
+  // span, when the buffer exceeds its capacity, and at task exit.
+  Status FlushWrites();
   Result<std::int64_t> AtomicFetchAdd(gmm::GlobalAddr addr,
                                       std::int64_t delta);
   Result<std::int64_t> AtomicCompareExchange(gmm::GlobalAddr addr,
@@ -95,9 +108,60 @@ class TaskClient {
   std::vector<gmm::Chunk> SplitForAccess(gmm::GlobalAddr addr,
                                          std::uint64_t len) const;
 
+  // One read-path request: a demand cache miss (copied into the caller's
+  // buffer) or a read-ahead block (cache-filled on the service path only).
+  struct ReadItem {
+    gmm::Chunk c;
+    bool cacheable = false;  // request block widening + copyset tracking
+    bool prefetch = false;
+  };
+
+  // A buffered write-combined span (contiguous, single home; single
+  // coherence block when the cache/coherence protocol is on).
+  struct WcSpan {
+    std::vector<std::uint8_t> data;
+    NodeId home = -1;
+  };
+
+  // Detects an ascending sequential block stride and appends up to
+  // `prefetch_depth` read-ahead blocks to `items`.
+  void PlanPrefetch(gmm::GlobalAddr addr, std::uint64_t len,
+                    std::vector<ReadItem>* items);
+  // Settles the prefetch ledger for a demand lookup on `block_base`.
+  void NotePrefetchLookup(gmm::GlobalAddr block_base, bool hit);
+
+  // Issues the read items (grouped per home into BatchReqs when batching is
+  // on, pipelined across homes via CallMany) and copies demand replies into
+  // `dst`.
+  Status DispatchReads(const std::vector<ReadItem>& items, std::uint8_t* dst);
+
+  // Issues prepared write calls (WriteReq or BatchReq bodies; batch_sizes[i]
+  // is the item count of call i, 0 for a plain WriteReq) and verifies acks.
+  Status DispatchWriteCalls(std::vector<std::pair<NodeId, proto::Body>> calls,
+                            const std::vector<std::uint32_t>& batch_sizes);
+
+  // Builds per-home write calls from chunks referencing `p` and dispatches.
+  Status SendWriteChunks(const std::vector<gmm::Chunk>& chunks,
+                         const std::uint8_t* p);
+
+  // Write-combining buffer.
+  void BufferWrite(const gmm::Chunk& c, const std::uint8_t* data);
+  bool OverlapsBuffered(gmm::GlobalAddr addr, std::uint64_t len) const;
+
   RpcChannel* rpc_;
   KernelCore* core_;
   int spawn_rr_;
+
+  // Sequential-stream detector state for read-ahead.
+  gmm::GlobalAddr next_expected_block_ = 0;
+  int streak_ = 0;
+  // Blocks fetched ahead and not yet demanded (settles hits vs wasted).
+  std::set<gmm::GlobalAddr> prefetched_;
+
+  // Write-combining buffer: span start -> span. std::map so flushes walk in
+  // address order (deterministic in the sim).
+  std::map<gmm::GlobalAddr, WcSpan> wc_;
+  std::uint64_t wc_bytes_ = 0;
 
   // Client-side access counters, pre-resolved from the node's registry so
   // the data path never takes the registry mutex.
@@ -107,6 +171,16 @@ class TaskClient {
   Counter* remote_misses_;   // read chunks served by a remote home
   Counter* lock_requests_;   // sync points entered (waits counted home-side)
   Counter* barrier_enters_;
+  Counter* batch_sent_;      // BatchReq envelopes issued
+  Counter* batch_sent_items_;
+  Counter* batch_saved_msgs_;  // envelopes avoided vs the serial path
+  Counter* prefetch_issued_;
+  Counter* prefetch_hits_;
+  Counter* prefetch_wasted_;  // prefetched block invalidated before use
+  Counter* wc_writes_buffered_;
+  Counter* wc_merges_;
+  Counter* wc_flushes_;
+  Counter* wc_flushed_spans_;
 };
 
 }  // namespace dse

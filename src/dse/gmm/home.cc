@@ -25,28 +25,37 @@ GmmHome::Reply GmmHome::MakeReply(NodeId dst, std::uint64_t req_id,
   return Reply{dst, std::move(env)};
 }
 
-GmmHome::Replies GmmHome::HandleRead(NodeId src, std::uint64_t req_id,
-                                     const proto::ReadReq& m) {
+void GmmHome::ServeRead(NodeId src, GlobalAddr addr, std::uint32_t len,
+                        bool block_fetch, proto::BatchItemResp* slot) {
   ++stats_.reads;
-  Replies out;
-  proto::ReadResp resp;
-  if (coherence_ && m.block_fetch) {
+  if (coherence_ && block_fetch) {
     // Serve the whole coherence block and remember the reader.
-    const GlobalAddr base = BlockBaseOf(m.addr);
-    const std::uint64_t block_bytes = BlockBytesOf(m.addr);
-    resp.addr = base;
-    resp.data.resize(block_bytes);
-    store_.Read(base, resp.data.data(), block_bytes);
-    resp.block_fetch = true;
+    const GlobalAddr base = BlockBaseOf(addr);
+    const std::uint64_t block_bytes = BlockBytesOf(addr);
+    slot->addr = base;
+    slot->data.resize(block_bytes);
+    store_.Read(base, slot->data.data(), block_bytes);
+    slot->block_fetch = true;
     if (src != self_) block_states_[base].copyset.insert(src);
     // A reader on the home node itself always sees fresh data locally; we
     // still serve the block but do not track a copyset entry for self.
   } else {
-    resp.addr = m.addr;
-    resp.data.resize(m.len);
-    store_.Read(m.addr, resp.data.data(), m.len);
-    resp.block_fetch = false;
+    slot->addr = addr;
+    slot->data.resize(len);
+    store_.Read(addr, slot->data.data(), len);
+    slot->block_fetch = false;
   }
+}
+
+GmmHome::Replies GmmHome::HandleRead(NodeId src, std::uint64_t req_id,
+                                     const proto::ReadReq& m) {
+  Replies out;
+  proto::BatchItemResp slot;
+  ServeRead(src, m.addr, m.len, m.block_fetch, &slot);
+  proto::ReadResp resp;
+  resp.addr = slot.addr;
+  resp.data = std::move(slot.data);
+  resp.block_fetch = slot.block_fetch;
   out.push_back(MakeReply(src, req_id, std::move(resp)));
   return out;
 }
@@ -101,7 +110,9 @@ void GmmHome::CompleteFront(GlobalAddr block_base, BlockState& block,
                             Replies* out) {
   PendingMutation mut = std::move(block.pending.front());
   block.pending.pop_front();
-  if (mut.is_atomic) {
+  if (mut.batch_id != 0) {
+    FinishBatchItem(mut.batch_id, out);
+  } else if (mut.is_atomic) {
     out->push_back(
         MakeReply(mut.src, mut.req_id, proto::AtomicResp{mut.atomic_old}));
   } else {
@@ -120,7 +131,9 @@ void GmmHome::EnqueueMutation(GlobalAddr block_base, PendingMutation mut,
   if (!coherence_) {
     // No copysets to invalidate: apply and answer immediately.
     Apply(mut);
-    if (mut.is_atomic) {
+    if (mut.batch_id != 0) {
+      FinishBatchItem(mut.batch_id, out);
+    } else if (mut.is_atomic) {
       out->push_back(
           MakeReply(mut.src, mut.req_id, proto::AtomicResp{mut.atomic_old}));
     } else {
@@ -298,6 +311,67 @@ GmmHome::Replies GmmHome::HandleBarrierEnter(NodeId src, std::uint64_t req_id,
     barriers_.erase(m.barrier_id);
   } else {
     ++stats_.barrier_waits;  // this entrant parks until the last arrival
+  }
+  return out;
+}
+
+void GmmHome::FinishBatchItem(std::uint64_t batch_id, Replies* out) {
+  auto it = batches_.find(batch_id);
+  DSE_CHECK_MSG(it != batches_.end(), "completion for unknown batch");
+  PendingBatch& batch = it->second;
+  DSE_CHECK(batch.remaining > 0);
+  if (--batch.remaining == 0) {
+    out->push_back(MakeReply(batch.src, batch.req_id, std::move(batch.resp)));
+    batches_.erase(it);
+  }
+}
+
+GmmHome::Replies GmmHome::HandleBatch(NodeId src, std::uint64_t req_id,
+                                      proto::BatchReq m) {
+  ++stats_.batches;
+  stats_.batch_items += m.items.size();
+  Replies out;
+  DSE_CHECK_MSG(!m.items.empty(), "empty batch request");
+
+  const std::uint64_t batch_id = next_batch_id_++;
+  {
+    PendingBatch batch;
+    batch.src = src;
+    batch.req_id = req_id;
+    batch.resp.items.resize(m.items.size());
+    batch.remaining = m.items.size();
+    batches_.emplace(batch_id, std::move(batch));
+  }
+
+  for (size_t i = 0; i < m.items.size(); ++i) {
+    proto::BatchItem& item = m.items[i];
+    if (item.op == proto::BatchOp::kRead) {
+      // `remaining` still counts the items after this one, so the batch
+      // cannot complete (and invalidate this reference) before the loop ends.
+      ServeRead(src, item.addr, item.len, item.block_fetch,
+                &batches_.find(batch_id)->second.resp.items[i]);
+      FinishBatchItem(batch_id, &out);
+    } else {
+      ++stats_.writes;
+      if (coherence_) {
+        // The client splits batched writes at coherence-block boundaries,
+        // same as standalone writes.
+        DSE_CHECK_MSG(
+            BlockBaseOf(item.addr) ==
+                BlockBaseOf(item.addr +
+                            (item.data.empty() ? 0 : item.data.size() - 1)),
+            "coherent batched write crosses a block boundary");
+      }
+      const GlobalAddr base = BlockBaseOf(item.addr);
+      PendingMutation mut;
+      mut.src = src;
+      mut.req_id = req_id;
+      mut.is_atomic = false;
+      mut.write.addr = item.addr;
+      mut.write.data = std::move(item.data);
+      mut.batch_id = batch_id;
+      EnqueueMutation(base, std::move(mut), &out);
+    }
   }
   return out;
 }

@@ -39,6 +39,8 @@ struct GmmHomeStats {
   std::uint64_t barrier_waits = 0;  // entrants parked until the last arrival
   std::uint64_t invalidations = 0;
   std::uint64_t deferred_mutations = 0;  // mutations that waited for a round
+  std::uint64_t batches = 0;             // BatchReq envelopes served
+  std::uint64_t batch_items = 0;         // accesses carried inside them
 };
 
 class GmmHome {
@@ -68,6 +70,11 @@ class GmmHome {
   Replies HandleBarrierEnter(NodeId src, std::uint64_t req_id,
                              const proto::BarrierEnter& m);
   Replies HandleInvalidateAck(NodeId src, const proto::InvalidateAck& m);
+  // Fast path: applies every item of the batch in order within this call
+  // (atomically per node). The single BatchResp is emitted immediately when
+  // no write item needs an invalidation round, deferred until the last such
+  // round completes otherwise.
+  Replies HandleBatch(NodeId src, std::uint64_t req_id, proto::BatchReq m);
 
   const GmmHomeStats& stats() const { return stats_; }
   PageStore& store() { return store_; }
@@ -85,6 +92,17 @@ class GmmHome {
     // Valid once the mutation has been applied (round started).
     std::int64_t atomic_old = 0;
     int acks_remaining = 0;
+    // Non-zero when this mutation is one item of a BatchReq: completion
+    // counts toward the batch instead of emitting a standalone WriteAck.
+    std::uint64_t batch_id = 0;
+  };
+
+  // A BatchReq whose reply is withheld until every item has completed.
+  struct PendingBatch {
+    NodeId src = -1;
+    std::uint64_t req_id = 0;
+    proto::BatchResp resp;
+    size_t remaining = 0;  // items not yet completed
   };
 
   struct BlockState {
@@ -117,6 +135,14 @@ class GmmHome {
   // Applies a mutation to the store; records atomic_old for atomics.
   void Apply(PendingMutation& mut);
 
+  // Marks one batch item complete; emits the BatchResp when it was the last.
+  void FinishBatchItem(std::uint64_t batch_id, Replies* out);
+
+  // Serves a read into `slot`, widening to the coherence block (and
+  // recording `src` in the copyset) when requested.
+  void ServeRead(NodeId src, GlobalAddr addr, std::uint32_t len,
+                 bool block_fetch, proto::BatchItemResp* slot);
+
   Reply MakeReply(NodeId dst, std::uint64_t req_id, proto::Body body) const;
 
   NodeId self_;
@@ -126,6 +152,9 @@ class GmmHome {
   PageStore store_;
   std::map<GlobalAddr, BlockState> block_states_;
   size_t blocks_pending_ = 0;
+
+  std::map<std::uint64_t, PendingBatch> batches_;
+  std::uint64_t next_batch_id_ = 1;
 
   std::map<std::uint64_t, LockState> locks_;
   std::map<std::uint64_t, BarrierState> barriers_;

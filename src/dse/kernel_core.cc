@@ -94,6 +94,10 @@ KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
       Emit(&actions, home_.HandleInvalidateAck(
                          src, std::get<proto::InvalidateAck>(env.body)));
       break;
+    case proto::MsgType::kBatchReq:
+      Emit(&actions,
+           home_.HandleBatch(src, rid, std::get<proto::BatchReq>(env.body)));
+      break;
 
     case proto::MsgType::kSpawnReq: {
       ++stats_.spawns;
@@ -223,6 +227,11 @@ void KernelCore::CacheUpdateLocal(gmm::GlobalAddr addr, const void* data,
   std::memcpy(it->second.data() + offset, data, len);
 }
 
+bool KernelCore::CacheContains(gmm::GlobalAddr block_base) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.count(block_base) > 0;
+}
+
 size_t KernelCore::cache_block_count() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   return cache_.size();
@@ -260,6 +269,8 @@ MetricsSnapshot KernelCore::StatsSnapshot() const {
   put("sync.barrier_waits", g.barrier_waits);
   put("dsm.invalidations", g.invalidations);
   put("dsm.deferred_mutations", g.deferred_mutations);
+  put("gmm.batch.served", g.batches);
+  put("gmm.batch.served_items", g.batch_items);
 
   if (options_.augment_stats) options_.augment_stats(&snap);
   return snap;

@@ -47,6 +47,18 @@ struct KernelOptions {
   // requests before waiting (latency hiding; an extension beyond the
   // paper's strictly request/response DSE).
   bool pipelined_transfers = false;
+  // Fast path: coalesce the sub-accesses of one logical Read/Write that are
+  // homed on the same node into a single BatchReq envelope (one protocol
+  // overhead per destination instead of per access).
+  bool batching = false;
+  // Fast path: on an ascending sequential block stride, read ahead this many
+  // coherence blocks into the client read cache. 0 disables. Requires
+  // read_cache (ignored otherwise).
+  int prefetch_depth = 0;
+  // Fast path: buffer small writes in the client and flush the combined
+  // spans at synchronization points (barrier/lock/atomic/read-overlap) —
+  // release consistency at sync instead of per-write round trips.
+  bool write_combine = false;
   // Validates SpawnReq task names; unknown names fail the spawn with
   // kInvalidArgument instead of crashing the target node.
   std::function<bool(const std::string&)> has_task;
@@ -90,6 +102,11 @@ class KernelCore {
   int num_nodes() const { return num_nodes_; }
   bool read_cache_enabled() const { return options_.read_cache; }
   bool pipelined_transfers() const { return options_.pipelined_transfers; }
+  bool batching_enabled() const { return options_.batching; }
+  int prefetch_depth() const {
+    return options_.read_cache ? options_.prefetch_depth : 0;
+  }
+  bool write_combine_enabled() const { return options_.write_combine; }
 
   // Handles one inbound server-side message (requests, InvalidateReq/Ack,
   // ConsoleOut, Shutdown). Must not be called with client responses.
@@ -112,6 +129,9 @@ class KernelCore {
   // Task-path local update after an acked write (write-update for self).
   void CacheUpdateLocal(gmm::GlobalAddr addr, const void* data,
                         std::uint64_t len);
+  // Presence probe that does not touch the hit/miss counters (prefetch
+  // planning must not skew demand-cache statistics).
+  bool CacheContains(gmm::GlobalAddr block_base) const;
   size_t cache_block_count() const;
 
   // --- Observability --------------------------------------------------------

@@ -189,6 +189,9 @@ KernelOptions MakeKernelOptions(const NodeHost::Options& options,
   KernelOptions kopts;
   kopts.read_cache = options.read_cache;
   kopts.pipelined_transfers = options.pipelined_transfers;
+  kopts.batching = options.batching;
+  kopts.prefetch_depth = options.prefetch_depth;
+  kopts.write_combine = options.write_combine;
   kopts.has_task = [registry](const std::string& name) {
     return registry->Has(name);
   };
@@ -340,17 +343,24 @@ void NodeHost::StartTaskThread(KernelCore::StartTask st) {
   }
   std::thread thread([this, st = std::move(st)]() mutable {
     {
-      HostTask task(this, st.gpid, std::move(st.arg));
-      // Spawn validation runs before a StartTask is emitted, so a missing
-      // entry here means the registry changed underneath us; degrade to an
-      // empty result instead of killing the node.
-      if (TaskFn fn = options_.registry->TryGet(st.task_name)) {
-        fn(task);
-      } else {
-        DSE_LOG(kWarn) << "node " << self() << ": task '" << st.task_name
-                       << "' vanished from the registry; finishing empty";
+      std::vector<std::uint8_t> result;
+      {
+        HostTask task(this, st.gpid, std::move(st.arg));
+        // Spawn validation runs before a StartTask is emitted, so a missing
+        // entry here means the registry changed underneath us; degrade to an
+        // empty result instead of killing the node.
+        if (TaskFn fn = options_.registry->TryGet(st.task_name)) {
+          fn(task);
+        } else {
+          DSE_LOG(kWarn) << "node " << self() << ": task '" << st.task_name
+                         << "' vanished from the registry; finishing empty";
+        }
+        result = task.TakeResult();
       }
-      FinishLocalTask(st.gpid, task.TakeResult());
+      // The task (and its client, whose destructor flushes any combined
+      // writes) is gone before the result becomes joinable: a joiner must
+      // never observe the result ahead of the task's last writes.
+      FinishLocalTask(st.gpid, std::move(result));
     }
     {
       std::lock_guard<std::mutex> lock(tasks_mu_);
@@ -380,6 +390,10 @@ void NodeHost::ServiceLoop() {
       if (auto* rr = std::get_if<proto::ReadResp>(&env.body);
           rr != nullptr && rr->block_fetch) {
         core_.CacheInsert(rr->addr, rr->data);
+      } else if (auto* br = std::get_if<proto::BatchResp>(&env.body)) {
+        for (const proto::BatchItemResp& item : br->items) {
+          if (item.block_fetch) core_.CacheInsert(item.addr, item.data);
+        }
       }
       Waiter* waiter = nullptr;
       {

@@ -31,6 +31,10 @@ class NodeHost {
   struct Options {
     bool read_cache = false;
     bool pipelined_transfers = false;
+    // GMM fast path (see KernelOptions for semantics).
+    bool batching = false;
+    int prefetch_depth = 0;
+    bool write_combine = false;
     TaskRegistry* registry = nullptr;            // required
     // Receives SSI console lines (only ever called on node 0's host).
     std::function<void(std::string)> console_sink;

@@ -21,6 +21,9 @@ Result<std::unique_ptr<ProcessRuntime>> ProcessRuntime::Create(
   NodeHost::Options hopts;
   hopts.read_cache = options.read_cache;
   hopts.pipelined_transfers = options.pipelined_transfers;
+  hopts.batching = options.batching;
+  hopts.prefetch_depth = options.prefetch_depth;
+  hopts.write_combine = options.write_combine;
   hopts.registry = &rt->registry_;
   if (self == 0) {
     ProcessRuntime* raw = rt.get();

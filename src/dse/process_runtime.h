@@ -24,6 +24,10 @@ namespace dse {
 struct ProcessOptions {
   bool read_cache = false;
   bool pipelined_transfers = false;
+  // GMM data-plane fast path (see KernelOptions for semantics).
+  bool batching = false;
+  int prefetch_depth = 0;
+  bool write_combine = false;
   int connect_timeout_ms = 10000;
 };
 

@@ -214,6 +214,45 @@ Status Get(ByteReader& r, NameResp* m) {
 }
 Status Get(ByteReader&, LoadReq*) { return Status::Ok(); }
 Status Get(ByteReader& r, LoadResp* m) { return r.ReadU32(&m->running_tasks); }
+Status Get(ByteReader& r, BatchReq* m) {
+  std::uint32_t n = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  m->items.clear();
+  m->items.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BatchItem item;
+    std::uint8_t op = 0;
+    DSE_RETURN_IF_ERROR(r.ReadU8(&op));
+    if (op > static_cast<std::uint8_t>(BatchOp::kWrite)) {
+      return ProtocolError("bad batch op");
+    }
+    item.op = static_cast<BatchOp>(op);
+    DSE_RETURN_IF_ERROR(r.ReadU64(&item.addr));
+    DSE_RETURN_IF_ERROR(r.ReadU32(&item.len));
+    std::uint8_t flag = 0;
+    DSE_RETURN_IF_ERROR(r.ReadU8(&flag));
+    item.block_fetch = flag != 0;
+    DSE_RETURN_IF_ERROR(r.ReadBytes(&item.data));
+    m->items.push_back(std::move(item));
+  }
+  return Status::Ok();
+}
+Status Get(ByteReader& r, BatchResp* m) {
+  std::uint32_t n = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  m->items.clear();
+  m->items.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BatchItemResp item;
+    DSE_RETURN_IF_ERROR(r.ReadU64(&item.addr));
+    std::uint8_t flag = 0;
+    DSE_RETURN_IF_ERROR(r.ReadU8(&flag));
+    item.block_fetch = flag != 0;
+    DSE_RETURN_IF_ERROR(r.ReadBytes(&item.data));
+    m->items.push_back(std::move(item));
+  }
+  return Status::Ok();
+}
 Status Get(ByteReader&, StatsReq*) { return Status::Ok(); }
 Status Get(ByteReader& r, StatsResp* m) {
   std::uint32_t n = 0;
@@ -227,6 +266,27 @@ Status Get(ByteReader& r, StatsResp* m) {
     m->counters.emplace(std::move(name), value);
   }
   return Status::Ok();
+}
+
+void Put(ByteWriter& w, const BatchReq& m) {
+  w.WriteU32(static_cast<std::uint32_t>(m.items.size()));
+  for (const BatchItem& item : m.items) {
+    w.WriteU8(static_cast<std::uint8_t>(item.op));
+    w.WriteU64(item.addr);
+    w.WriteU32(item.len);
+    w.WriteU8(item.block_fetch ? 1 : 0);
+    w.WriteBytes(
+        {reinterpret_cast<const char*>(item.data.data()), item.data.size()});
+  }
+}
+void Put(ByteWriter& w, const BatchResp& m) {
+  w.WriteU32(static_cast<std::uint32_t>(m.items.size()));
+  for (const BatchItemResp& item : m.items) {
+    w.WriteU64(item.addr);
+    w.WriteU8(item.block_fetch ? 1 : 0);
+    w.WriteBytes(
+        {reinterpret_cast<const char*>(item.data.data()), item.data.size()});
+  }
 }
 
 template <typename T, MsgType kType>
@@ -272,6 +332,8 @@ std::string_view MsgTypeName(MsgType type) {
     case MsgType::kLoadResp: return "LoadResp";
     case MsgType::kStatsReq: return "StatsReq";
     case MsgType::kStatsResp: return "StatsResp";
+    case MsgType::kBatchReq: return "BatchReq";
+    case MsgType::kBatchResp: return "BatchResp";
   }
   return "Unknown";
 }
@@ -292,6 +354,7 @@ bool IsClientResponse(MsgType type) {
     case MsgType::kNameResp:
     case MsgType::kLoadResp:
     case MsgType::kStatsResp:
+    case MsgType::kBatchResp:
       return true;
     default:
       return false;
@@ -380,6 +443,8 @@ Result<Envelope> Decode(const std::vector<std::uint8_t>& payload) {
     case MsgType::kStatsReq: return DecodeBody<StatsReq>(r, std::move(env));
     case MsgType::kStatsResp:
       return DecodeBody<StatsResp>(r, std::move(env));
+    case MsgType::kBatchReq: return DecodeBody<BatchReq>(r, std::move(env));
+    case MsgType::kBatchResp: return DecodeBody<BatchResp>(r, std::move(env));
   }
   return ProtocolError("unknown message type " + std::to_string(type_raw));
 }

@@ -61,12 +61,17 @@ enum class MsgType : std::uint8_t {
   // SSI cluster-wide introspection: a node's metrics-counter snapshot.
   kStatsReq,
   kStatsResp,
+  // GMM data-plane fast path: several read/write sub-accesses homed on one
+  // node coalesced into a single envelope (one protocol overhead per
+  // destination instead of per access).
+  kBatchReq,
+  kBatchResp,
 };
 
 // Highest MsgType value; message types are contiguous from 1, so fixed-size
 // per-type counter tables are indexed by the raw enum value.
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kStatsResp);
+    static_cast<std::uint8_t>(MsgType::kBatchResp);
 
 std::string_view MsgTypeName(MsgType type);
 
@@ -217,6 +222,33 @@ struct StatsResp {
   std::map<std::string, std::uint64_t> counters;
 };
 
+// GMM fast-path batch: the client groups the sub-accesses of one logical
+// Read/Write (plus any read-ahead) by home node and ships each group as one
+// BatchReq. The home applies the items in order within a single Handle call
+// and answers with one BatchResp whose items align 1:1 with the request's
+// (writes produce an empty-data slot, i.e. a pure ack). Under coherence a
+// write item may defer the whole BatchResp until its invalidation round
+// completes, exactly like a standalone WriteReq defers its WriteAck.
+enum class BatchOp : std::uint8_t { kRead = 0, kWrite = 1 };
+struct BatchItem {
+  BatchOp op = BatchOp::kRead;
+  gmm::GlobalAddr addr = 0;
+  std::uint32_t len = 0;           // kRead: bytes requested
+  bool block_fetch = false;        // kRead: widen reply to the coherence block
+  std::vector<std::uint8_t> data;  // kWrite: payload
+};
+struct BatchReq {
+  std::vector<BatchItem> items;
+};
+struct BatchItemResp {
+  gmm::GlobalAddr addr = 0;  // start of returned range (block base if widened)
+  bool block_fetch = false;
+  std::vector<std::uint8_t> data;  // empty for write acks
+};
+struct BatchResp {
+  std::vector<BatchItemResp> items;
+};
+
 using Body =
     std::variant<ReadReq, ReadResp, WriteReq, WriteAck, AtomicReq, AtomicResp,
                  AllocReq, AllocResp, FreeReq, FreeAck, InvalidateReq,
@@ -224,7 +256,7 @@ using Body =
                  BarrierRelease, SpawnReq, SpawnResp, JoinReq, JoinResp, PsReq,
                  PsResp, ConsoleOut, Shutdown, NamePublish, NameAck,
                  NameLookup, NameResp, LoadReq, LoadResp, StatsReq,
-                 StatsResp>;
+                 StatsResp, BatchReq, BatchResp>;
 
 MsgType TypeOf(const Body& body);
 

@@ -374,6 +374,10 @@ void KernelLoop(sim::Context& ctx, SimState& state, SimNode& node) {
       if (auto* rr = std::get_if<proto::ReadResp>(&d.env.body);
           rr != nullptr && rr->block_fetch) {
         node.core.CacheInsert(rr->addr, rr->data);
+      } else if (auto* br = std::get_if<proto::BatchResp>(&d.env.body)) {
+        for (const proto::BatchItemResp& item : br->items) {
+          if (item.block_fetch) node.core.CacheInsert(item.addr, item.data);
+        }
       }
       const auto it = node.pending.find(d.env.req_id);
       DSE_CHECK_MSG(it != node.pending.end(), "orphan response in sim");
@@ -435,6 +439,9 @@ SimReport SimRuntime::Run(const std::string& main_name,
     KernelOptions kopts;
     kopts.read_cache = options_.read_cache;
     kopts.pipelined_transfers = options_.pipelined_transfers;
+    kopts.batching = options_.batching;
+    kopts.prefetch_depth = options_.prefetch_depth;
+    kopts.write_combine = options_.write_combine;
     kopts.has_task = [this](const std::string& name) {
       return registry_.Has(name);
     };

@@ -47,6 +47,13 @@ struct SimOptions {
   // Split-transaction transfers (latency-hiding extension; off = the
   // paper's strict request/response behaviour).
   bool pipelined_transfers = false;
+  // GMM data-plane fast path (see KernelOptions for semantics). Each
+  // batched envelope is charged ONE per-message protocol overhead plus the
+  // summed payload's byte cost — exactly why aggregation wins on the
+  // paper's shared bus.
+  bool batching = false;
+  int prefetch_depth = 0;
+  bool write_combine = false;
   OrganizationMode organization = OrganizationMode::kUnifiedLibrary;
   MediumKind medium = MediumKind::kSharedBus;
   std::uint64_t seed = 1;

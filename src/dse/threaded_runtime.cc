@@ -21,6 +21,9 @@ ThreadedRuntime::ThreadedRuntime(ThreadedOptions options)
     NodeHost::Options hopts;
     hopts.read_cache = options_.read_cache;
     hopts.pipelined_transfers = options_.pipelined_transfers;
+    hopts.batching = options_.batching;
+    hopts.prefetch_depth = options_.prefetch_depth;
+    hopts.write_combine = options_.write_combine;
     hopts.registry = &registry_;
     if (i == 0) {
       hopts.console_sink = [this](std::string line) {

@@ -27,6 +27,10 @@ struct ThreadedOptions {
   bool read_cache = false;
   // Split-transaction transfers (latency hiding for multi-chunk accesses).
   bool pipelined_transfers = false;
+  // GMM data-plane fast path (see KernelOptions for semantics).
+  bool batching = false;
+  int prefetch_depth = 0;
+  bool write_combine = false;
 };
 
 class ThreadedRuntime {

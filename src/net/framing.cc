@@ -9,11 +9,26 @@ namespace dse::net {
 
 std::vector<std::uint8_t> EncodeFrame(
     NodeId src, const std::vector<std::uint8_t>& payload) {
-  ByteWriter w(payload.size() + 8);
-  w.WriteU32(static_cast<std::uint32_t>(payload.size()));
-  w.WriteI32(src);
-  w.WriteRaw(payload.data(), payload.size());
-  return w.TakeBuffer();
+  std::vector<std::uint8_t> out;
+  EncodeFrameInto(src, payload, &out);
+  return out;
+}
+
+void EncodeFrameInto(NodeId src, const std::vector<std::uint8_t>& payload,
+                     std::vector<std::uint8_t>* out) {
+  // Assembled by hand into `out` (not via ByteWriter, which owns its own
+  // buffer) so the caller's capacity is actually reused across sends.
+  out->clear();
+  out->reserve(payload.size() + 8);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const auto src_bits = static_cast<std::uint32_t>(src);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(src_bits >> (8 * i)));
+  }
+  out->insert(out->end(), payload.begin(), payload.end());
 }
 
 Status FrameDecoder::Feed(const void* data, size_t n) {
@@ -22,9 +37,8 @@ Status FrameDecoder::Feed(const void* data, size_t n) {
   buf_.insert(buf_.end(), p, p + n);
 
   // Peel off as many complete frames as the buffer holds.
-  size_t offset = 0;
-  while (buf_.size() - offset >= kHeaderSize) {
-    ByteReader r(buf_.data() + offset, buf_.size() - offset);
+  while (buf_.size() - read_off_ >= kHeaderSize) {
+    ByteReader r(buf_.data() + read_off_, buf_.size() - read_off_);
     std::uint32_t len = 0;
     std::int32_t src = 0;
     DSE_CHECK_OK(r.ReadU32(&len));
@@ -34,17 +48,22 @@ Status FrameDecoder::Feed(const void* data, size_t n) {
       return ProtocolError("frame length " + std::to_string(len) +
                            " exceeds limit");
     }
-    if (buf_.size() - offset - kHeaderSize < len) break;  // incomplete
+    if (buf_.size() - read_off_ - kHeaderSize < len) break;  // incomplete
 
     Delivery d;
     d.src = src;
-    d.payload.assign(buf_.begin() + static_cast<long>(offset + kHeaderSize),
-                     buf_.begin() +
-                         static_cast<long>(offset + kHeaderSize + len));
+    d.payload.assign(
+        buf_.begin() + static_cast<long>(read_off_ + kHeaderSize),
+        buf_.begin() + static_cast<long>(read_off_ + kHeaderSize + len));
     ready_.push_back(std::move(d));
-    offset += kHeaderSize + len;
+    read_off_ += kHeaderSize + len;
   }
-  if (offset > 0) buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(offset));
+  // Compact lazily: only once the dead prefix dominates, so the memmove cost
+  // amortizes to O(1) per byte instead of O(pending) per Feed.
+  if (read_off_ > 0 && read_off_ >= buf_.size() - read_off_) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(read_off_));
+    read_off_ = 0;
+  }
   return Status::Ok();
 }
 

@@ -25,6 +25,11 @@ inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;  // sanity bound
 std::vector<std::uint8_t> EncodeFrame(NodeId src,
                                       const std::vector<std::uint8_t>& payload);
 
+// Same, but writes into a caller-supplied buffer (cleared first). Reusing one
+// buffer per connection amortizes the allocation on the hot send path.
+void EncodeFrameInto(NodeId src, const std::vector<std::uint8_t>& payload,
+                     std::vector<std::uint8_t>* out);
+
 // Incremental decoder. Not thread-safe (one per connection).
 class FrameDecoder {
  public:
@@ -36,12 +41,17 @@ class FrameDecoder {
   std::optional<Delivery> Next();
 
   // Bytes buffered but not yet forming a complete frame.
-  size_t pending_bytes() const { return buf_.size(); }
+  size_t pending_bytes() const { return buf_.size() - read_off_; }
 
  private:
   static constexpr size_t kHeaderSize = 8;
 
+  // Consumed bytes are not erased from the front of `buf_` (that memmove is
+  // O(pending) per Feed, quadratic across a burst of small reads); instead a
+  // read offset advances and the buffer compacts only when the dead prefix
+  // outweighs the live bytes.
   std::vector<std::uint8_t> buf_;
+  size_t read_off_ = 0;
   std::deque<Delivery> ready_;
   bool poisoned_ = false;
 };

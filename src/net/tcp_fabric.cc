@@ -102,9 +102,11 @@ class TcpFabricEndpoint::Impl {
     }
     Peer& peer = *peers_[static_cast<size_t>(dst)];
     if (!peer.sock.valid()) return Unavailable("no connection to node");
-    const auto frame = EncodeFrame(self_, payload);
+    // Frame into the peer's reusable send buffer (guarded by send_mu along
+    // with the socket) so the steady-state path allocates nothing.
     std::lock_guard<std::mutex> lock(peer.send_mu);
-    return peer.sock.SendAll(frame.data(), frame.size());
+    EncodeFrameInto(self_, payload, &peer.send_buf);
+    return peer.sock.SendAll(peer.send_buf.data(), peer.send_buf.size());
   }
 
   std::optional<Delivery> Recv() { return inbox_.Pop(); }
@@ -116,6 +118,7 @@ class TcpFabricEndpoint::Impl {
   struct Peer {
     osal::TcpSocket sock;
     std::mutex send_mu;
+    std::vector<std::uint8_t> send_buf;  // reused frame scratch (under send_mu)
     std::thread reader;
     FrameDecoder dec;  // owned by the reader thread once it starts
   };

@@ -1,4 +1,5 @@
 // Framing, in-process fabric, TCP fabric.
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <set>
@@ -102,6 +103,119 @@ TEST(Framing, OversizedFrameRejectedAndPoisons) {
   // Subsequent feeds fail too.
   std::uint8_t byte = 0;
   EXPECT_FALSE(dec.Feed(&byte, 1).ok());
+}
+
+TEST(Framing, PendingBytesTracksPartialFrame) {
+  const auto frame = EncodeFrame(4, Payload({1, 2, 3, 4, 5, 6, 7, 8}));
+  FrameDecoder dec;
+  // Header only: 8 pending bytes, no frame yet.
+  ASSERT_TRUE(dec.Feed(frame.data(), 8).ok());
+  EXPECT_EQ(dec.pending_bytes(), 8u);
+  EXPECT_FALSE(dec.Next().has_value());
+  // Half the payload.
+  ASSERT_TRUE(dec.Feed(frame.data() + 8, 4).ok());
+  EXPECT_EQ(dec.pending_bytes(), 12u);
+  // Rest: the frame completes and pending drops to zero (the consumed
+  // prefix must not be reported as pending even before compaction).
+  ASSERT_TRUE(dec.Feed(frame.data() + 12, frame.size() - 12).ok());
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+  EXPECT_TRUE(dec.Next().has_value());
+}
+
+TEST(Framing, HeaderSplitAcrossTwoFeeds) {
+  const auto payload = Payload({11, 22, 33});
+  const auto frame = EncodeFrame(6, payload);
+  FrameDecoder dec;
+  // First feed ends mid-header (4 of 8 header bytes).
+  ASSERT_TRUE(dec.Feed(frame.data(), 4).ok());
+  EXPECT_FALSE(dec.Next().has_value());
+  EXPECT_EQ(dec.pending_bytes(), 4u);
+  ASSERT_TRUE(dec.Feed(frame.data() + 4, frame.size() - 4).ok());
+  const auto d = dec.Next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, 6);
+  EXPECT_EQ(d->payload, payload);
+}
+
+TEST(Framing, ZeroLengthPayloadBetweenFrames) {
+  std::vector<std::uint8_t> stream;
+  for (const auto& f : {EncodeFrame(1, Payload({1})), EncodeFrame(2, {}),
+                        EncodeFrame(3, Payload({3, 3}))}) {
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.Feed(stream.data(), stream.size()).ok());
+  auto d = dec.Next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, 1);
+  d = dec.Next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, 2);
+  EXPECT_TRUE(d->payload.empty());
+  d = dec.Next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload, Payload({3, 3}));
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+}
+
+TEST(Framing, BackToBackFramesAcrossChunkedFeeds) {
+  // Many frames streamed in fixed-size chunks that never align with frame
+  // boundaries; exercises the read-offset bookkeeping and lazy compaction.
+  std::vector<std::uint8_t> stream;
+  const int kFrames = 64;
+  for (int i = 0; i < kFrames; ++i) {
+    std::vector<std::uint8_t> payload(static_cast<size_t>(i % 37),
+                                      static_cast<std::uint8_t>(i));
+    const auto f = EncodeFrame(i % 7, payload);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameDecoder dec;
+  int decoded = 0;
+  const size_t kChunk = 13;
+  for (size_t off = 0; off < stream.size(); off += kChunk) {
+    const size_t n = std::min(kChunk, stream.size() - off);
+    ASSERT_TRUE(dec.Feed(stream.data() + off, n).ok());
+    while (auto d = dec.Next()) {
+      EXPECT_EQ(d->src, decoded % 7);
+      EXPECT_EQ(d->payload.size(), static_cast<size_t>(decoded % 37));
+      for (std::uint8_t b : d->payload) {
+        EXPECT_EQ(b, static_cast<std::uint8_t>(decoded));
+      }
+      ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, kFrames);
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+}
+
+TEST(Framing, OversizedLengthPoisonsMidStream) {
+  // A good frame followed by a poisoned header: the good frame decodes, the
+  // bad header fails Feed, and the decoder stays poisoned afterwards.
+  const auto good = EncodeFrame(1, Payload({1, 2}));
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.Feed(good.data(), good.size()).ok());
+  EXPECT_TRUE(dec.Next().has_value());
+  ByteWriter w;
+  w.WriteU32(kMaxFramePayload + 7);
+  w.WriteI32(2);
+  EXPECT_EQ(dec.Feed(w.buffer().data(), w.buffer().size()).code(),
+            ErrorCode::kProtocolError);
+  const auto more = EncodeFrame(3, Payload({3}));
+  EXPECT_FALSE(dec.Feed(more.data(), more.size()).ok());
+  EXPECT_FALSE(dec.Next().has_value());
+}
+
+TEST(Framing, EncodeFrameIntoReusesBuffer) {
+  std::vector<std::uint8_t> scratch;
+  EncodeFrameInto(9, Payload({1, 2, 3, 4}), &scratch);
+  EXPECT_EQ(scratch, EncodeFrame(9, Payload({1, 2, 3, 4})));
+  const std::uint8_t* data_before = scratch.data();
+  const size_t cap_before = scratch.capacity();
+  // A smaller frame must fit in the existing allocation.
+  EncodeFrameInto(2, Payload({7}), &scratch);
+  EXPECT_EQ(scratch, EncodeFrame(2, Payload({7})));
+  EXPECT_EQ(scratch.data(), data_before);
+  EXPECT_EQ(scratch.capacity(), cap_before);
 }
 
 TEST(InProc, RoundTrip) {

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Capture a micro-benchmark snapshot for before/after comparison when
+# touching the data plane (see docs/performance.md).
+#
+# Usage: tools/bench_snapshot.sh [build-dir] [out-dir]
+#
+# Writes:
+#   <out-dir>/BENCH_micro.json               bench_micro_primitives (json)
+#   <out-dir>/BENCH_substrate.json           bench_micro_substrate  (json)
+#   <out-dir>/BENCH_ablation_batching.txt    fast-path ablation table
+#
+# MIN_TIME (default 0.05, seconds) controls --benchmark_min_time; use 0.01
+# for a quick smoke, raise it for stable numbers. Compare snapshots with
+# google-benchmark's tools/compare.py or plain diff on the ablation table.
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench_snapshots}
+MIN_TIME=${MIN_TIME:-0.05}
+
+for bin in bench_micro_primitives bench_micro_substrate \
+    bench_ablation_batching; do
+  if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
+    echo "error: $BUILD_DIR/bench/$bin not built" \
+         "(cmake --build $BUILD_DIR --target $bin)" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "$OUT_DIR"
+
+"$BUILD_DIR/bench/bench_micro_primitives" \
+    --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    > "$OUT_DIR/BENCH_micro.json"
+"$BUILD_DIR/bench/bench_micro_substrate" \
+    --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    > "$OUT_DIR/BENCH_substrate.json"
+"$BUILD_DIR/bench/bench_ablation_batching" \
+    > "$OUT_DIR/BENCH_ablation_batching.txt"
+
+echo "benchmark snapshot written to $OUT_DIR/"

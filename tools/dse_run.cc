@@ -13,6 +13,10 @@
 //   --platform sunos|aix|linux|solaris  (sim only; default sunos)
 //   --procs N                processors / workers (default 4)
 //   --cache                  enable the DSM read cache
+//   --batch                  coalesce per-home GMM accesses into batch
+//                            envelopes (see docs/performance.md)
+//   --prefetch K             sequential read-ahead depth (implies --cache)
+//   --write-combine          buffer small writes, flush at sync points
 //   --legacy                 old two-process DSE organization (sim)
 //   --switched               ideal switched network instead of the bus (sim)
 //   --trace FILE             write a Chrome trace-event JSON timeline (sim);
@@ -171,7 +175,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dse_run <gauss|dct|othello|knight> [--mode "
                "threaded|sim] [--platform sunos|aix|linux|solaris] "
-               "[--procs N] [--cache] [--legacy] [--switched] "
+               "[--procs N] [--cache] [--batch] [--prefetch K] "
+               "[--write-combine] [--legacy] [--switched] "
                "[--stats] [--stats-json [FILE]] [--stats-csv [FILE]] "
                "[--ps] [--list-tasks] [app flags]\n");
   return 2;
@@ -261,7 +266,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> known = {
       "mode",  "platform", "procs",      "cache",     "legacy",
       "switched", "trace", "machines",   "stats",     "stats-json",
-      "stats-csv", "ps",   "list-tasks", "help"};
+      "stats-csv", "ps",   "list-tasks", "help",      "batch",
+      "prefetch", "write-combine"};
   known.insert(known.end(), workload.flags.begin(), workload.flags.end());
   flags.RejectUnknown(known);
 
@@ -276,10 +282,24 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // GMM fast-path knobs (shared by both modes). --prefetch implies --cache:
+  // the read-ahead lands in the client read cache.
+  const bool batching = flags.Has("batch");
+  const int prefetch_depth = flags.Int("prefetch", 0);
+  if (prefetch_depth < 0) {
+    std::fprintf(stderr, "--prefetch must be >= 0 (got %d)\n", prefetch_depth);
+    return 2;
+  }
+  const bool write_combine = flags.Has("write-combine");
+  const bool cache = flags.Has("cache") || prefetch_depth > 0;
+
   const std::string mode = flags.Str("mode", "threaded");
   if (mode == "threaded") {
-    ThreadedRuntime rt(ThreadedOptions{
-        .num_nodes = procs, .read_cache = flags.Has("cache")});
+    ThreadedRuntime rt(ThreadedOptions{.num_nodes = procs,
+                                       .read_cache = cache,
+                                       .batching = batching,
+                                       .prefetch_depth = prefetch_depth,
+                                       .write_combine = write_combine});
     workload.register_fn(rt.registry());
     const auto result = rt.RunMain(workload.main_task, workload.arg);
     std::printf("%s | threaded %d nodes | %.1f ms wall | result %zu bytes\n",
@@ -292,7 +312,10 @@ int main(int argc, char** argv) {
     SimOptions opts;
     opts.profile = ProfileOrDie(flags.Str("platform", "sunos"));
     opts.num_processors = procs;
-    opts.read_cache = flags.Has("cache");
+    opts.read_cache = cache;
+    opts.batching = batching;
+    opts.prefetch_depth = prefetch_depth;
+    opts.write_combine = write_combine;
     if (flags.Has("legacy")) {
       opts.organization = OrganizationMode::kLegacyTwoProcess;
     }
