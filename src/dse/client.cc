@@ -64,7 +64,8 @@ Result<gmm::GlobalAddr> TaskClient::AllocStriped(std::uint64_t size,
   req.size = size;
   req.policy = proto::HomePolicy::kStriped;
   req.param = block_log2;
-  auto resp = Expect<proto::AllocResp>(rpc_->Call(0, std::move(req)));
+  auto resp =
+      Expect<proto::AllocResp>(rpc_->Call(0, std::move(req), DataPolicy()));
   if (!resp.ok()) return resp.status();
   DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "alloc failed"));
   return resp->addr;
@@ -76,7 +77,8 @@ Result<gmm::GlobalAddr> TaskClient::AllocOnNode(std::uint64_t size,
   req.size = size;
   req.policy = proto::HomePolicy::kOnNode;
   req.param = static_cast<std::uint8_t>(home);
-  auto resp = Expect<proto::AllocResp>(rpc_->Call(0, std::move(req)));
+  auto resp =
+      Expect<proto::AllocResp>(rpc_->Call(0, std::move(req), DataPolicy()));
   if (!resp.ok()) return resp.status();
   DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "alloc failed"));
   return resp->addr;
@@ -84,7 +86,8 @@ Result<gmm::GlobalAddr> TaskClient::AllocOnNode(std::uint64_t size,
 
 Status TaskClient::Free(gmm::GlobalAddr addr) {
   DSE_RETURN_IF_ERROR(FlushWrites());
-  auto resp = Expect<proto::FreeAck>(rpc_->Call(0, proto::FreeReq{addr}));
+  auto resp =
+      Expect<proto::FreeAck>(rpc_->Call(0, proto::FreeReq{addr}, DataPolicy()));
   if (!resp.ok()) return resp.status();
   return ErrorFrom(resp->error, "free failed");
 }
@@ -266,7 +269,7 @@ Status TaskClient::DispatchReads(const std::vector<ReadItem>& items,
       calls.size() > 1 && (core_->pipelined_transfers() ||
                            core_->batching_enabled() || prefetching);
   if (many) {
-    auto resps = rpc_->CallMany(std::move(calls));
+    auto resps = rpc_->CallMany(std::move(calls), DataPolicy());
     if (!resps.ok()) return resps.status();
     for (size_t i = 0; i < call_items.size(); ++i) {
       DSE_RETURN_IF_ERROR(apply(std::move((*resps)[i]), call_items[i]));
@@ -274,7 +277,8 @@ Status TaskClient::DispatchReads(const std::vector<ReadItem>& items,
     return Status::Ok();
   }
   for (size_t i = 0; i < calls.size(); ++i) {
-    auto resp = rpc_->Call(calls[i].first, std::move(calls[i].second));
+    auto resp =
+        rpc_->Call(calls[i].first, std::move(calls[i].second), DataPolicy());
     if (!resp.ok()) return resp.status();
     DSE_RETURN_IF_ERROR(apply(std::move(*resp), call_items[i]));
   }
@@ -333,7 +337,7 @@ Status TaskClient::DispatchWriteCalls(
       calls.size() > 1 &&
       (core_->pipelined_transfers() || core_->batching_enabled());
   if (many) {
-    auto resps = rpc_->CallMany(std::move(calls));
+    auto resps = rpc_->CallMany(std::move(calls), DataPolicy());
     if (!resps.ok()) return resps.status();
     for (size_t i = 0; i < resps->size(); ++i) {
       DSE_RETURN_IF_ERROR(check_ack(std::move((*resps)[i]), batch_sizes[i]));
@@ -341,7 +345,8 @@ Status TaskClient::DispatchWriteCalls(
     return Status::Ok();
   }
   for (size_t i = 0; i < calls.size(); ++i) {
-    auto resp = rpc_->Call(calls[i].first, std::move(calls[i].second));
+    auto resp =
+        rpc_->Call(calls[i].first, std::move(calls[i].second), DataPolicy());
     if (!resp.ok()) return resp.status();
     DSE_RETURN_IF_ERROR(check_ack(std::move(*resp), batch_sizes[i]));
   }
@@ -538,8 +543,8 @@ Result<std::int64_t> TaskClient::AtomicFetchAdd(gmm::GlobalAddr addr,
   req.op = proto::AtomicOp::kFetchAdd;
   req.addr = addr;
   req.operand = delta;
-  auto resp = Expect<proto::AtomicResp>(
-      rpc_->Call(gmm::HomeOf(addr, num_nodes()), std::move(req)));
+  auto resp = Expect<proto::AtomicResp>(rpc_->Call(
+      gmm::HomeOf(addr, num_nodes()), std::move(req), DataPolicy()));
   if (!resp.ok()) return resp.status();
   return resp->old_value;
 }
@@ -554,8 +559,8 @@ Result<std::int64_t> TaskClient::AtomicCompareExchange(gmm::GlobalAddr addr,
   req.addr = addr;
   req.operand = desired;
   req.expected = expected;
-  auto resp = Expect<proto::AtomicResp>(
-      rpc_->Call(gmm::HomeOf(addr, num_nodes()), std::move(req)));
+  auto resp = Expect<proto::AtomicResp>(rpc_->Call(
+      gmm::HomeOf(addr, num_nodes()), std::move(req), DataPolicy()));
   if (!resp.ok()) return resp.status();
   return resp->old_value;
 }
@@ -564,7 +569,7 @@ Status TaskClient::Lock(std::uint64_t lock_id) {
   DSE_RETURN_IF_ERROR(FlushWrites());
   lock_requests_->Add();
   auto resp = Expect<proto::LockGrant>(
-      rpc_->Call(LockHome(lock_id), proto::LockReq{lock_id}));
+      rpc_->Call(LockHome(lock_id), proto::LockReq{lock_id}, SyncPolicy()));
   return resp.status();
 }
 
@@ -583,7 +588,7 @@ Status TaskClient::Barrier(std::uint64_t barrier_id, int parties) {
   req.barrier_id = barrier_id;
   req.parties = static_cast<std::uint32_t>(parties);
   auto resp = Expect<proto::BarrierRelease>(
-      rpc_->Call(LockHome(barrier_id), std::move(req)));
+      rpc_->Call(LockHome(barrier_id), std::move(req), SyncPolicy()));
   return resp.status();
 }
 
@@ -597,7 +602,8 @@ Result<Gpid> TaskClient::Spawn(const std::string& task_name,
     std::uint32_t best_load = 0;
     dst = -1;
     for (NodeId n = 0; n < num_nodes(); ++n) {
-      auto resp = Expect<proto::LoadResp>(rpc_->Call(n, proto::LoadReq{}));
+      auto resp = Expect<proto::LoadResp>(
+          rpc_->Call(n, proto::LoadReq{}, DataPolicy()));
       if (!resp.ok()) return resp.status();
       if (dst < 0 || resp->running_tasks < best_load) {
         best_load = resp->running_tasks;
@@ -612,7 +618,8 @@ Result<Gpid> TaskClient::Spawn(const std::string& task_name,
   proto::SpawnReq req;
   req.task_name = task_name;
   req.arg = std::move(arg);
-  auto resp = Expect<proto::SpawnResp>(rpc_->Call(dst, std::move(req)));
+  auto resp =
+      Expect<proto::SpawnResp>(rpc_->Call(dst, std::move(req), DataPolicy()));
   if (!resp.ok()) return resp.status();
   DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "spawn failed"));
   return resp->gpid;
@@ -621,7 +628,8 @@ Result<Gpid> TaskClient::Spawn(const std::string& task_name,
 Result<std::vector<std::uint8_t>> TaskClient::Join(Gpid gpid) {
   DSE_RETURN_IF_ERROR(FlushWrites());
   auto resp =
-      Expect<proto::JoinResp>(rpc_->Call(GpidNode(gpid), proto::JoinReq{gpid}));
+      Expect<proto::JoinResp>(
+          rpc_->Call(GpidNode(gpid), proto::JoinReq{gpid}, SyncPolicy()));
   if (!resp.ok()) return resp.status();
   DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "join failed"));
   return std::move(resp->result);
@@ -641,13 +649,15 @@ Status TaskClient::PublishName(const std::string& name,
   proto::NamePublish req;
   req.name = name;
   req.value = value;
-  auto resp = Expect<proto::NameAck>(rpc_->Call(0, std::move(req)));
+  auto resp =
+      Expect<proto::NameAck>(rpc_->Call(0, std::move(req), DataPolicy()));
   if (!resp.ok()) return resp.status();
   return ErrorFrom(resp->error, "publish failed");
 }
 
 Result<std::uint64_t> TaskClient::LookupName(const std::string& name) {
-  auto resp = Expect<proto::NameResp>(rpc_->Call(0, proto::NameLookup{name}));
+  auto resp = Expect<proto::NameResp>(
+      rpc_->Call(0, proto::NameLookup{name}, DataPolicy()));
   if (!resp.ok()) return resp.status();
   DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "lookup failed"));
   return resp->value;
@@ -656,7 +666,8 @@ Result<std::uint64_t> TaskClient::LookupName(const std::string& name) {
 Result<std::vector<proto::PsEntry>> TaskClient::ClusterPs() {
   std::vector<proto::PsEntry> all;
   for (NodeId n = 0; n < num_nodes(); ++n) {
-    auto resp = Expect<proto::PsResp>(rpc_->Call(n, proto::PsReq{}));
+    auto resp =
+        Expect<proto::PsResp>(rpc_->Call(n, proto::PsReq{}, DataPolicy()));
     if (!resp.ok()) return resp.status();
     all.insert(all.end(), resp->entries.begin(), resp->entries.end());
   }
@@ -667,7 +678,8 @@ Result<std::vector<MetricsSnapshot>> TaskClient::ClusterStats() {
   std::vector<MetricsSnapshot> per_node;
   per_node.reserve(static_cast<size_t>(num_nodes()));
   for (NodeId n = 0; n < num_nodes(); ++n) {
-    auto resp = Expect<proto::StatsResp>(rpc_->Call(n, proto::StatsReq{}));
+    auto resp = Expect<proto::StatsResp>(
+        rpc_->Call(n, proto::StatsReq{}, DataPolicy()));
     if (!resp.ok()) return resp.status();
     per_node.push_back(std::move(resp->counters));
   }

@@ -23,25 +23,39 @@
 
 namespace dse {
 
+// Failure policy for one blocking call. The backend waits `deadline_ms` per
+// attempt (0 = forever) and retries up to `max_attempts` total sends of the
+// SAME req_id with exponential backoff between attempts; the kernel's
+// at-most-once cache makes the resends safe for mutating requests. On final
+// failure the call surfaces kTimeout (no answer) or kUnavailable (peer
+// known dead / channel shut down) instead of hanging.
+struct CallPolicy {
+  int deadline_ms = 0;      // per-attempt wait; 0 = block forever
+  int max_attempts = 1;     // total sends (1 = no retry)
+  int backoff_base_ms = 5;  // sleep base between attempts: base, 2x, 4x, ...
+};
+
 // Backend-provided blocking message channel for one task.
 class RpcChannel {
  public:
   virtual ~RpcChannel() = default;
 
   // Sends `body` to node `dst`'s kernel and blocks for the response with the
-  // matching req_id.
-  virtual Result<proto::Envelope> Call(NodeId dst, proto::Body body) = 0;
+  // matching req_id, observing `policy`'s deadline/retry budget.
+  virtual Result<proto::Envelope> Call(NodeId dst, proto::Body body,
+                                       const CallPolicy& policy = {}) = 0;
 
   // Split-transaction variant: issues every request before waiting for any
   // response, hiding round-trip latency behind each other. Responses are
   // returned in request order. The default implementation degrades to
   // serial Calls; backends override with true pipelining.
   virtual Result<std::vector<proto::Envelope>> CallMany(
-      std::vector<std::pair<NodeId, proto::Body>> calls) {
+      std::vector<std::pair<NodeId, proto::Body>> calls,
+      const CallPolicy& policy = {}) {
     std::vector<proto::Envelope> out;
     out.reserve(calls.size());
     for (auto& [dst, body] : calls) {
-      auto resp = Call(dst, std::move(body));
+      auto resp = Call(dst, std::move(body), policy);
       if (!resp.ok()) return resp.status();
       out.push_back(std::move(*resp));
     }
@@ -99,6 +113,31 @@ class TaskClient {
 
  private:
   int num_nodes() const { return core_->num_nodes(); }
+  // Policy for data-plane calls (reads/writes/atomics/alloc/free/spawn and
+  // SSI queries): bounded wait + retries from KernelOptions. Synchronization
+  // calls (lock/barrier/join) use SyncPolicy() instead — they wait on other
+  // tasks, not just the network, so they must never surface kTimeout — and
+  // rely on dead-node detection to fail.
+  CallPolicy DataPolicy() const {
+    CallPolicy p;
+    p.deadline_ms = core_->rpc_deadline_ms();
+    p.max_attempts = core_->rpc_max_attempts();
+    p.backoff_base_ms = core_->rpc_backoff_base_ms();
+    return p;
+  }
+  // Block-forever by default. With a lossy fabric (KernelOptions::
+  // rpc_sync_retry) the deadline instead paces *resends* of the same req_id
+  // — a lost LockReq/BarrierEnter/JoinReq would otherwise hang forever —
+  // with effectively unbounded attempts so the call still never times out.
+  CallPolicy SyncPolicy() const {
+    CallPolicy p;
+    if (core_->rpc_sync_retry()) {
+      p.deadline_ms = core_->rpc_deadline_ms();
+      p.max_attempts = 1 << 30;
+      p.backoff_base_ms = 0;  // the deadline itself paces the resends
+    }
+    return p;
+  }
   NodeId LockHome(std::uint64_t id) const {
     return static_cast<NodeId>(id % static_cast<std::uint64_t>(num_nodes()));
   }

@@ -98,9 +98,18 @@ class GlobalCounter {
 
   gmm::GlobalAddr addr() const { return addr_; }
 
-  // Atomically adds `delta` and returns the previous value.
+  // Atomically adds `delta` and returns the previous value, surfacing RPC
+  // failures (kTimeout / kUnavailable on a faulty cluster) to the caller.
+  // The handle holds no mutable state, so a failed add leaves it intact and
+  // safe to retry.
+  Result<std::int64_t> TryAdd(Task& t, std::int64_t delta) const {
+    return t.AtomicFetchAdd(addr_, delta);
+  }
+
+  // Atomically adds `delta` and returns the previous value; aborts on RPC
+  // failure (the pre-fault-model convenience form).
   std::int64_t Add(Task& t, std::int64_t delta) const {
-    auto old = t.AtomicFetchAdd(addr_, delta);
+    auto old = TryAdd(t, delta);
     DSE_CHECK_OK(old.status());
     return *old;
   }
@@ -139,10 +148,24 @@ class GlobalWorkQueue {
   std::int64_t total() const { return total_; }
 
   // Claims the next unprocessed index, or nullopt when the queue is drained.
+  // RPC failures surface as a Status; the handle itself holds only the
+  // counter address and the (immutable) total, so a failed claim corrupts
+  // nothing and the caller may simply retry. Note the claim RPC may have
+  // executed at the home before the response was lost — the kernel's
+  // at-most-once dedupe replays the original response on retry, so no index
+  // is claimed twice or skipped.
+  Result<std::optional<std::int64_t>> Claim(Task& t) const {
+    auto index = counter_.TryAdd(t, 1);
+    if (!index.ok()) return index.status();
+    if (*index >= total_) return std::optional<std::int64_t>{};
+    return std::optional<std::int64_t>{*index};
+  }
+
+  // Claim, aborting on RPC failure (the pre-fault-model convenience form).
   std::optional<std::int64_t> TryClaim(Task& t) const {
-    const std::int64_t index = counter_.Next(t);
-    if (index >= total_) return std::nullopt;
-    return index;
+    auto claimed = Claim(t);
+    DSE_CHECK_OK(claimed.status());
+    return *claimed;
   }
 
   Status Free(Task& t) const { return counter_.Free(t); }

@@ -15,6 +15,38 @@ void Emit(KernelCore::Actions* actions, gmm::GmmHome::Replies replies) {
   }
 }
 
+// Mutating request types whose re-execution on a retried (duplicated) frame
+// would corrupt state: these go through the at-most-once cache. Pure reads
+// and queries are idempotent and skip it. A BatchReq is tracked only when it
+// carries at least one write item.
+bool RequestNeedsDedupe(const proto::Envelope& env) {
+  switch (env.type()) {
+    case proto::MsgType::kWriteReq:
+    case proto::MsgType::kAtomicReq:
+    case proto::MsgType::kAllocReq:
+    case proto::MsgType::kFreeReq:
+    case proto::MsgType::kLockReq:
+    case proto::MsgType::kBarrierEnter:
+    case proto::MsgType::kSpawnReq:
+    case proto::MsgType::kJoinReq:
+    case proto::MsgType::kNamePublish:
+      return true;
+    case proto::MsgType::kBatchReq: {
+      const auto& b = std::get<proto::BatchReq>(env.body);
+      for (const auto& item : b.items) {
+        if (item.op == proto::BatchOp::kWrite) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+// FIFO window of remembered responses. Large enough that a retry arriving
+// within its deadline window always finds the original outcome.
+constexpr size_t kDedupeWindow = 1024;
+
 }  // namespace
 
 KernelCore::KernelCore(NodeId self, int num_nodes, KernelOptions options)
@@ -34,12 +66,41 @@ KernelCore::KernelCore(NodeId self, int num_nodes, KernelOptions options)
   net_msgs_recv_ = metrics_.counter("net.msgs_recv");
   net_bytes_recv_ = metrics_.counter("net.bytes_recv");
   sent_bytes_hist_ = metrics_.histogram("net.sent_bytes");
+  dedupe_replays_ = metrics_.counter("rpc.dedupe.replays");
+  dedupe_drops_ = metrics_.counter("rpc.dedupe.drops");
 }
 
 KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
   DSE_CHECK_MSG(!proto::IsClientResponse(env.type()),
                 "client response leaked into KernelCore::Handle");
   ++stats_.handled;
+
+  // At-most-once guard: a retried mutating request (same requester and
+  // req_id) must not re-execute. Replay the remembered response if the
+  // original completed; drop the duplicate if it is still in flight (its
+  // deferred response will answer both).
+  const bool tracked = env.req_id != 0 && RequestNeedsDedupe(env);
+  const DedupeKey key{env.src_node, env.req_id};
+  if (tracked) {
+    if (const auto it = completed_.find(key); it != completed_.end()) {
+      dedupe_replays_->Add();
+      Actions replay;
+      replay.out.push_back(Outgoing{env.src_node, it->second});
+      return replay;
+    }
+    if (in_progress_.count(key) > 0) {
+      dedupe_drops_->Add();
+      return Actions{};
+    }
+    in_progress_.insert(key);
+  }
+
+  Actions actions = Dispatch(env);
+  HarvestResponses(&actions);
+  return actions;
+}
+
+KernelCore::Actions KernelCore::Dispatch(const proto::Envelope& env) {
   Actions actions;
   const NodeId src = env.src_node;
   const std::uint64_t rid = env.req_id;
@@ -153,10 +214,34 @@ KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
       actions.shutdown = true;
       break;
 
+    case proto::MsgType::kHeartbeat:
+      // Liveness probes are consumed at the host service layer; tolerate one
+      // that reaches the kernel (e.g. the simulator's single inbound path).
+      break;
+
     default:
       DSE_CHECK_MSG(false, "unhandled message type in KernelCore");
   }
   return actions;
+}
+
+void KernelCore::HarvestResponses(Actions* actions) {
+  if (in_progress_.empty()) return;
+  for (const Outgoing& out : actions->out) {
+    if (out.env.req_id == 0 || !proto::IsClientResponse(out.env.type())) {
+      continue;
+    }
+    const DedupeKey key{out.dst, out.env.req_id};
+    const auto it = in_progress_.find(key);
+    if (it == in_progress_.end()) continue;
+    in_progress_.erase(it);
+    completed_.emplace(key, out.env);
+    completed_order_.push_back(key);
+    while (completed_order_.size() > kDedupeWindow) {
+      completed_.erase(completed_order_.front());
+      completed_order_.pop_front();
+    }
+  }
 }
 
 void KernelCore::HandleInvalidate(const proto::Envelope& env,
@@ -187,6 +272,8 @@ KernelCore::Actions KernelCore::OnLocalTaskExit(
     reply.body = std::move(resp);
     actions.out.push_back(Outgoing{node, std::move(reply)});
   }
+  // Deferred JoinResps answer requests still marked in-progress.
+  HarvestResponses(&actions);
   return actions;
 }
 

@@ -25,10 +25,14 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -59,6 +63,20 @@ struct KernelOptions {
   // spans at synchronization points (barrier/lock/atomic/read-overlap) —
   // release consistency at sync instead of per-write round trips.
   bool write_combine = false;
+  // Failure-aware data plane: per-attempt deadline and bounded retries for
+  // the client's data-plane calls (read/write/atomic/alloc/free/spawn and
+  // the SSI queries). 0 deadline = wait forever. Retries resend the same
+  // req_id; this kernel's at-most-once cache (below) dedupes the replays.
+  // Synchronization calls (lock/barrier/join) never time out — they block
+  // by design — but still fail fast on dead peers and shutdown.
+  int rpc_deadline_ms = 10000;
+  int rpc_max_attempts = 3;
+  int rpc_backoff_base_ms = 5;  // exponential: base, 2x, 4x, ...
+  // With a lossy fabric (fault plan active) a lost BarrierEnter/LockReq/
+  // JoinReq frame would block its caller forever, so the runtimes set this
+  // to make sync calls resend (same req_id, deduped at the home) on the
+  // data-plane deadline — indefinitely, never surfacing kTimeout.
+  bool rpc_sync_retry = false;
   // Validates SpawnReq task names; unknown names fail the spawn with
   // kInvalidArgument instead of crashing the target node.
   std::function<bool(const std::string&)> has_task;
@@ -107,6 +125,10 @@ class KernelCore {
     return options_.read_cache ? options_.prefetch_depth : 0;
   }
   bool write_combine_enabled() const { return options_.write_combine; }
+  int rpc_deadline_ms() const { return options_.rpc_deadline_ms; }
+  int rpc_max_attempts() const { return options_.rpc_max_attempts; }
+  int rpc_backoff_base_ms() const { return options_.rpc_backoff_base_ms; }
+  bool rpc_sync_retry() const { return options_.rpc_sync_retry; }
 
   // Handles one inbound server-side message (requests, InvalidateReq/Ack,
   // ConsoleOut, Shutdown). Must not be called with client responses.
@@ -172,7 +194,14 @@ class KernelCore {
   ssi::SsiServices& ssi_for_test() { return ssi_; }
 
  private:
+  // The pre-dedupe request dispatch (the body of Handle).
+  Actions Dispatch(const proto::Envelope& env);
   void HandleInvalidate(const proto::Envelope& env, Actions* actions);
+
+  // At-most-once execution: moves responses to in-progress mutating
+  // requests into the completed cache so a retried request (same src,
+  // req_id) replays the original response instead of re-executing.
+  void HarvestResponses(Actions* actions);
 
   NodeId self_;
   int num_nodes_;
@@ -196,6 +225,18 @@ class KernelCore {
   Histogram* sent_bytes_hist_ = nullptr;
 
   ssi::SsiServices ssi_;
+
+  // At-most-once request cache, keyed (requester node, req_id). `completed_`
+  // holds the response envelope of each finished mutating request inside a
+  // FIFO window; `in_progress_` marks requests whose response is still
+  // deferred (e.g. a write ack behind an invalidation round) so duplicates
+  // are dropped rather than re-executed.
+  using DedupeKey = std::pair<NodeId, std::uint64_t>;
+  std::map<DedupeKey, proto::Envelope> completed_;
+  std::deque<DedupeKey> completed_order_;
+  std::set<DedupeKey> in_progress_;
+  Counter* dedupe_replays_ = nullptr;
+  Counter* dedupe_drops_ = nullptr;
 
   KernelStats stats_;
 };

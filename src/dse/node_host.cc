@@ -1,5 +1,7 @@
 #include "dse/node_host.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
@@ -8,75 +10,108 @@
 
 namespace dse {
 
-// One blocked client call waiting for its response.
+// One blocked client call waiting for its response. On failure (timeout
+// final, peer dead, service exit) `error` is set instead of `resp`.
 struct NodeHost::Waiter {
   std::mutex mu;
   std::condition_variable cv;
   bool ready = false;
   proto::Envelope resp;
+  Status error = Status::Ok();
 };
 
 namespace {
+
+// Delivers a response or failure to a waiter. The waiter lives on the
+// calling task's stack and is destroyed as soon as that task observes
+// `ready`; notifying while holding the mutex keeps the condition variable
+// alive through the notify (the waiter cannot re-acquire the mutex, return
+// and destruct until we release it).
+void DeliverResponse(NodeHost::Waiter* waiter, proto::Envelope env) {
+  std::lock_guard<std::mutex> lock(waiter->mu);
+  waiter->resp = std::move(env);
+  waiter->ready = true;
+  waiter->cv.notify_one();
+}
+
+void DeliverFailure(NodeHost::Waiter* waiter, const Status& error) {
+  std::lock_guard<std::mutex> lock(waiter->mu);
+  waiter->error = error;
+  waiter->ready = true;
+  waiter->cv.notify_one();
+}
+
+// Consumes a ready waiter (must only be called after `ready` was observed
+// or while willing to block for it).
+Result<proto::Envelope> TakeOutcome(NodeHost::Waiter* waiter) {
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait(lock, [&] { return waiter->ready; });
+  if (!waiter->error.ok()) return waiter->error;
+  return std::move(waiter->resp);
+}
 
 // RpcChannel over the host's endpoint + pending table.
 class HostRpc final : public RpcChannel {
  public:
   explicit HostRpc(NodeHost* host) : host_(host) {}
 
-  Result<proto::Envelope> Call(NodeId dst, proto::Body body) override {
-    NodeHost::Waiter waiter;
+  Result<proto::Envelope> Call(NodeId dst, proto::Body body,
+                               const CallPolicy& policy) override {
     proto::Envelope env;
     env.req_id = host_->NextReqId();
     env.src_node = host_->self();
     env.body = std::move(body);
-    host_->RegisterWaiter(env.req_id, &waiter);
-    const Status sent = host_->SendEnvelope(dst, env);
-    if (!sent.ok()) {
-      host_->DropWaiter(env.req_id);
-      return sent;
-    }
-    std::unique_lock<std::mutex> lock(waiter.mu);
-    waiter.cv.wait(lock, [&] { return waiter.ready; });
-    return std::move(waiter.resp);
+    return host_->CallAndAwait(dst, std::move(env), policy);
   }
 
   Result<std::vector<proto::Envelope>> CallMany(
-      std::vector<std::pair<NodeId, proto::Body>> calls) override {
+      std::vector<std::pair<NodeId, proto::Body>> calls,
+      const CallPolicy& policy) override {
     // True pipelining: register every waiter, send every request, then
     // collect. FIFO transports preserve per-destination order, so requests
-    // to one home still serialize there.
+    // to one home still serialize there. The envelopes are kept around so a
+    // timed-out await can resend the same req_id.
     std::vector<std::unique_ptr<NodeHost::Waiter>> waiters;
     waiters.reserve(calls.size());
-    std::vector<std::uint64_t> ids;
-    ids.reserve(calls.size());
+    std::vector<proto::Envelope> envs;
+    envs.reserve(calls.size());
+    std::vector<NodeId> dsts;
+    dsts.reserve(calls.size());
+    Status first_error = Status::Ok();
     for (auto& [dst, body] : calls) {
       auto waiter = std::make_unique<NodeHost::Waiter>();
       proto::Envelope env;
       env.req_id = host_->NextReqId();
       env.src_node = host_->self();
       env.body = std::move(body);
-      host_->RegisterWaiter(env.req_id, waiter.get());
+      host_->RegisterWaiter(env.req_id, waiter.get(), dst);
       const Status sent = host_->SendEnvelope(dst, env);
       if (!sent.ok()) {
-        host_->DropWaiter(env.req_id);
-        // Waiters already sent will be answered; absorb them before failing
-        // so no response targets a dead waiter.
-        for (size_t i = 0; i < waiters.size(); ++i) {
-          std::unique_lock<std::mutex> lock(waiters[i]->mu);
-          waiters[i]->cv.wait(lock, [&] { return waiters[i]->ready; });
+        if (host_->DropWaiter(env.req_id)) {
+          first_error = sent;
+          break;
         }
-        return sent;
+        // The service path claimed the entry concurrently (e.g. a dead-node
+        // sweep); the waiter will be answered below like the others.
       }
-      ids.push_back(env.req_id);
+      envs.push_back(std::move(env));
+      dsts.push_back(dst);
       waiters.push_back(std::move(waiter));
     }
+    // Await everything that was sent — even when failing, so no late
+    // response targets a dead waiter frame.
     std::vector<proto::Envelope> out;
     out.reserve(waiters.size());
-    for (auto& waiter : waiters) {
-      std::unique_lock<std::mutex> lock(waiter->mu);
-      waiter->cv.wait(lock, [&] { return waiter->ready; });
-      out.push_back(std::move(waiter->resp));
+    for (size_t i = 0; i < waiters.size(); ++i) {
+      auto resp =
+          host_->AwaitWithRetry(dsts[i], envs[i], waiters[i].get(), policy);
+      if (!resp.ok()) {
+        if (first_error.ok()) first_error = resp.status();
+        continue;
+      }
+      out.push_back(std::move(*resp));
     }
+    if (!first_error.ok()) return first_error;
     return out;
   }
 
@@ -192,6 +227,10 @@ KernelOptions MakeKernelOptions(const NodeHost::Options& options,
   kopts.batching = options.batching;
   kopts.prefetch_depth = options.prefetch_depth;
   kopts.write_combine = options.write_combine;
+  kopts.rpc_deadline_ms = options.rpc_deadline_ms;
+  kopts.rpc_max_attempts = options.rpc_max_attempts;
+  kopts.rpc_backoff_base_ms = options.rpc_backoff_base_ms;
+  kopts.rpc_sync_retry = options.sync_retry;
   kopts.has_task = [registry](const std::string& name) {
     return registry->Has(name);
   };
@@ -214,11 +253,22 @@ NodeHost::NodeHost(net::Endpoint* endpoint, int num_nodes, Options options)
     : endpoint_(endpoint),
       options_(std::move(options)),
       core_(endpoint->self(), num_nodes,
-            MakeKernelOptions(options_, options_.registry, endpoint)) {
+            MakeKernelOptions(options_, options_.registry, endpoint)),
+      last_heard_ms_(static_cast<size_t>(num_nodes)),
+      peer_dead_(static_cast<size_t>(num_nodes)) {
   DSE_CHECK(options_.registry != nullptr);
+  rpc_timeouts_ = core_.metrics().counter("rpc.timeout");
+  rpc_retries_ = core_.metrics().counter("rpc.retry");
+  nodes_dead_ = core_.metrics().counter("node.dead");
 }
 
 NodeHost::~NodeHost() {
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
   endpoint_->Shutdown();
   if (service_.joinable()) service_.join();
   WaitTasksDrained();
@@ -228,30 +278,188 @@ NodeHost::~NodeHost() {
   }
 }
 
+std::int64_t NodeHost::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void NodeHost::Start() {
   DSE_CHECK_MSG(!service_.joinable(), "NodeHost started twice");
+  const std::int64_t now = NowMs();
+  for (auto& stamp : last_heard_ms_) {
+    stamp.store(now, std::memory_order_relaxed);
+  }
   service_ = std::thread([this] {
     ServiceLoop();
+    // Nothing will answer a pending call once the service loop is gone;
+    // release every blocked task with a terminal status instead of hanging.
+    FailAllPending(Unavailable("node service loop exited"));
     {
       std::lock_guard<std::mutex> lock(service_exit_mu_);
       service_exited_ = true;
     }
     service_exit_cv_.notify_all();
   });
+  if (options_.heartbeat_period_ms > 0 && core_.num_nodes() > 1) {
+    heartbeat_ = std::thread([this] { HeartbeatLoop(); });
+  }
+}
+
+void NodeHost::HeartbeatLoop() {
+  const int period_ms = options_.heartbeat_period_ms;
+  const int timeout_ms = options_.heartbeat_timeout_ms > 0
+                             ? options_.heartbeat_timeout_ms
+                             : 5 * period_ms;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(hb_mu_);
+      hb_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                      [&] { return hb_stop_; });
+      if (hb_stop_) return;
+    }
+    const std::int64_t now = NowMs();
+    for (NodeId n = 0; n < core_.num_nodes(); ++n) {
+      if (n == self() || peer_dead_[static_cast<size_t>(n)].load(
+                             std::memory_order_relaxed)) {
+        continue;
+      }
+      if (now - last_heard_ms_[static_cast<size_t>(n)].load(
+                    std::memory_order_relaxed) >
+          timeout_ms) {
+        MarkPeerDead(n, "heartbeat timeout");
+        continue;
+      }
+      proto::Envelope probe;
+      probe.req_id = 0;
+      probe.src_node = self();
+      probe.body = proto::Heartbeat{};
+      (void)SendEnvelope(n, probe);  // a lost probe is just a silent period
+    }
+  }
+}
+
+bool NodeHost::PeerDead(NodeId node) const {
+  if (node < 0 || node >= core_.num_nodes()) return false;
+  return peer_dead_[static_cast<size_t>(node)].load(
+      std::memory_order_relaxed);
+}
+
+void NodeHost::MarkPeerDead(NodeId node, const char* why) {
+  if (peer_dead_[static_cast<size_t>(node)].exchange(
+          true, std::memory_order_relaxed)) {
+    return;  // already declared
+  }
+  nodes_dead_->Add();
+  DSE_LOG(kWarn) << "node " << self() << ": declaring node " << node
+                 << " dead (" << why << ")";
+  FailPendingTo(node, Unavailable("node " + std::to_string(node) +
+                                  " declared dead (" + why + ")"));
 }
 
 std::uint64_t NodeHost::NextReqId() {
   return next_req_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void NodeHost::RegisterWaiter(std::uint64_t req_id, Waiter* waiter) {
+void NodeHost::RegisterWaiter(std::uint64_t req_id, Waiter* waiter,
+                              NodeId dst) {
   std::lock_guard<std::mutex> lock(pending_mu_);
-  pending_.emplace(req_id, waiter);
+  pending_.emplace(req_id, Pending{waiter, dst});
 }
 
-void NodeHost::DropWaiter(std::uint64_t req_id) {
+bool NodeHost::DropWaiter(std::uint64_t req_id) {
   std::lock_guard<std::mutex> lock(pending_mu_);
-  pending_.erase(req_id);
+  return pending_.erase(req_id) > 0;
+}
+
+void NodeHost::FailAllPending(const Status& error) {
+  std::vector<Waiter*> victims;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    victims.reserve(pending_.size());
+    for (const auto& [id, p] : pending_) victims.push_back(p.waiter);
+    pending_.clear();
+  }
+  for (Waiter* w : victims) DeliverFailure(w, error);
+}
+
+void NodeHost::FailPendingTo(NodeId dst, const Status& error) {
+  std::vector<Waiter*> victims;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.dst == dst) {
+        victims.push_back(it->second.waiter);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (Waiter* w : victims) DeliverFailure(w, error);
+}
+
+Result<proto::Envelope> NodeHost::FailCall(std::uint64_t req_id,
+                                           Waiter* waiter,
+                                           const Status& error) {
+  if (DropWaiter(req_id)) return error;
+  // The service path claimed the entry first: a response or failure is in
+  // flight to this waiter and must be consumed (the waiter is stack memory).
+  return TakeOutcome(waiter);
+}
+
+Result<proto::Envelope> NodeHost::CallAndAwait(NodeId dst,
+                                               proto::Envelope env,
+                                               const CallPolicy& policy) {
+  Waiter waiter;
+  RegisterWaiter(env.req_id, &waiter, dst);
+  const Status sent = SendEnvelope(dst, env);
+  if (!sent.ok()) return FailCall(env.req_id, &waiter, sent);
+  return AwaitWithRetry(dst, env, &waiter, policy);
+}
+
+Result<proto::Envelope> NodeHost::AwaitWithRetry(NodeId dst,
+                                                 const proto::Envelope& env,
+                                                 Waiter* waiter,
+                                                 const CallPolicy& policy) {
+  const int attempts = std::max(1, policy.max_attempts);
+  const bool bounded = policy.deadline_ms > 0;
+  for (int attempt = 1;; ++attempt) {
+    {
+      std::unique_lock<std::mutex> lock(waiter->mu);
+      if (bounded) {
+        waiter->cv.wait_for(lock,
+                            std::chrono::milliseconds(policy.deadline_ms),
+                            [&] { return waiter->ready; });
+      } else {
+        waiter->cv.wait(lock, [&] { return waiter->ready; });
+      }
+      if (waiter->ready) {
+        if (!waiter->error.ok()) return waiter->error;
+        return std::move(waiter->resp);
+      }
+    }
+    // This attempt's deadline expired with no answer.
+    rpc_timeouts_->Add();
+    if (attempt >= attempts) {
+      if (DropWaiter(env.req_id)) {
+        return Timeout("rpc to node " + std::to_string(dst) +
+                       " timed out after " + std::to_string(attempts) +
+                       " attempt(s)");
+      }
+      // Claimed concurrently: the answer is on its way — take it.
+      return TakeOutcome(waiter);
+    }
+    rpc_retries_->Add();
+    const int base = std::max(1, policy.backoff_base_ms);
+    const int backoff =
+        std::min(1000, base << std::min(attempt - 1, 10));
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    // Resend the SAME req_id; the home's at-most-once cache absorbs the
+    // duplicate if the original made it and only the response was lost.
+    const Status sent = SendEnvelope(dst, env);
+    if (!sent.ok()) return FailCall(env.req_id, waiter, sent);
+  }
 }
 
 std::vector<std::uint8_t> NodeHost::RunLocalTask(
@@ -310,6 +518,11 @@ void NodeHost::BroadcastShutdown() {
 }
 
 Status NodeHost::SendEnvelope(NodeId dst, const proto::Envelope& env) {
+  // Fail fast instead of queueing onto a corpse. Shutdown is exempt so SSI
+  // teardown still reaches whatever is left on the other side.
+  if (PeerDead(dst) && env.type() != proto::MsgType::kShutdown) {
+    return Unavailable("node " + std::to_string(dst) + " is dead");
+  }
   std::vector<std::uint8_t> payload = proto::Encode(env);
   const std::uint64_t bytes = payload.size();
   const Status s = endpoint_->Send(dst, std::move(payload));
@@ -384,6 +597,13 @@ void NodeHost::ServiceLoop() {
     core_.CountRecv(env.type());
     core_.CountWireRecv(delivery->payload.size());
 
+    // Any frame proves its sender alive.
+    if (env.src_node >= 0 && env.src_node < core_.num_nodes()) {
+      last_heard_ms_[static_cast<size_t>(env.src_node)].store(
+          NowMs(), std::memory_order_relaxed);
+    }
+    if (env.type() == proto::MsgType::kHeartbeat) continue;
+
     if (proto::IsClientResponse(env.type())) {
       // Cache fills happen on this ordered path before the waiting task can
       // observe the response — see kernel_core.h.
@@ -400,26 +620,19 @@ void NodeHost::ServiceLoop() {
         std::lock_guard<std::mutex> lock(pending_mu_);
         const auto it = pending_.find(env.req_id);
         if (it != pending_.end()) {
-          waiter = it->second;
+          waiter = it->second.waiter;
           pending_.erase(it);
         }
       }
       if (waiter == nullptr) {
-        DSE_LOG(kWarn) << "node " << self() << ": orphan response req_id "
-                       << env.req_id;
+        // Expected under faults: the duplicate of a dup'd response, or an
+        // answer arriving after its call was failed (timeout/dead peer).
+        core_.metrics().counter("rpc.orphan_resp")->Add();
+        DSE_LOG(kDebug) << "node " << self() << ": orphan response req_id "
+                        << env.req_id;
         continue;
       }
-      {
-        // The waiter lives on the calling task's stack and is destroyed as
-        // soon as that task observes `ready`; notifying while holding the
-        // mutex keeps the condition variable alive through the notify (the
-        // waiter cannot re-acquire the mutex, return and destruct until we
-        // release it).
-        std::lock_guard<std::mutex> lock(waiter->mu);
-        waiter->resp = std::move(env);
-        waiter->ready = true;
-        waiter->cv.notify_one();
-      }
+      DeliverResponse(waiter, std::move(env));
       continue;
     }
 

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dse/client.h"
 #include "dse/kernel_core.h"
 #include "dse/registry.h"
 #include "dse/task.h"
@@ -35,6 +36,19 @@ class NodeHost {
     bool batching = false;
     int prefetch_depth = 0;
     bool write_combine = false;
+    // Failure-aware data plane (see KernelOptions for semantics).
+    int rpc_deadline_ms = 10000;
+    int rpc_max_attempts = 3;
+    int rpc_backoff_base_ms = 5;
+    // Lossy-fabric mode: sync calls (lock/barrier/join) resend the same
+    // req_id on each deadline instead of blocking forever on one send.
+    bool sync_retry = false;
+    // Liveness probing: every period this host heartbeats its peers and
+    // declares any peer silent past the timeout dead (failing that peer's
+    // in-flight calls with kUnavailable and refusing new sends to it).
+    // 0 disables the prober; timeout 0 defaults to 5x the period.
+    int heartbeat_period_ms = 0;
+    int heartbeat_timeout_ms = 0;
     TaskRegistry* registry = nullptr;            // required
     // Receives SSI console lines (only ever called on node 0's host).
     std::function<void(std::string)> console_sink;
@@ -67,22 +81,60 @@ class NodeHost {
   // Sends a Shutdown control message to every node (SSI teardown).
   void BroadcastShutdown();
 
+  // True once the liveness prober declared `node` dead.
+  bool PeerDead(NodeId node) const;
+
   // --- internals shared with the Task implementation -----------------------
   struct Waiter;
   std::uint64_t NextReqId();
-  void RegisterWaiter(std::uint64_t req_id, Waiter* waiter);
-  void DropWaiter(std::uint64_t req_id);
+  void RegisterWaiter(std::uint64_t req_id, Waiter* waiter, NodeId dst);
+  // Removes the pending entry. Returns false when the service path already
+  // claimed it — the response (or failure) is being delivered and the caller
+  // must consume it instead of abandoning the stack-allocated waiter.
+  bool DropWaiter(std::uint64_t req_id);
   net::Endpoint& endpoint() { return *endpoint_; }
   // Encodes, counts (per-type + wire bytes) and sends. The single outbound
   // choke point — all kernel and client traffic flows through here so the
-  // metrics registry sees every message exactly once.
+  // metrics registry sees every message exactly once. Fails fast with
+  // kUnavailable on peers declared dead (Shutdown excepted).
   Status SendEnvelope(NodeId dst, const proto::Envelope& env);
+  // Registers a waiter, sends `env`, and blocks for the response under
+  // `policy` (per-attempt deadline, bounded resends of the same req_id,
+  // exponential backoff). Every failure path surfaces a Status — this call
+  // cannot hang unless the policy says block forever AND no failure is
+  // detected.
+  Result<proto::Envelope> CallAndAwait(NodeId dst, proto::Envelope env,
+                                       const CallPolicy& policy);
+  // The await half (request already registered and sent once): used by the
+  // pipelined CallMany, which issues every request before awaiting any.
+  Result<proto::Envelope> AwaitWithRetry(NodeId dst,
+                                         const proto::Envelope& env,
+                                         Waiter* waiter,
+                                         const CallPolicy& policy);
   void FinishLocalTask(Gpid gpid, std::vector<std::uint8_t> result);
 
  private:
+  struct Pending {
+    Waiter* waiter = nullptr;
+    NodeId dst = -1;  // request destination, for dead-node call failure
+  };
+
   void ServiceLoop();
   void Perform(KernelCore::Actions actions);
   void StartTaskThread(KernelCore::StartTask st);
+
+  // Resolves a failed send against the pending table: normally returns
+  // `error`, but if the response won the race the caller takes it instead.
+  Result<proto::Envelope> FailCall(std::uint64_t req_id, Waiter* waiter,
+                                   const Status& error);
+  // Delivers `error` to every pending call (service loop exited: nothing
+  // will ever answer them).
+  void FailAllPending(const Status& error);
+  // Delivers `error` to every pending call addressed to `dst`.
+  void FailPendingTo(NodeId dst, const Status& error);
+  void MarkPeerDead(NodeId node, const char* why);
+  void HeartbeatLoop();
+  std::int64_t NowMs() const;
 
   net::Endpoint* endpoint_;
   Options options_;
@@ -91,12 +143,26 @@ class NodeHost {
   std::mutex core_mu_;  // serializes KernelCore server state
   std::atomic<std::uint64_t> next_req_id_{1};
   std::mutex pending_mu_;
-  std::unordered_map<std::uint64_t, Waiter*> pending_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
 
   std::thread service_;
   std::mutex service_exit_mu_;
   std::condition_variable service_exit_cv_;
   bool service_exited_ = false;
+
+  // Liveness state. last_heard_ms_[n] is the steady-clock stamp of the last
+  // frame received from n; peer_dead_[n] latches once declared.
+  std::vector<std::atomic<std::int64_t>> last_heard_ms_;
+  std::vector<std::atomic<bool>> peer_dead_;
+  std::thread heartbeat_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;
+
+  // Pre-resolved failure counters (rpc.timeout / rpc.retry / node.dead).
+  Counter* rpc_timeouts_ = nullptr;
+  Counter* rpc_retries_ = nullptr;
+  Counter* nodes_dead_ = nullptr;
 
   std::mutex tasks_mu_;
   std::condition_variable tasks_cv_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "dse/proto/messages.h"
 
 namespace dse {
 
@@ -18,12 +19,39 @@ Result<std::unique_ptr<ProcessRuntime>> ProcessRuntime::Create(
   std::unique_ptr<ProcessRuntime> rt(new ProcessRuntime);
   rt->endpoint_ = std::move(*endpoint);
 
+  net::Endpoint* ep = rt->endpoint_.get();
+  const bool faulty = options.fault_plan.enabled();
+  if (faulty) {
+    if (options.rpc_deadline_ms <= 0) {
+      return InvalidArgument("a fault plan requires a finite rpc deadline");
+    }
+    rt->fault_ = std::make_unique<net::FaultInjector>(options.fault_plan);
+    // Shutdown is the out-of-band teardown path (Encode writes the type tag
+    // first, so one byte identifies it).
+    rt->faulty_endpoint_ = std::make_unique<net::FaultyEndpoint>(
+        ep, rt->fault_.get(), [](const std::vector<std::uint8_t>& payload) {
+          return !payload.empty() &&
+                 payload[0] ==
+                     static_cast<std::uint8_t>(proto::MsgType::kShutdown);
+        });
+    ep = rt->faulty_endpoint_.get();
+  }
+
   NodeHost::Options hopts;
   hopts.read_cache = options.read_cache;
   hopts.pipelined_transfers = options.pipelined_transfers;
   hopts.batching = options.batching;
   hopts.prefetch_depth = options.prefetch_depth;
   hopts.write_combine = options.write_combine;
+  hopts.rpc_deadline_ms = options.rpc_deadline_ms;
+  hopts.rpc_max_attempts = options.rpc_max_attempts;
+  hopts.rpc_backoff_base_ms = options.rpc_backoff_base_ms;
+  hopts.sync_retry = faulty;
+  hopts.heartbeat_period_ms =
+      options.heartbeat_period_ms > 0 ? options.heartbeat_period_ms
+      : options.heartbeat_period_ms == 0 && faulty ? 50
+                                                   : 0;
+  hopts.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
   hopts.registry = &rt->registry_;
   if (self == 0) {
     ProcessRuntime* raw = rt.get();
@@ -34,8 +62,7 @@ Result<std::unique_ptr<ProcessRuntime>> ProcessRuntime::Create(
       raw->console_.push_back(std::move(line));
     };
   }
-  rt->host_ =
-      std::make_unique<NodeHost>(rt->endpoint_.get(), n, std::move(hopts));
+  rt->host_ = std::make_unique<NodeHost>(ep, n, std::move(hopts));
   // The service loop does NOT start here: peers may send spawn requests the
   // moment the mesh is up, and the caller has not registered its task
   // functions yet. Inbound messages queue in the endpoint until

@@ -17,6 +17,7 @@
 
 #include "dse/node_host.h"
 #include "dse/registry.h"
+#include "net/fault.h"
 #include "net/tcp_fabric.h"
 
 namespace dse {
@@ -29,6 +30,19 @@ struct ProcessOptions {
   int prefetch_depth = 0;
   bool write_combine = false;
   int connect_timeout_ms = 10000;
+  // Deterministic fault injection on this node's TCP sends (net/fault.h).
+  // Each process owns its own injector, so a cluster-wide plan means "every
+  // node runs this plan on its outbound links" — per-link decision streams
+  // still replay identically because they derive only from (seed, src, dst).
+  net::FaultPlan fault_plan = {};
+  // Failure-aware data plane knobs (see NodeHost::Options).
+  int rpc_deadline_ms = 10000;
+  int rpc_max_attempts = 3;
+  int rpc_backoff_base_ms = 5;
+  // Heartbeat prober: 0 = auto (on with a fault plan, off without);
+  // negative = force off; positive = period in ms.
+  int heartbeat_period_ms = 0;
+  int heartbeat_timeout_ms = 0;
 };
 
 class ProcessRuntime {
@@ -59,11 +73,18 @@ class ProcessRuntime {
   // Console lines routed here (meaningful on node 0).
   const std::vector<std::string>& console() const { return console_; }
 
+  // Injected-fault tallies for this process's sends (empty without a plan).
+  MetricsSnapshot FaultCounters() const {
+    return fault_ ? fault_->Counters() : MetricsSnapshot{};
+  }
+
  private:
   ProcessRuntime() = default;
 
   TaskRegistry registry_;
   std::unique_ptr<net::TcpFabricEndpoint> endpoint_;
+  std::unique_ptr<net::FaultInjector> fault_;
+  std::unique_ptr<net::FaultyEndpoint> faulty_endpoint_;
   std::unique_ptr<NodeHost> host_;
   std::vector<std::string> console_;
 };

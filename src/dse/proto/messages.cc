@@ -289,6 +289,9 @@ void Put(ByteWriter& w, const BatchResp& m) {
   }
 }
 
+void Put(ByteWriter&, const Heartbeat&) {}
+Status Get(ByteReader&, Heartbeat*) { return Status::Ok(); }
+
 template <typename T, MsgType kType>
 struct Tag {
   using type = T;
@@ -334,6 +337,7 @@ std::string_view MsgTypeName(MsgType type) {
     case MsgType::kStatsResp: return "StatsResp";
     case MsgType::kBatchReq: return "BatchReq";
     case MsgType::kBatchResp: return "BatchResp";
+    case MsgType::kHeartbeat: return "Heartbeat";
   }
   return "Unknown";
 }
@@ -445,6 +449,7 @@ Result<Envelope> Decode(const std::vector<std::uint8_t>& payload) {
       return DecodeBody<StatsResp>(r, std::move(env));
     case MsgType::kBatchReq: return DecodeBody<BatchReq>(r, std::move(env));
     case MsgType::kBatchResp: return DecodeBody<BatchResp>(r, std::move(env));
+    case MsgType::kHeartbeat: return DecodeBody<Heartbeat>(r, std::move(env));
   }
   return ProtocolError("unknown message type " + std::to_string(type_raw));
 }

@@ -66,12 +66,16 @@ enum class MsgType : std::uint8_t {
   // destination instead of per access).
   kBatchReq,
   kBatchResp,
+  // Failure detection: periodic liveness probe between node hosts. Handled
+  // at the host service layer (it refreshes the sender's last-heard stamp);
+  // never enters the kernel's request dispatch and has no response.
+  kHeartbeat,
 };
 
 // Highest MsgType value; message types are contiguous from 1, so fixed-size
 // per-type counter tables are indexed by the raw enum value.
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kBatchResp);
+    static_cast<std::uint8_t>(MsgType::kHeartbeat);
 
 std::string_view MsgTypeName(MsgType type);
 
@@ -249,6 +253,10 @@ struct BatchResp {
   std::vector<BatchItemResp> items;
 };
 
+// Liveness probe (req_id 0, one-way). A node that stays silent past the
+// heartbeat timeout is declared dead by its peers.
+struct Heartbeat {};
+
 using Body =
     std::variant<ReadReq, ReadResp, WriteReq, WriteAck, AtomicReq, AtomicResp,
                  AllocReq, AllocResp, FreeReq, FreeAck, InvalidateReq,
@@ -256,7 +264,7 @@ using Body =
                  BarrierRelease, SpawnReq, SpawnResp, JoinReq, JoinResp, PsReq,
                  PsResp, ConsoleOut, Shutdown, NamePublish, NameAck,
                  NameLookup, NameResp, LoadReq, LoadResp, StatsReq,
-                 StatsResp, BatchReq, BatchResp>;
+                 StatsResp, BatchReq, BatchResp, Heartbeat>;
 
 MsgType TypeOf(const Body& body);
 

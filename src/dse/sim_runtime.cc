@@ -1,5 +1,6 @@
 #include "dse/sim_runtime.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -30,6 +31,11 @@ struct SimState {
   sim::Simulator sim;
   std::unique_ptr<simnet::Medium> medium;
   std::vector<std::unique_ptr<SimNode>> nodes;
+  // Fault injection (null = lossless wire). The injector's verdicts are a
+  // pure function of the plan and each link's frame count, so the same plan
+  // replays identically here and on the real fabrics.
+  std::unique_ptr<net::FaultInjector> fault;
+  net::DelayLine<SimDelivery> delayed;
 
   Gpid main_gpid = kNoGpid;
   sim::SimTime main_finished_at = 0;
@@ -63,8 +69,12 @@ struct SimState {
   }
 
   // Routes an encoded message from `src` to `dst`'s mailbox, through the
-  // medium when the nodes sit on different physical machines.
+  // medium when the nodes sit on different physical machines. Consults the
+  // fault injector first when one is active.
   void Deliver(NodeId src, NodeId dst, proto::Envelope env,
+               std::uint64_t bytes);
+  // The raw routing step (post-injection).
+  void Forward(NodeId src, NodeId dst, proto::Envelope env,
                std::uint64_t bytes);
 };
 
@@ -85,9 +95,8 @@ struct SimNode {
   bool shutting_down = false;
 };
 
-void SimState::Deliver(NodeId src, NodeId dst, proto::Envelope env,
+void SimState::Forward(NodeId src, NodeId dst, proto::Envelope env,
                        std::uint64_t bytes) {
-  ++messages;
   SimNode& target = *nodes[static_cast<size_t>(dst)];
   auto push = [&target, env = std::move(env), bytes]() mutable {
     target.mailbox.Push(SimDelivery{std::move(env), bytes});
@@ -98,6 +107,39 @@ void SimState::Deliver(NodeId src, NodeId dst, proto::Envelope env,
   } else {
     medium->Transmit(MachineOf(src), MachineOf(dst), bytes, std::move(push));
   }
+}
+
+void SimState::Deliver(NodeId src, NodeId dst, proto::Envelope env,
+                       std::uint64_t bytes) {
+  ++messages;
+  // Shutdown is immune (an out-of-band teardown channel): without it a
+  // killed node's kernel process would block forever and deadlock the
+  // simulation at quiesce time.
+  if (fault != nullptr && env.type() != proto::MsgType::kShutdown) {
+    const net::FaultAction act = fault->OnSend(src, dst, bytes);
+    // Age held frames before (possibly) holding this one — a frame never
+    // releases itself; released frames go out after the current frame.
+    std::vector<SimDelivery> due = delayed.OnFramePassed(src, dst);
+    if (act.delay_frames > 0) {
+      delayed.Hold(src, dst, SimDelivery{std::move(env), bytes},
+                   act.delay_frames);
+    } else if (act.deliver) {
+      if (act.truncate_to >= 0) {
+        // A truncated frame fails Decode on a real fabric and is dropped at
+        // the receiver; the sim keeps envelopes structured, so truncation
+        // degenerates to the same drop.
+      } else {
+        proto::Envelope copy;
+        const bool dup = act.duplicate;
+        if (dup) copy = env;
+        Forward(src, dst, std::move(env), bytes);
+        if (dup) Forward(src, dst, std::move(copy), bytes);
+      }
+    }
+    for (SimDelivery& d : due) Forward(src, dst, std::move(d.env), d.bytes);
+    return;
+  }
+  Forward(src, dst, std::move(env), bytes);
 }
 
 // Sends one kernel message, charging the sender's software path cost in the
@@ -131,45 +173,112 @@ class SimRpc final : public RpcChannel {
   SimRpc(SimNode* node, sim::Context* ctx)
       : node_(node), ctx_(ctx), resp_(&node->state->sim) {}
 
-  Result<proto::Envelope> Call(NodeId dst, proto::Body body) override {
-    proto::Envelope env;
-    env.req_id = node_->next_req_id++;
-    env.src_node = node_->core.self();
-    env.body = std::move(body);
-    node_->pending.emplace(env.req_id, &resp_);
-    ChargeAndSend(*ctx_, *node_->state, node_->core.self(), dst,
-                  std::move(env));
-    return resp_.Pop(*ctx_);
+  Result<proto::Envelope> Call(NodeId dst, proto::Body body,
+                               const CallPolicy& policy) override {
+    std::vector<std::pair<NodeId, proto::Body>> one;
+    one.emplace_back(dst, std::move(body));
+    auto resps = CallMany(std::move(one), policy);
+    if (!resps.ok()) return resps.status();
+    return std::move((*resps)[0]);
   }
 
   Result<std::vector<proto::Envelope>> CallMany(
-      std::vector<std::pair<NodeId, proto::Body>> calls) override {
+      std::vector<std::pair<NodeId, proto::Body>> calls,
+      const CallPolicy& policy) override {
     // Issue every request (each still pays its software send cost in this
     // task's virtual time), then collect the responses, which may arrive in
-    // any order.
-    std::vector<std::uint64_t> ids;
-    ids.reserve(calls.size());
+    // any order. Under an active fault plan the collection is bounded by the
+    // policy's per-attempt deadline in *virtual* time, with resends of the
+    // same req_ids; a lossless simulation waits unbounded as before (and
+    // schedules no timer events).
+    SimState& state = *node_->state;
+    struct Slot {
+      NodeId dst = -1;
+      proto::Envelope env;  // kept for resends
+      int attempts = 1;
+      bool done = false;
+    };
+    std::vector<Slot> slots;
+    slots.reserve(calls.size());
     for (auto& [dst, body] : calls) {
-      proto::Envelope env;
-      env.req_id = node_->next_req_id++;
-      env.src_node = node_->core.self();
-      env.body = std::move(body);
-      node_->pending.emplace(env.req_id, &resp_);
-      ids.push_back(env.req_id);
-      ChargeAndSend(*ctx_, *node_->state, node_->core.self(), dst,
-                    std::move(env));
+      Slot s;
+      s.dst = dst;
+      s.env.req_id = node_->next_req_id++;
+      s.env.src_node = node_->core.self();
+      s.env.body = std::move(body);
+      node_->pending.emplace(s.env.req_id, &resp_);
+      proto::Envelope copy = s.env;
+      slots.push_back(std::move(s));
+      ChargeAndSend(*ctx_, state, node_->core.self(), dst, std::move(copy));
+    }
+    const bool bounded = state.fault != nullptr && policy.deadline_ms > 0;
+    const int max_attempts = std::max(1, policy.max_attempts);
+    std::unordered_map<std::uint64_t, size_t> index;
+    index.reserve(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      index.emplace(slots[i].env.req_id, i);
     }
     std::unordered_map<std::uint64_t, proto::Envelope> got;
-    while (got.size() < ids.size()) {
-      proto::Envelope resp = resp_.Pop(*ctx_);
-      got.emplace(resp.req_id, std::move(resp));
+    size_t remaining = slots.size();
+    while (remaining > 0) {
+      std::optional<proto::Envelope> resp;
+      if (bounded) {
+        resp = resp_.PopUntil(
+            *ctx_, ctx_->Now() + sim::Millis(policy.deadline_ms));
+      } else {
+        resp = resp_.Pop(*ctx_);
+      }
+      if (resp.has_value()) {
+        const auto it = index.find(resp->req_id);
+        if (it == index.end() || slots[it->second].done) {
+          // A response to a call this channel already gave up on (its reply
+          // raced the final timeout into our mailbox), or a duplicate.
+          node_->core.metrics().counter("rpc.stale_resp")->Add();
+          continue;
+        }
+        slots[it->second].done = true;
+        got.emplace(resp->req_id, std::move(*resp));
+        --remaining;
+        continue;
+      }
+      // Deadline expired: every outstanding call timed out this attempt.
+      for (const Slot& s : slots) {
+        if (!s.done) node_->core.metrics().counter("rpc.timeout")->Add();
+      }
+      int worst_attempt = 0;
+      for (Slot& s : slots) {
+        if (s.done) continue;
+        worst_attempt = std::max(worst_attempt, s.attempts);
+        if (s.attempts >= max_attempts) {
+          // Final failure: abandon every outstanding call so late replies
+          // become counted orphans instead of corrupting a future call.
+          for (const Slot& o : slots) {
+            if (!o.done) node_->pending.erase(o.env.req_id);
+          }
+          return Timeout("rpc to node " + std::to_string(s.dst) +
+                         " timed out after " +
+                         std::to_string(max_attempts) + " attempt(s)");
+        }
+      }
+      // Back off in virtual time, then resend the SAME req_ids (the home's
+      // at-most-once cache absorbs duplicates).
+      const int base = std::max(1, policy.backoff_base_ms);
+      const int backoff =
+          std::min(1000, base << std::min(worst_attempt - 1, 10));
+      ctx_->Sleep(sim::Millis(backoff));
+      for (Slot& s : slots) {
+        if (s.done) continue;
+        ++s.attempts;
+        node_->core.metrics().counter("rpc.retry")->Add();
+        proto::Envelope copy = s.env;
+        ChargeAndSend(*ctx_, state, node_->core.self(), s.dst,
+                      std::move(copy));
+      }
     }
     std::vector<proto::Envelope> out;
-    out.reserve(ids.size());
-    for (const std::uint64_t id : ids) {
-      const auto it = got.find(id);
-      DSE_CHECK_MSG(it != got.end(), "pipelined response mismatch");
-      out.push_back(std::move(it->second));
+    out.reserve(slots.size());
+    for (const Slot& s : slots) {
+      out.push_back(std::move(got.at(s.env.req_id)));
     }
     return out;
   }
@@ -380,7 +489,14 @@ void KernelLoop(sim::Context& ctx, SimState& state, SimNode& node) {
         }
       }
       const auto it = node.pending.find(d.env.req_id);
-      DSE_CHECK_MSG(it != node.pending.end(), "orphan response in sim");
+      if (it == node.pending.end()) {
+        // Expected under faults: the duplicate of a dup'd response, or an
+        // answer arriving after its call was abandoned. Without a fault
+        // plan the wire is lossless and this cannot happen.
+        DSE_CHECK_MSG(state.fault != nullptr, "orphan response in sim");
+        node.core.metrics().counter("rpc.orphan_resp")->Add();
+        continue;
+      }
       sim::Channel<proto::Envelope>* resp = it->second;
       node.pending.erase(it);
       if (state.legacy()) {
@@ -435,6 +551,14 @@ SimReport SimRuntime::Run(const std::string& main_name,
       break;
   }
 
+  if (options_.fault_plan.enabled()) {
+    // A lossy wire with unbounded waits would deadlock the simulation; the
+    // deadline is what converts a lost message into a retry or a kTimeout.
+    DSE_CHECK_MSG(options_.rpc_deadline_ms > 0,
+                  "sim fault injection requires a positive rpc deadline");
+    state.fault = std::make_unique<net::FaultInjector>(options_.fault_plan);
+  }
+
   for (NodeId i = 0; i < n; ++i) {
     KernelOptions kopts;
     kopts.read_cache = options_.read_cache;
@@ -442,6 +566,10 @@ SimReport SimRuntime::Run(const std::string& main_name,
     kopts.batching = options_.batching;
     kopts.prefetch_depth = options_.prefetch_depth;
     kopts.write_combine = options_.write_combine;
+    kopts.rpc_deadline_ms = options_.rpc_deadline_ms;
+    kopts.rpc_max_attempts = options_.rpc_max_attempts;
+    kopts.rpc_backoff_base_ms = options_.rpc_backoff_base_ms;
+    kopts.rpc_sync_retry = options_.fault_plan.enabled();
     kopts.has_task = [this](const std::string& name) {
       return registry_.Has(name);
     };
@@ -504,6 +632,7 @@ SimReport SimRuntime::Run(const std::string& main_name,
     }
   }
   report.medium_counters = simnet::MediumStatsToCounters(net);
+  if (state.fault != nullptr) report.fault_counters = state.fault->Counters();
 
   // Final counter samples into the trace (Chrome counter tracks). Stamped at
   // the simulator's final time so the timeline stays monotonic — the cluster

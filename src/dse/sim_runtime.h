@@ -18,6 +18,7 @@
 #include "dse/registry.h"
 #include "dse/task.h"
 #include "dse/trace.h"
+#include "net/fault.h"
 #include "platform/profile.h"
 
 namespace dse {
@@ -57,6 +58,15 @@ struct SimOptions {
   OrganizationMode organization = OrganizationMode::kUnifiedLibrary;
   MediumKind medium = MediumKind::kSharedBus;
   std::uint64_t seed = 1;
+  // Deterministic fault injection on the simulated interconnect
+  // (net/fault.h). Off unless the plan enables at least one fault. With a
+  // plan active, data-plane calls bound their waits with the rpc knobs below
+  // (in *virtual* time) and retry; without one the simulation is lossless
+  // and calls wait unbounded, exactly as before.
+  net::FaultPlan fault_plan = {};
+  int rpc_deadline_ms = 10000;
+  int rpc_max_attempts = 3;
+  int rpc_backoff_base_ms = 5;
   // Optional execution tracing (not owned; may be null). Events carry
   // virtual timestamps; see dse/trace.h for export formats.
   trace::Recorder* trace = nullptr;
@@ -85,6 +95,8 @@ struct SimReport {
   std::vector<proto::PsEntry> ps;
   MetricsSnapshot medium_counters;
   std::map<std::string, RunningStats> histograms;  // merged across nodes
+  // Injected-fault tallies (empty when no fault plan was active).
+  MetricsSnapshot fault_counters;
 };
 
 class SimRuntime {

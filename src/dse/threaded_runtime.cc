@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "dse/proto/messages.h"
 #include "net/inproc.h"
 
 namespace dse {
@@ -17,6 +18,19 @@ ThreadedRuntime::ThreadedRuntime(ThreadedOptions options)
     : options_(options) {
   DSE_CHECK(options_.num_nodes > 0);
   fabric_ = std::make_unique<Fabric>(options_.num_nodes);
+  const bool faulty = options_.fault_plan.enabled();
+  if (faulty) {
+    DSE_CHECK_MSG(options_.rpc_deadline_ms > 0,
+                  "a fault plan requires a finite rpc deadline");
+    fault_ = std::make_unique<net::FaultInjector>(options_.fault_plan);
+  }
+  // Shutdown is the out-of-band teardown path: injecting faults into it
+  // turns every test exit into a hang. Encode() writes the type tag first,
+  // so one byte identifies it.
+  const auto immune = [](const std::vector<std::uint8_t>& payload) {
+    return !payload.empty() &&
+           payload[0] == static_cast<std::uint8_t>(proto::MsgType::kShutdown);
+  };
   for (NodeId i = 0; i < options_.num_nodes; ++i) {
     NodeHost::Options hopts;
     hopts.read_cache = options_.read_cache;
@@ -24,6 +38,15 @@ ThreadedRuntime::ThreadedRuntime(ThreadedOptions options)
     hopts.batching = options_.batching;
     hopts.prefetch_depth = options_.prefetch_depth;
     hopts.write_combine = options_.write_combine;
+    hopts.rpc_deadline_ms = options_.rpc_deadline_ms;
+    hopts.rpc_max_attempts = options_.rpc_max_attempts;
+    hopts.rpc_backoff_base_ms = options_.rpc_backoff_base_ms;
+    hopts.sync_retry = faulty;
+    hopts.heartbeat_period_ms =
+        options_.heartbeat_period_ms > 0 ? options_.heartbeat_period_ms
+        : options_.heartbeat_period_ms == 0 && faulty ? 50
+                                                      : 0;
+    hopts.heartbeat_timeout_ms = options_.heartbeat_timeout_ms;
     hopts.registry = &registry_;
     if (i == 0) {
       hopts.console_sink = [this](std::string line) {
@@ -31,8 +54,14 @@ ThreadedRuntime::ThreadedRuntime(ThreadedOptions options)
         console_.push_back(std::move(line));
       };
     }
-    hosts_.push_back(std::make_unique<NodeHost>(
-        &fabric_->inproc.endpoint(i), options_.num_nodes, std::move(hopts)));
+    net::Endpoint* ep = &fabric_->inproc.endpoint(i);
+    if (faulty) {
+      faulty_endpoints_.push_back(
+          std::make_unique<net::FaultyEndpoint>(ep, fault_.get(), immune));
+      ep = faulty_endpoints_.back().get();
+    }
+    hosts_.push_back(std::make_unique<NodeHost>(ep, options_.num_nodes,
+                                                std::move(hopts)));
   }
   for (auto& host : hosts_) host->Start();
 }
@@ -88,6 +117,14 @@ std::vector<proto::PsEntry> ThreadedRuntime::Ps() const {
     all.insert(all.end(), entries.begin(), entries.end());
   }
   return all;
+}
+
+MetricsSnapshot ThreadedRuntime::FaultCounters() const {
+  return fault_ ? fault_->Counters() : MetricsSnapshot{};
+}
+
+bool ThreadedRuntime::NodeKilled(NodeId node) const {
+  return fault_ && fault_->NodeDead(node);
 }
 
 std::map<std::string, RunningStats> ThreadedRuntime::ClusterHistograms()

@@ -18,6 +18,7 @@
 #include "dse/kernel_core.h"
 #include "dse/node_host.h"
 #include "dse/registry.h"
+#include "net/fault.h"
 
 namespace dse {
 
@@ -31,6 +32,20 @@ struct ThreadedOptions {
   bool batching = false;
   int prefetch_depth = 0;
   bool write_combine = false;
+  // Deterministic fault injection on the in-process fabric (net/fault.h).
+  // When the plan enables at least one fault, every node's endpoint is
+  // wrapped in a FaultyEndpoint sharing one injector, and the liveness
+  // prober defaults on (heartbeat_period_ms <= 0 picks 50 ms) so crashed
+  // peers are detected rather than waited on forever.
+  net::FaultPlan fault_plan = {};
+  // Failure-aware data plane knobs, forwarded to every NodeHost.
+  int rpc_deadline_ms = 10000;
+  int rpc_max_attempts = 3;
+  int rpc_backoff_base_ms = 5;
+  // Heartbeat prober: 0 = auto (on with a fault plan, off without);
+  // negative = force off; positive = period in ms.
+  int heartbeat_period_ms = 0;
+  int heartbeat_timeout_ms = 0;
 };
 
 class ThreadedRuntime {
@@ -70,11 +85,18 @@ class ThreadedRuntime {
   // Histograms merged across all nodes.
   std::map<std::string, RunningStats> ClusterHistograms() const;
 
+  // Injected-fault tallies (empty when no fault plan is active).
+  MetricsSnapshot FaultCounters() const;
+  // True once the fault injector's kill schedule fired for `node`.
+  bool NodeKilled(NodeId node) const;
+
  private:
   struct Fabric;
   ThreadedOptions options_;
   TaskRegistry registry_;
   std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<net::FaultInjector> fault_;
+  std::vector<std::unique_ptr<net::FaultyEndpoint>> faulty_endpoints_;
   std::vector<std::unique_ptr<NodeHost>> hosts_;
 
   std::mutex console_mu_;

@@ -1,5 +1,6 @@
 #include "net/tcp_fabric.h"
 
+#include <atomic>
 #include <memory>
 
 #include <chrono>
@@ -102,11 +103,24 @@ class TcpFabricEndpoint::Impl {
     }
     Peer& peer = *peers_[static_cast<size_t>(dst)];
     if (!peer.sock.valid()) return Unavailable("no connection to node");
+    // A dead connection surfaces on the *read* side first (recv sees the
+    // close); sends into a dead socket can keep "succeeding" into the kernel
+    // buffer — or block once it fills. The down latch fails them fast.
+    if (peer.down.load(std::memory_order_acquire)) {
+      return Unavailable("connection to node " + std::to_string(dst) +
+                         " is down");
+    }
     // Frame into the peer's reusable send buffer (guarded by send_mu along
     // with the socket) so the steady-state path allocates nothing.
     std::lock_guard<std::mutex> lock(peer.send_mu);
     EncodeFrameInto(self_, payload, &peer.send_buf);
-    return peer.sock.SendAll(peer.send_buf.data(), peer.send_buf.size());
+    Status s = peer.sock.SendAll(peer.send_buf.data(), peer.send_buf.size());
+    if (!s.ok()) {
+      peer.down.store(true, std::memory_order_release);
+      return Unavailable("connection to node " + std::to_string(dst) +
+                         " is down: " + s.ToString());
+    }
+    return s;
   }
 
   std::optional<Delivery> Recv() { return inbox_.Pop(); }
@@ -121,6 +135,9 @@ class TcpFabricEndpoint::Impl {
     std::vector<std::uint8_t> send_buf;  // reused frame scratch (under send_mu)
     std::thread reader;
     FrameDecoder dec;  // owned by the reader thread once it starts
+    // Latched when the connection dies (reader saw a close/error outside
+    // shutdown, or a send failed); Send fails fast from then on.
+    std::atomic<bool> down{false};
   };
 
   void AttachPeer(NodeId id, osal::TcpSocket sock, FrameDecoder dec = {}) {
@@ -150,9 +167,16 @@ class TcpFabricEndpoint::Impl {
         if (!inbox_.Push(std::move(*d))) return;  // shutting down
       }
     }
+    // The recv side saw a close, error or garbage outside of an orderly
+    // local shutdown: the peer is gone. Latch so senders stop queueing
+    // into a connection nothing reads.
+    if (!shutting_down_.load(std::memory_order_acquire)) {
+      peer.down.store(true, std::memory_order_release);
+    }
   }
 
   void ShutdownInternal() {
+    shutting_down_.store(true, std::memory_order_release);
     inbox_.Close();
     for (auto& p : peers_) {
       p->sock.ShutdownBoth();  // unblocks the reader's recv
@@ -169,6 +193,7 @@ class TcpFabricEndpoint::Impl {
   std::vector<TcpNodeAddr> nodes_;
   std::vector<std::unique_ptr<Peer>> peers_;
   BlockingQueue<Delivery> inbox_;
+  std::atomic<bool> shutting_down_{false};
 };
 
 TcpFabricEndpoint::TcpFabricEndpoint(std::unique_ptr<Impl> impl)

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -41,6 +42,38 @@ class Channel {
       ctx.Block();
       // Another consumer may have raced us for the item at the same virtual
       // time; loop and re-check.
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Blocks the calling process until an item is available or virtual time
+  // reaches `deadline`; returns nullopt on deadline expiry. The timer event
+  // stays in the simulator's queue either way, but a disarmed one is a pure
+  // no-op when it fires.
+  std::optional<T> PopUntil(Context& ctx, SimTime deadline) {
+    while (items_.empty()) {
+      if (sim_->Now() >= deadline) return std::nullopt;
+      const std::uint64_t pid = ctx.pid();
+      auto armed = std::make_shared<bool>(true);
+      waiters_.push_back(pid);
+      sim_->At(deadline, [this, pid, armed] {
+        if (!*armed) return;
+        // Still waiting at the deadline: leave the waiter queue (so a later
+        // Push does not burn its wake-up on us) and resume the process.
+        for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+          if (*it == pid) {
+            waiters_.erase(it);
+            sim_->Unblock(pid);
+            return;
+          }
+        }
+      });
+      ctx.Block();
+      *armed = false;
+      // Woken by a Push (item may already be raced away — loop re-checks)
+      // or by the deadline timer (loop exits via the Now() check).
     }
     T item = std::move(items_.front());
     items_.pop_front();

@@ -19,7 +19,8 @@ class MockRpc final : public RpcChannel {
     proto::Envelope env;
   };
 
-  Result<proto::Envelope> Call(NodeId dst, proto::Body body) override {
+  Result<proto::Envelope> Call(NodeId dst, proto::Body body,
+                               const CallPolicy& /*policy*/) override {
     proto::Envelope env;
     env.req_id = next_id_++;
     env.src_node = 0;

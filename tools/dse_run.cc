@@ -24,6 +24,12 @@
 //   --machines a,b,...       heterogeneous cluster: one platform id per
 //                            physical machine (sim), e.g. sunos,sunos,linux
 //
+// Fault injection (threaded + sim; see docs/fault_model.md):
+//   --fault-plan FILE        deterministic fault schedule for the fabric;
+//                            exit 2 on parse errors
+//   --rpc-deadline-ms N      per-attempt data-plane call deadline (N >= 0;
+//                            0 = wait forever, invalid with a fault plan)
+//
 // SSI introspection (the cluster answering like one machine):
 //   --stats                  per-node + cluster counter table after the run
 //   --stats-json [FILE]      same data as JSON (stdout if FILE omitted)
@@ -43,6 +49,7 @@
 #include "apps/othello/othello.h"
 #include "common/bytes.h"
 #include "dse/sim_runtime.h"
+#include "net/fault.h"
 #include "dse/ssi/stats.h"
 #include "dse/threaded_runtime.h"
 #include "dse/trace.h"
@@ -177,6 +184,7 @@ int Usage() {
                "threaded|sim] [--platform sunos|aix|linux|solaris] "
                "[--procs N] [--cache] [--batch] [--prefetch K] "
                "[--write-combine] [--legacy] [--switched] "
+               "[--fault-plan FILE] [--rpc-deadline-ms N] "
                "[--stats] [--stats-json [FILE]] [--stats-csv [FILE]] "
                "[--ps] [--list-tasks] [app flags]\n");
   return 2;
@@ -267,7 +275,7 @@ int main(int argc, char** argv) {
       "mode",  "platform", "procs",      "cache",     "legacy",
       "switched", "trace", "machines",   "stats",     "stats-json",
       "stats-csv", "ps",   "list-tasks", "help",      "batch",
-      "prefetch", "write-combine"};
+      "prefetch", "write-combine", "fault-plan", "rpc-deadline-ms"};
   known.insert(known.end(), workload.flags.begin(), workload.flags.end());
   flags.RejectUnknown(known);
 
@@ -293,19 +301,61 @@ int main(int argc, char** argv) {
   const bool write_combine = flags.Has("write-combine");
   const bool cache = flags.Has("cache") || prefetch_depth > 0;
 
+  // Fault injection + data-plane deadline (strictly validated: a malformed
+  // plan or a nonsense deadline must not silently run fault-free).
+  net::FaultPlan fault_plan;
+  if (flags.Has("fault-plan")) {
+    const std::string plan_path = flags.Str("fault-plan", "");
+    if (plan_path.empty()) {
+      std::fprintf(stderr, "--fault-plan requires a file argument\n");
+      return 2;
+    }
+    auto plan = net::LoadFaultPlan(plan_path);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "--fault-plan %s: %s\n", plan_path.c_str(),
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    fault_plan = std::move(*plan);
+  }
+  int rpc_deadline_ms = 10000;
+  if (flags.Has("rpc-deadline-ms")) {
+    const std::string raw = flags.Str("rpc-deadline-ms", "");
+    char* end = nullptr;
+    const long parsed = std::strtol(raw.c_str(), &end, 10);
+    if (raw.empty() || end == nullptr || *end != '\0' || parsed < 0) {
+      std::fprintf(stderr,
+                   "--rpc-deadline-ms must be an integer >= 0 (got '%s')\n",
+                   raw.c_str());
+      return 2;
+    }
+    rpc_deadline_ms = static_cast<int>(parsed);
+  }
+  if (fault_plan.enabled() && rpc_deadline_ms == 0) {
+    std::fprintf(stderr,
+                 "--fault-plan requires a finite --rpc-deadline-ms (> 0): "
+                 "lost frames would hang the run forever\n");
+    return 2;
+  }
+
   const std::string mode = flags.Str("mode", "threaded");
   if (mode == "threaded") {
     ThreadedRuntime rt(ThreadedOptions{.num_nodes = procs,
                                        .read_cache = cache,
                                        .batching = batching,
                                        .prefetch_depth = prefetch_depth,
-                                       .write_combine = write_combine});
+                                       .write_combine = write_combine,
+                                       .fault_plan = fault_plan,
+                                       .rpc_deadline_ms = rpc_deadline_ms});
     workload.register_fn(rt.registry());
     const auto result = rt.RunMain(workload.main_task, workload.arg);
     std::printf("%s | threaded %d nodes | %.1f ms wall | result %zu bytes\n",
                 workload.description.c_str(), procs,
                 rt.last_run_seconds() * 1e3, result.size());
-    return EmitIntrospection(flags, rt.ClusterStats(), /*cluster_only=*/{},
+    // The injector's tallies are cluster-wide (one injector serves every
+    // link), so they join the stats view beside the per-node counters.
+    return EmitIntrospection(flags, rt.ClusterStats(),
+                             /*cluster_only=*/rt.FaultCounters(),
                              rt.ClusterHistograms(), rt.Ps());
   }
   if (mode == "sim") {
@@ -316,6 +366,8 @@ int main(int argc, char** argv) {
     opts.batching = batching;
     opts.prefetch_depth = prefetch_depth;
     opts.write_combine = write_combine;
+    opts.fault_plan = fault_plan;
+    opts.rpc_deadline_ms = rpc_deadline_ms;
     if (flags.Has("legacy")) {
       opts.organization = OrganizationMode::kLegacyTwoProcess;
     }
@@ -357,7 +409,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(report.wire_frames),
         static_cast<unsigned long long>(report.collisions),
         report.bus_utilization * 100);
-    return EmitIntrospection(flags, report.node_stats, report.medium_counters,
+    // Medium counters and injected-fault tallies are both cluster-wide.
+    MetricsSnapshot cluster_only = report.medium_counters;
+    for (const auto& [name, value] : report.fault_counters) {
+      cluster_only[name] += value;
+    }
+    return EmitIntrospection(flags, report.node_stats, cluster_only,
                              report.histograms, report.ps);
   }
   std::fprintf(stderr, "unknown mode '%s' (threaded|sim)\n", mode.c_str());
