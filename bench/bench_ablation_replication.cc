@@ -1,0 +1,164 @@
+// Ablation: the recovery subsystem's replication cost (docs/recovery.md).
+//
+// replication = 1 mirrors every GMM home on its ring successor: each
+// mutating request the primary serves is forwarded as one ReplicateReq and
+// answered by one ReplicateAck before the client's reply is released. The
+// read path is untouched. So the envelope overhead is exactly proportional
+// to the workload's mutation fraction — this bench measures it on a
+// read-dominated solver-style sweep (stream a cold slab with wide reads,
+// post a couple of accumulator writes, barrier), the shape the DSM is built
+// for, and asserts the data-plane envelope overhead stays under 25%.
+//
+// Runs on the simulator: counts are deterministic, so the table doubles as
+// a regression guard — a change that starts replicating reads (or
+// double-forwarding mutations) fails the run, not just a number.
+#include <cstdio>
+#include <string>
+
+#include "apps/common.h"
+#include "benchlib/figure.h"
+#include "common/bytes.h"
+
+namespace {
+
+using namespace dse;
+
+constexpr int kWorkers = 4;
+constexpr int kRounds = 6;
+constexpr std::uint64_t kBlock = 1024;
+constexpr std::uint64_t kSlabBlocks = 16;  // 16 KiB cold slab per round
+constexpr std::uint64_t kSlabBytes = kBlock * kSlabBlocks;
+constexpr std::uint64_t kWideRead = 8 * kBlock;
+constexpr int kUpdates = 2;  // accumulator writes per round
+
+void RegisterSweepApp(TaskRegistry& registry) {
+  registry.Register("repl.worker", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    std::int32_t widx = 0;
+    gmm::GlobalAddr in = 0;
+    gmm::GlobalAddr out = 0;
+    DSE_CHECK_OK(r.ReadI32(&widx));
+    DSE_CHECK_OK(r.ReadU64(&in));
+    DSE_CHECK_OK(r.ReadU64(&out));
+
+    std::vector<std::uint8_t> buf(kWideRead);
+    std::uint8_t v[8] = {};
+    for (int round = 0; round < kRounds; ++round) {
+      const std::uint64_t slab =
+          (static_cast<std::uint64_t>(widx) * kRounds +
+           static_cast<std::uint64_t>(round)) *
+          kSlabBytes;
+      for (std::uint64_t off = 0; off < kSlabBytes; off += kWideRead) {
+        DSE_CHECK_OK(t.Read(in + slab + off, buf.data(), kWideRead));
+      }
+      t.Compute(2000);
+      for (int wr = 0; wr < kUpdates; ++wr) {
+        v[0] = static_cast<std::uint8_t>(wr);
+        DSE_CHECK_OK(t.Write(out + static_cast<std::uint64_t>(widx) * kBlock +
+                                 static_cast<std::uint64_t>(wr) * 8,
+                             v, 8));
+      }
+      DSE_CHECK_OK(t.Barrier(100 + static_cast<std::uint64_t>(round),
+                             kWorkers));
+    }
+  });
+
+  registry.Register("repl.main", [](Task& t) {
+    auto in = t.AllocStriped(
+        static_cast<std::uint64_t>(kWorkers) * kRounds * kSlabBytes, 10);
+    DSE_CHECK_OK(in.status());
+    auto out =
+        t.AllocStriped(static_cast<std::uint64_t>(kWorkers) * kBlock, 10);
+    DSE_CHECK_OK(out.status());
+    auto gpids = apps::SpawnWorkers(t, "repl.worker", kWorkers, [&](int i) {
+      ByteWriter w;
+      w.WriteI32(i);
+      w.WriteU64(*in);
+      w.WriteU64(*out);
+      return w.TakeBuffer();
+    });
+    apps::JoinAll(t, gpids);
+  });
+}
+
+SimReport RunSweep(const platform::Profile& profile, int replication) {
+  SimOptions opts;
+  opts.profile = profile;
+  opts.num_processors = kWorkers;
+  opts.replication = replication;
+  SimRuntime rt(opts);
+  RegisterSweepApp(rt.registry());
+  return rt.Run("repl.main");
+}
+
+std::uint64_t SumStat(const SimReport& report, const std::string& name) {
+  std::uint64_t total = 0;
+  for (const MetricsSnapshot& node : report.node_stats) {
+    const auto it = node.find(name);
+    if (it != node.end()) total += it->second;
+  }
+  return total;
+}
+
+// Data-plane request envelopes on the fabric: what the clients send, plus
+// the replication records the primaries add on their behalf.
+std::uint64_t DataPlaneEnvelopes(const SimReport& report) {
+  return SumStat(report, "msg.sent.ReadReq") +
+         SumStat(report, "msg.sent.WriteReq") +
+         SumStat(report, "msg.sent.BatchReq") +
+         SumStat(report, "msg.sent.ReplicateReq");
+}
+
+}  // namespace
+
+int main() {
+  using namespace dse;
+  const platform::Profile& profile = platform::SunOsSparc();
+  std::printf(
+      "== Ablation: GMM home replication (read-dominated sweep, %s x%d) ==\n",
+      profile.id.c_str(), kWorkers);
+  std::printf("%-14s %10s %8s %9s %9s %9s\n", "mode", "virt [s]", "msgs",
+              "data-env", "repl.fwd", "vs-off");
+
+  const SimReport off = RunSweep(profile, /*replication=*/0);
+  const SimReport on = RunSweep(profile, /*replication=*/1);
+
+  const std::uint64_t env_off = DataPlaneEnvelopes(off);
+  const std::uint64_t env_on = DataPlaneEnvelopes(on);
+  const auto row = [&](const char* name, const SimReport& report,
+                       std::uint64_t env) {
+    std::printf("%-14s %10.4f %8llu %9llu %9llu %8.2fx\n", name,
+                report.virtual_seconds,
+                static_cast<unsigned long long>(report.messages),
+                static_cast<unsigned long long>(env),
+                static_cast<unsigned long long>(
+                    SumStat(report, "gmm.repl.forwards")),
+                off.virtual_seconds / report.virtual_seconds);
+  };
+  row("replication=0", off, env_off);
+  row("replication=1", on, env_on);
+
+  const double overhead =
+      100.0 * (static_cast<double>(env_on) - static_cast<double>(env_off)) /
+      static_cast<double>(env_off);
+  std::printf(
+      "\nreplication=1 adds %.1f%% data-plane request envelopes "
+      "(%llu vs %llu) and %.1f%% virtual time\n",
+      overhead, static_cast<unsigned long long>(env_on),
+      static_cast<unsigned long long>(env_off),
+      100.0 * (on.virtual_seconds / off.virtual_seconds - 1.0));
+
+  if (overhead >= 25.0) {
+    std::fprintf(stderr,
+                 "FAIL: replication envelope overhead %.1f%% >= 25%% — the "
+                 "forward path is replicating more than the mutations\n",
+                 overhead);
+    return 1;
+  }
+  if (SumStat(on, "gmm.repl.forwards") == 0) {
+    std::fprintf(stderr, "FAIL: replication=1 forwarded nothing\n");
+    return 1;
+  }
+  std::printf("\n");
+  return 0;
+}

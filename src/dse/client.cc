@@ -46,7 +46,8 @@ TaskClient::TaskClient(RpcChannel* rpc, KernelCore* core)
       wc_writes_buffered_(core->metrics().counter("gmm.wc.writes_buffered")),
       wc_merges_(core->metrics().counter("gmm.wc.merges")),
       wc_flushes_(core->metrics().counter("gmm.wc.flushes")),
-      wc_flushed_spans_(core->metrics().counter("gmm.wc.flushed_spans")) {}
+      wc_flushed_spans_(core->metrics().counter("gmm.wc.flushed_spans")),
+      task_restarts_(core->metrics().counter("recovery.restarts")) {}
 
 TaskClient::~TaskClient() {
   if (!wc_.empty()) {
@@ -617,11 +618,21 @@ Result<Gpid> TaskClient::Spawn(const std::string& task_name,
   if (dst >= num_nodes()) return InvalidArgument("spawn node out of range");
   proto::SpawnReq req;
   req.task_name = task_name;
+  // With restart enabled the argument must outlive the spawn: a join that
+  // finds the host evicted re-spawns the task from this ledger copy.
+  SpawnRecord record;
+  const bool keep_record = core_->restart_tasks();
+  if (keep_record) {
+    record.name = task_name;
+    record.arg = arg;
+    record.node = dst;
+  }
   req.arg = std::move(arg);
   auto resp =
       Expect<proto::SpawnResp>(rpc_->Call(dst, std::move(req), DataPolicy()));
   if (!resp.ok()) return resp.status();
   DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "spawn failed"));
+  if (keep_record) spawned_[resp->gpid] = std::move(record);
   return resp->gpid;
 }
 
@@ -631,6 +642,25 @@ Result<std::vector<std::uint8_t>> TaskClient::Join(Gpid gpid) {
       Expect<proto::JoinResp>(
           rpc_->Call(GpidNode(gpid), proto::JoinReq{gpid}, SyncPolicy()));
   if (!resp.ok()) return resp.status();
+  if (static_cast<ErrorCode>(resp->error) == ErrorCode::kUnavailable &&
+      core_->restart_tasks()) {
+    // The task's host was evicted before it finished. Tasks registered
+    // idempotent restart from the spawn ledger on the node now serving the
+    // dead host's ring slot; the recursion is bounded because each restart
+    // requires a further eviction of the replacement host. Everything else
+    // surfaces kUnavailable below.
+    auto it = spawned_.find(gpid);
+    if (it != spawned_.end() && core_->TaskIdempotent(it->second.name)) {
+      SpawnRecord record = std::move(it->second);
+      spawned_.erase(it);
+      task_restarts_->Add();
+      auto regpid =
+          Spawn(record.name, std::move(record.arg), core_->RouteOf(record.node));
+      if (!regpid.ok()) return regpid.status();
+      return Join(*regpid);
+    }
+  }
+  spawned_.erase(gpid);
   DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "join failed"));
   return std::move(resp->result);
 }

@@ -187,6 +187,15 @@ class TaskClient {
   void BufferWrite(const gmm::Chunk& c, const std::uint8_t* data);
   bool OverlapsBuffered(gmm::GlobalAddr addr, std::uint64_t len) const;
 
+  // Restart-tasks ledger: what this task spawned, so a join that fails with
+  // kUnavailable (host node evicted) can re-spawn an idempotent task on a
+  // survivor. Only populated when the restart_tasks knob is on.
+  struct SpawnRecord {
+    std::string name;
+    std::vector<std::uint8_t> arg;
+    NodeId node = -1;  // node the task was placed on
+  };
+
   RpcChannel* rpc_;
   KernelCore* core_;
   int spawn_rr_;
@@ -201,6 +210,8 @@ class TaskClient {
   // address order (deterministic in the sim).
   std::map<gmm::GlobalAddr, WcSpan> wc_;
   std::uint64_t wc_bytes_ = 0;
+
+  std::map<Gpid, SpawnRecord> spawned_;
 
   // Client-side access counters, pre-resolved from the node's registry so
   // the data path never takes the registry mutex.
@@ -220,6 +231,7 @@ class TaskClient {
   Counter* wc_merges_;
   Counter* wc_flushes_;
   Counter* wc_flushed_spans_;
+  Counter* task_restarts_;  // idempotent tasks re-spawned after eviction
 };
 
 }  // namespace dse

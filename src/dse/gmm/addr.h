@@ -97,6 +97,84 @@ inline std::uint64_t BlockBytesOf(GlobalAddr addr) {
                                               : StripeBytes(addr);
 }
 
+// Epoch-aware home map for the recovery subsystem (docs/recovery.md).
+//
+// HomeOf/LockHome stay pure functions of the address — they name the
+// *natural* home. The HomeMap layers cluster membership on top: it tracks
+// which nodes are alive and which epoch the membership is in, and routes a
+// natural home to the node currently serving it (the natural home while it
+// lives, else the next live node in ring order — the same node that held
+// the home's replica as its backup). Every node keeps its own HomeMap and
+// advances it only via EvictReq, so maps agree whenever epochs agree.
+class HomeMap {
+ public:
+  HomeMap() = default;
+  explicit HomeMap(int num_nodes) : alive_(num_nodes, true) {}
+
+  std::uint32_t epoch() const { return epoch_; }
+  int num_nodes() const { return static_cast<int>(alive_.size()); }
+  int num_alive() const {
+    int n = 0;
+    for (bool a : alive_) n += a ? 1 : 0;
+    return n;
+  }
+  bool IsAlive(NodeId node) const {
+    return node >= 0 && node < num_nodes() && alive_[node];
+  }
+
+  // Marks `node` dead and enters `new_epoch` (monotonic). Returns false if
+  // the node was already evicted (duplicate EvictReq).
+  bool Evict(NodeId node, std::uint32_t new_epoch) {
+    if (!IsAlive(node)) return false;
+    alive_[node] = false;
+    if (new_epoch > epoch_) epoch_ = new_epoch;
+    last_evicted_ = node;
+    return true;
+  }
+
+  // Node currently serving `natural` home: itself while alive, else the
+  // first live successor in ring order. Requires at least one live node.
+  NodeId Route(NodeId natural) const {
+    const int n = num_nodes();
+    DSE_CHECK(natural >= 0 && natural < n);
+    for (int i = 0; i < n; ++i) {
+      const NodeId cand = static_cast<NodeId>((natural + i) % n);
+      if (alive_[cand]) return cand;
+    }
+    DSE_CHECK_MSG(false, "no live node to route to");
+    return -1;
+  }
+
+  // Replica target for `node`'s home: the next live node in ring order, or
+  // -1 when `node` is the only live node.
+  NodeId BackupOf(NodeId node) const {
+    const int n = num_nodes();
+    DSE_CHECK(node >= 0 && node < n);
+    for (int i = 1; i < n; ++i) {
+      const NodeId cand = static_cast<NodeId>((node + i) % n);
+      if (alive_[cand]) return cand;
+    }
+    return -1;
+  }
+
+  // Eviction coordinator: the lowest live rank.
+  NodeId Coordinator() const {
+    for (int i = 0; i < num_nodes(); ++i) {
+      if (alive_[i]) return static_cast<NodeId>(i);
+    }
+    return -1;
+  }
+
+  // Most recently evicted node (-1 if none) — piggybacked on RetryResp so a
+  // lagging peer can repair its map without waiting for the broadcast.
+  NodeId last_evicted() const { return last_evicted_; }
+
+ private:
+  std::uint32_t epoch_ = 0;
+  NodeId last_evicted_ = -1;
+  std::vector<bool> alive_;
+};
+
 // One contiguous piece of an access that stays within a single home.
 struct Chunk {
   GlobalAddr addr = 0;

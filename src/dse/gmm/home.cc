@@ -12,6 +12,7 @@ GmmHome::GmmHome(NodeId self, int num_nodes, bool coherence)
     : self_(self),
       num_nodes_(num_nodes),
       coherence_(coherence),
+      allocator_(self == 0),
       next_homed_offset_(static_cast<size_t>(num_nodes), 0) {
   DSE_CHECK(self >= 0 && self < num_nodes);
 }
@@ -93,6 +94,7 @@ void GmmHome::StartFront(GlobalAddr block_base, BlockState& block,
   for (const NodeId n : targets) block.copyset.erase(n);
 
   mut.acks_remaining = static_cast<int>(targets.size());
+  mut.ack_waiting.insert(targets.begin(), targets.end());
   if (mut.acks_remaining == 0) {
     CompleteFront(block_base, block, out);
     return;
@@ -189,7 +191,7 @@ GmmHome::Replies GmmHome::HandleAlloc(NodeId src, std::uint64_t req_id,
   ++stats_.allocs;
   Replies out;
   proto::AllocResp resp;
-  if (self_ != 0) {
+  if (!allocator_) {
     resp.error = static_cast<std::uint8_t>(ErrorCode::kFailedPrecondition);
     out.push_back(MakeReply(src, req_id, std::move(resp)));
     return out;
@@ -246,7 +248,7 @@ GmmHome::Replies GmmHome::HandleFree(NodeId src, std::uint64_t req_id,
   ++stats_.frees;
   Replies out;
   proto::FreeAck resp;
-  if (self_ != 0) {
+  if (!allocator_) {
     resp.error = static_cast<std::uint8_t>(ErrorCode::kFailedPrecondition);
   } else if (live_allocs_.erase(m.addr) == 0) {
     resp.error = static_cast<std::uint8_t>(ErrorCode::kNotFound);
@@ -300,19 +302,33 @@ GmmHome::Replies GmmHome::HandleBarrierEnter(NodeId src, std::uint64_t req_id,
   Replies out;
   DSE_CHECK_MSG(m.parties > 0, "barrier with zero parties");
   BarrierState& barrier = barriers_[m.barrier_id];
+  if (barrier.parties == 0) barrier.parties = m.parties;
   barrier.entered.emplace_back(src, req_id);
-  DSE_CHECK_MSG(barrier.entered.size() <= m.parties,
+  barrier_members_[m.barrier_id].insert(src);
+  const std::uint32_t forgiven = ForgivenShare(m.barrier_id);
+  DSE_CHECK_MSG(barrier.entered.size() + forgiven <= barrier.parties,
                 "more entrants than barrier parties (inconsistent counts?)");
-  if (barrier.entered.size() == m.parties) {
-    ++stats_.barriers;
-    for (const auto& [node, rid] : barrier.entered) {
-      out.push_back(MakeReply(node, rid, proto::BarrierRelease{m.barrier_id}));
-    }
-    barriers_.erase(m.barrier_id);
+  if (barrier.entered.size() + forgiven == barrier.parties) {
+    ReleaseBarrier(m.barrier_id, &out);
   } else {
     ++stats_.barrier_waits;  // this entrant parks until the last arrival
   }
   return out;
+}
+
+std::uint32_t GmmHome::ForgivenShare(std::uint64_t barrier_id) const {
+  const auto it = barrier_forgiven_.find(barrier_id);
+  return it == barrier_forgiven_.end() ? 0 : it->second;
+}
+
+void GmmHome::ReleaseBarrier(std::uint64_t barrier_id, Replies* out) {
+  const auto it = barriers_.find(barrier_id);
+  DSE_CHECK(it != barriers_.end());
+  ++stats_.barriers;
+  for (const auto& [node, rid] : it->second.entered) {
+    out->push_back(MakeReply(node, rid, proto::BarrierRelease{barrier_id}));
+  }
+  barriers_.erase(it);
 }
 
 void GmmHome::FinishBatchItem(std::uint64_t batch_id, Replies* out) {
@@ -376,15 +392,96 @@ GmmHome::Replies GmmHome::HandleBatch(NodeId src, std::uint64_t req_id,
   return out;
 }
 
+GmmHome::Replies GmmHome::EvictNode(NodeId dead) {
+  Replies out;
+
+  // Locks: a grant held by the dead node passes to the next waiter (or the
+  // lock dissolves); its queued waits disappear.
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    LockState& lock = it->second;
+    auto& w = lock.waiters;
+    w.erase(std::remove_if(
+                w.begin(), w.end(),
+                [dead](const auto& e) { return e.first == dead; }),
+            w.end());
+    if (lock.held && lock.holder == dead) {
+      if (w.empty()) {
+        it = locks_.erase(it);
+        continue;
+      }
+      const auto [next_node, next_req] = w.front();
+      w.pop_front();
+      lock.holder = next_node;
+      ++stats_.lock_acquires;
+      out.push_back(MakeReply(next_node, next_req,
+                              proto::LockGrant{it->first}));
+    } else if (!lock.held && w.empty()) {
+      it = locks_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+
+  // Barriers: the dead node contributes no further entrants. For every
+  // barrier it has ever participated in, forgive its share — in the parked
+  // episode (shedding any entry it already made) and in all future episodes
+  // of the same id. Barriers the dead node never entered keep their full
+  // party count: their entrants are all still alive and will arrive.
+  for (auto& [id, members] : barrier_members_) {
+    if (members.erase(dead) > 0) ++barrier_forgiven_[id];
+  }
+  std::vector<std::uint64_t> completed;
+  for (auto& [id, barrier] : barriers_) {
+    auto& entered = barrier.entered;
+    entered.erase(std::remove_if(
+                      entered.begin(), entered.end(),
+                      [dead](const auto& e) { return e.first == dead; }),
+                  entered.end());
+    if (barrier.parties != 0 &&
+        entered.size() + ForgivenShare(id) >= barrier.parties) {
+      completed.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : completed) ReleaseBarrier(id, &out);
+
+  // Coherence: forget the dead node's cached copies, and forgive its share
+  // of any in-flight invalidation round (it can never ack) — completing the
+  // round if that share was the last one outstanding.
+  std::vector<GlobalAddr> rounds_done;
+  for (auto it = block_states_.begin(); it != block_states_.end();) {
+    BlockState& block = it->second;
+    block.copyset.erase(dead);
+    if (!block.pending.empty()) {
+      PendingMutation& front = block.pending.front();
+      if (front.ack_waiting.erase(dead) > 0 && --front.acks_remaining == 0) {
+        rounds_done.push_back(it->first);
+      }
+      ++it;
+    } else if (block.copyset.empty()) {
+      it = block_states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const GlobalAddr base : rounds_done) {
+    auto it = block_states_.find(base);
+    DSE_CHECK(it != block_states_.end());
+    --blocks_pending_;
+    CompleteFront(base, it->second, &out);
+  }
+
+  return out;
+}
+
 GmmHome::Replies GmmHome::HandleInvalidateAck(NodeId src,
                                               const proto::InvalidateAck& m) {
   Replies out;
   auto it = block_states_.find(m.block_base);
   DSE_CHECK_MSG(it != block_states_.end() && !it->second.pending.empty(),
                 "invalidate ack for idle block");
-  (void)src;
   PendingMutation& mut = it->second.pending.front();
   DSE_CHECK(mut.acks_remaining > 0);
+  mut.ack_waiting.erase(src);
   if (--mut.acks_remaining == 0) {
     --blocks_pending_;
     CompleteFront(m.block_base, it->second, &out);

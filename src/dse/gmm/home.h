@@ -82,6 +82,24 @@ class GmmHome {
   // Number of blocks with an invalidation round in flight (tests).
   size_t pending_block_count() const { return blocks_pending_; }
 
+  // Recovery hooks (docs/recovery.md) -------------------------------------
+
+  // Severs every tie `dead` has to this home's synchronization state:
+  // releases locks it held (granting the next waiter), drops its queued
+  // lock waits, and discounts it from parked barriers so survivors are not
+  // stuck waiting for an entrant that can never arrive. Emits the resulting
+  // grants/releases like any other handler.
+  Replies EvictNode(NodeId dead);
+
+  // Promotion support: a backup's shadow home is constructed with coherence
+  // off (it replays mutations, nobody caches from it); when the shadow
+  // becomes the serving primary it must match the cluster's coherence mode.
+  void set_coherence(bool on) { coherence_ = on; }
+
+  // Grants this home the master-allocator role regardless of its node id —
+  // used when node 0's backup is promoted.
+  void adopt_allocator_role() { allocator_ = true; }
+
  private:
   struct PendingMutation {
     NodeId src = -1;
@@ -92,6 +110,9 @@ class GmmHome {
     // Valid once the mutation has been applied (round started).
     std::int64_t atomic_old = 0;
     int acks_remaining = 0;
+    // Nodes whose invalidation ack is still outstanding (so eviction can
+    // forgive exactly the dead node's share).
+    std::set<NodeId> ack_waiting;
     // Non-zero when this mutation is one item of a BatchReq: completion
     // counts toward the batch instead of emitting a standalone WriteAck.
     std::uint64_t batch_id = 0;
@@ -118,6 +139,7 @@ class GmmHome {
 
   struct BarrierState {
     std::vector<std::pair<NodeId, std::uint64_t>> entered;
+    std::uint32_t parties = 0;  // from the first entrant of the episode
   };
 
   // Enqueues a mutation on its block; starts it immediately if the block is
@@ -145,9 +167,15 @@ class GmmHome {
 
   Reply MakeReply(NodeId dst, std::uint64_t req_id, proto::Body body) const;
 
+  // Emits the releases for a barrier episode that just became complete.
+  void ReleaseBarrier(std::uint64_t barrier_id, Replies* out);
+  // Entry shares owed by evicted former participants of `barrier_id`.
+  std::uint32_t ForgivenShare(std::uint64_t barrier_id) const;
+
   NodeId self_;
   int num_nodes_;
   bool coherence_;
+  bool allocator_;  // master-allocator role (node 0, or its promoted backup)
 
   PageStore store_;
   std::map<GlobalAddr, BlockState> block_states_;
@@ -158,6 +186,13 @@ class GmmHome {
 
   std::map<std::uint64_t, LockState> locks_;
   std::map<std::uint64_t, BarrierState> barriers_;
+  // Persistent per-barrier bookkeeping (episodes in barriers_ come and go):
+  // every node that has ever entered the id, and how many of those members
+  // have since been evicted. An episode releases when entered + forgiven
+  // reaches parties — a dead member owes every future episode one entry,
+  // while a node that never participated is never assumed to.
+  std::map<std::uint64_t, std::set<NodeId>> barrier_members_;
+  std::map<std::uint64_t, std::uint32_t> barrier_forgiven_;
 
   // Master allocator (node 0 only).
   std::uint64_t next_striped_offset_ = 0;

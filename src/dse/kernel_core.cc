@@ -47,6 +47,31 @@ bool RequestNeedsDedupe(const proto::Envelope& env) {
 // within its deadline window always finds the original outcome.
 constexpr size_t kDedupeWindow = 1024;
 
+// Request types rejected with RetryResp when their envelope epoch does not
+// match the receiver's cluster epoch (replication on only). One-way frames
+// (UnlockReq, InvalidateAck, ConsoleOut, Heartbeat) and the recovery
+// protocol itself are exempt: they carry no retry path, so fencing them
+// would lose them outright.
+bool EpochFenced(proto::MsgType type) {
+  switch (type) {
+    case proto::MsgType::kReadReq:
+    case proto::MsgType::kWriteReq:
+    case proto::MsgType::kAtomicReq:
+    case proto::MsgType::kAllocReq:
+    case proto::MsgType::kFreeReq:
+    case proto::MsgType::kLockReq:
+    case proto::MsgType::kBarrierEnter:
+    case proto::MsgType::kBatchReq:
+    case proto::MsgType::kSpawnReq:
+    case proto::MsgType::kJoinReq:
+    case proto::MsgType::kNamePublish:
+    case proto::MsgType::kNameLookup:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 KernelCore::KernelCore(NodeId self, int num_nodes, KernelOptions options)
@@ -55,7 +80,8 @@ KernelCore::KernelCore(NodeId self, int num_nodes, KernelOptions options)
       options_(std::move(options)),
       home_(self, num_nodes, options_.read_cache),
       processes_(self),
-      ssi_(self, &processes_, [this] { return StatsSnapshot(); }) {
+      ssi_(self, &processes_, [this] { return StatsSnapshot(); }),
+      home_map_(num_nodes) {
   for (std::uint8_t t = 1; t <= proto::kMaxMsgType; ++t) {
     const std::string name(proto::MsgTypeName(static_cast<proto::MsgType>(t)));
     msg_sent_[t] = metrics_.counter("msg.sent." + name);
@@ -68,12 +94,82 @@ KernelCore::KernelCore(NodeId self, int num_nodes, KernelOptions options)
   sent_bytes_hist_ = metrics_.histogram("net.sent_bytes");
   dedupe_replays_ = metrics_.counter("rpc.dedupe.replays");
   dedupe_drops_ = metrics_.counter("rpc.dedupe.drops");
+  repl_forwards_ = metrics_.counter("gmm.repl.forwards");
+  evictions_ = metrics_.counter("recovery.evictions");
+  promotions_ = metrics_.counter("recovery.promotions");
+  replayed_ = metrics_.counter("recovery.replayed");
+  epoch_bounces_ = metrics_.counter("recovery.epoch_bounces");
+}
+
+std::uint32_t KernelCore::epoch() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return home_map_.epoch();
+}
+
+NodeId KernelCore::RouteOf(NodeId natural) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return home_map_.Route(natural);
+}
+
+bool KernelCore::NodeAlive(NodeId node) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return home_map_.IsAlive(node);
+}
+
+NodeId KernelCore::CoordinatorView() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return home_map_.Coordinator();
+}
+
+NodeId KernelCore::LastEvicted() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return home_map_.last_evicted();
 }
 
 KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
   DSE_CHECK_MSG(!proto::IsClientResponse(env.type()),
                 "client response leaked into KernelCore::Handle");
   ++stats_.handled;
+
+  // Recovery protocol frames bypass dispatch entirely. With replication off
+  // a stray one (mixed-configuration cluster) is dropped rather than fed to
+  // Dispatch's unhandled-type check.
+  switch (env.type()) {
+    case proto::MsgType::kEvictReq: {
+      if (!replication_on()) return Actions{};
+      const auto& e = std::get<proto::EvictReq>(env.body);
+      return ApplyEviction(e.node, e.epoch);
+    }
+    case proto::MsgType::kReplicateReq: {
+      Actions actions;
+      if (replication_on()) HandleReplicate(env, &actions);
+      return actions;
+    }
+    case proto::MsgType::kReplicateAck: {
+      Actions actions;
+      if (replication_on()) {
+        HandleReplicateAck(env, &actions);
+        HarvestResponses(&actions);
+      }
+      return actions;
+    }
+    default:
+      break;
+  }
+
+  // Epoch fence: under replication every routed request carries the
+  // membership epoch its sender resolved against. A mismatch means sender
+  // and receiver disagree about who serves what — bounce with our view so
+  // the lagging side repairs its map and retries (same req_id).
+  if (replication_on() && EpochFenced(env.type()) &&
+      env.epoch != epoch()) {
+    epoch_bounces_->Add();
+    Actions actions;
+    if (env.req_id != 0) {
+      actions.out.push_back(Outgoing{env.src_node, MakeRetryResp(env)});
+    }
+    return actions;
+  }
 
   // At-most-once guard: a retried mutating request (same requester and
   // req_id) must not re-execute. Replay the remembered response if the
@@ -90,12 +186,21 @@ KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
     }
     if (in_progress_.count(key) > 0) {
       dedupe_drops_->Add();
-      return Actions{};
+      Actions actions;
+      // The reply this duplicate is chasing may be gated on an unacked
+      // replication record (the ack or the record itself was lost): the
+      // retry doubles as the retransmission trigger.
+      if (replication_on()) ResendGatedFor(key, &actions);
+      return actions;
     }
     in_progress_.insert(key);
   }
 
   Actions actions = Dispatch(env);
+  if (replication_on()) {
+    if (ReplicationNeeded(env)) ForwardToBackup(env, &actions);
+    HoldGatedResponses(&actions);
+  }
   HarvestResponses(&actions);
   return actions;
 }
@@ -115,49 +220,30 @@ KernelCore::Actions KernelCore::Dispatch(const proto::Envelope& env) {
     return actions;
   }
 
+  // GMM-routed request: pick the serving home. With replication off this is
+  // always the node's own home (bit-identical to pre-recovery behavior);
+  // with replication on it may be a shadow promoted after an eviction.
+  const NodeId natural = NaturalHomeOf(env);
+  if (natural >= 0) {
+    gmm::GmmHome* serving = &home_;
+    if (replication_on() && natural != self_) {
+      serving = ServingHome(natural);
+      if (serving == nullptr) {
+        // Epochs agree but this node does not serve the home (the promotion
+        // landed on a different survivor): bounce so the sender re-resolves.
+        if (rid != 0) {
+          actions.out.push_back(Outgoing{src, MakeRetryResp(env)});
+        }
+        return actions;
+      }
+    }
+    DispatchGmm(*serving, env, &actions);
+    return actions;
+  }
+
   switch (env.type()) {
-    case proto::MsgType::kReadReq:
-      Emit(&actions,
-           home_.HandleRead(src, rid, std::get<proto::ReadReq>(env.body)));
-      break;
-    case proto::MsgType::kWriteReq:
-      Emit(&actions,
-           home_.HandleWrite(src, rid, std::get<proto::WriteReq>(env.body)));
-      break;
-    case proto::MsgType::kAtomicReq:
-      Emit(&actions,
-           home_.HandleAtomic(src, rid, std::get<proto::AtomicReq>(env.body)));
-      break;
-    case proto::MsgType::kAllocReq:
-      Emit(&actions,
-           home_.HandleAlloc(src, rid, std::get<proto::AllocReq>(env.body)));
-      break;
-    case proto::MsgType::kFreeReq:
-      Emit(&actions,
-           home_.HandleFree(src, rid, std::get<proto::FreeReq>(env.body)));
-      break;
-    case proto::MsgType::kLockReq:
-      Emit(&actions,
-           home_.HandleLock(src, rid, std::get<proto::LockReq>(env.body)));
-      break;
-    case proto::MsgType::kUnlockReq:
-      Emit(&actions,
-           home_.HandleUnlock(src, std::get<proto::UnlockReq>(env.body)));
-      break;
-    case proto::MsgType::kBarrierEnter:
-      Emit(&actions, home_.HandleBarrierEnter(
-                         src, rid, std::get<proto::BarrierEnter>(env.body)));
-      break;
     case proto::MsgType::kInvalidateReq:
       HandleInvalidate(env, &actions);
-      break;
-    case proto::MsgType::kInvalidateAck:
-      Emit(&actions, home_.HandleInvalidateAck(
-                         src, std::get<proto::InvalidateAck>(env.body)));
-      break;
-    case proto::MsgType::kBatchReq:
-      Emit(&actions,
-           home_.HandleBatch(src, rid, std::get<proto::BatchReq>(env.body)));
       break;
 
     case proto::MsgType::kSpawnReq: {
@@ -185,6 +271,20 @@ KernelCore::Actions KernelCore::Dispatch(const proto::Envelope& env) {
     case proto::MsgType::kJoinReq: {
       ++stats_.joins;
       const auto& req = std::get<proto::JoinReq>(env.body);
+      // Tasks die with their node: process state is not replicated, so a
+      // join routed here for a gpid hosted on an evicted node fails fast
+      // with kUnavailable (the client may re-spawn idempotent tasks).
+      if (replication_on() && !NodeAlive(GpidNode(req.gpid))) {
+        proto::JoinResp resp;
+        resp.gpid = req.gpid;
+        resp.error = static_cast<std::uint8_t>(ErrorCode::kUnavailable);
+        proto::Envelope reply;
+        reply.req_id = rid;
+        reply.src_node = self_;
+        reply.body = std::move(resp);
+        actions.out.push_back(Outgoing{src, std::move(reply)});
+        break;
+      }
       std::vector<std::uint8_t> result;
       bool unknown = false;
       if (processes_.TryJoin(req.gpid, src, rid, &result, &unknown)) {
@@ -222,6 +322,371 @@ KernelCore::Actions KernelCore::Dispatch(const proto::Envelope& env) {
     default:
       DSE_CHECK_MSG(false, "unhandled message type in KernelCore");
   }
+  return actions;
+}
+
+NodeId KernelCore::NaturalHomeOf(const proto::Envelope& env) const {
+  switch (env.type()) {
+    case proto::MsgType::kReadReq:
+      return gmm::HomeOf(std::get<proto::ReadReq>(env.body).addr, num_nodes_);
+    case proto::MsgType::kWriteReq:
+      return gmm::HomeOf(std::get<proto::WriteReq>(env.body).addr, num_nodes_);
+    case proto::MsgType::kAtomicReq:
+      return gmm::HomeOf(std::get<proto::AtomicReq>(env.body).addr,
+                         num_nodes_);
+    case proto::MsgType::kAllocReq:
+    case proto::MsgType::kFreeReq:
+      return 0;  // the master allocator's home
+    case proto::MsgType::kLockReq:
+      return static_cast<NodeId>(std::get<proto::LockReq>(env.body).lock_id %
+                                 static_cast<std::uint64_t>(num_nodes_));
+    case proto::MsgType::kUnlockReq:
+      return static_cast<NodeId>(std::get<proto::UnlockReq>(env.body).lock_id %
+                                 static_cast<std::uint64_t>(num_nodes_));
+    case proto::MsgType::kBarrierEnter:
+      return static_cast<NodeId>(
+          std::get<proto::BarrierEnter>(env.body).barrier_id %
+          static_cast<std::uint64_t>(num_nodes_));
+    case proto::MsgType::kInvalidateAck:
+      return gmm::HomeOf(std::get<proto::InvalidateAck>(env.body).block_base,
+                         num_nodes_);
+    case proto::MsgType::kBatchReq: {
+      const auto& b = std::get<proto::BatchReq>(env.body);
+      if (b.items.empty()) return self_;
+      return gmm::HomeOf(b.items.front().addr, num_nodes_);
+    }
+    default:
+      return -1;
+  }
+}
+
+gmm::GmmHome* KernelCore::ServingHome(NodeId natural) {
+  if (natural == self_) return &home_;
+  const auto it = promoted_.find(natural);
+  return it == promoted_.end() ? nullptr : it->second.get();
+}
+
+bool KernelCore::DispatchGmm(gmm::GmmHome& home, const proto::Envelope& env,
+                             Actions* actions) {
+  const NodeId src = env.src_node;
+  const std::uint64_t rid = env.req_id;
+  switch (env.type()) {
+    case proto::MsgType::kReadReq:
+      Emit(actions,
+           home.HandleRead(src, rid, std::get<proto::ReadReq>(env.body)));
+      return true;
+    case proto::MsgType::kWriteReq:
+      Emit(actions,
+           home.HandleWrite(src, rid, std::get<proto::WriteReq>(env.body)));
+      return true;
+    case proto::MsgType::kAtomicReq:
+      Emit(actions,
+           home.HandleAtomic(src, rid, std::get<proto::AtomicReq>(env.body)));
+      return true;
+    case proto::MsgType::kAllocReq:
+      Emit(actions,
+           home.HandleAlloc(src, rid, std::get<proto::AllocReq>(env.body)));
+      return true;
+    case proto::MsgType::kFreeReq:
+      Emit(actions,
+           home.HandleFree(src, rid, std::get<proto::FreeReq>(env.body)));
+      return true;
+    case proto::MsgType::kLockReq:
+      Emit(actions,
+           home.HandleLock(src, rid, std::get<proto::LockReq>(env.body)));
+      return true;
+    case proto::MsgType::kUnlockReq:
+      Emit(actions,
+           home.HandleUnlock(src, std::get<proto::UnlockReq>(env.body)));
+      return true;
+    case proto::MsgType::kBarrierEnter:
+      Emit(actions, home.HandleBarrierEnter(
+                        src, rid, std::get<proto::BarrierEnter>(env.body)));
+      return true;
+    case proto::MsgType::kInvalidateAck:
+      Emit(actions, home.HandleInvalidateAck(
+                        src, std::get<proto::InvalidateAck>(env.body)));
+      return true;
+    case proto::MsgType::kBatchReq:
+      Emit(actions,
+           home.HandleBatch(src, rid, std::get<proto::BatchReq>(env.body)));
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool KernelCore::ReplicationNeeded(const proto::Envelope& env) {
+  switch (env.type()) {
+    case proto::MsgType::kWriteReq:
+    case proto::MsgType::kAtomicReq:
+    case proto::MsgType::kAllocReq:
+    case proto::MsgType::kFreeReq:
+    case proto::MsgType::kLockReq:
+    case proto::MsgType::kUnlockReq:
+    case proto::MsgType::kBarrierEnter:
+      return true;
+    case proto::MsgType::kBatchReq: {
+      const auto& b = std::get<proto::BatchReq>(env.body);
+      for (const auto& item : b.items) {
+        if (item.op == proto::BatchOp::kWrite) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+void KernelCore::ForwardToBackup(const proto::Envelope& env,
+                                 Actions* actions) {
+  // Only the natural primary replicates. A promoted shadow does not
+  // re-replicate onward: the subsystem tolerates one failure (f=1),
+  // documented in docs/recovery.md.
+  if (NaturalHomeOf(env) != self_) return;
+  NodeId backup = -1;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    backup = home_map_.BackupOf(self_);
+  }
+  if (backup < 0) return;  // last node standing: nothing to replicate to
+
+  proto::ReplicateReq rec;
+  rec.primary = self_;
+  rec.seq = repl_next_seq_++;
+  rec.epoch = epoch();
+  rec.inner = proto::Encode(env);
+  const std::uint64_t seq = rec.seq;
+
+  PendingRepl pending;
+  pending.backup = backup;
+  pending.origin = DedupeKey{env.src_node, env.req_id};
+  pending.record.req_id = 0;
+  pending.record.src_node = self_;
+  pending.record.epoch = rec.epoch;
+  pending.record.body = std::move(rec);
+
+  // Gate every client reply this dispatch produced on the backup's ack: a
+  // reply the requester can observe must describe state that already
+  // survives this node's death. (That includes grants/releases for *other*
+  // waiters unblocked by this mutation.)
+  for (auto it = actions->out.begin(); it != actions->out.end();) {
+    if (it->env.req_id != 0 && proto::IsClientResponse(it->env.type())) {
+      pending.held.push_back(std::move(*it));
+      it = actions->out.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  actions->out.push_back(Outgoing{backup, pending.record});
+  if (env.req_id != 0) repl_gated_[pending.origin] = seq;
+  repl_pending_.emplace(seq, std::move(pending));
+  repl_forwards_->Add();
+}
+
+void KernelCore::HoldGatedResponses(Actions* actions) {
+  if (repl_gated_.empty()) return;
+  for (auto it = actions->out.begin(); it != actions->out.end();) {
+    const proto::Envelope& e = it->env;
+    if (e.req_id != 0 && proto::IsClientResponse(e.type())) {
+      // A deferred reply (e.g. a write ack completing after its
+      // invalidation round) whose origin is still awaiting the backup ack
+      // joins the gated set instead of going out.
+      const auto g = repl_gated_.find(DedupeKey{it->dst, e.req_id});
+      if (g != repl_gated_.end()) {
+        repl_pending_.at(g->second).held.push_back(std::move(*it));
+        it = actions->out.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+void KernelCore::ResendGatedFor(const DedupeKey& key, Actions* actions) {
+  const auto g = repl_gated_.find(key);
+  if (g != repl_gated_.end()) {
+    const PendingRepl& p = repl_pending_.at(g->second);
+    actions->out.push_back(Outgoing{p.backup, p.record});
+    return;
+  }
+  // The retried request may be chasing a reply held behind a *different*
+  // origin's record (a LockGrant gated on the unlocker's UnlockReq record).
+  for (const auto& [seq, p] : repl_pending_) {
+    for (const Outgoing& h : p.held) {
+      if (h.dst == key.first && h.env.req_id == key.second) {
+        actions->out.push_back(Outgoing{p.backup, p.record});
+        return;
+      }
+    }
+  }
+}
+
+void KernelCore::HandleReplicate(const proto::Envelope& env,
+                                 Actions* actions) {
+  const auto& rec = std::get<proto::ReplicateReq>(env.body);
+  ShadowHome& shadow = shadows_[rec.primary];
+  const auto ack = [&] {
+    proto::Envelope a;
+    a.req_id = 0;
+    a.src_node = self_;
+    a.body = proto::ReplicateAck{rec.seq};
+    actions->out.push_back(Outgoing{env.src_node, std::move(a)});
+  };
+  if (shadow.seen.count(rec.seq) > 0) {
+    ack();  // retransmission: re-ack without re-applying
+    return;
+  }
+  // Epoch fence for records: sender and receiver must agree on membership
+  // or the shadow could apply a mutation the promoted order never saw.
+  // Silently ignored (no ack) — the primary retransmits after both sides
+  // converge.
+  if (rec.epoch != epoch()) return;
+  if (!shadow.home) {
+    // Shadows replay with coherence off: nobody caches from a shadow, so
+    // there are no copysets to maintain until (if ever) it is promoted.
+    shadow.home = std::make_unique<gmm::GmmHome>(rec.primary, num_nodes_,
+                                                 /*coherence=*/false);
+  }
+  auto inner = proto::Decode(rec.inner);
+  DSE_CHECK_MSG(inner.ok(), "malformed replication record");
+  Actions shadow_out;
+  const bool handled = DispatchGmm(*shadow.home, inner.value(), &shadow_out);
+  DSE_CHECK_MSG(handled, "non-GMM replication record");
+  for (auto& o : shadow_out.out) {
+    // Keep the client responses the shadow would have produced: on
+    // promotion they seed the dedupe cache so an in-flight retry replays
+    // the original outcome instead of re-executing. Everything else the
+    // shadow emits (e.g. invalidations — coherence is off) is discarded.
+    if (o.env.req_id != 0 && proto::IsClientResponse(o.env.type())) {
+      RecordShadowResponse(rec.primary, o.dst, std::move(o.env));
+    }
+  }
+  shadow.seen.insert(rec.seq);
+  shadow.seen_order.push_back(rec.seq);
+  while (shadow.seen_order.size() > kDedupeWindow) {
+    shadow.seen.erase(shadow.seen_order.front());
+    shadow.seen_order.pop_front();
+  }
+  ack();
+}
+
+void KernelCore::HandleReplicateAck(const proto::Envelope& env,
+                                    Actions* actions) {
+  const auto& a = std::get<proto::ReplicateAck>(env.body);
+  const auto it = repl_pending_.find(a.seq);
+  if (it == repl_pending_.end()) return;  // duplicate ack
+  for (Outgoing& held : it->second.held) {
+    actions->out.push_back(std::move(held));
+  }
+  repl_gated_.erase(it->second.origin);
+  repl_pending_.erase(it);
+}
+
+void KernelCore::RecordShadowResponse(NodeId primary, NodeId dst,
+                                      proto::Envelope env) {
+  ShadowHome& shadow = shadows_[primary];
+  env.src_node = self_;  // after promotion, this node answers the retry
+  const DedupeKey key{dst, env.req_id};
+  if (shadow.completed.emplace(key, std::move(env)).second) {
+    shadow.completed_order.push_back(key);
+    while (shadow.completed_order.size() > kDedupeWindow) {
+      shadow.completed.erase(shadow.completed_order.front());
+      shadow.completed_order.pop_front();
+    }
+  }
+}
+
+proto::Envelope KernelCore::MakeRetryResp(const proto::Envelope& req) const {
+  proto::Envelope e;
+  e.req_id = req.req_id;
+  e.src_node = self_;
+  std::lock_guard<std::mutex> lock(route_mu_);
+  e.epoch = home_map_.epoch();
+  e.body = proto::RetryResp{home_map_.epoch(), home_map_.last_evicted()};
+  return e;
+}
+
+KernelCore::Actions KernelCore::ApplyEviction(NodeId dead,
+                                              std::uint32_t new_epoch) {
+  Actions actions;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (!home_map_.Evict(dead, new_epoch)) return actions;  // already gone
+  }
+  evictions_->Add();
+
+  // The dead node's homes move: every cached block whose home changed would
+  // be stale-routed, so drop the whole client cache (it refills).
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    stats_.cache_invalidated += cache_.size();
+    cache_.clear();
+  }
+
+  // Replies gated on an ack from the dead backup can never be released by
+  // it. Release them now: the mutation executed exactly once here and there
+  // is no surviving replica to keep consistent.
+  for (auto it = repl_pending_.begin(); it != repl_pending_.end();) {
+    if (it->second.backup == dead) {
+      for (Outgoing& held : it->second.held) {
+        actions.out.push_back(std::move(held));
+      }
+      repl_gated_.erase(it->second.origin);
+      it = repl_pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Promote our shadow of the dead primary: it becomes the serving home for
+  // the dead node's key space, and the responses it recorded seed the
+  // dedupe cache so in-flight retries replay original outcomes.
+  if (const auto sit = shadows_.find(dead); sit != shadows_.end()) {
+    ShadowHome& shadow = sit->second;
+    if (shadow.home) {
+      shadow.home->set_coherence(options_.read_cache);
+      promoted_[dead] = std::move(shadow.home);
+      promotions_->Add();
+      for (auto& [key, resp] : shadow.completed) {
+        if (completed_.emplace(key, std::move(resp)).second) {
+          completed_order_.push_back(key);
+          replayed_->Add();
+        }
+      }
+      while (completed_order_.size() > kDedupeWindow) {
+        completed_.erase(completed_order_.front());
+        completed_order_.pop_front();
+      }
+    }
+    shadows_.erase(sit);
+  }
+
+  // Sever the dead node from every home this node serves or mirrors: locks
+  // it held release, its queued waits drop, parked barriers discount it,
+  // and invalidation rounds stop waiting for its ack.
+  Emit(&actions, home_.EvictNode(dead));
+  for (auto& [primary, phome] : promoted_) {
+    Emit(&actions, phome->EvictNode(dead));
+  }
+  for (auto& [primary, shadow] : shadows_) {
+    if (!shadow.home) continue;
+    // Shadow emissions are recorded, not sent: the primary runs the same
+    // eviction and sends its own copies; ours only matter after promotion.
+    auto replies = shadow.home->EvictNode(dead);
+    for (auto& r : replies) {
+      if (r.env.req_id != 0 && proto::IsClientResponse(r.env.type())) {
+        RecordShadowResponse(primary, r.dst, std::move(r.env));
+      }
+    }
+  }
+
+  // Joiners parked in our table waiting from the dead node get dropped.
+  processes_.OnNodeEvicted(dead);
+
+  HoldGatedResponses(&actions);
+  HarvestResponses(&actions);
   return actions;
 }
 
@@ -343,8 +808,25 @@ MetricsSnapshot KernelCore::StatsSnapshot() const {
   put("dsm.cache_invalidated", stats_.cache_invalidated);
   put("ssi.names_published", ssi_.name_count());
 
-  // Home-side GMM counters.
-  const gmm::GmmHomeStats& g = home_.stats();
+  // Home-side GMM counters; a promoted shadow's activity counts toward the
+  // node serving it.
+  gmm::GmmHomeStats g = home_.stats();
+  for (const auto& [primary, phome] : promoted_) {
+    const gmm::GmmHomeStats& s = phome->stats();
+    g.reads += s.reads;
+    g.writes += s.writes;
+    g.atomics += s.atomics;
+    g.allocs += s.allocs;
+    g.frees += s.frees;
+    g.lock_acquires += s.lock_acquires;
+    g.lock_waits += s.lock_waits;
+    g.barriers += s.barriers;
+    g.barrier_waits += s.barrier_waits;
+    g.invalidations += s.invalidations;
+    g.deferred_mutations += s.deferred_mutations;
+    g.batches += s.batches;
+    g.batch_items += s.batch_items;
+  }
   put("dsm.home_reads", g.reads);
   put("dsm.home_writes", g.writes);
   put("dsm.home_atomics", g.atomics);

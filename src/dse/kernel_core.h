@@ -28,6 +28,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -77,9 +78,21 @@ struct KernelOptions {
   // to make sync calls resend (same req_id, deduped at the home) on the
   // data-plane deadline — indefinitely, never surfacing kTimeout.
   bool rpc_sync_retry = false;
+  // Recovery subsystem (docs/recovery.md): replication factor for GMM home
+  // state. 0 disables recovery entirely (PR 3 behavior); 1 gives each home a
+  // backup at the next live ring successor — mutating requests are forwarded
+  // as ReplicateReq records and the client reply is gated on the backup's
+  // ack, so an acknowledged mutation survives the primary's death.
+  int replication = 0;
+  // With replication: after an eviction, re-spawn idempotent-marked tasks
+  // that were hosted on the dead node instead of failing their joins.
+  bool restart_tasks = false;
   // Validates SpawnReq task names; unknown names fail the spawn with
   // kInvalidArgument instead of crashing the target node.
   std::function<bool(const std::string&)> has_task;
+  // True when the named task was registered idempotent (safe to re-spawn
+  // after its host node died). Null means nothing is idempotent.
+  std::function<bool(const std::string&)> task_idempotent;
   // Lets the backend merge transport-level counters (e.g. the endpoint's
   // wire byte counts) into StatsSnapshot(). May be null.
   std::function<void(MetricsSnapshot*)> augment_stats;
@@ -129,6 +142,31 @@ class KernelCore {
   int rpc_max_attempts() const { return options_.rpc_max_attempts; }
   int rpc_backoff_base_ms() const { return options_.rpc_backoff_base_ms; }
   bool rpc_sync_retry() const { return options_.rpc_sync_retry; }
+
+  // --- Recovery / membership (docs/recovery.md) ---------------------------
+
+  // True when primary-backup replication is active on this cluster.
+  bool replication_on() const {
+    return options_.replication > 0 && num_nodes_ > 1;
+  }
+  bool restart_tasks() const { return options_.restart_tasks; }
+  bool TaskIdempotent(const std::string& name) const {
+    return options_.task_idempotent && options_.task_idempotent(name);
+  }
+
+  // Membership views for the backend's routing layer (thread-safe; task
+  // threads consult them concurrently with the service loop).
+  std::uint32_t epoch() const;
+  NodeId RouteOf(NodeId natural) const;
+  bool NodeAlive(NodeId node) const;
+  NodeId CoordinatorView() const;
+  NodeId LastEvicted() const;
+
+  // Applies an eviction locally (coordinator self-apply and push-repair
+  // paths; EvictReq frames funnel here too). Caller serializes like Handle.
+  // Returns the follow-up actions (lock grants, barrier releases, replies
+  // un-gated because their backup died). No-op if already evicted.
+  Actions ApplyEviction(NodeId dead, std::uint32_t new_epoch);
 
   // Handles one inbound server-side message (requests, InvalidateReq/Ack,
   // ConsoleOut, Shutdown). Must not be called with client responses.
@@ -194,6 +232,9 @@ class KernelCore {
   ssi::SsiServices& ssi_for_test() { return ssi_; }
 
  private:
+  // At-most-once cache key: (requester node, req_id).
+  using DedupeKey = std::pair<NodeId, std::uint64_t>;
+
   // The pre-dedupe request dispatch (the body of Handle).
   Actions Dispatch(const proto::Envelope& env);
   void HandleInvalidate(const proto::Envelope& env, Actions* actions);
@@ -202,6 +243,35 @@ class KernelCore {
   // requests into the completed cache so a retried request (same src,
   // req_id) replays the original response instead of re-executing.
   void HarvestResponses(Actions* actions);
+
+  // --- Recovery internals -------------------------------------------------
+
+  // Natural home of a GMM-routed request, or -1 for unrouted types.
+  NodeId NaturalHomeOf(const proto::Envelope& env) const;
+  // The GmmHome currently serving `natural` on this node: the node's own
+  // home, or a promoted shadow. nullptr if this node does not serve it.
+  gmm::GmmHome* ServingHome(NodeId natural);
+  // Runs a GMM request against an arbitrary home object (the normal home on
+  // the primary, shadows on the backup). Returns false for non-GMM types.
+  bool DispatchGmm(gmm::GmmHome& home, const proto::Envelope& env,
+                   Actions* actions);
+  // True for mutating GMM requests a primary forwards to its backup.
+  static bool ReplicationNeeded(const proto::Envelope& env);
+  // Forwards `env` to this home's backup and gates the client replies in
+  // `actions` until the backup acks.
+  void ForwardToBackup(const proto::Envelope& env, Actions* actions);
+  // Withholds client responses whose origin request is still gated on a
+  // backup ack (covers replies deferred behind invalidation rounds).
+  void HoldGatedResponses(Actions* actions);
+  // A duplicate of an in-flight request doubles as the retransmission
+  // trigger for the replication record its reply is gated on.
+  void ResendGatedFor(const DedupeKey& key, Actions* actions);
+  void HandleReplicate(const proto::Envelope& env, Actions* actions);
+  void HandleReplicateAck(const proto::Envelope& env, Actions* actions);
+  // Records a shadow-produced client response for post-promotion replay.
+  void RecordShadowResponse(NodeId primary, NodeId dst,
+                            proto::Envelope env);
+  proto::Envelope MakeRetryResp(const proto::Envelope& req) const;
 
   NodeId self_;
   int num_nodes_;
@@ -226,17 +296,55 @@ class KernelCore {
 
   ssi::SsiServices ssi_;
 
-  // At-most-once request cache, keyed (requester node, req_id). `completed_`
-  // holds the response envelope of each finished mutating request inside a
-  // FIFO window; `in_progress_` marks requests whose response is still
-  // deferred (e.g. a write ack behind an invalidation round) so duplicates
-  // are dropped rather than re-executed.
-  using DedupeKey = std::pair<NodeId, std::uint64_t>;
+  // At-most-once request cache. `completed_` holds the response envelope of
+  // each finished mutating request inside a FIFO window; `in_progress_`
+  // marks requests whose response is still deferred (e.g. a write ack
+  // behind an invalidation round) so duplicates are dropped rather than
+  // re-executed.
   std::map<DedupeKey, proto::Envelope> completed_;
   std::deque<DedupeKey> completed_order_;
   std::set<DedupeKey> in_progress_;
   Counter* dedupe_replays_ = nullptr;
   Counter* dedupe_drops_ = nullptr;
+
+  // --- Recovery state (docs/recovery.md) ----------------------------------
+
+  // Membership map; guarded by route_mu_ because task threads consult the
+  // routing view while the service loop applies evictions.
+  mutable std::mutex route_mu_;
+  gmm::HomeMap home_map_;
+
+  // Primary side: replication records in flight to the backup, keyed by the
+  // per-primary sequence number, with the client replies gated on the ack.
+  struct PendingRepl {
+    NodeId backup = -1;
+    proto::Envelope record;        // resendable ReplicateReq envelope
+    DedupeKey origin{-1, 0};       // requester of the replicated mutation
+    std::vector<Outgoing> held;    // replies withheld until the ack
+  };
+  std::uint64_t repl_next_seq_ = 1;
+  std::map<std::uint64_t, PendingRepl> repl_pending_;
+  std::map<DedupeKey, std::uint64_t> repl_gated_;  // origin -> seq
+
+  // Backup side: one shadow home per primary this node backs, plus the
+  // client responses the shadow produced (replayed into the dedupe cache on
+  // promotion so in-flight retries see original results, not re-execution).
+  struct ShadowHome {
+    std::unique_ptr<gmm::GmmHome> home;
+    std::map<DedupeKey, proto::Envelope> completed;
+    std::deque<DedupeKey> completed_order;
+    std::set<std::uint64_t> seen;  // applied record seqs (re-ack, not re-run)
+    std::deque<std::uint64_t> seen_order;
+  };
+  std::map<NodeId, ShadowHome> shadows_;
+  // Promoted shadows now serving a dead primary's key space.
+  std::map<NodeId, std::unique_ptr<gmm::GmmHome>> promoted_;
+
+  Counter* repl_forwards_ = nullptr;
+  Counter* evictions_ = nullptr;
+  Counter* promotions_ = nullptr;
+  Counter* replayed_ = nullptr;
+  Counter* epoch_bounces_ = nullptr;
 
   KernelStats stats_;
 };

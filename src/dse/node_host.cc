@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "dse/client.h"
+#include "dse/recovery/recovery.h"
 
 namespace dse {
 
@@ -84,15 +85,26 @@ class HostRpc final : public RpcChannel {
       env.req_id = host_->NextReqId();
       env.src_node = host_->self();
       env.body = std::move(body);
-      host_->RegisterWaiter(env.req_id, waiter.get(), dst);
-      const Status sent = host_->SendEnvelope(dst, env);
+      const NodeId routed = host_->ResolveDst(dst);
+      if (host_->core().replication_on()) {
+        env.epoch = host_->core().epoch();
+      }
+      host_->RegisterWaiter(env.req_id, waiter.get(), routed);
+      const Status sent = host_->SendEnvelope(routed, env);
       if (!sent.ok()) {
-        if (host_->DropWaiter(env.req_id)) {
+        if (host_->core().replication_on() &&
+            sent.code() == ErrorCode::kUnavailable) {
+          // Dead destination under replication: fail the waiter so the
+          // await loop below runs its failover resend instead of giving up.
+          if (host_->DropWaiter(env.req_id)) {
+            DeliverFailure(waiter.get(), sent);
+          }
+        } else if (host_->DropWaiter(env.req_id)) {
           first_error = sent;
           break;
         }
-        // The service path claimed the entry concurrently (e.g. a dead-node
-        // sweep); the waiter will be answered below like the others.
+        // Otherwise the service path claimed the entry concurrently (e.g. a
+        // dead-node sweep); the waiter will be answered below.
       }
       envs.push_back(std::move(env));
       dsts.push_back(dst);
@@ -120,7 +132,10 @@ class HostRpc final : public RpcChannel {
     env.req_id = 0;
     env.src_node = host_->self();
     env.body = std::move(body);
-    return host_->SendEnvelope(dst, env);
+    if (host_->core().replication_on()) {
+      env.epoch = host_->core().epoch();
+    }
+    return host_->SendEnvelope(host_->ResolveDst(dst), env);
   }
 
  private:
@@ -231,8 +246,13 @@ KernelOptions MakeKernelOptions(const NodeHost::Options& options,
   kopts.rpc_max_attempts = options.rpc_max_attempts;
   kopts.rpc_backoff_base_ms = options.rpc_backoff_base_ms;
   kopts.rpc_sync_retry = options.sync_retry;
+  kopts.replication = options.replication;
+  kopts.restart_tasks = options.restart_tasks;
   kopts.has_task = [registry](const std::string& name) {
     return registry->Has(name);
+  };
+  kopts.task_idempotent = [registry](const std::string& name) {
+    return registry->IsIdempotent(name);
   };
   // Endpoint-level byte counts (serialized frames at the fabric boundary)
   // ride along in stats snapshots as a cross-check of the kernel's own
@@ -336,6 +356,23 @@ void NodeHost::HeartbeatLoop() {
       probe.body = proto::Heartbeat{};
       (void)SendEnvelope(n, probe);  // a lost probe is just a silent period
     }
+    // Replication: the coordinator re-announces evictions every tick, so a
+    // survivor whose EvictReq frame was lost converges without waiting for
+    // its own heartbeat timeout.
+    if (core_.replication_on() && core_.CoordinatorView() == self()) {
+      for (NodeId d = 0; d < core_.num_nodes(); ++d) {
+        if (core_.NodeAlive(d)) continue;
+        for (NodeId n = 0; n < core_.num_nodes(); ++n) {
+          if (n == self() || !core_.NodeAlive(n)) continue;
+          proto::Envelope ev;
+          ev.req_id = 0;
+          ev.src_node = self();
+          ev.epoch = core_.epoch();
+          ev.body = proto::EvictReq{d, core_.epoch()};
+          (void)SendEnvelope(n, ev);
+        }
+      }
+    }
   }
 }
 
@@ -346,15 +383,58 @@ bool NodeHost::PeerDead(NodeId node) const {
 }
 
 void NodeHost::MarkPeerDead(NodeId node, const char* why) {
-  if (peer_dead_[static_cast<size_t>(node)].exchange(
+  EvictPeer(node, 0, why);
+}
+
+void NodeHost::EvictPeer(NodeId node, std::uint32_t epoch, const char* why) {
+  if (node < 0 || node >= core_.num_nodes() || node == self()) return;
+  if (!peer_dead_[static_cast<size_t>(node)].exchange(
           true, std::memory_order_relaxed)) {
-    return;  // already declared
+    nodes_dead_->Add();
+    DSE_LOG(kWarn) << "node " << self() << ": declaring node " << node
+                   << " dead (" << why << ")";
+    FailPendingTo(node, Unavailable("node " + std::to_string(node) +
+                                    " declared dead (" + why + ")"));
   }
-  nodes_dead_->Add();
-  DSE_LOG(kWarn) << "node " << self() << ": declaring node " << node
-                 << " dead (" << why << ")";
-  FailPendingTo(node, Unavailable("node " + std::to_string(node) +
-                                  " declared dead (" + why + ")"));
+  if (!core_.replication_on() || !core_.NodeAlive(node)) return;
+  const std::uint32_t new_epoch = epoch != 0 ? epoch : core_.epoch() + 1;
+  KernelCore::Actions actions;
+  {
+    std::lock_guard<std::mutex> lock(core_mu_);
+    actions = core_.ApplyEviction(node, new_epoch);
+  }
+  Perform(std::move(actions));
+  // The coordinator announces the eviction; everyone else has applied it
+  // locally (own detection or a received EvictReq) and stays quiet.
+  if (core_.CoordinatorView() == self()) {
+    for (NodeId n = 0; n < core_.num_nodes(); ++n) {
+      if (n == self() || !core_.NodeAlive(n)) continue;
+      proto::Envelope ev;
+      ev.req_id = 0;
+      ev.src_node = self();
+      ev.epoch = core_.epoch();
+      ev.body = proto::EvictReq{node, new_epoch};
+      (void)SendEnvelope(n, ev);
+    }
+  }
+}
+
+void NodeHost::HandleRetrySignal(NodeId responder,
+                                 const proto::RetryResp& rr) {
+  const std::uint32_t local = core_.epoch();
+  if (rr.epoch > local && rr.evicted >= 0) {
+    // The responder is ahead: adopt its eviction without waiting for our
+    // own heartbeat timeout or the coordinator's broadcast.
+    EvictPeer(rr.evicted, rr.epoch, "epoch gossip");
+  } else if (rr.epoch < local) {
+    // The responder lags (it missed the EvictReq): push-repair it.
+    proto::Envelope ev;
+    ev.req_id = 0;
+    ev.src_node = self();
+    ev.epoch = local;
+    ev.body = proto::EvictReq{core_.LastEvicted(), local};
+    (void)SendEnvelope(responder, ev);
+  }
 }
 
 std::uint64_t NodeHost::NextReqId() {
@@ -412,19 +492,62 @@ Result<proto::Envelope> NodeHost::CallAndAwait(NodeId dst,
                                                proto::Envelope env,
                                                const CallPolicy& policy) {
   Waiter waiter;
-  RegisterWaiter(env.req_id, &waiter, dst);
-  const Status sent = SendEnvelope(dst, env);
-  if (!sent.ok()) return FailCall(env.req_id, &waiter, sent);
+  const NodeId routed = ResolveDst(dst);
+  if (core_.replication_on()) env.epoch = core_.epoch();
+  RegisterWaiter(env.req_id, &waiter, routed);
+  const Status sent = SendEnvelope(routed, env);
+  if (!sent.ok()) {
+    if (core_.replication_on() && sent.code() == ErrorCode::kUnavailable) {
+      // Dead destination under replication: fail the waiter so
+      // AwaitWithRetry runs its failover resend instead of giving up.
+      if (DropWaiter(env.req_id)) DeliverFailure(&waiter, sent);
+    } else {
+      return FailCall(env.req_id, &waiter, sent);
+    }
+  }
   return AwaitWithRetry(dst, env, &waiter, policy);
 }
 
+Status NodeHost::FailoverResend(NodeId natural, proto::Envelope* env,
+                                Waiter* waiter) {
+  // Brief pause: evictions propagate on heartbeat cadence; resending
+  // full-speed would just bounce again.
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(recovery::kFailoverPauseMs));
+  {
+    std::lock_guard<std::mutex> lock(waiter->mu);
+    waiter->ready = false;
+    waiter->error = Status::Ok();
+    waiter->resp = proto::Envelope{};
+  }
+  const NodeId routed = ResolveDst(natural);
+  env->epoch = core_.epoch();
+  RegisterWaiter(env->req_id, waiter, routed);
+  const Status sent = SendEnvelope(routed, *env);
+  if (sent.ok()) return Status::Ok();
+  if (!DropWaiter(env->req_id)) return Status::Ok();  // answer raced in
+  if (sent.code() == ErrorCode::kUnavailable) {
+    // Destination (still) dead and not yet re-routed: fail the waiter so
+    // the caller's failover loop comes around after another pause.
+    DeliverFailure(waiter, sent);
+    return Status::Ok();
+  }
+  return sent;
+}
+
 Result<proto::Envelope> NodeHost::AwaitWithRetry(NodeId dst,
-                                                 const proto::Envelope& env,
+                                                 const proto::Envelope& env_in,
                                                  Waiter* waiter,
                                                  const CallPolicy& policy) {
+  proto::Envelope env = env_in;
   const int attempts = std::max(1, policy.max_attempts);
   const bool bounded = policy.deadline_ms > 0;
-  for (int attempt = 1;; ++attempt) {
+  // Failover retries (dead destination, epoch bounce) do not consume
+  // attempts — they wait out the eviction — but stay bounded so a cluster
+  // that never converges still surfaces an error.
+  int failovers = 0;
+  for (int attempt = 1;;) {
+    bool ready = false;
     {
       std::unique_lock<std::mutex> lock(waiter->mu);
       if (bounded) {
@@ -434,10 +557,35 @@ Result<proto::Envelope> NodeHost::AwaitWithRetry(NodeId dst,
       } else {
         waiter->cv.wait(lock, [&] { return waiter->ready; });
       }
-      if (waiter->ready) {
-        if (!waiter->error.ok()) return waiter->error;
-        return std::move(waiter->resp);
+      ready = waiter->ready;
+    }
+    if (ready) {
+      Result<proto::Envelope> outcome = TakeOutcome(waiter);
+      const bool can_failover =
+          core_.replication_on() && failovers < recovery::kMaxFailovers;
+      if (!outcome.ok()) {
+        if (can_failover &&
+            outcome.status().code() == ErrorCode::kUnavailable) {
+          ++failovers;
+          if (const Status s = FailoverResend(dst, &env, waiter); !s.ok()) {
+            return s;
+          }
+          continue;
+        }
+        return outcome;
       }
+      if (const auto* rr = std::get_if<proto::RetryResp>(&outcome->body)) {
+        if (!can_failover) {
+          return Unavailable("epoch bounce with no failover budget left");
+        }
+        HandleRetrySignal(outcome->src_node, *rr);
+        ++failovers;
+        if (const Status s = FailoverResend(dst, &env, waiter); !s.ok()) {
+          return s;
+        }
+        continue;
+      }
+      return outcome;
     }
     // This attempt's deadline expired with no answer.
     rpc_timeouts_->Add();
@@ -450,6 +598,7 @@ Result<proto::Envelope> NodeHost::AwaitWithRetry(NodeId dst,
       // Claimed concurrently: the answer is on its way — take it.
       return TakeOutcome(waiter);
     }
+    ++attempt;
     rpc_retries_->Add();
     const int base = std::max(1, policy.backoff_base_ms);
     const int backoff =
@@ -457,8 +606,22 @@ Result<proto::Envelope> NodeHost::AwaitWithRetry(NodeId dst,
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
     // Resend the SAME req_id; the home's at-most-once cache absorbs the
     // duplicate if the original made it and only the response was lost.
-    const Status sent = SendEnvelope(dst, env);
-    if (!sent.ok()) return FailCall(env.req_id, waiter, sent);
+    // Re-resolve the destination: the home may have failed over since.
+    const NodeId routed = ResolveDst(dst);
+    if (core_.replication_on()) env.epoch = core_.epoch();
+    const Status sent = SendEnvelope(routed, env);
+    if (!sent.ok()) {
+      if (core_.replication_on() &&
+          sent.code() == ErrorCode::kUnavailable &&
+          failovers < recovery::kMaxFailovers) {
+        // Destination died between resolve and send; keep waiting — the
+        // eviction sweep fails the pending call, which re-enters the
+        // failover path above.
+        ++failovers;
+        continue;
+      }
+      return FailCall(env.req_id, waiter, sent);
+    }
   }
 }
 
@@ -603,6 +766,15 @@ void NodeHost::ServiceLoop() {
           NowMs(), std::memory_order_relaxed);
     }
     if (env.type() == proto::MsgType::kHeartbeat) continue;
+
+    if (env.type() == proto::MsgType::kEvictReq) {
+      // Handled at the host layer so the peer-dead latch, pending-call
+      // sweep and coordinator re-announce all happen with the membership
+      // change. (EvictPeer funnels into core().ApplyEviction.)
+      const auto& e = std::get<proto::EvictReq>(env.body);
+      EvictPeer(e.node, e.epoch, "evicted by coordinator");
+      continue;
+    }
 
     if (proto::IsClientResponse(env.type())) {
       // Cache fills happen on this ordered path before the waiting task can

@@ -49,6 +49,9 @@ class NodeHost {
     // 0 disables the prober; timeout 0 defaults to 5x the period.
     int heartbeat_period_ms = 0;
     int heartbeat_timeout_ms = 0;
+    // Recovery subsystem (see KernelOptions / docs/recovery.md).
+    int replication = 0;
+    bool restart_tasks = false;
     TaskRegistry* registry = nullptr;            // required
     // Receives SSI console lines (only ever called on node 0's host).
     std::function<void(std::string)> console_sink;
@@ -62,6 +65,18 @@ class NodeHost {
 
   KernelCore& core() { return core_; }
   NodeId self() const { return core_.self(); }
+
+  // Kernel introspection, serialized against the service and heartbeat
+  // threads: eviction (ApplyEviction) mutates kernel stats and the promoted
+  // shadow map under core_mu_, so external readers must take it too.
+  MetricsSnapshot StatsSnapshot() {
+    std::lock_guard<std::mutex> lock(core_mu_);
+    return core_.StatsSnapshot();
+  }
+  std::vector<proto::PsEntry> PsSnapshot() {
+    std::lock_guard<std::mutex> lock(core_mu_);
+    return core_.PsSnapshot();
+  }
 
   // Starts the kernel service thread. Call exactly once.
   void Start();
@@ -83,6 +98,12 @@ class NodeHost {
 
   // True once the liveness prober declared `node` dead.
   bool PeerDead(NodeId node) const;
+
+  // Node currently serving `natural`'s homes: identity while replication is
+  // off or the node lives, the promoted backup after an eviction.
+  NodeId ResolveDst(NodeId natural) const {
+    return core_.replication_on() ? core_.RouteOf(natural) : natural;
+  }
 
   // --- internals shared with the Task implementation -----------------------
   struct Waiter;
@@ -133,6 +154,20 @@ class NodeHost {
   // Delivers `error` to every pending call addressed to `dst`.
   void FailPendingTo(NodeId dst, const Status& error);
   void MarkPeerDead(NodeId node, const char* why);
+  // Recovery: latches `node` dead, fails its in-flight calls, applies the
+  // membership eviction at `epoch` (0 = this host's next epoch), and — when
+  // this host is the coordinator (lowest live rank in its own view) —
+  // broadcasts the EvictReq to the survivors. Coordinator succession is
+  // implicit: when the old coordinator is the dead node, the next-lowest
+  // live rank sees itself as coordinator and speaks.
+  void EvictPeer(NodeId node, std::uint32_t epoch, const char* why);
+  // Client-side reaction to a kRetryResp epoch bounce: adopt the
+  // responder's eviction if it is ahead, push-repair it with an EvictReq if
+  // it lags.
+  void HandleRetrySignal(NodeId responder, const proto::RetryResp& rr);
+  // Re-resolves, re-registers and resends a call after a failover signal.
+  // Ok means the waiter will be answered (keep awaiting).
+  Status FailoverResend(NodeId natural, proto::Envelope* env, Waiter* waiter);
   void HeartbeatLoop();
   std::int64_t NowMs() const;
 

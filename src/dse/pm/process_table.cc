@@ -42,6 +42,22 @@ bool ProcessTable::TryJoin(Gpid gpid, NodeId joiner, std::uint64_t req_id,
   return false;
 }
 
+int ProcessTable::OnNodeEvicted(NodeId dead) {
+  int dropped = 0;
+  for (auto& [gpid, rec] : tasks_) {
+    auto& w = rec.waiters;
+    for (auto it = w.begin(); it != w.end();) {
+      if (it->first == dead) {
+        it = w.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
 std::vector<proto::PsEntry> ProcessTable::Snapshot() const {
   std::vector<proto::PsEntry> entries;
   entries.reserve(tasks_.size());

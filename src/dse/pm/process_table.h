@@ -37,6 +37,12 @@ class ProcessTable {
   bool TryJoin(Gpid gpid, NodeId joiner, std::uint64_t req_id,
                std::vector<std::uint8_t>* result_out, bool* unknown);
 
+  // Recovery (docs/recovery.md): reaps the traces an evicted node left in
+  // this table — joiners parked from the dead node are dropped (their
+  // JoinResp could never be delivered; a retry after failover re-parks).
+  // Returns the number of waiters dropped.
+  int OnNodeEvicted(NodeId dead);
+
   // Tasks currently running on this node.
   int running_count() const { return running_; }
 

@@ -52,6 +52,8 @@ Result<std::unique_ptr<ProcessRuntime>> ProcessRuntime::Create(
       : options.heartbeat_period_ms == 0 && faulty ? 50
                                                    : 0;
   hopts.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
+  hopts.replication = options.replication;
+  hopts.restart_tasks = options.restart_tasks;
   hopts.registry = &rt->registry_;
   if (self == 0) {
     ProcessRuntime* raw = rt.get();

@@ -43,6 +43,10 @@ struct ProcessOptions {
   // negative = force off; positive = period in ms.
   int heartbeat_period_ms = 0;
   int heartbeat_timeout_ms = 0;
+  // Recovery subsystem (docs/recovery.md): replicate GMM homes to the ring
+  // successor and fail over on eviction; restart idempotent tasks.
+  int replication = 0;
+  bool restart_tasks = false;
 };
 
 class ProcessRuntime {

@@ -292,6 +292,38 @@ void Put(ByteWriter& w, const BatchResp& m) {
 void Put(ByteWriter&, const Heartbeat&) {}
 Status Get(ByteReader&, Heartbeat*) { return Status::Ok(); }
 
+void Put(ByteWriter& w, const ReplicateReq& m) {
+  w.WriteI32(m.primary);
+  w.WriteU64(m.seq);
+  w.WriteU32(m.epoch);
+  w.WriteBytes(
+      {reinterpret_cast<const char*>(m.inner.data()), m.inner.size()});
+}
+Status Get(ByteReader& r, ReplicateReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadI32(&m->primary));
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->seq));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&m->epoch));
+  return r.ReadBytes(&m->inner);
+}
+void Put(ByteWriter& w, const ReplicateAck& m) { w.WriteU64(m.seq); }
+Status Get(ByteReader& r, ReplicateAck* m) { return r.ReadU64(&m->seq); }
+void Put(ByteWriter& w, const EvictReq& m) {
+  w.WriteI32(m.node);
+  w.WriteU32(m.epoch);
+}
+Status Get(ByteReader& r, EvictReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadI32(&m->node));
+  return r.ReadU32(&m->epoch);
+}
+void Put(ByteWriter& w, const RetryResp& m) {
+  w.WriteU32(m.epoch);
+  w.WriteI32(m.evicted);
+}
+Status Get(ByteReader& r, RetryResp* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU32(&m->epoch));
+  return r.ReadI32(&m->evicted);
+}
+
 template <typename T, MsgType kType>
 struct Tag {
   using type = T;
@@ -338,6 +370,10 @@ std::string_view MsgTypeName(MsgType type) {
     case MsgType::kBatchReq: return "BatchReq";
     case MsgType::kBatchResp: return "BatchResp";
     case MsgType::kHeartbeat: return "Heartbeat";
+    case MsgType::kReplicateReq: return "ReplicateReq";
+    case MsgType::kReplicateAck: return "ReplicateAck";
+    case MsgType::kEvictReq: return "EvictReq";
+    case MsgType::kRetryResp: return "RetryResp";
   }
   return "Unknown";
 }
@@ -359,6 +395,7 @@ bool IsClientResponse(MsgType type) {
     case MsgType::kLoadResp:
     case MsgType::kStatsResp:
     case MsgType::kBatchResp:
+    case MsgType::kRetryResp:
       return true;
     default:
       return false;
@@ -375,6 +412,7 @@ std::vector<std::uint8_t> Encode(const Envelope& env) {
   w.WriteU8(static_cast<std::uint8_t>(env.type()));
   w.WriteU64(env.req_id);
   w.WriteI32(env.src_node);
+  w.WriteU32(env.epoch);
   std::visit([&w](const auto& body) { Put(w, body); }, env.body);
   return w.TakeBuffer();
 }
@@ -402,6 +440,8 @@ Result<Envelope> Decode(const std::vector<std::uint8_t>& payload) {
   s = r.ReadU64(&env.req_id);
   if (!s.ok()) return s;
   s = r.ReadI32(&env.src_node);
+  if (!s.ok()) return s;
+  s = r.ReadU32(&env.epoch);
   if (!s.ok()) return s;
 
   switch (static_cast<MsgType>(type_raw)) {
@@ -450,6 +490,12 @@ Result<Envelope> Decode(const std::vector<std::uint8_t>& payload) {
     case MsgType::kBatchReq: return DecodeBody<BatchReq>(r, std::move(env));
     case MsgType::kBatchResp: return DecodeBody<BatchResp>(r, std::move(env));
     case MsgType::kHeartbeat: return DecodeBody<Heartbeat>(r, std::move(env));
+    case MsgType::kReplicateReq:
+      return DecodeBody<ReplicateReq>(r, std::move(env));
+    case MsgType::kReplicateAck:
+      return DecodeBody<ReplicateAck>(r, std::move(env));
+    case MsgType::kEvictReq: return DecodeBody<EvictReq>(r, std::move(env));
+    case MsgType::kRetryResp: return DecodeBody<RetryResp>(r, std::move(env));
   }
   return ProtocolError("unknown message type " + std::to_string(type_raw));
 }

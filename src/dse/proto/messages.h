@@ -70,12 +70,22 @@ enum class MsgType : std::uint8_t {
   // at the host service layer (it refreshes the sender's last-heard stamp);
   // never enters the kernel's request dispatch and has no response.
   kHeartbeat,
+  // Recovery subsystem (docs/recovery.md). A primary forwards each mutating
+  // GMM request to its backup as an epoch-stamped replication record and
+  // holds the client reply until the backup acknowledges; on node death the
+  // coordinator broadcasts an eviction and survivors bump their cluster
+  // epoch. Requests stamped with a mismatched epoch bounce with kRetryResp
+  // so in-flight clients re-resolve the home map and retry.
+  kReplicateReq,
+  kReplicateAck,
+  kEvictReq,
+  kRetryResp,
 };
 
 // Highest MsgType value; message types are contiguous from 1, so fixed-size
 // per-type counter tables are indexed by the raw enum value.
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kHeartbeat);
+    static_cast<std::uint8_t>(MsgType::kRetryResp);
 
 std::string_view MsgTypeName(MsgType type);
 
@@ -257,6 +267,38 @@ struct BatchResp {
 // heartbeat timeout is declared dead by its peers.
 struct Heartbeat {};
 
+// Primary -> backup replication record (req_id 0). `inner` is the Encode()
+// of the original mutating request envelope; the backup re-executes it
+// against a shadow GmmHome kept per primary. `seq` is a per-primary counter
+// so the backup can acknowledge retransmissions without re-applying.
+struct ReplicateReq {
+  NodeId primary = -1;       // home whose shadow this record belongs to
+  std::uint64_t seq = 0;     // primary-assigned, dedupes retransmissions
+  std::uint32_t epoch = 0;   // cluster epoch the record was produced under
+  std::vector<std::uint8_t> inner;
+};
+// Backup -> primary: record `seq` is durable in the shadow; the primary may
+// now release any client replies it gated on this record.
+struct ReplicateAck {
+  std::uint64_t seq = 0;
+};
+
+// Coordinator -> survivors: `node` is dead; enter `epoch`. Idempotent — a
+// receiver that already evicted `node` ignores the message.
+struct EvictReq {
+  NodeId node = -1;
+  std::uint32_t epoch = 0;
+};
+
+// Epoch fence bounce: the request's envelope epoch did not match the
+// responder's cluster epoch. Carries the responder's view so a lagging peer
+// can catch up (`evicted` is the node removed at the responder's epoch, -1
+// if the responder has evicted nobody).
+struct RetryResp {
+  std::uint32_t epoch = 0;
+  NodeId evicted = -1;
+};
+
 using Body =
     std::variant<ReadReq, ReadResp, WriteReq, WriteAck, AtomicReq, AtomicResp,
                  AllocReq, AllocResp, FreeReq, FreeAck, InvalidateReq,
@@ -264,7 +306,8 @@ using Body =
                  BarrierRelease, SpawnReq, SpawnResp, JoinReq, JoinResp, PsReq,
                  PsResp, ConsoleOut, Shutdown, NamePublish, NameAck,
                  NameLookup, NameResp, LoadReq, LoadResp, StatsReq,
-                 StatsResp, BatchReq, BatchResp, Heartbeat>;
+                 StatsResp, BatchReq, BatchResp, Heartbeat, ReplicateReq,
+                 ReplicateAck, EvictReq, RetryResp>;
 
 MsgType TypeOf(const Body& body);
 
@@ -272,10 +315,16 @@ MsgType TypeOf(const Body& body);
 
 // One kernel message. `req_id` is unique per (src_node, request); responses
 // echo the request's req_id and src routing happens via the transport.
+// `epoch` is the sender's cluster-membership epoch (always 0 while no node
+// has been evicted); kernels running with replication reject mismatched
+// requests with kRetryResp so clients re-resolve the home map.
 struct Envelope {
   std::uint64_t req_id = 0;
   NodeId src_node = -1;
   Body body;
+  // Declared after `body` so the ubiquitous {req_id, src, body} aggregate
+  // initialization keeps working; on the wire it sits before the body.
+  std::uint32_t epoch = 0;
 
   MsgType type() const { return TypeOf(body); }
 };

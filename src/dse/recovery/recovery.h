@@ -1,0 +1,55 @@
+// Recovery subsystem: shared constants and conventions for surviving node
+// death (docs/recovery.md).
+//
+// The subsystem has three cooperating parts, spread across the layers that
+// own the relevant state:
+//
+//   * Replication (kernel_core.cc): with `replication = 1`, every GMM home
+//     forwards its mutations to its ring successor (`HomeMap::BackupOf`) as
+//     epoch-stamped ReplicateReq records. The primary holds client replies
+//     until the backup acks the record, so an acked reply implies a durable
+//     backup copy. The backup maintains a shadow GmmHome per primary plus
+//     the primary's at-most-once response cache, so post-failover resends
+//     replay recorded responses instead of re-executing.
+//
+//   * Membership (gmm/addr.h HomeMap + the runtimes): the cluster moves
+//     through monotonically increasing epochs. When the failure detector
+//     declares a node dead, the coordinator — the lowest live rank, with
+//     implicit succession — broadcasts EvictReq{node, epoch+1}; every
+//     survivor bumps its epoch, re-routes the dead node's homes to the
+//     backup, and the backup promotes its shadow. Requests stamped with a
+//     stale epoch bounce with RetryResp, which doubles as an anti-entropy
+//     gossip channel: whichever side lags adopts (or is pushed) the missed
+//     eviction.
+//
+//   * Task handling (client.cc): joins of tasks on an evicted node fail
+//     with kUnavailable; with `restart_tasks` on, tasks registered through
+//     TaskRegistry::RegisterIdempotent are re-spawned from the client's
+//     spawn ledger on the node now serving the dead host's ring slot.
+//
+// The tolerance is f = 1: one backup per home, and promoted shadows are not
+// themselves re-replicated. A second failure that claims both a primary and
+// its backup loses that home's state.
+#pragma once
+
+namespace dse::recovery {
+
+// Virtual milliseconds between a kill firing in the simulator's fault
+// injector and the survivors applying the eviction. The sim has no
+// heartbeat traffic (it would perturb every timing figure), so detection is
+// modeled as a fixed delay — deterministic, like everything else in the
+// sim.
+inline constexpr int kSimDetectionDelayMs = 5;
+
+// Real milliseconds a threaded/process client pauses between failover
+// resends. Evictions propagate at heartbeat cadence; resending full speed
+// would only bounce again.
+inline constexpr int kFailoverPauseMs = 5;
+
+// Upper bound on failover resends of one call. Failovers do not consume the
+// CallPolicy's attempt budget — the call is waiting out the eviction, not
+// the network — but stay bounded so a cluster that never converges surfaces
+// an error instead of spinning forever.
+inline constexpr int kMaxFailovers = 2000;
+
+}  // namespace dse::recovery

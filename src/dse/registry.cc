@@ -7,11 +7,23 @@ namespace dse {
 void TaskRegistry::Register(const std::string& name, TaskFn fn) {
   std::lock_guard<std::mutex> lock(mu_);
   fns_[name] = std::move(fn);
+  idempotent_.erase(name);  // re-registration resets the marking
+}
+
+void TaskRegistry::RegisterIdempotent(const std::string& name, TaskFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fns_[name] = std::move(fn);
+  idempotent_.insert(name);
 }
 
 bool TaskRegistry::Has(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return fns_.count(name) != 0;
+}
+
+bool TaskRegistry::IsIdempotent(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idempotent_.count(name) != 0;
 }
 
 TaskFn TaskRegistry::Get(const std::string& name) const {

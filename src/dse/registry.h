@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,15 @@ class TaskRegistry {
   // name (convenient for tests).
   void Register(const std::string& name, TaskFn fn);
 
+  // Registers a task that is safe to re-execute from scratch (no externally
+  // visible side effects beyond its result). With `--restart-tasks` the
+  // recovery subsystem may re-spawn such tasks on a survivor after their
+  // host node is evicted; non-idempotent tasks always fail their joins with
+  // kUnavailable instead.
+  void RegisterIdempotent(const std::string& name, TaskFn fn);
+
   bool Has(const std::string& name) const;
+  bool IsIdempotent(const std::string& name) const;
 
   // Looks up a task function (a copy — the entry may be re-registered
   // concurrently); aborts if missing (callers validate names at spawn time
@@ -41,6 +50,7 @@ class TaskRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, TaskFn> fns_;
+  std::set<std::string> idempotent_;
 };
 
 }  // namespace dse

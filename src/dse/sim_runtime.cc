@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
 #include "dse/client.h"
+#include "dse/recovery/recovery.h"
 #include "sim/channel.h"
 #include "sim/simulator.h"
 #include "simnet/ethernet.h"
@@ -76,6 +78,13 @@ struct SimState {
   // The raw routing step (post-injection).
   void Forward(NodeId src, NodeId dst, proto::Envelope env,
                std::uint64_t bytes);
+
+  // Recovery: kills already reacted to (a kill schedule fires exactly once).
+  std::set<NodeId> deaths_handled;
+  // Checks the injector for newly fired kills; on each one drains the dead
+  // node's held frames and — with replication on — schedules the eviction.
+  void NoteDeaths();
+  void OnNodeDeath(NodeId dead);
 };
 
 struct SimNode {
@@ -94,6 +103,55 @@ struct SimNode {
 
   bool shutting_down = false;
 };
+
+// Performs kernel actions from whatever simulated process is running
+// (defined below; the recovery path needs it early).
+void PerformActions(sim::Context& ctx, SimState& state, SimNode& node,
+                    KernelCore::Actions actions);
+
+void SimState::NoteDeaths() {
+  if (fault == nullptr) return;
+  for (const net::FaultPlan::Kill& kill : options->fault_plan.kills) {
+    if (kill.node < 0 ||
+        kill.node >= static_cast<NodeId>(nodes.size()) ||
+        deaths_handled.count(kill.node) != 0 ||
+        !fault->NodeDead(kill.node)) {
+      continue;
+    }
+    deaths_handled.insert(kill.node);
+    OnNodeDeath(kill.node);
+  }
+}
+
+void SimState::OnNodeDeath(NodeId dead) {
+  // Drain the dead node's frames still sitting in delay queues: a write the
+  // primary sent before the kill must not surface after the backup has been
+  // promoted (it would silently overwrite newer state).
+  const size_t drained = delayed.DropNode(dead);
+  if (drained > 0) {
+    DSE_LOG(kInfo) << "sim: dropped " << drained
+                   << " held frame(s) of dead node " << dead;
+  }
+  if (!nodes[0]->core.replication_on()) return;  // PR 3 semantics: no failover
+  // Survivors apply the eviction after a fixed virtual detection delay. The
+  // sim has no heartbeat traffic, so detection is modeled, not messaged —
+  // and the eviction is applied directly on every survivor instead of
+  // broadcast, which keeps it immune to the injector's message faults (the
+  // real runtimes repair lost EvictReqs with re-announce + gossip; the sim
+  // asserts the converged behaviour deterministically).
+  sim.Spawn("evict-" + std::to_string(dead),
+            [this, dead](sim::Context& ctx) {
+              ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
+              for (auto& entry : nodes) {
+                SimNode& node = *entry;
+                const NodeId self = node.core.self();
+                if (self == dead || fault->NodeDead(self)) continue;
+                KernelCore::Actions actions =
+                    node.core.ApplyEviction(dead, node.core.epoch() + 1);
+                PerformActions(ctx, *this, node, std::move(actions));
+              }
+            });
+}
 
 void SimState::Forward(NodeId src, NodeId dst, proto::Envelope env,
                        std::uint64_t bytes) {
@@ -117,6 +175,9 @@ void SimState::Deliver(NodeId src, NodeId dst, proto::Envelope env,
   // simulation at quiesce time.
   if (fault != nullptr && env.type() != proto::MsgType::kShutdown) {
     const net::FaultAction act = fault->OnSend(src, dst, bytes);
+    // A kill schedule may just have fired ("at N frames"); react exactly at
+    // the frame that triggered it so every run detects at the same instant.
+    NoteDeaths();
     // Age held frames before (possibly) holding this one — a frame never
     // releases itself; released frames go out after the current frame.
     std::vector<SimDelivery> due = delayed.OnFramePassed(src, dst);
@@ -202,14 +263,17 @@ class SimRpc final : public RpcChannel {
     slots.reserve(calls.size());
     for (auto& [dst, body] : calls) {
       Slot s;
-      s.dst = dst;
+      s.dst = dst;  // natural destination; each (re)send re-resolves
       s.env.req_id = node_->next_req_id++;
       s.env.src_node = node_->core.self();
       s.env.body = std::move(body);
+      if (node_->core.replication_on()) s.env.epoch = node_->core.epoch();
       node_->pending.emplace(s.env.req_id, &resp_);
       proto::Envelope copy = s.env;
+      const NodeId routed = Routed(dst);
       slots.push_back(std::move(s));
-      ChargeAndSend(*ctx_, state, node_->core.self(), dst, std::move(copy));
+      ChargeAndSend(*ctx_, state, node_->core.self(), routed,
+                    std::move(copy));
     }
     const bool bounded = state.fault != nullptr && policy.deadline_ms > 0;
     const int max_attempts = std::max(1, policy.max_attempts);
@@ -234,6 +298,24 @@ class SimRpc final : public RpcChannel {
           // A response to a call this channel already gave up on (its reply
           // raced the final timeout into our mailbox), or a duplicate.
           node_->core.metrics().counter("rpc.stale_resp")->Add();
+          continue;
+        }
+        if (std::get_if<proto::RetryResp>(&resp->body) != nullptr) {
+          // Epoch bounce: the serving node is in a newer membership epoch
+          // than this request's stamp. The sim applies evictions directly on
+          // every survivor, so after a short pause this kernel has caught
+          // up; re-resolve the route, re-stamp and resend the same req_id
+          // (the promoted backup replays recorded responses).
+          Slot& s = slots[it->second];
+          node_->core.metrics().counter("recovery.client_retries")->Add();
+          ctx_->Sleep(sim::Millis(1));
+          if (node_->core.replication_on()) {
+            s.env.epoch = node_->core.epoch();
+          }
+          node_->pending.emplace(s.env.req_id, &resp_);
+          proto::Envelope copy = s.env;
+          ChargeAndSend(*ctx_, state, node_->core.self(), Routed(s.dst),
+                        std::move(copy));
           continue;
         }
         slots[it->second].done = true;
@@ -270,8 +352,11 @@ class SimRpc final : public RpcChannel {
         if (s.done) continue;
         ++s.attempts;
         node_->core.metrics().counter("rpc.retry")->Add();
+        // Re-resolve and re-stamp: the silence may be a dead destination
+        // whose eviction has since been applied.
+        if (node_->core.replication_on()) s.env.epoch = node_->core.epoch();
         proto::Envelope copy = s.env;
-        ChargeAndSend(*ctx_, state, node_->core.self(), s.dst,
+        ChargeAndSend(*ctx_, state, node_->core.self(), Routed(s.dst),
                       std::move(copy));
       }
     }
@@ -288,12 +373,20 @@ class SimRpc final : public RpcChannel {
     env.req_id = 0;
     env.src_node = node_->core.self();
     env.body = std::move(body);
-    ChargeAndSend(*ctx_, *node_->state, node_->core.self(), dst,
+    if (node_->core.replication_on()) env.epoch = node_->core.epoch();
+    ChargeAndSend(*ctx_, *node_->state, node_->core.self(), Routed(dst),
                   std::move(env));
     return Status::Ok();
   }
 
  private:
+  // Node currently serving `natural`'s homes (the promoted backup after an
+  // eviction; identity while replication is off).
+  NodeId Routed(NodeId natural) const {
+    return node_->core.replication_on() ? node_->core.RouteOf(natural)
+                                        : natural;
+  }
+
   SimNode* node_;
   sim::Context* ctx_;
   sim::Channel<proto::Envelope> resp_;
@@ -392,10 +485,6 @@ class SimTask final : public Task {
   SimRpc rpc_;
   TaskClient client_;
 };
-
-// Performs kernel actions from whatever simulated process is running.
-void PerformActions(sim::Context& ctx, SimState& state, SimNode& node,
-                    KernelCore::Actions actions);
 
 // Body of a spawned DSE process.
 void RunTaskBody(sim::Context& ctx, SimState& state, SimNode& node,
@@ -570,8 +659,13 @@ SimReport SimRuntime::Run(const std::string& main_name,
     kopts.rpc_max_attempts = options_.rpc_max_attempts;
     kopts.rpc_backoff_base_ms = options_.rpc_backoff_base_ms;
     kopts.rpc_sync_retry = options_.fault_plan.enabled();
+    kopts.replication = options_.replication;
+    kopts.restart_tasks = options_.restart_tasks;
     kopts.has_task = [this](const std::string& name) {
       return registry_.Has(name);
+    };
+    kopts.task_idempotent = [this](const std::string& name) {
+      return registry_.IsIdempotent(name);
     };
     state.nodes.push_back(
         std::make_unique<SimNode>(i, n, std::move(kopts), &state));

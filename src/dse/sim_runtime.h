@@ -67,6 +67,15 @@ struct SimOptions {
   int rpc_deadline_ms = 10000;
   int rpc_max_attempts = 3;
   int rpc_backoff_base_ms = 5;
+  // Recovery subsystem (docs/recovery.md). With replication = 1 every GMM
+  // home is replicated to its ring successor; when a kill schedule fires,
+  // the survivors apply the eviction a fixed virtual delay later
+  // (recovery::kSimDetectionDelayMs — the sim has no heartbeat traffic) and
+  // clients transparently fail over. Fully deterministic: detection derives
+  // from the injector's frame counts, not timers.
+  int replication = 0;
+  // Re-spawn idempotent-registered tasks whose host was evicted.
+  bool restart_tasks = false;
   // Optional execution tracing (not owned; may be null). Events carry
   // virtual timestamps; see dse/trace.h for export formats.
   trace::Recorder* trace = nullptr;

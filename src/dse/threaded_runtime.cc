@@ -47,6 +47,8 @@ ThreadedRuntime::ThreadedRuntime(ThreadedOptions options)
         : options_.heartbeat_period_ms == 0 && faulty ? 50
                                                       : 0;
     hopts.heartbeat_timeout_ms = options_.heartbeat_timeout_ms;
+    hopts.replication = options_.replication;
+    hopts.restart_tasks = options_.restart_tasks;
     hopts.registry = &registry_;
     if (i == 0) {
       hopts.console_sink = [this](std::string line) {
@@ -105,7 +107,7 @@ std::vector<MetricsSnapshot> ThreadedRuntime::ClusterStats() const {
   std::vector<MetricsSnapshot> per_node;
   per_node.reserve(hosts_.size());
   for (const auto& host : hosts_) {
-    per_node.push_back(host->core().StatsSnapshot());
+    per_node.push_back(host->StatsSnapshot());
   }
   return per_node;
 }
@@ -113,7 +115,7 @@ std::vector<MetricsSnapshot> ThreadedRuntime::ClusterStats() const {
 std::vector<proto::PsEntry> ThreadedRuntime::Ps() const {
   std::vector<proto::PsEntry> all;
   for (const auto& host : hosts_) {
-    auto entries = host->core().PsSnapshot();
+    auto entries = host->PsSnapshot();
     all.insert(all.end(), entries.begin(), entries.end());
   }
   return all;

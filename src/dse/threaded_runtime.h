@@ -46,6 +46,12 @@ struct ThreadedOptions {
   // negative = force off; positive = period in ms.
   int heartbeat_period_ms = 0;
   int heartbeat_timeout_ms = 0;
+  // Recovery subsystem (docs/recovery.md): 0 = no replication (PR 3
+  // semantics — a dead node's state is lost), 1 = each GMM home is
+  // replicated to its ring successor and evictions fail over to it.
+  int replication = 0;
+  // Re-spawn idempotent-registered tasks whose host was evicted.
+  bool restart_tasks = false;
 };
 
 class ThreadedRuntime {

@@ -298,6 +298,10 @@ Status FaultyEndpoint::Send(NodeId dst, std::vector<std::uint8_t> payload) {
     }
   }
   for (auto& [d, frame] : due) {
+    // Re-check liveness at release time: a kill that fired while the frame
+    // sat in the delay line must swallow it, or a stale write from a node
+    // now considered dead could apply after its backup was promoted.
+    if (injector_->NodeDead(self()) || injector_->NodeDead(d)) continue;
     const std::uint64_t bytes = frame.size();
     if (inner_->Send(d, std::move(frame)).ok()) NoteSend(bytes);
   }

@@ -158,6 +158,24 @@ class DelayLine {
 
   bool empty() const { return held_.empty(); }
 
+  // Discards every held frame travelling from or to `node`. Recovery calls
+  // this when a node is evicted: a write the dead primary sent before the
+  // kill but still sitting in a delay queue must not surface after the
+  // backup has been promoted (it would silently overwrite newer state).
+  // Returns the number of frames dropped.
+  size_t DropNode(NodeId node) {
+    size_t dropped = 0;
+    for (auto it = held_.begin(); it != held_.end();) {
+      if (it->first.first == node || it->first.second == node) {
+        dropped += it->second.size();
+        it = held_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
  private:
   struct Entry {
     Frame frame;

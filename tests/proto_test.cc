@@ -201,8 +201,8 @@ TEST(Proto, TrailingBytesRejected) {
 
 TEST(Proto, BadAtomicOpRejected) {
   auto bytes = Encode(Env(AtomicReq{}));
-  // Byte 13 is the op (1 type + 8 req_id + 4 src).
-  bytes[13] = 9;
+  // Byte 17 is the op (1 type + 8 req_id + 4 src + 4 epoch).
+  bytes[17] = 9;
   EXPECT_FALSE(Decode(bytes).ok());
 }
 

@@ -1,0 +1,531 @@
+// Recovery-subsystem suite: the tests that justify calling node death
+// survivable (docs/recovery.md).
+//
+// Layers covered, bottom up:
+//   * DelayLine::DropNode — a dead primary's frames still sitting in delay
+//     queues must never surface after its backup was promoted,
+//   * end-to-end on the ThreadedRuntime with replication = 1: a mid-run
+//     kill of the node HOMING the application's data still produces the
+//     exact serial answer; a lock held by the dead node is released by the
+//     eviction; a barrier whose member died still completes; joins of tasks
+//     on the dead node fail kUnavailable, or transparently restart when the
+//     task was registered idempotent and --restart-tasks is on,
+//   * end-to-end on the SimRuntime: the same kill schedule under
+//     replication replays bit-identically across runs,
+//   * replication = 0 keeps the PR 3 degradation contract: calls to the
+//     dead node fail kUnavailable, nothing fails over.
+//
+// The acceptance program is the red-black Gauss-Seidel sweep of
+// fault_injection_test.cc with one decisive difference: the array is homed
+// ON the node the kill schedule targets, so the right answer is only
+// reachable through the replicated backup.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dse/collections.h"
+#include "dse/sim_runtime.h"
+#include "dse/threaded_runtime.h"
+#include "net/fault.h"
+#include "platform/profile.h"
+
+namespace dse {
+namespace {
+
+using net::FaultPlan;
+
+std::uint64_t SumCounter(const std::vector<MetricsSnapshot>& per_node,
+                         const std::string& name) {
+  std::uint64_t total = 0;
+  for (const auto& snap : per_node) {
+    if (const auto it = snap.find(name); it != snap.end()) total += it->second;
+  }
+  return total;
+}
+
+std::uint64_t Get(const MetricsSnapshot& snap, const std::string& name) {
+  const auto it = snap.find(name);
+  return it == snap.end() ? 0 : it->second;
+}
+
+// --- DelayLine regression ---------------------------------------------------
+
+// A write the dead primary sent before the kill but still held in a delay
+// queue must be discarded at eviction time — releasing it after the backup
+// took over would silently overwrite newer state.
+TEST(DelayLineRecovery, DropNodeDiscardsHeldFramesBothDirections) {
+  net::DelayLine<int> line;
+  line.Hold(3, 0, 100, 5);  // from the doomed node
+  line.Hold(0, 3, 200, 5);  // to the doomed node
+  line.Hold(1, 2, 300, 1);  // an innocent link
+  EXPECT_EQ(line.DropNode(3), 2u);
+  EXPECT_FALSE(line.empty());
+  // The innocent link's frame still ages and releases normally.
+  const std::vector<int> due = line.OnFramePassed(1, 2);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 300);
+  EXPECT_TRUE(line.empty());
+  // Dropping an absent node is a no-op.
+  EXPECT_EQ(line.DropNode(3), 0u);
+}
+
+// --- The acceptance program: Gauss-Seidel homed on the doomed node ----------
+
+constexpr int kCells = 26;  // two boundary cells + 24 interior
+constexpr int kSweeps = 6;
+constexpr int kWorkers = 3;
+constexpr NodeId kDoomed = 3;  // never the coordinator (lowest live rank)
+
+std::vector<double> SerialGaussSeidel() {
+  std::vector<double> x(kCells, 0.0);
+  x[0] = 1.0;
+  x[kCells - 1] = 2.0;
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    for (int color = 0; color < 2; ++color) {
+      for (int i = 1; i < kCells - 1; ++i) {
+        if (i % 2 != color) continue;
+        x[static_cast<size_t>(i)] = 0.5 * (x[static_cast<size_t>(i - 1)] +
+                                           x[static_cast<size_t>(i + 1)]);
+      }
+    }
+  }
+  return x;
+}
+
+// Workers split the interior cells and are pinned to surviving nodes 0..2;
+// the ARRAY is homed on the doomed node, so every read and write crosses to
+// the node that dies mid-run. Barrier ids are multiples of num_nodes so
+// their home is node 0 (the coordinator, which the plan never kills).
+void RegisterGaussOnDoomed(TaskRegistry& registry) {
+  registry.Register("gs_worker", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    std::uint64_t addr = 0;
+    std::int64_t lo = 0, hi = 0;
+    ASSERT_TRUE(r.ReadU64(&addr).ok());
+    ASSERT_TRUE(r.ReadI64(&lo).ok());
+    ASSERT_TRUE(r.ReadI64(&hi).ok());
+
+    std::vector<double> x(kCells);
+    for (int sweep = 0; sweep < kSweeps; ++sweep) {
+      for (int color = 0; color < 2; ++color) {
+        t.ReadArray(addr, x.data(), x.size());
+        for (std::int64_t i = lo; i <= hi; ++i) {
+          if (i % 2 != color) continue;
+          const double v = 0.5 * (x[static_cast<size_t>(i - 1)] +
+                                  x[static_cast<size_t>(i + 1)]);
+          t.WriteValue(addr + static_cast<std::uint64_t>(i) * 8, v);
+        }
+        const std::uint64_t barrier_id =
+            static_cast<std::uint64_t>((sweep * 2 + color + 1)) *
+            static_cast<std::uint64_t>(t.num_nodes());
+        ASSERT_TRUE(t.Barrier(barrier_id, kWorkers).ok());
+      }
+    }
+  });
+
+  registry.Register("gs_main", [](Task& t) {
+    auto addr = t.AllocOnNode(kCells * 8, kDoomed);
+    ASSERT_TRUE(addr.ok());
+    std::vector<double> init(kCells, 0.0);
+    init[0] = 1.0;
+    init[kCells - 1] = 2.0;
+    t.WriteArray(*addr, init.data(), init.size());
+
+    std::vector<Gpid> workers;
+    const int span = (kCells - 2) / kWorkers;
+    for (int w = 0; w < kWorkers; ++w) {
+      ByteWriter arg;
+      arg.WriteU64(*addr);
+      arg.WriteI64(1 + w * span);
+      arg.WriteI64(w == kWorkers - 1 ? kCells - 2 : (w + 1) * span);
+      auto gpid = t.Spawn("gs_worker", arg.TakeBuffer(), w);
+      ASSERT_TRUE(gpid.ok());
+      workers.push_back(*gpid);
+    }
+    for (Gpid g : workers) ASSERT_TRUE(t.Join(g).ok());
+
+    std::vector<double> got(kCells);
+    t.ReadArray(*addr, got.data(), got.size());
+    const std::vector<double> want = SerialGaussSeidel();
+    std::int64_t mismatches = 0;
+    for (int i = 0; i < kCells; ++i) {
+      if (std::memcmp(&got[static_cast<size_t>(i)],
+                      &want[static_cast<size_t>(i)], 8) != 0) {
+        ++mismatches;
+      }
+    }
+    ByteWriter w;
+    w.WriteI64(mismatches);
+    t.SetResult(w.TakeBuffer());
+  });
+}
+
+std::int64_t ResultI64(const std::vector<std::uint8_t>& result) {
+  ByteReader r(result.data(), result.size());
+  std::int64_t v = -1;
+  EXPECT_TRUE(r.ReadI64(&v).ok());
+  return v;
+}
+
+FaultPlan KillPlan(std::uint64_t at) {
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.kills.push_back({kDoomed, at});
+  return plan;
+}
+
+// --- Threaded runtime -------------------------------------------------------
+
+ThreadedOptions RecoveryThreadedOptions(std::uint64_t kill_at) {
+  ThreadedOptions o;
+  o.num_nodes = 4;
+  o.fault_plan = KillPlan(kill_at);
+  o.rpc_deadline_ms = 60;
+  o.rpc_max_attempts = 10;
+  o.rpc_backoff_base_ms = 1;
+  o.heartbeat_period_ms = 20;  // timeout defaults to 5x = 100 ms
+  o.replication = 1;
+  return o;
+}
+
+// Acceptance, real concurrency: the node homing the array dies mid-sweep
+// and the survivors still produce the exact serial answer, because every
+// acked mutation was already on the backup and unacked ones are re-driven
+// against the promoted shadow through the at-most-once cache.
+TEST(RecoveryThreaded, GaussSeidelBitForBitWithDataHomeKilled) {
+  ThreadedOptions o = RecoveryThreadedOptions(400);
+  ThreadedRuntime rt(o);
+  RegisterGaussOnDoomed(rt.registry());
+
+  EXPECT_EQ(ResultI64(rt.RunMain("gs_main")), 0);
+
+  EXPECT_TRUE(rt.NodeKilled(kDoomed));
+  const auto stats = rt.ClusterStats();
+  EXPECT_GE(SumCounter(stats, "recovery.evictions"), 1u);
+  EXPECT_GE(SumCounter(stats, "recovery.promotions"), 1u);
+  EXPECT_GE(SumCounter(stats, "gmm.repl.forwards"), 1u);
+}
+
+// The same program with replication = 0 keeps PR 3's contract: nothing
+// fails over, calls to the dead node surface kUnavailable once the prober
+// latches it. (The full-suite no-regression proof is that every pre-existing
+// fault_injection test runs with replication = 0.)
+TEST(RecoveryThreaded, ReplicationOffDegradesToUnavailable) {
+  ThreadedOptions o = RecoveryThreadedOptions(60);
+  o.replication = 0;
+  ThreadedRuntime rt(o);
+
+  rt.registry().Register("main", [](Task& t) {
+    auto addr = t.AllocOnNode(8, kDoomed);
+    ASSERT_TRUE(addr.ok());
+    const std::int64_t v = 7;
+    ASSERT_TRUE(t.Write(*addr, &v, sizeof(v)).ok());
+    // Let heartbeats pump the injector past the kill and the silence past
+    // the liveness timeout.
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    const Status s = t.Write(*addr, &v, sizeof(v));
+    ByteWriter w;
+    w.WriteI64(s.code() == ErrorCode::kUnavailable ? 0 : 1);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  EXPECT_TRUE(rt.NodeKilled(kDoomed));
+  EXPECT_EQ(SumCounter(rt.ClusterStats(), "recovery.promotions"), 0u);
+}
+
+// A lock held by a task on the dead node is released by the eviction: the
+// home grants it to the next waiter instead of wedging the cluster on an
+// unlock that can never arrive.
+TEST(RecoveryThreaded, LockHeldByDeadNodeReleasesOnEviction) {
+  ThreadedOptions o = RecoveryThreadedOptions(250);
+  ThreadedRuntime rt(o);
+
+  // Holder (pinned to the doomed node): takes the lock, signals via the
+  // flag, sleeps through its own death. Its eventual Unlock is a one-way
+  // post the injector discards — exactly the lost-unlock the eviction path
+  // must compensate for. No blocking calls after the kill, so the task
+  // thread drains cleanly.
+  rt.registry().Register("holder", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    std::uint64_t flag = 0;
+    ASSERT_TRUE(r.ReadU64(&flag).ok());
+    ASSERT_TRUE(t.Lock(1).ok());
+    ASSERT_TRUE(t.AtomicFetchAdd(flag, 1).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2500));
+    (void)t.Unlock(1);  // dropped: the node is long dead
+  });
+
+  rt.registry().Register("main", [](Task& t) {
+    auto flag = t.AllocOnNode(8, 1);
+    ASSERT_TRUE(flag.ok());
+    t.WriteValue<std::int64_t>(*flag, 0);
+    ByteWriter arg;
+    arg.WriteU64(*flag);
+    auto gpid = t.Spawn("holder", arg.TakeBuffer(), kDoomed);
+    ASSERT_TRUE(gpid.ok());
+    while (t.ReadValue<std::int64_t>(*flag) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const Status s = t.Lock(1);
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_LT(elapsed_ms, 8000);
+    if (s.ok()) {
+      EXPECT_TRUE(t.Unlock(1).ok());
+    }
+    ByteWriter w;
+    w.WriteI64(s.ok() && elapsed_ms < 8000 ? 0 : 1);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  EXPECT_TRUE(rt.NodeKilled(kDoomed));
+  EXPECT_GE(SumCounter(rt.ClusterStats(), "recovery.evictions"), 1u);
+}
+
+// A barrier whose member died still completes: the eviction forgives the
+// dead participant's share for the parked episode and every later one —
+// without assuming anything about nodes that never entered the barrier.
+TEST(RecoveryThreaded, BarrierCompletesAfterMemberEviction) {
+  ThreadedOptions o = RecoveryThreadedOptions(250);
+  ThreadedRuntime rt(o);
+
+  // Partner (on the doomed node) joins episode 1 — making it a member —
+  // then sleeps through its death and never enters episode 2.
+  rt.registry().Register("partner", [](Task& t) {
+    ASSERT_TRUE(t.Barrier(8, 2).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+  });
+
+  rt.registry().Register("main", [](Task& t) {
+    auto gpid = t.Spawn("partner", {}, kDoomed);
+    ASSERT_TRUE(gpid.ok());
+    ASSERT_TRUE(t.Barrier(8, 2).ok());  // episode 1: both alive
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto start = std::chrono::steady_clock::now();
+    const Status s = t.Barrier(8, 2);  // episode 2: partner is dead
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_LT(elapsed_ms, 8000);
+    ByteWriter w;
+    w.WriteI64(s.ok() && elapsed_ms < 8000 ? 0 : 1);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  EXPECT_TRUE(rt.NodeKilled(kDoomed));
+}
+
+// Joining a task that lived on the evicted node surfaces kUnavailable —
+// process state is not replicated, and silently losing a join would be
+// worse than failing it.
+TEST(RecoveryThreaded, JoinOfTaskOnDeadNodeFailsUnavailable) {
+  ThreadedOptions o = RecoveryThreadedOptions(150);
+  ThreadedRuntime rt(o);
+
+  rt.registry().Register("sleeper", [](Task&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  });
+
+  rt.registry().Register("main", [](Task& t) {
+    auto gpid = t.Spawn("sleeper", {}, kDoomed);
+    ASSERT_TRUE(gpid.ok());
+    const auto joined = t.Join(*gpid);
+    ByteWriter w;
+    w.WriteI64(!joined.ok() &&
+                       joined.status().code() == ErrorCode::kUnavailable
+                   ? 0
+                   : 1);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  EXPECT_TRUE(rt.NodeKilled(kDoomed));
+}
+
+// With --restart-tasks, a task registered idempotent is transparently
+// re-spawned from the client's spawn ledger on the node now serving the
+// dead host's ring slot, and the join returns its (recomputed) result.
+TEST(RecoveryThreaded, IdempotentTaskRestartsOnSurvivor) {
+  ThreadedOptions o = RecoveryThreadedOptions(150);
+  o.restart_tasks = true;
+  ThreadedRuntime rt(o);
+
+  rt.registry().RegisterIdempotent("slow_square", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    std::int64_t x = 0;
+    ASSERT_TRUE(r.ReadI64(&x).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    ByteWriter w;
+    w.WriteI64(x * x);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  rt.registry().Register("main", [](Task& t) {
+    ByteWriter arg;
+    arg.WriteI64(7);
+    auto gpid = t.Spawn("slow_square", arg.TakeBuffer(), kDoomed);
+    ASSERT_TRUE(gpid.ok());
+    const auto joined = t.Join(*gpid);
+    ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+    ByteReader r(joined->data(), joined->size());
+    std::int64_t sq = 0;
+    ASSERT_TRUE(r.ReadI64(&sq).ok());
+    ByteWriter w;
+    w.WriteI64(sq == 49 ? 0 : 1);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  EXPECT_TRUE(rt.NodeKilled(kDoomed));
+  EXPECT_GE(SumCounter(rt.ClusterStats(), "recovery.restarts"), 1u);
+}
+
+// Collection contents survive the death of the node homing them: a
+// self-scheduling work queue (atomic claim counter) and its results vector
+// both live on the doomed node; every index must still be claimed exactly
+// once — a claim whose response died with the primary is re-driven against
+// the promoted shadow and replays the recorded index instead of skipping
+// or double-claiming.
+TEST(RecoveryThreaded, WorkQueueOnKilledNodeClaimsEachIndexOnce) {
+  ThreadedOptions o = RecoveryThreadedOptions(300);
+  ThreadedRuntime rt(o);
+
+  constexpr std::int64_t kItems = 120;
+  rt.registry().Register("wq_worker", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    std::uint64_t counter = 0, results = 0;
+    ASSERT_TRUE(r.ReadU64(&counter).ok());
+    ASSERT_TRUE(r.ReadU64(&results).ok());
+    const GlobalWorkQueue queue = GlobalWorkQueue::Attach(counter, kItems);
+    while (true) {
+      auto claimed = queue.Claim(t);
+      ASSERT_TRUE(claimed.ok()) << claimed.status().ToString();
+      if (!claimed->has_value()) break;
+      auto old = t.AtomicFetchAdd(
+          results + static_cast<std::uint64_t>(**claimed) * 8, 1);
+      ASSERT_TRUE(old.ok()) << old.status().ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  rt.registry().Register("main", [](Task& t) {
+    auto queue = GlobalWorkQueue::Create(t, kItems, kDoomed);
+    ASSERT_TRUE(queue.ok());
+    auto results = t.AllocOnNode(kItems * 8, kDoomed);
+    ASSERT_TRUE(results.ok());
+    const std::vector<std::int64_t> zeros(kItems, 0);
+    t.WriteArray(*results, zeros.data(), zeros.size());
+
+    std::vector<Gpid> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      ByteWriter arg;
+      arg.WriteU64(queue->counter_addr());
+      arg.WriteU64(*results);
+      auto gpid = t.Spawn("wq_worker", arg.TakeBuffer(), w);
+      ASSERT_TRUE(gpid.ok());
+      workers.push_back(*gpid);
+    }
+    for (Gpid g : workers) ASSERT_TRUE(t.Join(g).ok());
+
+    std::vector<std::int64_t> marks(kItems);
+    t.ReadArray(*results, marks.data(), marks.size());
+    std::int64_t mismatches = 0;
+    for (std::int64_t m : marks) {
+      if (m != 1) ++mismatches;
+    }
+    ByteWriter w;
+    w.WriteI64(mismatches);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  EXPECT_TRUE(rt.NodeKilled(kDoomed));
+  EXPECT_GE(SumCounter(rt.ClusterStats(), "recovery.promotions"), 1u);
+}
+
+// --- Simulated runtime ------------------------------------------------------
+
+// Acceptance, simulation: same program, same kill of the data's home node,
+// plus frame delays so the dead node's held frames exercise the DropNode
+// drain — the answer is exact and three independent runs replay
+// bit-identically (makespan, every counter, the injector's tallies).
+TEST(RecoverySim, GaussSeidelSurvivesKillAndReplaysBitIdentically) {
+  SimOptions opts;
+  opts.profile = platform::SunOsSparc();
+  opts.num_processors = 4;
+  opts.fault_plan = KillPlan(400);
+  opts.fault_plan.delay_p = 0.02;
+  opts.fault_plan.delay_frames = 2;
+  opts.rpc_deadline_ms = 50;
+  opts.rpc_max_attempts = 10;
+  opts.rpc_backoff_base_ms = 1;
+  opts.replication = 1;
+  SimRuntime rt(opts);
+  RegisterGaussOnDoomed(rt.registry());
+
+  const SimReport a = rt.Run("gs_main");
+  const SimReport b = rt.Run("gs_main");
+  const SimReport c = rt.Run("gs_main");
+
+  EXPECT_EQ(ResultI64(a.main_result), 0);
+  EXPECT_EQ(Get(a.fault_counters, "fault.killed_nodes"), 1u);
+  EXPECT_GE(SumCounter(a.node_stats, "recovery.evictions"), 1u);
+  EXPECT_GE(SumCounter(a.node_stats, "recovery.promotions"), 1u);
+  EXPECT_GE(SumCounter(a.node_stats, "gmm.repl.forwards"), 1u);
+
+  for (const SimReport* other : {&b, &c}) {
+    EXPECT_EQ(a.virtual_seconds, other->virtual_seconds);
+    EXPECT_EQ(a.messages, other->messages);
+    EXPECT_EQ(a.wire_frames, other->wire_frames);
+    EXPECT_EQ(a.main_result, other->main_result);
+    EXPECT_EQ(a.node_stats, other->node_stats);
+    EXPECT_EQ(a.fault_counters, other->fault_counters);
+  }
+}
+
+// Replication off, fault-free: the sim's message count is the baseline the
+// replication ablation in bench_snapshot.sh compares against. This guards
+// the invariant the ablation relies on: replication = 1 changes message
+// counts only by its ReplicateReq/Ack traffic, never the application's own
+// request stream.
+TEST(RecoverySim, ReplicationAddsOnlyReplicationTraffic) {
+  SimOptions base;
+  base.profile = platform::SunOsSparc();
+  base.num_processors = 4;
+  SimRuntime rt0(base);
+  RegisterGaussOnDoomed(rt0.registry());
+  const SimReport r0 = rt0.Run("gs_main");
+  EXPECT_EQ(ResultI64(r0.main_result), 0);
+
+  SimOptions repl = base;
+  repl.replication = 1;
+  SimRuntime rt1(repl);
+  RegisterGaussOnDoomed(rt1.registry());
+  const SimReport r1 = rt1.Run("gs_main");
+  EXPECT_EQ(ResultI64(r1.main_result), 0);
+
+  const std::uint64_t forwards =
+      SumCounter(r1.node_stats, "gmm.repl.forwards");
+  EXPECT_GE(forwards, 1u);
+  // Every forward is one ReplicateReq plus one ReplicateAck.
+  EXPECT_EQ(r1.messages, r0.messages + 2 * forwards);
+}
+
+}  // namespace
+}  // namespace dse

@@ -8,6 +8,9 @@
 #   <out-dir>/BENCH_micro.json               bench_micro_primitives (json)
 #   <out-dir>/BENCH_substrate.json           bench_micro_substrate  (json)
 #   <out-dir>/BENCH_ablation_batching.txt    fast-path ablation table
+#   <out-dir>/BENCH_ablation_replication.txt replication=1 vs 0 ablation
+#                                            (fails the snapshot if the
+#                                            envelope overhead reaches 25%)
 #
 # MIN_TIME (default 0.05, seconds) controls --benchmark_min_time; use 0.01
 # for a quick smoke, raise it for stable numbers. Compare snapshots with
@@ -19,7 +22,7 @@ OUT_DIR=${2:-bench_snapshots}
 MIN_TIME=${MIN_TIME:-0.05}
 
 for bin in bench_micro_primitives bench_micro_substrate \
-    bench_ablation_batching; do
+    bench_ablation_batching bench_ablation_replication; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
     echo "error: $BUILD_DIR/bench/$bin not built" \
          "(cmake --build $BUILD_DIR --target $bin)" >&2
@@ -37,5 +40,7 @@ mkdir -p "$OUT_DIR"
     > "$OUT_DIR/BENCH_substrate.json"
 "$BUILD_DIR/bench/bench_ablation_batching" \
     > "$OUT_DIR/BENCH_ablation_batching.txt"
+"$BUILD_DIR/bench/bench_ablation_replication" \
+    > "$OUT_DIR/BENCH_ablation_replication.txt"
 
 echo "benchmark snapshot written to $OUT_DIR/"

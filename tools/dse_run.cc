@@ -30,6 +30,13 @@
 //   --rpc-deadline-ms N      per-attempt data-plane call deadline (N >= 0;
 //                            0 = wait forever, invalid with a fault plan)
 //
+// Recovery (threaded + sim; see docs/recovery.md):
+//   --replication K          0 (default) = a dead node's state is lost;
+//                            1 = every GMM home is replicated to its ring
+//                            successor and evictions fail over to it
+//   --restart-tasks          re-spawn idempotent-registered tasks whose
+//                            host was evicted (requires --replication 1)
+//
 // SSI introspection (the cluster answering like one machine):
 //   --stats                  per-node + cluster counter table after the run
 //   --stats-json [FILE]      same data as JSON (stdout if FILE omitted)
@@ -40,6 +47,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -185,6 +193,7 @@ int Usage() {
                "[--procs N] [--cache] [--batch] [--prefetch K] "
                "[--write-combine] [--legacy] [--switched] "
                "[--fault-plan FILE] [--rpc-deadline-ms N] "
+               "[--replication 0|1] [--restart-tasks] "
                "[--stats] [--stats-json [FILE]] [--stats-csv [FILE]] "
                "[--ps] [--list-tasks] [app flags]\n");
   return 2;
@@ -275,7 +284,8 @@ int main(int argc, char** argv) {
       "mode",  "platform", "procs",      "cache",     "legacy",
       "switched", "trace", "machines",   "stats",     "stats-json",
       "stats-csv", "ps",   "list-tasks", "help",      "batch",
-      "prefetch", "write-combine", "fault-plan", "rpc-deadline-ms"};
+      "prefetch", "write-combine", "fault-plan", "rpc-deadline-ms",
+      "replication", "restart-tasks"};
   known.insert(known.end(), workload.flags.begin(), workload.flags.end());
   flags.RejectUnknown(known);
 
@@ -338,6 +348,68 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Recovery knobs (docs/recovery.md). Strictly validated: the subsystem
+  // tolerates f = 1, so anything but 0 or 1 replicas is a lie we refuse to
+  // tell, and --restart-tasks is meaningless without the evictions that
+  // replication enables.
+  int replication = 0;
+  if (flags.Has("replication")) {
+    const std::string raw = flags.Str("replication", "");
+    char* end = nullptr;
+    const long parsed = std::strtol(raw.c_str(), &end, 10);
+    if (raw.empty() || end == nullptr || *end != '\0' ||
+        (parsed != 0 && parsed != 1)) {
+      std::fprintf(stderr, "--replication must be 0 or 1 (got '%s')\n",
+                   raw.c_str());
+      return 2;
+    }
+    replication = static_cast<int>(parsed);
+  }
+  const bool restart_tasks = flags.Has("restart-tasks");
+  if (restart_tasks && replication != 1) {
+    std::fprintf(stderr,
+                 "--restart-tasks requires --replication 1: without "
+                 "replication nodes are never evicted, so a task on a dead "
+                 "node is waited on, not restarted\n");
+    return 2;
+  }
+
+  // A kill schedule interacts with cluster membership: refuse plans that
+  // leave no survivor, and narrate the coordinator succession so a log
+  // reader knows which node announces each eviction.
+  if (!fault_plan.kills.empty()) {
+    std::set<NodeId> doomed;
+    for (const auto& kill : fault_plan.kills) {
+      if (kill.node >= 0 && kill.node < procs) doomed.insert(kill.node);
+    }
+    if (static_cast<int>(doomed.size()) >= procs) {
+      std::fprintf(stderr,
+                   "--fault-plan kills all %d nodes: with no survivor there "
+                   "is no backup to promote and no coordinator to evict the "
+                   "dead — the run cannot produce a result\n",
+                   procs);
+      return 2;
+    }
+    if (replication == 1) {
+      // Coordinator = lowest live rank; succession is implicit. Walk the
+      // kills in schedule order and report each handover.
+      std::set<NodeId> dead;
+      NodeId coord = 0;
+      std::string chain = "0";
+      for (const auto& kill : fault_plan.kills) {
+        if (kill.node < 0 || kill.node >= procs) continue;
+        dead.insert(kill.node);
+        if (kill.node != coord) continue;
+        while (dead.count(coord) != 0) ++coord;
+        chain += " -> " + std::to_string(coord);
+      }
+      std::printf(
+          "recovery: replication on, %zu scheduled kill(s), coordinator "
+          "succession %s\n",
+          doomed.size(), chain.c_str());
+    }
+  }
+
   const std::string mode = flags.Str("mode", "threaded");
   if (mode == "threaded") {
     ThreadedRuntime rt(ThreadedOptions{.num_nodes = procs,
@@ -346,7 +418,9 @@ int main(int argc, char** argv) {
                                        .prefetch_depth = prefetch_depth,
                                        .write_combine = write_combine,
                                        .fault_plan = fault_plan,
-                                       .rpc_deadline_ms = rpc_deadline_ms});
+                                       .rpc_deadline_ms = rpc_deadline_ms,
+                                       .replication = replication,
+                                       .restart_tasks = restart_tasks});
     workload.register_fn(rt.registry());
     const auto result = rt.RunMain(workload.main_task, workload.arg);
     std::printf("%s | threaded %d nodes | %.1f ms wall | result %zu bytes\n",
@@ -368,6 +442,8 @@ int main(int argc, char** argv) {
     opts.write_combine = write_combine;
     opts.fault_plan = fault_plan;
     opts.rpc_deadline_ms = rpc_deadline_ms;
+    opts.replication = replication;
+    opts.restart_tasks = restart_tasks;
     if (flags.Has("legacy")) {
       opts.organization = OrganizationMode::kLegacyTwoProcess;
     }
