@@ -30,6 +30,7 @@ constexpr std::uint64_t kSlabBlocks = 16;  // 16 KiB cold slab per round
 constexpr std::uint64_t kSlabBytes = kBlock * kSlabBlocks;
 constexpr std::uint64_t kWideRead = 8 * kBlock;
 constexpr int kUpdates = 2;  // accumulator writes per round
+constexpr NodeId kSpareNode = 3;  // task-free in the failover runs
 
 void RegisterSweepApp(TaskRegistry& registry) {
   registry.Register("repl.worker", [](Task& t) {
@@ -79,16 +80,51 @@ void RegisterSweepApp(TaskRegistry& registry) {
     });
     apps::JoinAll(t, gpids);
   });
+
+  // Failover variant: the same sweep, but every worker pinned off the spare
+  // node. The spare still homes its stripe of the slab (and backs up its
+  // ring predecessor), so a kill schedule takes out live data without taking
+  // out a task — the measurement isolates failover + re-replication cost
+  // from "a third of the compute died".
+  registry.Register("repl.main.pinned", [](Task& t) {
+    auto in = t.AllocStriped(
+        static_cast<std::uint64_t>(kWorkers) * kRounds * kSlabBytes, 10);
+    DSE_CHECK_OK(in.status());
+    auto out =
+        t.AllocStriped(static_cast<std::uint64_t>(kWorkers) * kBlock, 10);
+    DSE_CHECK_OK(out.status());
+    std::vector<Gpid> gpids;
+    for (int i = 0; i < kWorkers; ++i) {
+      ByteWriter w;
+      w.WriteI32(i);
+      w.WriteU64(*in);
+      w.WriteU64(*out);
+      auto gpid = t.Spawn("repl.worker", w.TakeBuffer(), i % kSpareNode);
+      DSE_CHECK_OK(gpid.status());
+      gpids.push_back(*gpid);
+    }
+    apps::JoinAll(t, gpids);
+  });
 }
 
-SimReport RunSweep(const platform::Profile& profile, int replication) {
+SimReport RunSweep(const platform::Profile& profile, int replication,
+                   const char* main_task = "repl.main",
+                   net::FaultPlan fault_plan = {}) {
   SimOptions opts;
   opts.profile = profile;
   opts.num_processors = kWorkers;
   opts.replication = replication;
+  opts.fault_plan = std::move(fault_plan);
+  if (opts.fault_plan.enabled()) {
+    // Tight retry knobs so the failover stall measures detection +
+    // promotion, not a 10 s default RPC deadline.
+    opts.rpc_deadline_ms = 50;
+    opts.rpc_max_attempts = 10;
+    opts.rpc_backoff_base_ms = 1;
+  }
   SimRuntime rt(opts);
   RegisterSweepApp(rt.registry());
-  return rt.Run("repl.main");
+  return rt.Run(main_task);
 }
 
 std::uint64_t SumStat(const SimReport& report, const std::string& name) {
@@ -157,6 +193,64 @@ int main() {
   }
   if (SumStat(on, "gmm.repl.forwards") == 0) {
     std::fprintf(stderr, "FAIL: replication=1 forwarded nothing\n");
+    return 1;
+  }
+
+  // --- State transfer: what does a mid-run failover cost the live traffic?
+  // Same sweep with the workers pinned off node 3, run twice: fault-free,
+  // then with node 3 killed a third of the way in. The kill promotes node
+  // 3's backup, and the new primary streams the home to its ring successor
+  // (StateChunkReq) to restore f=1 — concurrently with the application's
+  // reads. The delta between the two runs is the re-replication stream's
+  // interference with live traffic.
+  std::printf("\n== State transfer: failover + re-replication vs live "
+              "traffic ==\n");
+  const SimReport calm = RunSweep(profile, /*replication=*/1,
+                                  "repl.main.pinned");
+  net::FaultPlan plan;
+  plan.kills.push_back({kSpareNode, calm.wire_frames / 3, -1});
+  const SimReport failed = RunSweep(profile, /*replication=*/1,
+                                    "repl.main.pinned", plan);
+
+  const std::uint64_t chunks = SumStat(failed, "gmm.xfer.chunks");
+  const std::uint64_t xfer_bytes = SumStat(failed, "gmm.xfer.bytes");
+  const double interference =
+      100.0 * (failed.virtual_seconds / calm.virtual_seconds - 1.0);
+  std::printf("%-14s %10s %8s %9s %9s %9s\n", "mode", "virt [s]", "msgs",
+              "xfer-ck", "xfer-B", "vs-calm");
+  std::printf("%-14s %10.4f %8llu %9llu %9llu %8.2fx\n", "no fault",
+              calm.virtual_seconds,
+              static_cast<unsigned long long>(calm.messages),
+              static_cast<unsigned long long>(SumStat(calm,
+                                                      "gmm.xfer.chunks")),
+              static_cast<unsigned long long>(SumStat(calm,
+                                                      "gmm.xfer.bytes")),
+              1.0);
+  std::printf("%-14s %10.4f %8llu %9llu %9llu %8.2fx\n", "kill node 3",
+              failed.virtual_seconds,
+              static_cast<unsigned long long>(failed.messages),
+              static_cast<unsigned long long>(chunks),
+              static_cast<unsigned long long>(xfer_bytes),
+              failed.virtual_seconds / calm.virtual_seconds);
+  std::printf(
+      "\nre-replication streamed %llu chunk(s), %.1f KiB at %.1f KiB per "
+      "virtual second; failover + transfer stretched the sweep %.1f%%\n",
+      static_cast<unsigned long long>(chunks),
+      static_cast<double>(xfer_bytes) / 1024.0,
+      static_cast<double>(xfer_bytes) / 1024.0 / failed.virtual_seconds,
+      interference);
+
+  if (SumStat(failed, "recovery.rereplications") == 0 || chunks == 0 ||
+      xfer_bytes == 0) {
+    std::fprintf(stderr,
+                 "FAIL: the kill did not trigger a re-replication stream\n");
+    return 1;
+  }
+  if (interference >= 25.0) {
+    std::fprintf(stderr,
+                 "FAIL: failover + state transfer stretched live traffic "
+                 "%.1f%% >= 25%% — the stream is starving the data plane\n",
+                 interference);
     return 1;
   }
   std::printf("\n");

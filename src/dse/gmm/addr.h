@@ -132,6 +132,40 @@ class HomeMap {
     return true;
   }
 
+  // Re-admits an evicted node under `new_epoch` (rejoin). Returns false if
+  // the node is already a member or the epoch is not ahead of ours — an
+  // admission gossiped out of order with the eviction it supersedes must not
+  // resurrect a node the newer epoch evicted.
+  bool Admit(NodeId node, std::uint32_t new_epoch) {
+    if (node < 0 || node >= num_nodes() || alive_[node]) return false;
+    if (new_epoch <= epoch_) return false;
+    alive_[node] = true;
+    epoch_ = new_epoch;
+    if (last_evicted_ == node) last_evicted_ = -1;
+    return true;
+  }
+
+  // Installs a full membership view (the joiner's own catch-up from a
+  // NodeJoinResp — its local view is arbitrarily stale).
+  void InstallView(const std::vector<std::uint8_t>& alive,
+                   std::uint32_t new_epoch) {
+    for (size_t i = 0; i < alive_.size() && i < alive.size(); ++i) {
+      alive_[i] = alive[i] != 0;
+    }
+    epoch_ = new_epoch;
+    last_evicted_ = -1;
+  }
+
+  std::vector<std::uint8_t> AliveBitmap() const {
+    std::vector<std::uint8_t> out(alive_.size(), 0);
+    for (size_t i = 0; i < alive_.size(); ++i) out[i] = alive_[i] ? 1 : 0;
+    return out;
+  }
+
+  // Strict majority of the current membership (the quorum an eviction needs
+  // unless overridden by --min-quorum).
+  int Majority() const { return num_alive() / 2 + 1; }
+
   // Node currently serving `natural` home: itself while alive, else the
   // first live successor in ring order. Requires at least one live node.
   NodeId Route(NodeId natural) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/bytes.h"
 #include "common/check.h"
 #include "common/log.h"
 
@@ -487,6 +488,181 @@ GmmHome::Replies GmmHome::HandleInvalidateAck(NodeId src,
     CompleteFront(m.block_base, it->second, &out);
   }
   return out;
+}
+
+// --- State transfer ---------------------------------------------------------
+
+std::vector<std::uint8_t> GmmHome::SerializeState() const {
+  DSE_CHECK_MSG(blocks_pending_ == 0,
+                "state transfer from a home with an invalidation round in "
+                "flight");
+  ByteWriter w(4096);
+  w.WriteU8(1);  // blob format version
+
+  // Pages, ascending key (ForEachPage sorts).
+  w.WriteU32(static_cast<std::uint32_t>(store_.page_count()));
+  store_.ForEachPage([&w](std::uint64_t key,
+                          const std::vector<std::uint8_t>& page) {
+    w.WriteU64(key);
+    w.WriteBytes({reinterpret_cast<const char*>(page.data()), page.size()});
+  });
+
+  // Locks (held/holder + queued waiters).
+  w.WriteU32(static_cast<std::uint32_t>(locks_.size()));
+  for (const auto& [id, lock] : locks_) {
+    w.WriteU64(id);
+    w.WriteU8(lock.held ? 1 : 0);
+    w.WriteI32(lock.holder);
+    w.WriteU32(static_cast<std::uint32_t>(lock.waiters.size()));
+    for (const auto& [node, req_id] : lock.waiters) {
+      w.WriteI32(node);
+      w.WriteU64(req_id);
+    }
+  }
+
+  // Parked barrier episodes.
+  w.WriteU32(static_cast<std::uint32_t>(barriers_.size()));
+  for (const auto& [id, b] : barriers_) {
+    w.WriteU64(id);
+    w.WriteU32(b.parties);
+    w.WriteU32(static_cast<std::uint32_t>(b.entered.size()));
+    for (const auto& [node, req_id] : b.entered) {
+      w.WriteI32(node);
+      w.WriteU64(req_id);
+    }
+  }
+  // Persistent membership/forgiveness bookkeeping.
+  w.WriteU32(static_cast<std::uint32_t>(barrier_members_.size()));
+  for (const auto& [id, members] : barrier_members_) {
+    w.WriteU64(id);
+    w.WriteU32(static_cast<std::uint32_t>(members.size()));
+    for (const NodeId n : members) w.WriteI32(n);
+  }
+  w.WriteU32(static_cast<std::uint32_t>(barrier_forgiven_.size()));
+  for (const auto& [id, forgiven] : barrier_forgiven_) {
+    w.WriteU64(id);
+    w.WriteU32(forgiven);
+  }
+
+  // Master-allocator ledger.
+  w.WriteU8(allocator_ ? 1 : 0);
+  w.WriteU64(next_striped_offset_);
+  w.WriteU32(static_cast<std::uint32_t>(next_homed_offset_.size()));
+  for (const std::uint64_t off : next_homed_offset_) w.WriteU64(off);
+  w.WriteU32(static_cast<std::uint32_t>(live_allocs_.size()));
+  for (const auto& [base, size] : live_allocs_) {
+    w.WriteU64(base);
+    w.WriteU64(size);
+  }
+
+  return w.TakeBuffer();
+}
+
+Status GmmHome::InstallState(const std::vector<std::uint8_t>& blob) {
+  ByteReader r(blob.data(), blob.size());
+  std::uint8_t version = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU8(&version));
+  if (version != 1) return ProtocolError("unknown state blob version");
+
+  store_ = PageStore();
+  block_states_.clear();
+  blocks_pending_ = 0;
+  batches_.clear();
+  locks_.clear();
+  barriers_.clear();
+  barrier_members_.clear();
+  barrier_forgiven_.clear();
+  live_allocs_.clear();
+
+  std::uint32_t n = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t key = 0;
+    std::vector<std::uint8_t> page;
+    DSE_RETURN_IF_ERROR(r.ReadU64(&key));
+    DSE_RETURN_IF_ERROR(r.ReadBytes(&page));
+    store_.InstallPage(key, std::move(page));
+  }
+
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t id = 0;
+    std::uint8_t held = 0;
+    LockState lock;
+    DSE_RETURN_IF_ERROR(r.ReadU64(&id));
+    DSE_RETURN_IF_ERROR(r.ReadU8(&held));
+    DSE_RETURN_IF_ERROR(r.ReadI32(&lock.holder));
+    lock.held = held != 0;
+    std::uint32_t waiters = 0;
+    DSE_RETURN_IF_ERROR(r.ReadU32(&waiters));
+    for (std::uint32_t j = 0; j < waiters; ++j) {
+      NodeId node = -1;
+      std::uint64_t req_id = 0;
+      DSE_RETURN_IF_ERROR(r.ReadI32(&node));
+      DSE_RETURN_IF_ERROR(r.ReadU64(&req_id));
+      lock.waiters.emplace_back(node, req_id);
+    }
+    locks_.emplace(id, std::move(lock));
+  }
+
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t id = 0;
+    BarrierState b;
+    DSE_RETURN_IF_ERROR(r.ReadU64(&id));
+    DSE_RETURN_IF_ERROR(r.ReadU32(&b.parties));
+    std::uint32_t entered = 0;
+    DSE_RETURN_IF_ERROR(r.ReadU32(&entered));
+    for (std::uint32_t j = 0; j < entered; ++j) {
+      NodeId node = -1;
+      std::uint64_t req_id = 0;
+      DSE_RETURN_IF_ERROR(r.ReadI32(&node));
+      DSE_RETURN_IF_ERROR(r.ReadU64(&req_id));
+      b.entered.emplace_back(node, req_id);
+    }
+    barriers_.emplace(id, std::move(b));
+  }
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t id = 0;
+    std::uint32_t count = 0;
+    DSE_RETURN_IF_ERROR(r.ReadU64(&id));
+    DSE_RETURN_IF_ERROR(r.ReadU32(&count));
+    std::set<NodeId>& members = barrier_members_[id];
+    for (std::uint32_t j = 0; j < count; ++j) {
+      NodeId node = -1;
+      DSE_RETURN_IF_ERROR(r.ReadI32(&node));
+      members.insert(node);
+    }
+  }
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t id = 0;
+    std::uint32_t forgiven = 0;
+    DSE_RETURN_IF_ERROR(r.ReadU64(&id));
+    DSE_RETURN_IF_ERROR(r.ReadU32(&forgiven));
+    barrier_forgiven_[id] = forgiven;
+  }
+
+  std::uint8_t allocator = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU8(&allocator));
+  allocator_ = allocator != 0;
+  DSE_RETURN_IF_ERROR(r.ReadU64(&next_striped_offset_));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  next_homed_offset_.assign(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DSE_RETURN_IF_ERROR(r.ReadU64(&next_homed_offset_[i]));
+  }
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t base = 0, size = 0;
+    DSE_RETURN_IF_ERROR(r.ReadU64(&base));
+    DSE_RETURN_IF_ERROR(r.ReadU64(&size));
+    live_allocs_[base] = size;
+  }
+
+  if (!r.AtEnd()) return ProtocolError("trailing bytes in state blob");
+  return Status::Ok();
 }
 
 }  // namespace dse::gmm

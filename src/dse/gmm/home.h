@@ -100,6 +100,20 @@ class GmmHome {
   // used when node 0's backup is promoted.
   void adopt_allocator_role() { allocator_ = true; }
 
+  // State transfer (self-healing membership): serializes everything needed
+  // to reconstruct this home elsewhere — materialized pages, lock and
+  // barrier state, and the master-allocator ledger. Coherence copysets and
+  // in-flight invalidation rounds are deliberately excluded: transfers only
+  // start from a home with no round in flight (checked), and every
+  // membership change clears client caches cluster-wide, so no copy can
+  // outlive the copyset that tracked it.
+  std::vector<std::uint8_t> SerializeState() const;
+
+  // Reconstructs the home from a SerializeState() blob, replacing the
+  // current page/lock/barrier/allocator state. Stats and the coherence mode
+  // stay local. kProtocolError on a malformed blob.
+  Status InstallState(const std::vector<std::uint8_t>& blob);
+
  private:
   struct PendingMutation {
     NodeId src = -1;

@@ -5,6 +5,7 @@
 // bits, so homed and striped arenas never collide.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -30,6 +31,24 @@ class PageStore {
 
   // Materialized page count (tests/stats).
   size_t page_count() const { return pages_.size(); }
+
+  // State-transfer enumeration: visits every materialized page as
+  // (key, bytes) in ascending key order (deterministic across runs).
+  template <typename Fn>
+  void ForEachPage(Fn fn) const {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto& [key, page] : pages_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t key : keys) fn(key, *pages_.at(key));
+  }
+
+  // Installs a page under its transfer key (overwrites; used only while
+  // reconstructing a home from a state-transfer blob).
+  void InstallPage(std::uint64_t key, std::vector<std::uint8_t> bytes) {
+    bytes.resize(kPageBytes);
+    pages_[key] = std::make_unique<Page>(std::move(bytes));
+  }
 
  private:
   // Page key: keep the kind/param bits so distinct arenas stay distinct.

@@ -1,9 +1,11 @@
 #include "dse/kernel_core.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 #include "common/check.h"
+#include "dse/recovery/recovery.h"
 
 namespace dse {
 namespace {
@@ -99,6 +101,11 @@ KernelCore::KernelCore(NodeId self, int num_nodes, KernelOptions options)
   promotions_ = metrics_.counter("recovery.promotions");
   replayed_ = metrics_.counter("recovery.replayed");
   epoch_bounces_ = metrics_.counter("recovery.epoch_bounces");
+  rereplications_ = metrics_.counter("recovery.rereplications");
+  rejoins_ = metrics_.counter("recovery.rejoins");
+  quorum_parks_ = metrics_.counter("recovery.quorum_parks");
+  xfer_chunks_ = metrics_.counter("gmm.xfer.chunks");
+  xfer_bytes_ = metrics_.counter("gmm.xfer.bytes");
 }
 
 std::uint32_t KernelCore::epoch() const {
@@ -153,6 +160,26 @@ KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
       }
       return actions;
     }
+    case proto::MsgType::kNodeJoinReq: {
+      Actions actions;
+      if (replication_on()) HandleNodeJoinReq(env, &actions);
+      return actions;
+    }
+    case proto::MsgType::kNodeJoinResp: {
+      Actions actions;
+      if (replication_on()) HandleNodeJoinResp(env, &actions);
+      return actions;
+    }
+    case proto::MsgType::kStateChunkReq: {
+      Actions actions;
+      if (replication_on()) HandleStateChunk(env, &actions);
+      return actions;
+    }
+    case proto::MsgType::kStateChunkResp: {
+      Actions actions;
+      if (replication_on()) HandleStateChunkAck(env, &actions);
+      return actions;
+    }
     default:
       break;
   }
@@ -169,6 +196,21 @@ KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
       actions.out.push_back(Outgoing{env.src_node, MakeRetryResp(env)});
     }
     return actions;
+  }
+
+  // Serving check before the dedupe guard: a GMM request for a home this
+  // node does not (or does not yet — rejoin handoff in flight) serve must
+  // bounce *without* entering the at-most-once cache, or the eventual retry
+  // against the installed home would be dropped as an in-flight duplicate.
+  if (replication_on()) {
+    const NodeId natural = NaturalHomeOf(env);
+    if (natural >= 0 && ServingHome(natural) == nullptr) {
+      Actions actions;
+      if (env.req_id != 0) {
+        actions.out.push_back(Outgoing{env.src_node, MakeRetryResp(env)});
+      }
+      return actions;
+    }
   }
 
   // At-most-once guard: a retried mutating request (same requester and
@@ -226,11 +268,12 @@ KernelCore::Actions KernelCore::Dispatch(const proto::Envelope& env) {
   const NodeId natural = NaturalHomeOf(env);
   if (natural >= 0) {
     gmm::GmmHome* serving = &home_;
-    if (replication_on() && natural != self_) {
+    if (replication_on()) {
       serving = ServingHome(natural);
       if (serving == nullptr) {
         // Epochs agree but this node does not serve the home (the promotion
-        // landed on a different survivor): bounce so the sender re-resolves.
+        // landed on a different survivor, or our own home is mid-handoff):
+        // bounce so the sender re-resolves and retries.
         if (rid != 0) {
           actions.out.push_back(Outgoing{src, MakeRetryResp(env)});
         }
@@ -361,7 +404,7 @@ NodeId KernelCore::NaturalHomeOf(const proto::Envelope& env) const {
 }
 
 gmm::GmmHome* KernelCore::ServingHome(NodeId natural) {
-  if (natural == self_) return &home_;
+  if (natural == self_) return own_home_pending_ ? nullptr : &home_;
   const auto it = promoted_.find(natural);
   return it == promoted_.end() ? nullptr : it->second.get();
 }
@@ -440,10 +483,17 @@ bool KernelCore::ReplicationNeeded(const proto::Envelope& env) {
 
 void KernelCore::ForwardToBackup(const proto::Envelope& env,
                                  Actions* actions) {
-  // Only the natural primary replicates. A promoted shadow does not
-  // re-replicate onward: the subsystem tolerates one failure (f=1),
-  // documented in docs/recovery.md.
-  if (NaturalHomeOf(env) != self_) return;
+  // Every home this node serves replicates to the node's ring successor:
+  // its own home and any promoted ones. (A mutation this node did not serve
+  // — a bounced request — must not be forwarded.) Records stay keyed by the
+  // *natural* primary so the backup's shadows survive holder changes.
+  const NodeId natural = NaturalHomeOf(env);
+  if (natural < 0) return;
+  if (natural == self_) {
+    if (own_home_pending_) return;
+  } else if (promoted_.count(natural) == 0) {
+    return;
+  }
   NodeId backup = -1;
   {
     std::lock_guard<std::mutex> lock(route_mu_);
@@ -452,7 +502,7 @@ void KernelCore::ForwardToBackup(const proto::Envelope& env,
   if (backup < 0) return;  // last node standing: nothing to replicate to
 
   proto::ReplicateReq rec;
-  rec.primary = self_;
+  rec.primary = natural;
   rec.seq = repl_next_seq_++;
   rec.epoch = epoch();
   rec.inner = proto::Encode(env);
@@ -504,6 +554,14 @@ void KernelCore::HoldGatedResponses(Actions* actions) {
   }
 }
 
+void KernelCore::RestampPendingRecords() {
+  const std::uint32_t e = epoch();
+  for (auto& [seq, p] : repl_pending_) {
+    p.record.epoch = e;
+    std::get<proto::ReplicateReq>(p.record.body).epoch = e;
+  }
+}
+
 void KernelCore::ResendGatedFor(const DedupeKey& key, Actions* actions) {
   const auto g = repl_gated_.find(key);
   if (g != repl_gated_.end()) {
@@ -543,6 +601,17 @@ void KernelCore::HandleReplicate(const proto::Envelope& env,
   // Silently ignored (no ack) — the primary retransmits after both sides
   // converge.
   if (rec.epoch != epoch()) return;
+  // A record for a primary whose state is mid-transfer to us is acked (the
+  // sender may release its gated client replies) but applied only once the
+  // blob installs, in arrival order: the snapshot was taken before any such
+  // record was forwarded, so blob + buffered records is the full history.
+  if (const auto xit = xfer_in_.find(rec.primary); xit != xfer_in_.end()) {
+    shadow.seen.insert(rec.seq);
+    shadow.seen_order.push_back(rec.seq);
+    xit->second.buffered.push_back(env);
+    ack();
+    return;
+  }
   if (!shadow.home) {
     // Shadows replay with coherence off: nobody caches from a shadow, so
     // there are no copysets to maintain until (if ever) it is promoted.
@@ -611,8 +680,10 @@ proto::Envelope KernelCore::MakeRetryResp(const proto::Envelope& req) const {
 KernelCore::Actions KernelCore::ApplyEviction(NodeId dead,
                                               std::uint32_t new_epoch) {
   Actions actions;
+  NodeId old_backup = -1;
   {
     std::lock_guard<std::mutex> lock(route_mu_);
+    old_backup = home_map_.BackupOf(self_);
     if (!home_map_.Evict(dead, new_epoch)) return actions;  // already gone
   }
   evictions_->Add();
@@ -639,16 +710,50 @@ KernelCore::Actions KernelCore::ApplyEviction(NodeId dead,
       ++it;
     }
   }
+  // Records still awaiting a SURVIVING backup's ack carry the old epoch
+  // stamp; the backup's record fence would drop every retransmission of
+  // them forever. Re-stamp under the new epoch: the mutation order at this
+  // primary is unaffected by the membership change, so the record is as
+  // valid under the new view as it was under the old.
+  RestampPendingRecords();
 
-  // Promote our shadow of the dead primary: it becomes the serving home for
-  // the dead node's key space, and the responses it recorded seed the
+  // The dead node may have been mid-handoff back to us as a rejoiner's
+  // previous holder — that can't be us — or mid-handoff *from* us: if we
+  // were streaming a home back to `dead` (it rejoined and died again before
+  // the handoff finished), resume serving it from the snapshot.
+  if (const auto hit = xfer_out_.find(dead);
+      hit != xfer_out_.end() && hit->second.demote &&
+      hit->second.target == dead) {
+    auto revived = std::make_unique<gmm::GmmHome>(dead, num_nodes_,
+                                                  /*coherence=*/false);
+    DSE_CHECK(revived->InstallState(hit->second.blob).ok());
+    revived->set_coherence(options_.read_cache);
+    promoted_[dead] = std::move(revived);
+    xfer_out_.erase(hit);
+  }
+
+  // Promote our shadow of every dead primary whose ring slot now routes
+  // here (normally just `dead`; after cascaded failures possibly a home it
+  // was serving for an earlier victim, re-replicated to us in between). The
+  // shadow becomes the serving home, and the responses it recorded seed the
   // dedupe cache so in-flight retries replay original outcomes.
-  if (const auto sit = shadows_.find(dead); sit != shadows_.end()) {
+  std::vector<NodeId> freshly_promoted;
+  for (NodeId p = 0; p < num_nodes_; ++p) {
+    if (p == self_ || promoted_.count(p) > 0) continue;
+    bool routed_here = false;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      routed_here = !home_map_.IsAlive(p) && home_map_.Route(p) == self_;
+    }
+    if (!routed_here) continue;
+    const auto sit = shadows_.find(p);
+    if (sit == shadows_.end()) continue;  // no replica: home unavailable
     ShadowHome& shadow = sit->second;
     if (shadow.home) {
       shadow.home->set_coherence(options_.read_cache);
-      promoted_[dead] = std::move(shadow.home);
+      promoted_[p] = std::move(shadow.home);
       promotions_->Add();
+      freshly_promoted.push_back(p);
       for (auto& [key, resp] : shadow.completed) {
         if (completed_.emplace(key, std::move(resp)).second) {
           completed_order_.push_back(key);
@@ -684,10 +789,434 @@ KernelCore::Actions KernelCore::ApplyEviction(NodeId dead,
 
   // Joiners parked in our table waiting from the dead node get dropped.
   processes_.OnNodeEvicted(dead);
+  shadows_.erase(dead);  // a shadow routed to another survivor is stale
+
+  // Re-replication (docs/recovery.md): restore f = 1 for every home this
+  // node serves whose replica the eviction invalidated — freshly promoted
+  // homes have no replica yet, and a changed ring successor has none of our
+  // history. In-flight transfers re-snapshot under the new epoch (their
+  // stale-stamped chunks would be dropped by the receiver's fence).
+  NodeId new_backup = -1;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    new_backup = home_map_.BackupOf(self_);
+  }
+  if (new_backup >= 0) {
+    const bool backup_changed = new_backup != old_backup;
+    std::set<NodeId> stream;
+    for (const NodeId p : freshly_promoted) stream.insert(p);
+    for (const auto& [p, xfer] : xfer_out_) {
+      if (!xfer.demote) stream.insert(p);
+    }
+    if (backup_changed) {
+      if (!own_home_pending_) stream.insert(self_);
+      for (const auto& [p, phome] : promoted_) stream.insert(p);
+    }
+    for (const NodeId p : stream) {
+      StartTransfer(p, new_backup, /*demote=*/false, &actions);
+    }
+  }
 
   HoldGatedResponses(&actions);
   HarvestResponses(&actions);
   return actions;
+}
+
+int KernelCore::QuorumRequired() const {
+  if (options_.min_quorum > 0) return options_.min_quorum;
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return home_map_.Majority();
+}
+
+void KernelCore::NoteQuorumPark() { quorum_parks_->Add(); }
+
+void KernelCore::ResetForRejoin() {
+  home_ = gmm::GmmHome(self_, num_nodes_, options_.read_cache);
+  processes_ = pm::ProcessTable(self_);
+  shadows_.clear();
+  promoted_.clear();
+  repl_pending_.clear();
+  repl_gated_.clear();
+  repl_next_seq_ = 1;
+  completed_.clear();
+  completed_order_.clear();
+  in_progress_.clear();
+  xfer_out_.clear();
+  xfer_in_.clear();
+  xfer_deferred_.clear();
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_.clear();
+  }
+  own_home_pending_ = true;
+}
+
+void KernelCore::StartTransfer(NodeId primary, NodeId target, bool demote,
+                               Actions* actions) {
+  if (target == self_ || target < 0) return;
+  gmm::GmmHome* source = ServingHome(primary);
+  gmm::GmmHome empty_home(primary, num_nodes_, false);
+  if (source == nullptr) {
+    // Rejoin hand-back with nothing to hand back: the returned node's home
+    // was never promoted here (it held no data when it died). Stream an
+    // empty snapshot anyway — the joiner needs the completed transfer to
+    // clear own_home_pending_ and serve allocations again, and we need the
+    // demote bookkeeping to install its empty shadow.
+    if (!(demote && target == primary)) return;
+    source = &empty_home;
+  }
+  if (source->pending_block_count() > 0) {
+    // Mid-invalidation-round homes cannot snapshot; retry from the
+    // transfer tick once the round drains.
+    for (const auto& d : xfer_deferred_) {
+      if (d.primary == primary) return;  // already queued
+    }
+    xfer_deferred_.push_back(DeferredTransfer{primary, target, demote});
+    return;
+  }
+  OutgoingTransfer xfer;
+  xfer.target = target;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    xfer.epoch = home_map_.epoch();
+  }
+  xfer.blob = source->SerializeState();
+  xfer.total = static_cast<std::uint32_t>(
+      (xfer.blob.size() + recovery::kStateChunkBytes - 1) /
+      recovery::kStateChunkBytes);
+  if (xfer.total == 0) xfer.total = 1;
+  xfer.next = 0;
+  xfer.demote = demote;
+  if (demote) {
+    // Rejoin handoff: stop serving immediately — the returned owner is the
+    // primary again; requests bounce until it has the state installed.
+    promoted_.erase(primary);
+  }
+  xfer_out_[primary] = std::move(xfer);
+  SendChunk(primary, actions);
+}
+
+void KernelCore::SendChunk(NodeId primary, Actions* actions) {
+  const auto it = xfer_out_.find(primary);
+  if (it == xfer_out_.end()) return;
+  const OutgoingTransfer& xfer = it->second;
+  proto::StateChunkReq chunk;
+  chunk.primary = primary;
+  chunk.epoch = xfer.epoch;
+  chunk.index = xfer.next;
+  chunk.total = xfer.total;
+  const std::size_t begin = xfer.next * recovery::kStateChunkBytes;
+  const std::size_t end =
+      std::min(begin + recovery::kStateChunkBytes, xfer.blob.size());
+  if (begin < end) {
+    chunk.data.assign(xfer.blob.begin() + begin, xfer.blob.begin() + end);
+  }
+  xfer_chunks_->Add();
+  xfer_bytes_->Add(chunk.data.size());
+  proto::Envelope env;
+  env.req_id = 0;
+  env.src_node = self_;
+  env.epoch = xfer.epoch;
+  env.body = std::move(chunk);
+  actions->out.push_back(Outgoing{xfer.target, std::move(env)});
+}
+
+KernelCore::Actions KernelCore::TickTransfers() {
+  Actions actions;
+  if (!replication_on()) return actions;
+  // Retry deferred starts whose serving home has drained its rounds
+  // (StartTransfer re-defers the ones that have not).
+  std::vector<DeferredTransfer> ready;
+  ready.swap(xfer_deferred_);
+  for (const DeferredTransfer& d : ready) {
+    StartTransfer(d.primary, d.target, d.demote, &actions);
+  }
+  // Resend the in-flight chunk of every active transfer (lost chunk or lost
+  // ack: receivers re-ack duplicates, so this is idempotent).
+  for (const auto& [primary, xfer] : xfer_out_) {
+    SendChunk(primary, &actions);
+  }
+  return actions;
+}
+
+void KernelCore::HandleNodeJoinReq(const proto::Envelope& env,
+                                   Actions* actions) {
+  const auto& req = std::get<proto::NodeJoinReq>(env.body);
+  const NodeId node = req.node;
+  if (!options_.rejoin) return;
+  if (node < 0 || node >= num_nodes_ || node == self_) return;
+  bool already_member = false;
+  bool is_coordinator = false;
+  std::uint32_t cur_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    already_member = home_map_.IsAlive(node);
+    is_coordinator = home_map_.Coordinator() == self_;
+    cur_epoch = home_map_.epoch();
+  }
+  const auto respond = [&](std::uint32_t e, NodeId dst) {
+    proto::NodeJoinResp resp;
+    resp.node = node;
+    resp.epoch = e;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      resp.alive = home_map_.AliveBitmap();
+    }
+    proto::Envelope out;
+    out.req_id = 0;
+    out.src_node = self_;
+    out.epoch = e;
+    out.body = std::move(resp);
+    actions->out.push_back(Outgoing{dst, std::move(out)});
+  };
+  if (already_member) {
+    // Duplicate join (our broadcast raced the retry): re-send the admission
+    // to the joiner only.
+    respond(cur_epoch, node);
+    return;
+  }
+  if (!is_coordinator) return;  // joiner retries against the re-announcer
+  const std::uint32_t new_epoch = cur_epoch + 1;
+  NodeId prior_holder = -1;
+  NodeId prior_backup = -1;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    prior_holder = home_map_.Route(node);
+    prior_backup = home_map_.BackupOf(self_);
+    if (!home_map_.Admit(node, new_epoch)) return;
+  }
+  rejoins_->Add();
+  // Tell everyone — including the joiner, whose view is stale — then run
+  // our own admission side effects.
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (n == self_) continue;
+    bool alive = false;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      alive = home_map_.IsAlive(n);
+    }
+    if (alive) respond(new_epoch, n);
+  }
+  OnAdmitted(node, prior_holder == self_, prior_backup, actions);
+}
+
+void KernelCore::HandleNodeJoinResp(const proto::Envelope& env,
+                                    Actions* actions) {
+  const auto& resp = std::get<proto::NodeJoinResp>(env.body);
+  const NodeId node = resp.node;
+  if (node < 0 || node >= num_nodes_) return;
+  if (node == self_) {
+    // Our own admission: install the coordinator's full membership view.
+    std::lock_guard<std::mutex> lock(route_mu_);
+    home_map_.InstallView(resp.alive, resp.epoch);
+    return;
+  }
+  NodeId prior_holder = -1;
+  NodeId prior_backup = -1;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (home_map_.IsAlive(node)) return;  // duplicate broadcast
+    prior_holder = home_map_.Route(node);
+    prior_backup = home_map_.BackupOf(self_);
+    if (!home_map_.Admit(node, resp.epoch)) return;
+  }
+  OnAdmitted(node, prior_holder == self_, prior_backup, actions);
+}
+
+void KernelCore::OnAdmitted(NodeId node, bool was_holder, NodeId old_backup,
+                            Actions* actions) {
+  // The admission bumped the epoch: re-stamp pending replication records or
+  // the backup's record fence would drop their retransmissions forever.
+  RestampPendingRecords();
+  // Routes changed: every cached block whose home moved back would be
+  // stale-routed, so drop the whole client cache (it refills).
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    stats_.cache_invalidated += cache_.size();
+    cache_.clear();
+  }
+  // A shadow of the returned node's home mirrors its *previous holder's*
+  // serving copy; the handoff re-seeds replication from scratch.
+  shadows_.erase(node);
+  xfer_in_.erase(node);
+  if (was_holder && promoted_.count(node) > 0) {
+    // Hand the home back to its owner over the transfer machinery; on
+    // completion we keep the snapshot as the returned primary's new shadow
+    // (we are its ring successor again, so f = 1 is instantly restored).
+    StartTransfer(node, node, /*demote=*/true, actions);
+  }
+  // Re-admission can also re-route a *different* dead node's slot (the
+  // joiner sits between that node and us in the ring): hand those homes to
+  // the joiner too — it promotes them on arrival.
+  std::vector<NodeId> still_mine;
+  std::vector<NodeId> moved;
+  for (const auto& [p, phome] : promoted_) {
+    bool mine = false;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      mine = home_map_.Route(p) == self_;
+    }
+    (mine ? still_mine : moved).push_back(p);
+  }
+  for (const NodeId p : moved) {
+    StartTransfer(p, node, /*demote=*/true, actions);
+  }
+  // The joiner slotted back into the ring: if it is our new successor, it
+  // has none of our history — re-seed it.
+  NodeId new_backup = -1;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    new_backup = home_map_.BackupOf(self_);
+  }
+  if (new_backup >= 0 && new_backup != old_backup) {
+    if (!own_home_pending_) {
+      StartTransfer(self_, new_backup, /*demote=*/false, actions);
+    }
+    for (const NodeId p : still_mine) {
+      StartTransfer(p, new_backup, /*demote=*/false, actions);
+    }
+  }
+}
+
+void KernelCore::HandleStateChunk(const proto::Envelope& env,
+                                  Actions* actions) {
+  const auto& chunk = std::get<proto::StateChunkReq>(env.body);
+  const NodeId primary = chunk.primary;
+  if (primary < 0 || primary >= num_nodes_) return;
+  const bool rejoin_handoff = primary == self_;
+  if (rejoin_handoff && !own_home_pending_) return;  // stale handoff replay
+  // Epoch fence — except for our own rejoin handoff, which may outrun the
+  // NodeJoinResp that would teach us the new epoch (different links).
+  if (!rejoin_handoff && chunk.epoch != epoch()) return;
+  const auto ack = [&](std::uint32_t index) {
+    proto::Envelope a;
+    a.req_id = 0;
+    a.src_node = self_;
+    a.body = proto::StateChunkResp{primary, index};
+    actions->out.push_back(Outgoing{env.src_node, std::move(a)});
+  };
+  // An xfer_in_ entry flips the node into buffer-don't-apply mode for the
+  // primary's live records, so it must only exist for a genuinely active
+  // transfer — never materialize one for a stray chunk.
+  auto xit = xfer_in_.find(primary);
+  if (chunk.index == 0) {
+    if (xit != xfer_in_.end() && xit->second.received > 0 &&
+        xit->second.epoch == chunk.epoch) {
+      ack(0);  // duplicate first chunk: already absorbed
+      return;
+    }
+    xit = xfer_in_.insert_or_assign(primary, IncomingTransfer{}).first;
+    xit->second.epoch = chunk.epoch;
+    xit->second.total = chunk.total;
+  } else {
+    if (xit == xfer_in_.end()) return;  // stray chunk, no active transfer
+    IncomingTransfer& in = xit->second;
+    if (in.epoch != chunk.epoch || chunk.total != in.total) {
+      return;  // chunk of a superseded transfer
+    }
+    if (chunk.index < in.received) {
+      ack(chunk.index);  // duplicate: re-ack, already absorbed
+      return;
+    }
+    if (chunk.index > in.received) {
+      return;  // gap (cannot happen on a FIFO link): sender resends
+    }
+  }
+  IncomingTransfer& in = xit->second;
+  in.blob.insert(in.blob.end(), chunk.data.begin(), chunk.data.end());
+  in.received += 1;
+  ack(chunk.index);
+  if (in.received == in.total) InstallTransfer(primary, actions);
+}
+
+void KernelCore::InstallTransfer(NodeId primary, Actions* actions) {
+  (void)actions;  // installs mutate local state only; replies already went
+  const auto it = xfer_in_.find(primary);
+  DSE_CHECK(it != xfer_in_.end());
+  IncomingTransfer in = std::move(it->second);
+  xfer_in_.erase(it);
+  if (primary == self_) {
+    // Rejoin handoff: the cluster handed our home back — install and serve.
+    DSE_CHECK_MSG(home_.InstallState(in.blob).ok(),
+                  "malformed rejoin state blob");
+    own_home_pending_ = false;
+    return;
+  }
+  // Fresh replica: a shadow reconstructed from the snapshot, then the live
+  // records that arrived while it streamed, in order. The shadow's dedupe
+  // ledgers survive the install (their seqs are all in blob + buffer).
+  ShadowHome& shadow = shadows_[primary];
+  shadow.home = std::make_unique<gmm::GmmHome>(primary, num_nodes_,
+                                               /*coherence=*/false);
+  DSE_CHECK_MSG(shadow.home->InstallState(in.blob).ok(),
+                "malformed replica state blob");
+  for (const proto::Envelope& rec_env : in.buffered) {
+    const auto& rec = std::get<proto::ReplicateReq>(rec_env.body);
+    auto inner = proto::Decode(rec.inner);
+    DSE_CHECK_MSG(inner.ok(), "malformed buffered replication record");
+    Actions shadow_out;
+    const bool handled =
+        DispatchGmm(*shadow.home, inner.value(), &shadow_out);
+    DSE_CHECK_MSG(handled, "non-GMM buffered replication record");
+    for (auto& o : shadow_out.out) {
+      if (o.env.req_id != 0 && proto::IsClientResponse(o.env.type())) {
+        RecordShadowResponse(primary, o.dst, std::move(o.env));
+      }
+    }
+  }
+  while (shadow.seen_order.size() > kDedupeWindow) {
+    shadow.seen.erase(shadow.seen_order.front());
+    shadow.seen_order.pop_front();
+  }
+  // If the primary's ring slot already routes here (its holder handed the
+  // home to us because a membership change moved the slot), serve it.
+  bool routed_here = false;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    routed_here =
+        !home_map_.IsAlive(primary) && home_map_.Route(primary) == self_;
+  }
+  if (routed_here) {
+    shadow.home->set_coherence(options_.read_cache);
+    promoted_[primary] = std::move(shadow.home);
+    promotions_->Add();
+    for (auto& [key, resp] : shadow.completed) {
+      if (completed_.emplace(key, std::move(resp)).second) {
+        completed_order_.push_back(key);
+        replayed_->Add();
+      }
+    }
+    while (completed_order_.size() > kDedupeWindow) {
+      completed_.erase(completed_order_.front());
+      completed_order_.pop_front();
+    }
+    shadows_.erase(primary);
+  }
+}
+
+void KernelCore::HandleStateChunkAck(const proto::Envelope& env,
+                                     Actions* actions) {
+  const auto& ack = std::get<proto::StateChunkResp>(env.body);
+  const auto it = xfer_out_.find(ack.primary);
+  if (it == xfer_out_.end()) return;  // superseded transfer
+  OutgoingTransfer& xfer = it->second;
+  if (env.src_node != xfer.target || ack.index != xfer.next) return;
+  xfer.next += 1;
+  if (xfer.next < xfer.total) {
+    SendChunk(ack.primary, actions);
+    return;
+  }
+  // Transfer complete.
+  if (xfer.demote) {
+    // Rejoin handoff done: keep the snapshot as the returned primary's
+    // shadow — we are its ring successor, so this *is* its new replica.
+    ShadowHome& shadow = shadows_[ack.primary];
+    shadow.home = std::make_unique<gmm::GmmHome>(ack.primary, num_nodes_,
+                                                 /*coherence=*/false);
+    DSE_CHECK(shadow.home->InstallState(xfer.blob).ok());
+  }
+  rereplications_->Add();
+  xfer_out_.erase(it);
 }
 
 void KernelCore::HarvestResponses(Actions* actions) {

@@ -87,6 +87,15 @@ struct KernelOptions {
   // With replication: after an eviction, re-spawn idempotent-marked tasks
   // that were hosted on the dead node instead of failing their joins.
   bool restart_tasks = false;
+  // Self-healing membership (docs/recovery.md): minimum number of reachable
+  // members (including self) a node needs before it may apply a *locally
+  // detected* eviction. 0 means a strict majority of the current
+  // membership. A node below the threshold parks instead of evicting.
+  int min_quorum = 0;
+  // Self-healing membership: whether the coordinator re-admits evicted
+  // nodes that ask to rejoin (NodeJoinReq). Off, a returned node stays
+  // parked outside the cluster forever.
+  bool rejoin = true;
   // Validates SpawnReq task names; unknown names fail the spawn with
   // kInvalidArgument instead of crashing the target node.
   std::function<bool(const std::string&)> has_task;
@@ -165,8 +174,36 @@ class KernelCore {
   // Applies an eviction locally (coordinator self-apply and push-repair
   // paths; EvictReq frames funnel here too). Caller serializes like Handle.
   // Returns the follow-up actions (lock grants, barrier releases, replies
-  // un-gated because their backup died). No-op if already evicted.
+  // un-gated because their backup died, state-transfer kickoffs that
+  // restore f = 1). No-op if already evicted.
   Actions ApplyEviction(NodeId dead, std::uint32_t new_epoch);
+
+  // Reachable members (including self) required before this node may apply
+  // a locally detected eviction: --min-quorum if set, else a strict
+  // majority of the current membership.
+  int QuorumRequired() const;
+  // Records the start of one quorum-park episode (recovery.quorum_parks).
+  void NoteQuorumPark();
+  bool rejoin_enabled() const { return options_.rejoin; }
+
+  // Rejoin, step 1 (the returned node): wipes every piece of kernel state
+  // the cluster moved on from — home, shadows, promotions, caches, dedupe
+  // and replication ledgers — and marks the node's own home pending until a
+  // state-transfer hands it back. Requests for the home bounce (RetryResp)
+  // in between. The caller then sends NodeJoinReq to the coordinator.
+  void ResetForRejoin();
+  bool own_home_pending() const { return own_home_pending_; }
+
+  // Retransmission tick for in-flight state transfers: resends the current
+  // unacked chunk of every outgoing transfer and retries deferred transfer
+  // starts (a serving home with an invalidation round in flight cannot
+  // snapshot). Idempotent — receivers re-ack duplicate chunks.
+  Actions TickTransfers();
+  // True when no outgoing state transfer is in flight or deferred (the sim's
+  // retransmission nudge uses this to know when to stop ticking).
+  bool transfers_idle() const {
+    return xfer_out_.empty() && xfer_deferred_.empty();
+  }
 
   // Handles one inbound server-side message (requests, InvalidateReq/Ack,
   // ConsoleOut, Shutdown). Must not be called with client responses.
@@ -266,8 +303,34 @@ class KernelCore {
   // A duplicate of an in-flight request doubles as the retransmission
   // trigger for the replication record its reply is gated on.
   void ResendGatedFor(const DedupeKey& key, Actions* actions);
+
+  // Re-stamps every pending replication record with the current epoch.
+  // Must run after every membership-epoch bump (eviction or admission):
+  // the backup's record fence drops stale-stamped retransmissions, so a
+  // record forwarded just before the bump could otherwise never be acked.
+  void RestampPendingRecords();
   void HandleReplicate(const proto::Envelope& env, Actions* actions);
   void HandleReplicateAck(const proto::Envelope& env, Actions* actions);
+  // Self-healing membership (docs/recovery.md).
+  void HandleNodeJoinReq(const proto::Envelope& env, Actions* actions);
+  void HandleNodeJoinResp(const proto::Envelope& env, Actions* actions);
+  void HandleStateChunk(const proto::Envelope& env, Actions* actions);
+  void HandleStateChunkAck(const proto::Envelope& env, Actions* actions);
+  // Local side effects of node's re-admission on every member: drop the
+  // stale routing cache and shadow, hand a held home back to its returned
+  // owner, and re-replicate to a changed ring successor.
+  void OnAdmitted(NodeId node, bool was_holder, NodeId old_backup,
+                  Actions* actions);
+  // Begins (or defers, while an invalidation round is in flight) streaming
+  // the home serving `primary` to `target`. `demote`: on completion the
+  // sender stops serving and keeps the state as a shadow (rejoin handoff).
+  void StartTransfer(NodeId primary, NodeId target, bool demote,
+                     Actions* actions);
+  // Emits the current chunk of an outgoing transfer.
+  void SendChunk(NodeId primary, Actions* actions);
+  // Applies a fully received transfer blob (own home for a rejoining node,
+  // a fresh shadow otherwise) plus the live records buffered behind it.
+  void InstallTransfer(NodeId primary, Actions* actions);
   // Records a shadow-produced client response for post-promotion replay.
   void RecordShadowResponse(NodeId primary, NodeId dst,
                             proto::Envelope env);
@@ -340,11 +403,51 @@ class KernelCore {
   // Promoted shadows now serving a dead primary's key space.
   std::map<NodeId, std::unique_ptr<gmm::GmmHome>> promoted_;
 
+  // --- State transfer (self-healing membership) ---------------------------
+
+  // Outgoing transfer of one home's serialized state, keyed by the natural
+  // primary. Ack-paced: one chunk in flight, advanced by StateChunkResp.
+  struct OutgoingTransfer {
+    NodeId target = -1;
+    std::uint32_t epoch = 0;
+    std::vector<std::uint8_t> blob;
+    std::uint32_t next = 0;   // index of the chunk currently in flight
+    std::uint32_t total = 0;
+    bool demote = false;      // rejoin handoff: keep the state as a shadow
+  };
+  std::map<NodeId, OutgoingTransfer> xfer_out_;
+  // Transfer starts deferred behind an in-flight invalidation round.
+  struct DeferredTransfer {
+    NodeId primary = -1;
+    NodeId target = -1;
+    bool demote = false;
+  };
+  std::vector<DeferredTransfer> xfer_deferred_;
+  // Incoming transfer reassembly, keyed by the natural primary. Live
+  // ReplicateReq records arriving mid-transfer are acked and buffered, then
+  // applied in arrival order once the blob installs.
+  struct IncomingTransfer {
+    std::uint32_t epoch = 0;
+    std::uint32_t total = 0;
+    std::vector<std::uint8_t> blob;   // chunks received so far, concatenated
+    std::uint32_t received = 0;
+    std::vector<proto::Envelope> buffered;  // ReplicateReq frames
+  };
+  std::map<NodeId, IncomingTransfer> xfer_in_;
+  // Rejoin: this node's own home is empty until its previous holder streams
+  // the state back; requests for it bounce with RetryResp meanwhile.
+  bool own_home_pending_ = false;
+
   Counter* repl_forwards_ = nullptr;
   Counter* evictions_ = nullptr;
   Counter* promotions_ = nullptr;
   Counter* replayed_ = nullptr;
   Counter* epoch_bounces_ = nullptr;
+  Counter* rereplications_ = nullptr;
+  Counter* rejoins_ = nullptr;
+  Counter* quorum_parks_ = nullptr;
+  Counter* xfer_chunks_ = nullptr;
+  Counter* xfer_bytes_ = nullptr;
 
   KernelStats stats_;
 };

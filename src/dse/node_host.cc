@@ -248,6 +248,8 @@ KernelOptions MakeKernelOptions(const NodeHost::Options& options,
   kopts.rpc_sync_retry = options.sync_retry;
   kopts.replication = options.replication;
   kopts.restart_tasks = options.restart_tasks;
+  kopts.min_quorum = options.min_quorum;
+  kopts.rejoin = options.rejoin;
   kopts.has_task = [registry](const std::string& name) {
     return registry->Has(name);
   };
@@ -339,16 +341,34 @@ void NodeHost::HeartbeatLoop() {
       if (hb_stop_) return;
     }
     const std::int64_t now = NowMs();
+    // Two passes: latch every peer that timed out this tick *before* acting
+    // on any of them. A partition severs several links at once; evicting
+    // the first silent peer while the others still look reachable would
+    // let a minority side pass the quorum check it should fail.
+    std::vector<NodeId> newly_silent;
     for (NodeId n = 0; n < core_.num_nodes(); ++n) {
-      if (n == self() || peer_dead_[static_cast<size_t>(n)].load(
-                             std::memory_order_relaxed)) {
+      const auto i = static_cast<size_t>(n);
+      if (n == self() ||
+          peer_dead_[i].load(std::memory_order_relaxed)) {
         continue;
       }
-      if (now - last_heard_ms_[static_cast<size_t>(n)].load(
-                    std::memory_order_relaxed) >
+      if (now - last_heard_ms_[i].load(std::memory_order_relaxed) >
           timeout_ms) {
-        MarkPeerDead(n, "heartbeat timeout");
-        continue;
+        LatchPeerDead(n, "heartbeat timeout");
+        newly_silent.push_back(n);
+      }
+    }
+    for (const NodeId n : newly_silent) {
+      EvictPeer(n, 0, "heartbeat timeout");
+    }
+    for (NodeId n = 0; n < core_.num_nodes(); ++n) {
+      if (n == self()) continue;
+      if (peer_dead_[static_cast<size_t>(n)].load(
+              std::memory_order_relaxed)) {
+        // Keep probing a suspected peer that is still a member (we may be
+        // quorum-parked on the minority side of a partition): when the
+        // partition heals, the probes revoke the suspicion on both sides.
+        if (!core_.replication_on() || !core_.NodeAlive(n)) continue;
       }
       proto::Envelope probe;
       probe.req_id = 0;
@@ -358,12 +378,16 @@ void NodeHost::HeartbeatLoop() {
     }
     // Replication: the coordinator re-announces evictions every tick, so a
     // survivor whose EvictReq frame was lost converges without waiting for
-    // its own heartbeat timeout.
+    // its own heartbeat timeout. With rejoin on, the eviction is announced
+    // to the evicted node itself too — a restarted/healed node learns it
+    // was evicted and initiates NodeJoinReq from that signal.
     if (core_.replication_on() && core_.CoordinatorView() == self()) {
       for (NodeId d = 0; d < core_.num_nodes(); ++d) {
         if (core_.NodeAlive(d)) continue;
         for (NodeId n = 0; n < core_.num_nodes(); ++n) {
-          if (n == self() || !core_.NodeAlive(n)) continue;
+          if (n == self()) continue;
+          const bool alive = core_.NodeAlive(n);
+          if (!alive && !(options_.rejoin && n == d)) continue;
           proto::Envelope ev;
           ev.req_id = 0;
           ev.src_node = self();
@@ -372,6 +396,15 @@ void NodeHost::HeartbeatLoop() {
           (void)SendEnvelope(n, ev);
         }
       }
+    }
+    // Self-healing: retransmission tick for in-flight state transfers.
+    if (core_.replication_on()) {
+      KernelCore::Actions actions;
+      {
+        std::lock_guard<std::mutex> lock(core_mu_);
+        actions = core_.TickTransfers();
+      }
+      Perform(std::move(actions));
     }
   }
 }
@@ -386,7 +419,7 @@ void NodeHost::MarkPeerDead(NodeId node, const char* why) {
   EvictPeer(node, 0, why);
 }
 
-void NodeHost::EvictPeer(NodeId node, std::uint32_t epoch, const char* why) {
+void NodeHost::LatchPeerDead(NodeId node, const char* why) {
   if (node < 0 || node >= core_.num_nodes() || node == self()) return;
   if (!peer_dead_[static_cast<size_t>(node)].exchange(
           true, std::memory_order_relaxed)) {
@@ -396,7 +429,36 @@ void NodeHost::EvictPeer(NodeId node, std::uint32_t epoch, const char* why) {
     FailPendingTo(node, Unavailable("node " + std::to_string(node) +
                                     " declared dead (" + why + ")"));
   }
+}
+
+void NodeHost::EvictPeer(NodeId node, std::uint32_t epoch, const char* why) {
+  if (node < 0 || node >= core_.num_nodes() || node == self()) return;
+  LatchPeerDead(node, why);
   if (!core_.replication_on() || !core_.NodeAlive(node)) return;
+  // Quorum guard: a locally detected eviction (no epoch from a peer backing
+  // it) needs a reachable strict majority (or --min-quorum), counting every
+  // current member we do not suspect, ourselves included. Below the bar we
+  // park: the suspicion stays latched, calls fail over and retry, and no
+  // membership change happens until the partition heals or a quorum-held
+  // eviction reaches us by gossip.
+  if (epoch == 0) {
+    int reachable = 0;
+    for (NodeId n = 0; n < core_.num_nodes(); ++n) {
+      if (!core_.NodeAlive(n)) continue;
+      if (n != self() && PeerDead(n)) continue;
+      ++reachable;
+    }
+    if (reachable < core_.QuorumRequired()) {
+      if (!parked_.exchange(true, std::memory_order_relaxed)) {
+        core_.NoteQuorumPark();
+        DSE_LOG(kWarn) << "node " << self() << ": quorum park — only "
+                       << reachable << " member(s) reachable, need "
+                       << core_.QuorumRequired();
+      }
+      return;
+    }
+    parked_.store(false, std::memory_order_relaxed);
+  }
   const std::uint32_t new_epoch = epoch != 0 ? epoch : core_.epoch() + 1;
   KernelCore::Actions actions;
   {
@@ -681,10 +743,23 @@ void NodeHost::BroadcastShutdown() {
 }
 
 Status NodeHost::SendEnvelope(NodeId dst, const proto::Envelope& env) {
-  // Fail fast instead of queueing onto a corpse. Shutdown is exempt so SSI
-  // teardown still reaches whatever is left on the other side.
-  if (PeerDead(dst) && env.type() != proto::MsgType::kShutdown) {
-    return Unavailable("node " + std::to_string(dst) + " is dead");
+  // Fail fast instead of queueing onto a corpse — except for the control
+  // and recovery frames that have to flow *toward* a suspected or evicted
+  // peer for the cluster to heal: shutdown teardown, liveness probes, the
+  // rejoin-triggering re-announce, the join protocol and state transfers.
+  if (PeerDead(dst)) {
+    switch (env.type()) {
+      case proto::MsgType::kShutdown:
+      case proto::MsgType::kHeartbeat:
+      case proto::MsgType::kEvictReq:
+      case proto::MsgType::kNodeJoinReq:
+      case proto::MsgType::kNodeJoinResp:
+      case proto::MsgType::kStateChunkReq:
+      case proto::MsgType::kStateChunkResp:
+        break;
+      default:
+        return Unavailable("node " + std::to_string(dst) + " is dead");
+    }
   }
   std::vector<std::uint8_t> payload = proto::Encode(env);
   const std::uint64_t bytes = payload.size();
@@ -760,20 +835,69 @@ void NodeHost::ServiceLoop() {
     core_.CountRecv(env.type());
     core_.CountWireRecv(delivery->payload.size());
 
-    // Any frame proves its sender alive.
+    // Any frame proves its sender alive. With replication, it also revokes
+    // a suspicion of a peer that is still a member — a quorum-parked side
+    // of a partition resumes this way when the partition heals (a truly
+    // evicted node stays latched; it must rejoin through the coordinator).
     if (env.src_node >= 0 && env.src_node < core_.num_nodes()) {
-      last_heard_ms_[static_cast<size_t>(env.src_node)].store(
-          NowMs(), std::memory_order_relaxed);
+      const auto si = static_cast<size_t>(env.src_node);
+      last_heard_ms_[si].store(NowMs(), std::memory_order_relaxed);
+      if (core_.replication_on() && env.src_node != self() &&
+          peer_dead_[si].load(std::memory_order_relaxed) &&
+          core_.NodeAlive(env.src_node)) {
+        peer_dead_[si].store(false, std::memory_order_relaxed);
+        parked_.store(false, std::memory_order_relaxed);
+        DSE_LOG(kWarn) << "node " << self() << ": suspicion of node "
+                       << env.src_node << " revoked (frame received)";
+      }
     }
     if (env.type() == proto::MsgType::kHeartbeat) continue;
 
     if (env.type() == proto::MsgType::kEvictReq) {
+      const auto& e = std::get<proto::EvictReq>(env.body);
+      if (e.node == self() && core_.replication_on() && options_.rejoin) {
+        // The cluster evicted *us* (we were partitioned away or presumed
+        // dead): wipe the kernel state the cluster has moved past and ask
+        // the announcer (the coordinator) for re-admission. Guarded so the
+        // per-tick re-announce only re-sends the join request.
+        if (!joining_.exchange(true, std::memory_order_relaxed)) {
+          std::lock_guard<std::mutex> lock(core_mu_);
+          core_.ResetForRejoin();
+        }
+        proto::Envelope jr;
+        jr.req_id = 0;
+        jr.src_node = self();
+        jr.body = proto::NodeJoinReq{self()};
+        (void)SendEnvelope(env.src_node, jr);
+        continue;
+      }
       // Handled at the host layer so the peer-dead latch, pending-call
       // sweep and coordinator re-announce all happen with the membership
       // change. (EvictPeer funnels into core().ApplyEviction.)
-      const auto& e = std::get<proto::EvictReq>(env.body);
       EvictPeer(e.node, e.epoch, "evicted by coordinator");
       continue;
+    }
+
+    if (const auto* jr = std::get_if<proto::NodeJoinResp>(&env.body)) {
+      // Host-level view of an admission (the kernel handles the membership
+      // change below): clear the liveness latches the rejoin obsoletes.
+      if (jr->node == self()) {
+        joining_.store(false, std::memory_order_relaxed);
+        parked_.store(false, std::memory_order_relaxed);
+        const std::int64_t now = NowMs();
+        for (size_t i = 0; i < jr->alive.size() &&
+                           i < peer_dead_.size(); ++i) {
+          if (jr->alive[i] != 0) {
+            peer_dead_[i].store(false, std::memory_order_relaxed);
+            last_heard_ms_[i].store(now, std::memory_order_relaxed);
+          }
+        }
+      } else if (jr->node >= 0 && jr->node < core_.num_nodes()) {
+        peer_dead_[static_cast<size_t>(jr->node)].store(
+            false, std::memory_order_relaxed);
+        last_heard_ms_[static_cast<size_t>(jr->node)].store(
+            NowMs(), std::memory_order_relaxed);
+      }
     }
 
     if (proto::IsClientResponse(env.type())) {

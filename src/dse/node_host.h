@@ -52,6 +52,11 @@ class NodeHost {
     // Recovery subsystem (see KernelOptions / docs/recovery.md).
     int replication = 0;
     bool restart_tasks = false;
+    // Self-healing membership (see KernelOptions): quorum floor for locally
+    // detected evictions (0 = strict majority) and whether evicted nodes
+    // may rejoin.
+    int min_quorum = 0;
+    bool rejoin = true;
     TaskRegistry* registry = nullptr;            // required
     // Receives SSI console lines (only ever called on node 0's host).
     std::function<void(std::string)> console_sink;
@@ -154,12 +159,22 @@ class NodeHost {
   // Delivers `error` to every pending call addressed to `dst`.
   void FailPendingTo(NodeId dst, const Status& error);
   void MarkPeerDead(NodeId node, const char* why);
+  // Latches `node` suspected-dead and fails its in-flight calls (no
+  // membership change yet). Safe to call repeatedly.
+  void LatchPeerDead(NodeId node, const char* why);
   // Recovery: latches `node` dead, fails its in-flight calls, applies the
   // membership eviction at `epoch` (0 = this host's next epoch), and — when
   // this host is the coordinator (lowest live rank in its own view) —
   // broadcasts the EvictReq to the survivors. Coordinator succession is
   // implicit: when the old coordinator is the dead node, the next-lowest
   // live rank sees itself as coordinator and speaks.
+  //
+  // Quorum guard (self-healing membership): a *locally detected* eviction
+  // (epoch == 0) is only applied while this host can still reach at least
+  // QuorumRequired() members — otherwise it parks (suspicion stays latched,
+  // calls fail over and wait, recovery.quorum_parks counts the episode) so
+  // a severed minority never forks the membership. Evictions carried by
+  // EvictReq/RetryResp gossip (epoch != 0) apply unconditionally.
   void EvictPeer(NodeId node, std::uint32_t epoch, const char* why);
   // Client-side reaction to a kRetryResp epoch bounce: adopt the
   // responder's eviction if it is ahead, push-repair it with an EvictReq if
@@ -186,9 +201,16 @@ class NodeHost {
   bool service_exited_ = false;
 
   // Liveness state. last_heard_ms_[n] is the steady-clock stamp of the last
-  // frame received from n; peer_dead_[n] latches once declared.
+  // frame received from n; peer_dead_[n] latches once declared — but with
+  // replication on, a frame from a suspected peer that is still a cluster
+  // member revokes the suspicion (partition heal).
   std::vector<std::atomic<std::int64_t>> last_heard_ms_;
   std::vector<std::atomic<bool>> peer_dead_;
+  // Self-healing membership: true while this host is quorum-parked (one
+  // recovery.quorum_parks count per episode) / mid-rejoin (guards repeated
+  // ResetForRejoin when the coordinator's re-announce retriggers us).
+  std::atomic<bool> parked_{false};
+  std::atomic<bool> joining_{false};
   std::thread heartbeat_;
   std::mutex hb_mu_;
   std::condition_variable hb_cv_;

@@ -323,6 +323,41 @@ Status Get(ByteReader& r, RetryResp* m) {
   DSE_RETURN_IF_ERROR(r.ReadU32(&m->epoch));
   return r.ReadI32(&m->evicted);
 }
+void Put(ByteWriter& w, const NodeJoinReq& m) { w.WriteI32(m.node); }
+Status Get(ByteReader& r, NodeJoinReq* m) { return r.ReadI32(&m->node); }
+void Put(ByteWriter& w, const NodeJoinResp& m) {
+  w.WriteI32(m.node);
+  w.WriteU32(m.epoch);
+  w.WriteBytes(
+      {reinterpret_cast<const char*>(m.alive.data()), m.alive.size()});
+}
+Status Get(ByteReader& r, NodeJoinResp* m) {
+  DSE_RETURN_IF_ERROR(r.ReadI32(&m->node));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&m->epoch));
+  return r.ReadBytes(&m->alive);
+}
+void Put(ByteWriter& w, const StateChunkReq& m) {
+  w.WriteI32(m.primary);
+  w.WriteU32(m.epoch);
+  w.WriteU32(m.index);
+  w.WriteU32(m.total);
+  w.WriteBytes({reinterpret_cast<const char*>(m.data.data()), m.data.size()});
+}
+Status Get(ByteReader& r, StateChunkReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadI32(&m->primary));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&m->epoch));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&m->index));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&m->total));
+  return r.ReadBytes(&m->data);
+}
+void Put(ByteWriter& w, const StateChunkResp& m) {
+  w.WriteI32(m.primary);
+  w.WriteU32(m.index);
+}
+Status Get(ByteReader& r, StateChunkResp* m) {
+  DSE_RETURN_IF_ERROR(r.ReadI32(&m->primary));
+  return r.ReadU32(&m->index);
+}
 
 template <typename T, MsgType kType>
 struct Tag {
@@ -374,6 +409,10 @@ std::string_view MsgTypeName(MsgType type) {
     case MsgType::kReplicateAck: return "ReplicateAck";
     case MsgType::kEvictReq: return "EvictReq";
     case MsgType::kRetryResp: return "RetryResp";
+    case MsgType::kNodeJoinReq: return "NodeJoinReq";
+    case MsgType::kNodeJoinResp: return "NodeJoinResp";
+    case MsgType::kStateChunkReq: return "StateChunkReq";
+    case MsgType::kStateChunkResp: return "StateChunkResp";
   }
   return "Unknown";
 }
@@ -496,6 +535,14 @@ Result<Envelope> Decode(const std::vector<std::uint8_t>& payload) {
       return DecodeBody<ReplicateAck>(r, std::move(env));
     case MsgType::kEvictReq: return DecodeBody<EvictReq>(r, std::move(env));
     case MsgType::kRetryResp: return DecodeBody<RetryResp>(r, std::move(env));
+    case MsgType::kNodeJoinReq:
+      return DecodeBody<NodeJoinReq>(r, std::move(env));
+    case MsgType::kNodeJoinResp:
+      return DecodeBody<NodeJoinResp>(r, std::move(env));
+    case MsgType::kStateChunkReq:
+      return DecodeBody<StateChunkReq>(r, std::move(env));
+    case MsgType::kStateChunkResp:
+      return DecodeBody<StateChunkResp>(r, std::move(env));
   }
   return ProtocolError("unknown message type " + std::to_string(type_raw));
 }

@@ -80,12 +80,21 @@ enum class MsgType : std::uint8_t {
   kReplicateAck,
   kEvictReq,
   kRetryResp,
+  // Self-healing membership (docs/recovery.md). An evicted node that comes
+  // back asks the coordinator for re-admission; admission is broadcast under
+  // a bumped epoch. State transfer (re-replication after a promotion, and
+  // the home handoff back to a rejoined node) streams a serialized GmmHome
+  // in ack-paced chunks.
+  kNodeJoinReq,
+  kNodeJoinResp,
+  kStateChunkReq,
+  kStateChunkResp,
 };
 
 // Highest MsgType value; message types are contiguous from 1, so fixed-size
 // per-type counter tables are indexed by the raw enum value.
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kRetryResp);
+    static_cast<std::uint8_t>(MsgType::kStateChunkResp);
 
 std::string_view MsgTypeName(MsgType type);
 
@@ -299,6 +308,39 @@ struct RetryResp {
   NodeId evicted = -1;
 };
 
+// Evicted node -> coordinator (req_id 0): re-admit me. Bypasses the epoch
+// fence — the joiner's epoch is stale by definition.
+struct NodeJoinReq {
+  NodeId node = -1;
+};
+// Coordinator -> everyone incl. the joiner (req_id 0): `node` is re-admitted
+// under `epoch`. `alive` is the full membership bitmap at that epoch so the
+// joiner (whose view is arbitrarily stale) installs the whole picture.
+struct NodeJoinResp {
+  NodeId node = -1;
+  std::uint32_t epoch = 0;
+  std::vector<std::uint8_t> alive;  // alive[n] != 0 => node n is a member
+};
+
+// State transfer (req_id 0): one ack-paced chunk of a serialized GmmHome.
+// `primary` names whose home the bytes belong to; the receiver installs the
+// reassembled blob as a shadow (re-replication) or as its own serving home
+// (rejoin handoff). A chunk stamped with a stale epoch is dropped — the
+// sender restarts the transfer under the new epoch on the next membership
+// change.
+struct StateChunkReq {
+  NodeId primary = -1;
+  std::uint32_t epoch = 0;
+  std::uint32_t index = 0;
+  std::uint32_t total = 0;
+  std::vector<std::uint8_t> data;
+};
+// Receiver -> sender: chunk `index` of `primary`'s transfer is in.
+struct StateChunkResp {
+  NodeId primary = -1;
+  std::uint32_t index = 0;
+};
+
 using Body =
     std::variant<ReadReq, ReadResp, WriteReq, WriteAck, AtomicReq, AtomicResp,
                  AllocReq, AllocResp, FreeReq, FreeAck, InvalidateReq,
@@ -307,7 +349,8 @@ using Body =
                  PsResp, ConsoleOut, Shutdown, NamePublish, NameAck,
                  NameLookup, NameResp, LoadReq, LoadResp, StatsReq,
                  StatsResp, BatchReq, BatchResp, Heartbeat, ReplicateReq,
-                 ReplicateAck, EvictReq, RetryResp>;
+                 ReplicateAck, EvictReq, RetryResp, NodeJoinReq, NodeJoinResp,
+                 StateChunkReq, StateChunkResp>;
 
 MsgType TypeOf(const Body& body);
 

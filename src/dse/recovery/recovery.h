@@ -27,10 +27,33 @@
 //     TaskRegistry::RegisterIdempotent are re-spawned from the client's
 //     spawn ledger on the node now serving the dead host's ring slot.
 //
-// The tolerance is f = 1: one backup per home, and promoted shadows are not
-// themselves re-replicated. A second failure that claims both a primary and
-// its backup loses that home's state.
+// Self-healing (this layer, kernel_core.cc + node_host.cc): the instant
+// tolerance is f = 1 — one backup per home — but the membership heals:
+//
+//   * Quorum-guarded eviction: a node only applies a *locally detected*
+//     eviction while it can still reach a strict majority of the current
+//     membership (heartbeats double as reachability acks). A severed
+//     minority partition therefore parks (recovery.quorum_parks) — its
+//     calls fail over and retry until the partition heals — instead of
+//     evicting the majority and forking the global memory. Evictions
+//     carried by EvictReq/RetryResp gossip are applied unconditionally:
+//     they are proof a quorum-holding coordinator committed them.
+//
+//   * Re-replication: after a backup promotes, the new primary streams the
+//     promoted home to its own ring successor in ack-paced StateChunkReq
+//     frames (epoch-fenced, interleaved with live traffic) until the f = 1
+//     redundancy is restored (recovery.rereplications). A *second*,
+//     non-concurrent death is then survivable bit-for-bit.
+//
+//   * Rejoin: an evicted node that comes back learns of its eviction from
+//     the coordinator's re-announcements, resets its kernel state, and asks
+//     for re-admission (NodeJoinReq). The coordinator admits it under a
+//     bumped epoch (recovery.rejoins), the current holder of its ring slot
+//     hands the home state back over the same transfer machinery, and the
+//     node serves — and accepts idempotent task placements — again.
 #pragma once
+
+#include <cstddef>
 
 namespace dse::recovery {
 
@@ -51,5 +74,11 @@ inline constexpr int kFailoverPauseMs = 5;
 // the network — but stay bounded so a cluster that never converges surfaces
 // an error instead of spinning forever.
 inline constexpr int kMaxFailovers = 2000;
+
+// Payload bytes per StateChunkReq of a state transfer. Small enough to
+// interleave with live traffic on the shared medium (the <25% interference
+// budget of bench_ablation_replication), large enough that a typical home
+// moves in a handful of round trips.
+inline constexpr std::size_t kStateChunkBytes = 8192;
 
 }  // namespace dse::recovery

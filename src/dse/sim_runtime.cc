@@ -81,10 +81,42 @@ struct SimState {
 
   // Recovery: kills already reacted to (a kill schedule fires exactly once).
   std::set<NodeId> deaths_handled;
-  // Checks the injector for newly fired kills; on each one drains the dead
-  // node's held frames and — with replication on — schedules the eviction.
+  // Self-healing membership bookkeeping. `members` is the sim's converged
+  // membership ground truth (what a quorum-holding coordinator would have
+  // committed); `parked` holds nodes currently quorum-parked so each park
+  // episode counts once. The *_handled sets make each plan entry's
+  // activation/heal/revive fire exactly once.
+  std::set<NodeId> members;
+  std::set<NodeId> parked;
+  std::set<size_t> severs_active;
+  std::set<size_t> severs_healed;
+  std::set<size_t> revives_handled;
+  bool xfer_nudge_active = false;
+
+  // Checks the injector for newly fired kills, severs, heals and revives;
+  // each reaction is scheduled kSimDetectionDelayMs of virtual time later.
   void NoteDeaths();
   void OnNodeDeath(NodeId dead);
+  void OnSeverFired(size_t index);
+  void OnSeverHealed(size_t index);
+  void OnNodeRevive(NodeId node);
+  // The converged membership reaction: partitions the live members into
+  // reachability components, lets the quorum-holding component evict every
+  // unreachable member, and parks quorum-less components. Applies every
+  // eviction before performing any resulting sends so all survivors move
+  // epochs together (no stale-epoch chunk drops between them).
+  void ReactToMembership(sim::Context& ctx);
+  // Quorum for a locally detected eviction, relative to current membership.
+  int QuorumRequired() const {
+    return options->min_quorum > 0
+               ? options->min_quorum
+               : static_cast<int>(members.size()) / 2 + 1;
+  }
+  // Evicted-but-live node asks to be re-admitted (heal / revive path).
+  void StartRejoin(sim::Context& ctx, NodeId node);
+  // Keeps in-flight state transfers moving: retries deferred starts and
+  // resends unacked chunks until every node's transfers drain.
+  void EnsureXferNudge();
 };
 
 struct SimNode {
@@ -108,6 +140,8 @@ struct SimNode {
 // (defined below; the recovery path needs it early).
 void PerformActions(sim::Context& ctx, SimState& state, SimNode& node,
                     KernelCore::Actions actions);
+void ChargeAndSend(sim::Context& ctx, SimState& state, NodeId src, NodeId dst,
+                   proto::Envelope env);
 
 void SimState::NoteDeaths() {
   if (fault == nullptr) return;
@@ -121,6 +155,28 @@ void SimState::NoteDeaths() {
     deaths_handled.insert(kill.node);
     OnNodeDeath(kill.node);
   }
+  // Sever activations / heals and kill revives (self-healing membership).
+  const auto& plan = options->fault_plan;
+  for (size_t i = 0; i < plan.severs.size(); ++i) {
+    const net::FaultPlan::Sever& sv = plan.severs[i];
+    if (severs_active.count(i) == 0 && fault->LinkSevered(sv.a, sv.b)) {
+      severs_active.insert(i);
+      OnSeverFired(i);
+    }
+    if (severs_active.count(i) != 0 && severs_healed.count(i) == 0 &&
+        sv.heal >= 0 && !fault->LinkSevered(sv.a, sv.b)) {
+      severs_healed.insert(i);
+      OnSeverHealed(i);
+    }
+  }
+  for (size_t i = 0; i < plan.kills.size(); ++i) {
+    const net::FaultPlan::Kill& kill = plan.kills[i];
+    if (kill.revive >= 0 && deaths_handled.count(kill.node) != 0 &&
+        revives_handled.count(i) == 0 && !fault->NodeDead(kill.node)) {
+      revives_handled.insert(i);
+      OnNodeRevive(kill.node);
+    }
+  }
 }
 
 void SimState::OnNodeDeath(NodeId dead) {
@@ -133,24 +189,188 @@ void SimState::OnNodeDeath(NodeId dead) {
                    << " held frame(s) of dead node " << dead;
   }
   if (!nodes[0]->core.replication_on()) return;  // PR 3 semantics: no failover
-  // Survivors apply the eviction after a fixed virtual detection delay. The
-  // sim has no heartbeat traffic, so detection is modeled, not messaged —
-  // and the eviction is applied directly on every survivor instead of
+  // Survivors react after a fixed virtual detection delay. The sim has no
+  // heartbeat traffic, so detection is modeled, not messaged — and the
+  // membership reaction is computed directly on every survivor instead of
   // broadcast, which keeps it immune to the injector's message faults (the
   // real runtimes repair lost EvictReqs with re-announce + gossip; the sim
   // asserts the converged behaviour deterministically).
   sim.Spawn("evict-" + std::to_string(dead),
-            [this, dead](sim::Context& ctx) {
+            [this](sim::Context& ctx) {
               ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
-              for (auto& entry : nodes) {
-                SimNode& node = *entry;
-                const NodeId self = node.core.self();
-                if (self == dead || fault->NodeDead(self)) continue;
-                KernelCore::Actions actions =
-                    node.core.ApplyEviction(dead, node.core.epoch() + 1);
-                PerformActions(ctx, *this, node, std::move(actions));
-              }
+              ReactToMembership(ctx);
             });
+}
+
+void SimState::OnSeverFired(size_t index) {
+  if (!nodes[0]->core.replication_on()) return;
+  sim.Spawn("sever-" + std::to_string(index),
+            [this](sim::Context& ctx) {
+              ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
+              ReactToMembership(ctx);
+            });
+}
+
+void SimState::OnSeverHealed(size_t index) {
+  if (!nodes[0]->core.replication_on()) return;
+  sim.Spawn("heal-" + std::to_string(index),
+            [this](sim::Context& ctx) {
+              ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
+              // Reconnected nodes leave the parked state; the membership
+              // reaction below re-parks whoever still lacks a quorum (each
+              // re-park counts a fresh episode) and lets a restored quorum
+              // evict nodes that died while no quorum could act.
+              parked.clear();
+              ReactToMembership(ctx);
+              // Evicted-but-live nodes on the healed side come back.
+              if (!options->rejoin) return;
+              std::vector<NodeId> rejoiners;
+              for (NodeId n = 0; n < static_cast<NodeId>(nodes.size()); ++n) {
+                if (members.count(n) == 0 && !fault->NodeDead(n)) {
+                  rejoiners.push_back(n);
+                }
+              }
+              for (NodeId n : rejoiners) StartRejoin(ctx, n);
+            });
+}
+
+void SimState::OnNodeRevive(NodeId node) {
+  if (!nodes[0]->core.replication_on() || !options->rejoin) return;
+  sim.Spawn("revive-" + std::to_string(node),
+            [this, node](sim::Context& ctx) {
+              ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
+              // A revived node that was never evicted (no quorum could act
+              // while it was dark) is still a member with intact state; the
+              // membership reaction below settles any pending eviction
+              // decisions either way.
+              if (members.count(node) == 0) StartRejoin(ctx, node);
+            });
+}
+
+void SimState::ReactToMembership(sim::Context& ctx) {
+  // Live members and their reachability components (an edge exists while the
+  // pair's link is not severed).
+  std::vector<NodeId> live;
+  for (NodeId m : members) {
+    if (!fault->NodeDead(m)) live.push_back(m);
+  }
+  std::set<NodeId> seen;
+  std::vector<std::vector<NodeId>> components;
+  for (NodeId root : live) {
+    if (seen.count(root) != 0) continue;
+    std::vector<NodeId> comp;
+    std::vector<NodeId> stack = {root};
+    seen.insert(root);
+    while (!stack.empty()) {
+      const NodeId cur = stack.back();
+      stack.pop_back();
+      comp.push_back(cur);
+      for (NodeId next : live) {
+        if (seen.count(next) == 0 && !fault->LinkSevered(cur, next)) {
+          seen.insert(next);
+          stack.push_back(next);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    components.push_back(std::move(comp));
+  }
+  const int quorum = QuorumRequired();
+  const std::vector<NodeId>* majority = nullptr;
+  for (const auto& comp : components) {
+    if (static_cast<int>(comp.size()) >= quorum) {
+      majority = &comp;
+      break;
+    }
+  }
+  if (majority == nullptr) {
+    // No component can commit an eviction: everyone parks, membership
+    // stays as it was (dead nodes included) until connectivity returns.
+    for (NodeId m : live) {
+      if (parked.insert(m).second) {
+        nodes[static_cast<size_t>(m)]->core.NoteQuorumPark();
+      }
+    }
+    return;
+  }
+  std::vector<NodeId> targets;
+  for (NodeId m : members) {
+    if (std::find(majority->begin(), majority->end(), m) == majority->end()) {
+      targets.push_back(m);
+    }
+  }
+  // Apply every eviction before performing any resulting sends, so every
+  // survivor reaches the final epoch before the first StateChunkReq of the
+  // re-replication kickoff can arrive.
+  std::vector<std::pair<SimNode*, KernelCore::Actions>> staged;
+  for (NodeId evictor : *majority) {
+    SimNode& node = *nodes[static_cast<size_t>(evictor)];
+    for (NodeId d : targets) {
+      if (!node.core.NodeAlive(d)) continue;  // already evicted in this view
+      staged.emplace_back(&node,
+                          node.core.ApplyEviction(d, node.core.epoch() + 1));
+    }
+  }
+  for (auto& [node, actions] : staged) {
+    PerformActions(ctx, *this, *node, std::move(actions));
+  }
+  for (NodeId d : targets) members.erase(d);
+  for (const auto& comp : components) {
+    if (&comp == majority) continue;
+    for (NodeId m : comp) {
+      if (parked.insert(m).second) {
+        nodes[static_cast<size_t>(m)]->core.NoteQuorumPark();
+      }
+    }
+  }
+  if (!targets.empty()) EnsureXferNudge();
+}
+
+void SimState::StartRejoin(sim::Context& ctx, NodeId node) {
+  SimNode& rn = *nodes[static_cast<size_t>(node)];
+  rn.core.ResetForRejoin();
+  NodeId coord = -1;
+  for (NodeId m : members) {
+    if (m != node && !fault->NodeDead(m)) {
+      coord = m;
+      break;
+    }
+  }
+  if (coord < 0) return;  // nobody to admit us; a later heal retries
+  proto::Envelope env;
+  env.req_id = 0;
+  env.src_node = node;
+  env.epoch = rn.core.epoch();
+  env.body = proto::NodeJoinReq{node};
+  ChargeAndSend(ctx, *this, node, coord, std::move(env));
+  // Ground truth: admission by a live coordinator is deterministic.
+  members.insert(node);
+  EnsureXferNudge();
+}
+
+void SimState::EnsureXferNudge() {
+  if (xfer_nudge_active) return;
+  xfer_nudge_active = true;
+  sim.Spawn("xfer-nudge", [this](sim::Context& ctx) {
+    // Transfers normally progress on their own ack ping-pong; the nudge
+    // only unsticks deferred starts and chunks lost to injected faults.
+    // Exits after a few consecutive idle rounds (transfers triggered by a
+    // just-sent NodeJoinReq take a round trip to appear).
+    int idle_rounds = 0;
+    while (idle_rounds < 5) {
+      ctx.Sleep(sim::Millis(4 * recovery::kSimDetectionDelayMs));
+      bool any = false;
+      for (auto& entry : nodes) {
+        SimNode& node = *entry;
+        if (fault->NodeDead(node.core.self())) continue;
+        if (node.core.transfers_idle()) continue;
+        any = true;
+        PerformActions(ctx, *this, node, node.core.TickTransfers());
+      }
+      idle_rounds = any ? 0 : idle_rounds + 1;
+    }
+    xfer_nudge_active = false;
+  });
 }
 
 void SimState::Forward(NodeId src, NodeId dst, proto::Envelope env,
@@ -661,6 +881,8 @@ SimReport SimRuntime::Run(const std::string& main_name,
     kopts.rpc_sync_retry = options_.fault_plan.enabled();
     kopts.replication = options_.replication;
     kopts.restart_tasks = options_.restart_tasks;
+    kopts.min_quorum = options_.min_quorum;
+    kopts.rejoin = options_.rejoin;
     kopts.has_task = [this](const std::string& name) {
       return registry_.Has(name);
     };
@@ -669,6 +891,7 @@ SimReport SimRuntime::Run(const std::string& main_name,
     };
     state.nodes.push_back(
         std::make_unique<SimNode>(i, n, std::move(kopts), &state));
+    state.members.insert(i);
   }
 
   // Kernel service processes.

@@ -76,6 +76,17 @@ struct SimOptions {
   int replication = 0;
   // Re-spawn idempotent-registered tasks whose host was evicted.
   bool restart_tasks = false;
+  // Self-healing membership (docs/recovery.md): quorum floor for locally
+  // detected evictions (0 = strict majority of the current membership) and
+  // whether evicted nodes may rejoin. The sim models the converged outcome
+  // deterministically: on a kill or sever it computes the partition
+  // components among the live members, the component holding a quorum
+  // evicts the unreachable nodes, and quorum-less components park
+  // (recovery.quorum_parks) until the fault heals; heals and revives
+  // trigger rejoin + state hand-back over the same wire protocol the
+  // threaded runtime uses.
+  int min_quorum = 0;
+  bool rejoin = true;
   // Optional execution tracing (not owned; may be null). Events carry
   // virtual timestamps; see dse/trace.h for export formats.
   trace::Recorder* trace = nullptr;

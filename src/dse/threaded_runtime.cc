@@ -49,6 +49,8 @@ ThreadedRuntime::ThreadedRuntime(ThreadedOptions options)
     hopts.heartbeat_timeout_ms = options_.heartbeat_timeout_ms;
     hopts.replication = options_.replication;
     hopts.restart_tasks = options_.restart_tasks;
+    hopts.min_quorum = options_.min_quorum;
+    hopts.rejoin = options_.rejoin;
     hopts.registry = &registry_;
     if (i == 0) {
       hopts.console_sink = [this](std::string line) {
@@ -127,6 +129,11 @@ MetricsSnapshot ThreadedRuntime::FaultCounters() const {
 
 bool ThreadedRuntime::NodeKilled(NodeId node) const {
   return fault_ && fault_->NodeDead(node);
+}
+
+void ThreadedRuntime::KillNode(NodeId node) {
+  DSE_CHECK_MSG(fault_ != nullptr, "KillNode requires an active fault plan");
+  fault_->KillNow(node);
 }
 
 std::map<std::string, RunningStats> ThreadedRuntime::ClusterHistograms()

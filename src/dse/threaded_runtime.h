@@ -52,6 +52,11 @@ struct ThreadedOptions {
   int replication = 0;
   // Re-spawn idempotent-registered tasks whose host was evicted.
   bool restart_tasks = false;
+  // Self-healing membership (docs/recovery.md): quorum floor for locally
+  // detected evictions (0 = strict majority of the current membership) and
+  // whether evicted nodes may rejoin the cluster.
+  int min_quorum = 0;
+  bool rejoin = true;
 };
 
 class ThreadedRuntime {
@@ -95,6 +100,10 @@ class ThreadedRuntime {
   MetricsSnapshot FaultCounters() const;
   // True once the fault injector's kill schedule fired for `node`.
   bool NodeKilled(NodeId node) const;
+  // Kills `node` immediately through the fault injector (requires an active
+  // fault plan). Used by tests that stage a second death after observing
+  // re-replication complete.
+  void KillNode(NodeId node);
 
  private:
   struct Fabric;

@@ -111,11 +111,14 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text) {
       plan.delay_p = p;
       plan.delay_frames = static_cast<int>(n);
     } else if (d == "sever") {
-      // sever A B after N
-      DSE_RETURN_IF_ERROR(arity(5));
-      if (tok[3] != "after") {
+      // sever A B after N [heal M]
+      if (tok.size() != 5 && tok.size() != 7) {
         return InvalidArgument("fault plan line " + std::to_string(line_no) +
-                               ": expected 'sever A B after N'");
+                               ": expected 'sever A B after N [heal M]'");
+      }
+      if (tok[3] != "after" || (tok.size() == 7 && tok[5] != "heal")) {
+        return InvalidArgument("fault plan line " + std::to_string(line_no) +
+                               ": expected 'sever A B after N [heal M]'");
       }
       FaultPlan::Sever s;
       if (Status st = ParseNode(tok[1], &s.a); !st.ok()) return fail(st);
@@ -125,17 +128,34 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text) {
         return InvalidArgument("fault plan line " + std::to_string(line_no) +
                                ": cannot sever a node from itself");
       }
+      if (tok.size() == 7) {
+        std::uint64_t heal = 0;
+        if (Status st = ParseU64(tok[6], &heal); !st.ok()) return fail(st);
+        s.heal = static_cast<std::int64_t>(heal);
+      }
       plan.severs.push_back(s);
     } else if (d == "kill") {
-      // kill X at N
-      DSE_RETURN_IF_ERROR(arity(4));
-      if (tok[2] != "at") {
+      // kill X at N [revive M]
+      if (tok.size() != 4 && tok.size() != 6) {
         return InvalidArgument("fault plan line " + std::to_string(line_no) +
-                               ": expected 'kill X at N'");
+                               ": expected 'kill X at N [revive M]'");
+      }
+      if (tok[2] != "at" || (tok.size() == 6 && tok[4] != "revive")) {
+        return InvalidArgument("fault plan line " + std::to_string(line_no) +
+                               ": expected 'kill X at N [revive M]'");
       }
       FaultPlan::Kill k;
       if (Status st = ParseNode(tok[1], &k.node); !st.ok()) return fail(st);
       if (Status st = ParseU64(tok[3], &k.at); !st.ok()) return fail(st);
+      if (tok.size() == 6) {
+        std::uint64_t revive = 0;
+        if (Status st = ParseU64(tok[5], &revive); !st.ok()) return fail(st);
+        if (revive <= k.at) {
+          return InvalidArgument("fault plan line " + std::to_string(line_no) +
+                                 ": revive frame must come after the kill");
+        }
+        k.revive = static_cast<std::int64_t>(revive);
+      }
       plan.kills.push_back(k);
     } else {
       return InvalidArgument("fault plan line " + std::to_string(line_no) +
@@ -175,21 +195,40 @@ FaultAction FaultInjector::OnSend(NodeId src, NodeId dst,
   ++total_frames_;
 
   // Kill schedules fire on the global frame count; the triggering frame is
-  // already subject to the crash.
-  for (const FaultPlan::Kill& k : plan_.kills) {
-    if (total_frames_ >= k.at) dead_.insert(k.node);
+  // already subject to the crash. A revive lifts the frame blackout once its
+  // own global frame count passes — the node's state is whatever it was at
+  // the kill; re-admission is the membership layer's job.
+  if (kill_fired_.size() != plan_.kills.size()) {
+    kill_fired_.assign(plan_.kills.size(), 0);
+    kill_revived_.assign(plan_.kills.size(), 0);
+  }
+  for (size_t i = 0; i < plan_.kills.size(); ++i) {
+    const FaultPlan::Kill& k = plan_.kills[i];
+    if (!kill_fired_[i] && total_frames_ >= k.at) {
+      kill_fired_[i] = 1;
+      ++kills_fired_;
+      dead_.insert(k.node);
+    }
+    if (kill_fired_[i] && !kill_revived_[i] && k.revive >= 0 &&
+        total_frames_ >= static_cast<std::uint64_t>(k.revive)) {
+      kill_revived_[i] = 1;
+      dead_.erase(k.node);
+    }
   }
   if (dead_.count(src) > 0 || dead_.count(dst) > 0) {
     ++dead_drops_;
     return FaultAction{false, false, -1, 0};
   }
 
-  // Severs count frames on the unordered pair (both directions).
+  // Severs count frames on the unordered pair (both directions); heals lift
+  // them on the global frame count.
   const auto pair_key = std::make_pair(std::min(src, dst), std::max(src, dst));
   const std::uint64_t pair_n = ++pair_frames_[pair_key];
   for (const FaultPlan::Sever& s : plan_.severs) {
     const auto sk = std::make_pair(std::min(s.a, s.b), std::max(s.a, s.b));
-    if (sk == pair_key && pair_n > s.after) {
+    if (sk == pair_key && pair_n > s.after &&
+        !(s.heal >= 0 &&
+          total_frames_ >= static_cast<std::uint64_t>(s.heal))) {
       ++severed_drops_;
       return FaultAction{false, false, -1, 0};
     }
@@ -236,6 +275,32 @@ bool FaultInjector::NodeDead(NodeId node) const {
   return dead_.count(node) > 0;
 }
 
+bool FaultInjector::LinkSevered(NodeId a, NodeId b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pair_key = std::make_pair(std::min(a, b), std::max(a, b));
+  const auto it = pair_frames_.find(pair_key);
+  const std::uint64_t pair_n = it == pair_frames_.end() ? 0 : it->second;
+  for (const FaultPlan::Sever& s : plan_.severs) {
+    const auto sk = std::make_pair(std::min(s.a, s.b), std::max(s.a, s.b));
+    // The drop path pre-increments the pair counter, so its `> after` check
+    // sees the in-flight frame; this query does not, hence `>=`: it answers
+    // "would a frame sent NOW be dropped?" — in particular an `after 0`
+    // sever is severed even on a pair that never carried a frame (the sim
+    // has no heartbeats to prime the counter).
+    if (sk == pair_key && pair_n >= s.after &&
+        !(s.heal >= 0 &&
+          total_frames_ >= static_cast<std::uint64_t>(s.heal))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::KillNow(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_.insert(node).second) ++kills_fired_;
+}
+
 MetricsSnapshot FaultInjector::Counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
@@ -250,7 +315,7 @@ MetricsSnapshot FaultInjector::Counters() const {
   put("fault.injected.reorder", reordered_);
   put("fault.injected.sever_drop", severed_drops_);
   put("fault.injected.dead_drop", dead_drops_);
-  put("fault.killed_nodes", dead_.size());
+  put("fault.killed_nodes", kills_fired_);
   return snap;
 }
 

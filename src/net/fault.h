@@ -45,17 +45,23 @@ struct FaultPlan {
   double reorder_p = 0;   // frame swapped with the next one on its link
 
   // Cuts both directions between `a` and `b` once the pair has carried
-  // `after` frames (a partition that develops mid-run).
+  // `after` frames (a partition that develops mid-run). With `heal` >= 0 the
+  // cut is lifted once the injector has seen `heal` frames in total — the
+  // partition mends and the membership layer can unpark / rejoin.
   struct Sever {
     NodeId a = -1;
     NodeId b = -1;
     std::uint64_t after = 0;
+    std::int64_t heal = -1;  // global frame count; -1 = never heals
   };
   // Crashes `node` once the injector has seen `at` frames in total: from
-  // then on every frame from or to the node is discarded.
+  // then on every frame from or to the node is discarded. With `revive` >= 0
+  // the node comes back (frames flow again) once the injector has seen
+  // `revive` frames in total; the membership layer then re-admits it.
   struct Kill {
     NodeId node = -1;
     std::uint64_t at = 0;
+    std::int64_t revive = -1;  // global frame count; -1 = stays dead
   };
   std::vector<Sever> severs = {};
   std::vector<Kill> kills = {};
@@ -74,7 +80,9 @@ struct FaultPlan {
 //   delay 0.02 3
 //   reorder 0.02
 //   sever 0 1 after 100
+//   sever 0 1 after 100 heal 900
 //   kill 3 at 60
+//   kill 3 at 60 revive 700
 // '#' starts a comment; unknown directives and malformed values are errors.
 Result<FaultPlan> ParseFaultPlan(const std::string& text);
 
@@ -101,6 +109,14 @@ class FaultInjector {
   // True once a kill schedule has triggered for `node`.
   bool NodeDead(NodeId node) const;
 
+  // True while the pair (a, b) is severed (the cut fired and has not healed).
+  bool LinkSevered(NodeId a, NodeId b) const;
+
+  // Kills `node` immediately, outside any schedule (tests drive a second,
+  // condition-gated death with this — e.g. "after re-replication reported
+  // complete"). Counted like a scheduled kill.
+  void KillNow(NodeId node);
+
   const FaultPlan& plan() const { return plan_; }
 
   // Injected-fault tallies (fault.injected.* / fault.killed_nodes),
@@ -121,6 +137,10 @@ class FaultInjector {
   // Combined frame count per unordered pair (sever thresholds).
   std::map<std::pair<NodeId, NodeId>, std::uint64_t> pair_frames_;
   std::set<NodeId> dead_;
+  std::vector<char> kill_fired_;    // one flag per plan kill entry
+  std::vector<char> kill_revived_;  // one flag per plan kill entry
+  std::uint64_t kills_fired_ = 0;   // kill events ever fired (revives don't
+                                    // decrement — it counts deaths, not dead)
 
   std::uint64_t dropped_ = 0;
   std::uint64_t truncated_ = 0;

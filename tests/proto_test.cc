@@ -2,6 +2,7 @@
 // rejected cleanly.
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "dse/proto/messages.h"
 
 namespace dse::proto {
@@ -206,6 +207,117 @@ TEST(Proto, BadAtomicOpRejected) {
   EXPECT_FALSE(Decode(bytes).ok());
 }
 
+// --- Membership / state-transfer frames (self-healing membership) -----------
+
+TEST(Proto, NodeJoinRoundTrip) {
+  const auto req = RoundTrip(Env(NodeJoinReq{3}, /*req_id=*/0));
+  EXPECT_EQ(std::get<NodeJoinReq>(req.body).node, 3);
+
+  NodeJoinResp resp;
+  resp.node = 3;
+  resp.epoch = 9;
+  resp.alive = {1, 1, 0, 1};
+  const auto out = RoundTrip(Env(resp, /*req_id=*/0));
+  const auto& m = std::get<NodeJoinResp>(out.body);
+  EXPECT_EQ(m.node, 3);
+  EXPECT_EQ(m.epoch, 9u);
+  EXPECT_EQ(m.alive, (std::vector<std::uint8_t>{1, 1, 0, 1}));
+  // Control frames, not client responses: they must never release an RPC.
+  EXPECT_FALSE(IsClientResponse(MsgType::kNodeJoinReq));
+  EXPECT_FALSE(IsClientResponse(MsgType::kNodeJoinResp));
+}
+
+TEST(Proto, StateChunkRoundTrip) {
+  StateChunkReq chunk;
+  chunk.primary = 2;
+  chunk.epoch = 4;
+  chunk.index = 7;
+  chunk.total = 12;
+  chunk.data = std::vector<std::uint8_t>(8192, 0xA7);
+  const auto out = RoundTrip(Env(chunk, /*req_id=*/0));
+  const auto& m = std::get<StateChunkReq>(out.body);
+  EXPECT_EQ(m.primary, 2);
+  EXPECT_EQ(m.epoch, 4u);
+  EXPECT_EQ(m.index, 7u);
+  EXPECT_EQ(m.total, 12u);
+  EXPECT_EQ(m.data.size(), 8192u);
+  EXPECT_EQ(m.data[4096], 0xA7);
+
+  const auto ack = RoundTrip(Env(StateChunkResp{2, 7}, /*req_id=*/0));
+  EXPECT_EQ(std::get<StateChunkResp>(ack.body).index, 7u);
+  EXPECT_FALSE(IsClientResponse(MsgType::kStateChunkReq));
+  EXPECT_FALSE(IsClientResponse(MsgType::kStateChunkResp));
+}
+
+TEST(Proto, EmptyStateChunkRoundTrip) {
+  // A rejoiner whose home held nothing still gets a (dataless) handoff.
+  StateChunkReq chunk;
+  chunk.primary = 1;
+  chunk.total = 1;
+  const auto out = RoundTrip(Env(chunk, /*req_id=*/0));
+  EXPECT_TRUE(std::get<StateChunkReq>(out.body).data.empty());
+}
+
+// Every prefix of the new frames' encodings must decode to a clean error —
+// the fault injector truncates frames at arbitrary byte counts and the
+// recovery path feeds survivors whatever arrives.
+TEST(Proto, MembershipFramesRejectEveryTruncation) {
+  StateChunkReq chunk;
+  chunk.primary = 1;
+  chunk.epoch = 2;
+  chunk.index = 0;
+  chunk.total = 3;
+  chunk.data = {9, 8, 7, 6, 5};
+  NodeJoinResp resp;
+  resp.node = 2;
+  resp.epoch = 5;
+  resp.alive = {1, 0, 1};
+  const std::vector<Body> bodies = {NodeJoinReq{1}, resp, chunk,
+                                    StateChunkResp{1, 2}};
+  for (const Body& body : bodies) {
+    const auto bytes = Encode(Env(body, /*req_id=*/0));
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      std::vector<std::uint8_t> prefix(bytes.begin(),
+                                       bytes.begin() + static_cast<long>(cut));
+      EXPECT_FALSE(Decode(prefix).ok())
+          << MsgTypeName(TypeOf(body)) << " accepted a " << cut
+          << "-byte prefix of " << bytes.size();
+    }
+  }
+}
+
+// Seeded byte-flip fuzz: a corrupted membership frame must either decode (a
+// flip in a value field) or fail with a Status — never crash or hang. The
+// length-prefixed vectors inside are the dangerous part (a flipped length
+// must not drive a huge allocation or an out-of-range read).
+TEST(Proto, MembershipFramesSurviveByteFlipFuzz) {
+  StateChunkReq chunk;
+  chunk.primary = 0;
+  chunk.epoch = 1;
+  chunk.index = 2;
+  chunk.total = 4;
+  chunk.data = std::vector<std::uint8_t>(64, 0x3C);
+  NodeJoinResp resp;
+  resp.node = 1;
+  resp.epoch = 2;
+  resp.alive = {1, 1, 1, 0};
+  const std::vector<Body> bodies = {NodeJoinReq{2}, resp, chunk,
+                                    StateChunkResp{0, 2}};
+  Rng rng(0xC0FFEE);
+  for (const Body& body : bodies) {
+    const auto clean = Encode(Env(body, /*req_id=*/0));
+    for (int trial = 0; trial < 200; ++trial) {
+      auto bytes = clean;
+      const size_t pos = rng.NextBelow(bytes.size());
+      bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.NextBelow(255));
+      const auto decoded = Decode(bytes);  // outcome free, crash forbidden
+      if (decoded.ok()) {
+        EXPECT_EQ(Encode(*decoded).size(), bytes.size());
+      }
+    }
+  }
+}
+
 TEST(Proto, GpidHelpers) {
   const Gpid g = MakeGpid(7, 123);
   EXPECT_EQ(GpidNode(g), 7);
@@ -227,14 +339,19 @@ TEST_P(ProtoAllTypes, EncodedSizeIsStable) {
       BarrierEnter{}, BarrierRelease{}, SpawnReq{}, SpawnResp{}, JoinReq{},
       JoinResp{}, PsReq{}, PsResp{}, ConsoleOut{}, Shutdown{}, NamePublish{},
       NameAck{}, NameLookup{}, NameResp{}, LoadReq{}, LoadResp{}, StatsReq{},
-      StatsResp{{{"msg.sent.ReadReq", 3}, {"net.bytes_sent", 120}}}};
+      StatsResp{{{"msg.sent.ReadReq", 3}, {"net.bytes_sent", 120}}},
+      BatchReq{}, BatchResp{}, Heartbeat{},
+      ReplicateReq{1, 9, 2, {5, 5}}, ReplicateAck{9}, EvictReq{2, 3},
+      RetryResp{3, 2}, NodeJoinReq{1}, NodeJoinResp{1, 4, {1, 1, 0}},
+      StateChunkReq{0, 4, 1, 2, {7, 7, 7}}, StateChunkResp{0, 1}};
+  ASSERT_EQ(bodies.size(), std::variant_size_v<Body>);
   const auto& body = bodies[static_cast<size_t>(GetParam())];
   const Envelope env = Env(body);
   EXPECT_EQ(Encode(env), Encode(env));
   RoundTrip(env);
 }
 
-INSTANTIATE_TEST_SUITE_P(EveryType, ProtoAllTypes, ::testing::Range(0, 33));
+INSTANTIATE_TEST_SUITE_P(EveryType, ProtoAllTypes, ::testing::Range(0, 44));
 
 }  // namespace
 }  // namespace dse::proto

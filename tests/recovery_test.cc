@@ -19,6 +19,8 @@
 // fault_injection_test.cc with one decisive difference: the array is homed
 // ON the node the kill schedule targets, so the right answer is only
 // reachable through the replicated backup.
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -29,6 +31,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "dse/collections.h"
 #include "dse/sim_runtime.h"
@@ -150,6 +153,91 @@ void RegisterGaussOnDoomed(TaskRegistry& registry) {
       workers.push_back(*gpid);
     }
     for (Gpid g : workers) ASSERT_TRUE(t.Join(g).ok());
+
+    std::vector<double> got(kCells);
+    t.ReadArray(*addr, got.data(), got.size());
+    const std::vector<double> want = SerialGaussSeidel();
+    std::int64_t mismatches = 0;
+    for (int i = 0; i < kCells; ++i) {
+      if (std::memcmp(&got[static_cast<size_t>(i)],
+                      &want[static_cast<size_t>(i)], 8) != 0) {
+        ++mismatches;
+      }
+    }
+    ByteWriter w;
+    w.WriteI64(mismatches);
+    t.SetResult(w.TakeBuffer());
+  });
+}
+
+// Parameterized variant of the acceptance program for the self-healing
+// tests: the array is homed on `home` and worker `w` is pinned to
+// `pins[w]`, so kill/sever schedules can target nodes hosting no task
+// (the runtimes model *network* death — a killed node's task threads and
+// coroutines keep running, so doomed nodes must stay task-free; see
+// docs/fault_model.md). When `resume_gate` is non-null (threaded only —
+// it spins on the wall clock), the main task waits for the test body to
+// set it before the final verification read, guaranteeing that read
+// happens after every staged fault has fired.
+void RegisterGaussHomedOn(TaskRegistry& registry, NodeId home,
+                          std::array<NodeId, kWorkers> pins,
+                          std::atomic<bool>* resume_gate = nullptr) {
+  registry.Register("gs_worker", [](Task& t) {
+    ByteReader r(t.arg().data(), t.arg().size());
+    std::uint64_t addr = 0;
+    std::int64_t lo = 0, hi = 0;
+    ASSERT_TRUE(r.ReadU64(&addr).ok());
+    ASSERT_TRUE(r.ReadI64(&lo).ok());
+    ASSERT_TRUE(r.ReadI64(&hi).ok());
+    std::vector<double> x(kCells);
+    for (int sweep = 0; sweep < kSweeps; ++sweep) {
+      for (int color = 0; color < 2; ++color) {
+        t.ReadArray(addr, x.data(), x.size());
+        for (std::int64_t i = lo; i <= hi; ++i) {
+          if (i % 2 != color) continue;
+          const double v = 0.5 * (x[static_cast<size_t>(i - 1)] +
+                                  x[static_cast<size_t>(i + 1)]);
+          t.WriteValue(addr + static_cast<std::uint64_t>(i) * 8, v);
+        }
+        const std::uint64_t barrier_id =
+            static_cast<std::uint64_t>((sweep * 2 + color + 1)) *
+            static_cast<std::uint64_t>(t.num_nodes());
+        ASSERT_TRUE(t.Barrier(barrier_id, kWorkers).ok());
+      }
+    }
+  });
+
+  registry.Register("gs_main", [home, pins, resume_gate](Task& t) {
+    auto addr = t.AllocOnNode(kCells * 8, home);
+    ASSERT_TRUE(addr.ok());
+    std::vector<double> init(kCells, 0.0);
+    init[0] = 1.0;
+    init[kCells - 1] = 2.0;
+    t.WriteArray(*addr, init.data(), init.size());
+
+    std::vector<Gpid> workers;
+    const int span = (kCells - 2) / kWorkers;
+    for (int w = 0; w < kWorkers; ++w) {
+      ByteWriter arg;
+      arg.WriteU64(*addr);
+      arg.WriteI64(1 + w * span);
+      arg.WriteI64(w == kWorkers - 1 ? kCells - 2 : (w + 1) * span);
+      auto gpid = t.Spawn("gs_worker", arg.TakeBuffer(),
+                          pins[static_cast<size_t>(w)]);
+      ASSERT_TRUE(gpid.ok());
+      workers.push_back(*gpid);
+    }
+    for (Gpid g : workers) ASSERT_TRUE(t.Join(g).ok());
+
+    if (resume_gate != nullptr) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(45);
+      while (!resume_gate->load() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      EXPECT_TRUE(resume_gate->load()) << "staged fault never fired";
+    }
 
     std::vector<double> got(kCells);
     t.ReadArray(*addr, got.data(), got.size());
@@ -459,6 +547,232 @@ TEST(RecoveryThreaded, WorkQueueOnKilledNodeClaimsEachIndexOnce) {
   EXPECT_GE(SumCounter(rt.ClusterStats(), "recovery.promotions"), 1u);
 }
 
+// --- Self-healing membership: threaded runtime ------------------------------
+
+// The acceptance criterion of docs/recovery.md's self-healing layer: with
+// replication = 1, kill the node homing the data, wait for the promoted
+// home to re-replicate to its new backup, then kill the promoted node too.
+// Two sequential (non-concurrent) deaths — and the final array is still
+// bit-for-bit the serial answer, because the second death fails over to
+// the replica the re-replication stream just rebuilt.
+TEST(RecoveryThreaded, TwoSequentialDeathsWithReReplicationBetween) {
+  constexpr NodeId kFirstDead = 2;   // homes the array; backup = node 3
+  constexpr NodeId kSecondDead = 3;  // promotes, re-replicates to node 0
+  ThreadedOptions o;
+  o.num_nodes = 4;
+  o.fault_plan.seed = 21;
+  o.fault_plan.kills.push_back({kFirstDead, 300});
+  o.rpc_deadline_ms = 60;
+  o.rpc_max_attempts = 10;
+  o.rpc_backoff_base_ms = 1;
+  // Wider than the other recovery tests: two real deaths plus a parallel
+  // test load must not add starvation-induced false suspicions on top (a
+  // false eviction of the streaming node mid-transfer makes the second
+  // death concurrent with the first — outside the f=1-over-time contract).
+  o.heartbeat_period_ms = 60;
+  o.replication = 1;
+  ThreadedRuntime rt(o);
+
+  std::atomic<bool> second_kill_done{false};
+  RegisterGaussHomedOn(rt.registry(), kFirstDead, {0, 1, 0},
+                       &second_kill_done);
+
+  // The second death is condition-gated, not scheduled: it must not fire
+  // until the new primary reports the re-replication complete (killing
+  // earlier would legitimately lose the un-rebuilt replica).
+  std::thread watcher([&rt, &second_kill_done] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline &&
+           SumCounter(rt.ClusterStats(), "recovery.rereplications") < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    rt.KillNode(kSecondDead);
+    second_kill_done.store(true);
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("gs_main")), 0);
+  watcher.join();
+
+  EXPECT_TRUE(rt.NodeKilled(kFirstDead));
+  EXPECT_TRUE(rt.NodeKilled(kSecondDead));
+  const auto stats = rt.ClusterStats();
+  EXPECT_GE(SumCounter(stats, "recovery.rereplications"), 1u);
+  EXPECT_GE(SumCounter(stats, "gmm.xfer.chunks"), 1u);
+  EXPECT_GE(SumCounter(stats, "gmm.xfer.bytes"), 1u);
+  EXPECT_GE(SumCounter(stats, "recovery.promotions"), 2u);
+}
+
+// Quorum-guarded eviction: sever a single node away from the other three.
+// The majority side holds a quorum and evicts the minority node; the
+// minority node can reach only itself, parks (recovery.quorum_parks), and
+// never applies an eviction of its own — a severed minority must not fork
+// the membership by evicting the majority.
+TEST(RecoveryThreaded, SeveredMinorityParksInsteadOfForking) {
+  constexpr NodeId kIsolated = 3;
+  ThreadedOptions o;
+  o.num_nodes = 4;
+  o.fault_plan.seed = 21;
+  for (NodeId n = 0; n < 3; ++n) {
+    o.fault_plan.severs.push_back({kIsolated, n, 0, -1});
+  }
+  o.rpc_deadline_ms = 60;
+  o.rpc_max_attempts = 10;
+  o.rpc_backoff_base_ms = 1;
+  o.heartbeat_period_ms = 20;
+  o.replication = 1;
+  ThreadedRuntime rt(o);
+
+  // The sweep itself finishes faster than the liveness timeout can latch
+  // the severed node, so gate the final read on the membership reaction
+  // having actually happened: majority evicted, minority parked.
+  std::atomic<bool> reacted{false};
+  RegisterGaussHomedOn(rt.registry(), 1, {0, 1, 2}, &reacted);
+  std::thread watcher([&rt, &reacted] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto s = rt.ClusterStats();
+      if (SumCounter(s, "recovery.evictions") >= 1 &&
+          Get(s[kIsolated], "recovery.quorum_parks") >= 1) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    reacted.store(true);
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("gs_main")), 0);
+  watcher.join();
+
+  const auto stats = rt.ClusterStats();
+  // The minority node parked and performed ZERO evictions.
+  EXPECT_GE(Get(stats[kIsolated], "recovery.quorum_parks"), 1u);
+  EXPECT_EQ(Get(stats[kIsolated], "recovery.evictions"), 0u);
+  // The majority side evicted the unreachable node.
+  EXPECT_GE(Get(stats[0], "recovery.evictions") +
+                Get(stats[1], "recovery.evictions") +
+                Get(stats[2], "recovery.evictions"),
+            1u);
+}
+
+// A symmetric 2-2 partition leaves NO side with a quorum: every node parks,
+// nobody is evicted, in-flight calls fail over and wait — and when the
+// partition heals, the latched suspicions are revoked and the parked calls
+// complete with the exact answer. Total evictions across the run: zero.
+TEST(RecoveryThreaded, SymmetricPartitionParksAndResumesAfterHeal) {
+  ThreadedOptions o;
+  o.num_nodes = 4;
+  o.fault_plan.seed = 21;
+  // {0,1} | {2,3} from the first frame; heals ~1 s in (heartbeat traffic
+  // alone advances the injector's global frame count).
+  o.fault_plan.severs.push_back({0, 2, 0, 600});
+  o.fault_plan.severs.push_back({0, 3, 0, 600});
+  o.fault_plan.severs.push_back({1, 2, 0, 600});
+  o.fault_plan.severs.push_back({1, 3, 0, 600});
+  o.rpc_deadline_ms = 60;
+  o.rpc_max_attempts = 10;
+  o.rpc_backoff_base_ms = 1;
+  o.heartbeat_period_ms = 20;
+  o.replication = 1;
+  ThreadedRuntime rt(o);
+
+  rt.registry().Register("main", [](Task& t) {
+    auto addr = t.AllocOnNode(8, 2);  // across the partition
+    ASSERT_TRUE(addr.ok());
+    // This write parks with the cluster and lands only after the heal.
+    t.WriteValue<std::int64_t>(*addr, 77);
+    const std::int64_t got = t.ReadValue<std::int64_t>(*addr);
+    ByteWriter w;
+    w.WriteI64(got == 77 ? 0 : 1);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+
+  const auto stats = rt.ClusterStats();
+  EXPECT_GE(SumCounter(stats, "recovery.quorum_parks"), 2u);
+  EXPECT_EQ(SumCounter(stats, "recovery.evictions"), 0u);
+}
+
+// Node rejoin: an evicted node that comes back (kill ... revive) learns of
+// its eviction from the coordinator's re-announcement, resets, is
+// re-admitted under a bumped epoch, gets its home state handed back over
+// the transfer machinery, and serves again — including accepting new
+// idempotent task placements. The value written before the death must read
+// back bit-identically from the rejoined node.
+TEST(RecoveryThreaded, EvictedNodeRejoinsAndServesAgain) {
+  constexpr NodeId kBouncer = 3;
+  ThreadedOptions o;
+  o.num_nodes = 4;
+  o.fault_plan.seed = 21;
+  o.fault_plan.kills.push_back({kBouncer, 200, 1500});
+  o.rpc_deadline_ms = 60;
+  o.rpc_max_attempts = 10;
+  o.rpc_backoff_base_ms = 1;
+  o.heartbeat_period_ms = 20;
+  o.replication = 1;
+  ThreadedRuntime rt(o);
+
+  rt.registry().RegisterIdempotent("echo7", [](Task& t) {
+    ByteWriter w;
+    w.WriteI64(7);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  std::atomic<bool> rejoined{false};
+  rt.registry().Register("main", [&rejoined](Task& t) {
+    auto addr = t.AllocOnNode(8, kBouncer);
+    ASSERT_TRUE(addr.ok());
+    t.WriteValue<std::int64_t>(*addr, 42);  // replicated to node 0's shadow
+
+    // Wait out death, eviction, revival and re-admission (the test body
+    // flips the flag when the coordinator counts the rejoin).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(40);
+    while (!rejoined.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_TRUE(rejoined.load()) << "node never rejoined";
+
+    // Served by the rejoined node after the hand-back: same bits.
+    const std::int64_t before = t.ReadValue<std::int64_t>(*addr);
+    t.WriteValue<std::int64_t>(*addr, 43);
+    const std::int64_t after = t.ReadValue<std::int64_t>(*addr);
+    // And the node accepts idempotent placements again.
+    auto gpid = t.Spawn("echo7", {}, kBouncer);
+    bool echoed = false;
+    if (gpid.ok()) {
+      auto joined = t.Join(*gpid);
+      if (joined.ok()) {
+        ByteReader r(joined->data(), joined->size());
+        std::int64_t v = 0;
+        echoed = r.ReadI64(&v).ok() && v == 7;
+      }
+    }
+    ByteWriter w;
+    w.WriteI64(before == 42 && after == 43 && echoed ? 0 : 1);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  std::thread watcher([&rt, &rejoined] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(35);
+    while (std::chrono::steady_clock::now() < deadline &&
+           SumCounter(rt.ClusterStats(), "recovery.rejoins") < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    rejoined.store(true);
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  watcher.join();
+
+  const auto stats = rt.ClusterStats();
+  EXPECT_GE(SumCounter(stats, "recovery.rejoins"), 1u);
+  EXPECT_GE(SumCounter(stats, "gmm.xfer.chunks"), 1u);
+}
+
 // --- Simulated runtime ------------------------------------------------------
 
 // Acceptance, simulation: same program, same kill of the data's home node,
@@ -525,6 +839,159 @@ TEST(RecoverySim, ReplicationAddsOnlyReplicationTraffic) {
   EXPECT_GE(forwards, 1u);
   // Every forward is one ReplicateReq plus one ReplicateAck.
   EXPECT_EQ(r1.messages, r0.messages + 2 * forwards);
+}
+
+// --- Self-healing membership: simulated runtime -----------------------------
+
+SimOptions SelfHealingSimOptions() {
+  SimOptions opts;
+  opts.profile = platform::SunOsSparc();
+  opts.num_processors = 4;
+  opts.fault_plan.seed = 21;
+  opts.rpc_deadline_ms = 50;
+  opts.rpc_max_attempts = 10;
+  opts.rpc_backoff_base_ms = 1;
+  opts.replication = 1;
+  return opts;
+}
+
+// The two-sequential-deaths acceptance run, deterministic edition: node 2
+// (homing the array) dies, node 3 promotes and re-replicates to node 0,
+// then node 3 dies too — and the sweep still lands bit-for-bit on the
+// serial answer, identically across runs.
+TEST(RecoverySim, TwoSequentialDeathsBitForBit) {
+  SimOptions opts = SelfHealingSimOptions();
+  opts.fault_plan.kills.push_back({2, 400});
+  opts.fault_plan.kills.push_back({3, 650});
+  SimRuntime rt(opts);
+  RegisterGaussHomedOn(rt.registry(), 2, {0, 1, 0});
+
+  const SimReport a = rt.Run("gs_main");
+  const SimReport b = rt.Run("gs_main");
+
+  EXPECT_EQ(ResultI64(a.main_result), 0);
+  EXPECT_EQ(Get(a.fault_counters, "fault.killed_nodes"), 2u);
+  EXPECT_GE(SumCounter(a.node_stats, "recovery.rereplications"), 1u);
+  EXPECT_GE(SumCounter(a.node_stats, "gmm.xfer.chunks"), 1u);
+  EXPECT_GE(SumCounter(a.node_stats, "recovery.promotions"), 2u);
+
+  EXPECT_EQ(a.virtual_seconds, b.virtual_seconds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.main_result, b.main_result);
+  EXPECT_EQ(a.node_stats, b.node_stats);
+  EXPECT_EQ(a.fault_counters, b.fault_counters);
+}
+
+// Deterministic minority-park: node 3 is severed from everyone from frame
+// zero and never healed. The {0,1,2} side holds a quorum and evicts it;
+// node 3 itself parks and applies no eviction of its own.
+TEST(RecoverySim, SeveredMinorityParksDeterministically) {
+  SimOptions opts = SelfHealingSimOptions();
+  for (NodeId n = 0; n < 3; ++n) {
+    opts.fault_plan.severs.push_back({3, n, 0, -1});
+  }
+  SimRuntime rt(opts);
+  RegisterGaussHomedOn(rt.registry(), 1, {0, 1, 2});
+
+  const SimReport a = rt.Run("gs_main");
+  const SimReport b = rt.Run("gs_main");
+
+  EXPECT_EQ(ResultI64(a.main_result), 0);
+  EXPECT_GE(Get(a.node_stats[3], "recovery.quorum_parks"), 1u);
+  EXPECT_EQ(Get(a.node_stats[3], "recovery.evictions"), 0u);
+  EXPECT_GE(SumCounter(a.node_stats, "recovery.evictions"), 1u);
+  EXPECT_EQ(a.main_result, b.main_result);
+  EXPECT_EQ(a.node_stats, b.node_stats);
+}
+
+// A two-node cluster cannot evict anyone (majority of 2 is 2): when node 1
+// goes silent, node 0 parks instead of declaring itself the cluster. The
+// app-level retry loop pumps frames until the plan revives node 1, at
+// which point the parked write lands and reads back exactly. Zero
+// evictions across the entire episode.
+TEST(RecoverySim, TwoNodeParkAndResumeAfterRevive) {
+  SimOptions opts = SelfHealingSimOptions();
+  opts.num_processors = 2;
+  opts.rpc_deadline_ms = 5;
+  opts.fault_plan.kills.push_back({1, 150, 250});
+
+  SimRuntime rt(opts);
+  rt.registry().Register("main", [](Task& t) {
+    auto addr = t.AllocOnNode(8, 1);
+    ASSERT_TRUE(addr.ok());
+    // A steady stream of writes; the frames they generate are what carries
+    // the injector's counter across the kill threshold mid-stream. Once
+    // node 1 goes dark every write fails (parked cluster: nobody may evict)
+    // and the application-level retries keep pumping frames until the plan
+    // revives it — at which point the stream resumes and completes.
+    // Deterministic, so the retry bound is exact across runs.
+    bool all_ok = true;
+    for (std::int64_t i = 1; i <= 80; ++i) {
+      Status s = Status::Ok();
+      for (int attempt = 0; attempt < 500; ++attempt) {
+        s = t.Write(*addr, &i, sizeof(i));
+        if (s.ok()) break;
+      }
+      if (!s.ok()) {
+        all_ok = false;
+        break;
+      }
+    }
+    std::int64_t got = 0;
+    if (all_ok) got = t.ReadValue<std::int64_t>(*addr);
+    ByteWriter w;
+    w.WriteI64(all_ok && got == 80 ? 0 : 1);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  const SimReport a = rt.Run("main");
+  const SimReport b = rt.Run("main");
+
+  EXPECT_EQ(ResultI64(a.main_result), 0);
+  EXPECT_GE(Get(a.node_stats[0], "recovery.quorum_parks"), 1u);
+  EXPECT_EQ(SumCounter(a.node_stats, "recovery.evictions"), 0u);
+  EXPECT_EQ(a.main_result, b.main_result);
+  EXPECT_EQ(a.node_stats, b.node_stats);
+}
+
+// Seeded chaos soak (the CI chaos-soak job runs this under ASan): each
+// seed derives a two-phase fault schedule — isolate node 3 behind severs
+// that later heal (evict → park → rejoin with state hand-back), then kill
+// node 2, the data's home, with a later revive (promote → re-replicate →
+// rejoin). Whatever the schedule, the sweep must land bit-for-bit on the
+// serial answer — the in-task mismatch count IS the bit-for-bit check
+// against the fault-free result — and at least one rejoin must complete.
+TEST(RecoverySim, ChaosSoakMatchesFaultFreeBitForBit) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    Rng rng(seed);
+    const std::int64_t heal = rng.NextInRange(250, 600);
+    const std::int64_t kill_at = heal + rng.NextInRange(400, 800);
+    const std::int64_t revive = kill_at + rng.NextInRange(300, 600);
+
+    SimOptions opts = SelfHealingSimOptions();
+    opts.fault_plan.seed = seed;
+    for (NodeId n = 0; n < 3; ++n) {
+      opts.fault_plan.severs.push_back({3, n, 0, heal});
+    }
+    opts.fault_plan.kills.push_back(
+        {2, static_cast<std::uint64_t>(kill_at), revive});
+
+    SimRuntime rt(opts);
+    RegisterGaussHomedOn(rt.registry(), 2, {0, 1, 0});
+
+    const SimReport a = rt.Run("gs_main");
+    EXPECT_EQ(ResultI64(a.main_result), 0)
+        << "seed " << seed << ": heal=" << heal << " kill=" << kill_at
+        << " revive=" << revive;
+    EXPECT_GE(SumCounter(a.node_stats, "recovery.rejoins"), 1u)
+        << "seed " << seed;
+
+    // Determinism under chaos: the same seed replays identically.
+    const SimReport b = rt.Run("gs_main");
+    EXPECT_EQ(a.main_result, b.main_result) << "seed " << seed;
+    EXPECT_EQ(a.node_stats, b.node_stats) << "seed " << seed;
+    EXPECT_EQ(a.messages, b.messages) << "seed " << seed;
+  }
 }
 
 }  // namespace

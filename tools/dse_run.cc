@@ -36,6 +36,12 @@
 //                            successor and evictions fail over to it
 //   --restart-tasks          re-spawn idempotent-registered tasks whose
 //                            host was evicted (requires --replication 1)
+//   --min-quorum N           reachable members required before a locally
+//                            detected eviction applies (default 0 = strict
+//                            majority of the current membership; requires
+//                            --replication 1)
+//   --rejoin 0|1             whether evicted nodes may rejoin the cluster
+//                            (default 1; requires --replication 1)
 //
 // SSI introspection (the cluster answering like one machine):
 //   --stats                  per-node + cluster counter table after the run
@@ -194,6 +200,7 @@ int Usage() {
                "[--write-combine] [--legacy] [--switched] "
                "[--fault-plan FILE] [--rpc-deadline-ms N] "
                "[--replication 0|1] [--restart-tasks] "
+               "[--min-quorum N] [--rejoin 0|1] "
                "[--stats] [--stats-json [FILE]] [--stats-csv [FILE]] "
                "[--ps] [--list-tasks] [app flags]\n");
   return 2;
@@ -285,7 +292,7 @@ int main(int argc, char** argv) {
       "switched", "trace", "machines",   "stats",     "stats-json",
       "stats-csv", "ps",   "list-tasks", "help",      "batch",
       "prefetch", "write-combine", "fault-plan", "rpc-deadline-ms",
-      "replication", "restart-tasks"};
+      "replication", "restart-tasks", "min-quorum", "rejoin"};
   known.insert(known.end(), workload.flags.begin(), workload.flags.end());
   flags.RejectUnknown(known);
 
@@ -374,6 +381,124 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Self-healing membership knobs (docs/recovery.md). Both only mean
+  // anything with the evictions that replication enables.
+  int min_quorum = 0;
+  if (flags.Has("min-quorum")) {
+    const std::string raw = flags.Str("min-quorum", "");
+    char* end = nullptr;
+    const long parsed = std::strtol(raw.c_str(), &end, 10);
+    if (raw.empty() || end == nullptr || *end != '\0' || parsed < 0 ||
+        parsed > procs) {
+      std::fprintf(stderr,
+                   "--min-quorum must be an integer in [0, %d] (got '%s'; "
+                   "0 = strict majority of the current membership)\n",
+                   procs, raw.c_str());
+      return 2;
+    }
+    if (replication != 1) {
+      std::fprintf(stderr,
+                   "--min-quorum requires --replication 1: without "
+                   "replication there are no evictions to guard\n");
+      return 2;
+    }
+    min_quorum = static_cast<int>(parsed);
+  }
+  bool rejoin = true;
+  if (flags.Has("rejoin")) {
+    const std::string raw = flags.Str("rejoin", "");
+    if (raw != "0" && raw != "1") {
+      std::fprintf(stderr, "--rejoin must be 0 or 1 (got '%s')\n",
+                   raw.c_str());
+      return 2;
+    }
+    if (replication != 1) {
+      std::fprintf(stderr,
+                   "--rejoin requires --replication 1: without replication "
+                   "nodes are never evicted, so there is nothing to rejoin\n");
+      return 2;
+    }
+    rejoin = raw == "1";
+  }
+
+  // Static quorum-attainability check: a plan whose *permanent* faults
+  // (kills without revive, severs without heal) leave no reachable set of
+  // at least quorum size would park the whole cluster forever — every call
+  // failing over until its bounded failover budget errors out. Refuse it
+  // up front with an explanation instead.
+  if (replication == 1 && fault_plan.enabled()) {
+    std::set<NodeId> perm_dead;
+    for (const auto& kill : fault_plan.kills) {
+      if (kill.node >= 0 && kill.node < procs && kill.revive < 0) {
+        perm_dead.insert(kill.node);
+      }
+    }
+    // Sequential-kill feasibility under the default majority rule: each
+    // eviction needs the surviving membership to still hold a quorum of the
+    // membership it is leaving.
+    bool unattainable = false;
+    int membership = procs;
+    for (size_t i = 0; i < perm_dead.size(); ++i) {
+      const int survivors = membership - 1;
+      const int need = min_quorum > 0 ? min_quorum : membership / 2 + 1;
+      if (survivors < need) {
+        unattainable = true;
+        break;
+      }
+      membership = survivors;
+    }
+    // Permanent severs: the surviving nodes must keep one reachability
+    // component of quorum size once every permanent cut is in force.
+    if (!unattainable) {
+      std::vector<NodeId> alive;
+      for (NodeId n = 0; n < procs; ++n) {
+        if (perm_dead.count(n) == 0) alive.push_back(n);
+      }
+      auto cut = [&fault_plan](NodeId a, NodeId b) {
+        for (const auto& sv : fault_plan.severs) {
+          if (sv.heal >= 0) continue;
+          if ((sv.a == a && sv.b == b) || (sv.a == b && sv.b == a)) {
+            return true;
+          }
+        }
+        return false;
+      };
+      size_t largest = 0;
+      std::set<NodeId> seen;
+      for (NodeId root : alive) {
+        if (seen.count(root) != 0) continue;
+        std::vector<NodeId> stack = {root};
+        seen.insert(root);
+        size_t size = 0;
+        while (!stack.empty()) {
+          const NodeId cur = stack.back();
+          stack.pop_back();
+          ++size;
+          for (NodeId next : alive) {
+            if (seen.count(next) == 0 && !cut(cur, next)) {
+              seen.insert(next);
+              stack.push_back(next);
+            }
+          }
+        }
+        largest = std::max(largest, size);
+      }
+      const int need =
+          min_quorum > 0 ? min_quorum : membership / 2 + 1;
+      if (static_cast<int>(largest) < need) unattainable = true;
+    }
+    if (unattainable) {
+      std::fprintf(stderr,
+                   "--fault-plan makes the eviction quorum permanently "
+                   "unattainable: its permanent kills/severs leave no "
+                   "reachable set of %s members, so every node would park "
+                   "(recovery.quorum_parks) and the run could never "
+                   "converge — refuse instead of hanging\n",
+                   min_quorum > 0 ? "--min-quorum" : "majority");
+      return 2;
+    }
+  }
+
   // A kill schedule interacts with cluster membership: refuse plans that
   // leave no survivor, and narrate the coordinator succession so a log
   // reader knows which node announces each eviction.
@@ -420,7 +545,9 @@ int main(int argc, char** argv) {
                                        .fault_plan = fault_plan,
                                        .rpc_deadline_ms = rpc_deadline_ms,
                                        .replication = replication,
-                                       .restart_tasks = restart_tasks});
+                                       .restart_tasks = restart_tasks,
+                                       .min_quorum = min_quorum,
+                                       .rejoin = rejoin});
     workload.register_fn(rt.registry());
     const auto result = rt.RunMain(workload.main_task, workload.arg);
     std::printf("%s | threaded %d nodes | %.1f ms wall | result %zu bytes\n",
@@ -444,6 +571,8 @@ int main(int argc, char** argv) {
     opts.rpc_deadline_ms = rpc_deadline_ms;
     opts.replication = replication;
     opts.restart_tasks = restart_tasks;
+    opts.min_quorum = min_quorum;
+    opts.rejoin = rejoin;
     if (flags.Has("legacy")) {
       opts.organization = OrganizationMode::kLegacyTwoProcess;
     }
