@@ -1,8 +1,9 @@
 // Ablation: shared-bus Ethernet (the paper's lab LAN, with CSMA/CD
-// collisions) versus an ideal switched network, for the two most
-// communication-intensive workloads. Quantifies how much of the scaling
-// limit the paper attributes to "occurrence of packet collision ... when
-// communication frequency between nodes increases" is really the bus.
+// collisions) versus an ideal switched network versus the routed multi-hop
+// fabric, for the most communication-intensive workloads. Quantifies how
+// much of the scaling limit the paper attributes to "occurrence of packet
+// collision ... when communication frequency between nodes increases" is
+// really the bus, and what per-hop routing costs at lab scale.
 #include <cstdio>
 
 #include "apps/dct/dct.h"
@@ -21,8 +22,24 @@ double Run(const platform::Profile& profile, int procs, MediumKind medium,
   spec.profile = profile;
   spec.processors = procs;
   spec.medium = medium;
+  spec.fabric.topology = "auto";  // 6 machines -> ring:6
   return benchlib::RunApp(spec, register_fn, main_task, std::move(arg),
                           report);
+}
+
+void Row(const platform::Profile& profile, int procs, const char* label,
+         void (*register_fn)(TaskRegistry&), const char* main_task,
+         std::vector<std::uint8_t> arg) {
+  SimReport bus_report;
+  const double bus = Run(profile, procs, MediumKind::kSharedBus, register_fn,
+                         main_task, arg, &bus_report);
+  const double sw = Run(profile, procs, MediumKind::kSwitched, register_fn,
+                        main_task, arg, nullptr);
+  const double fab = Run(profile, procs, MediumKind::kRoutedFabric,
+                         register_fn, main_task, std::move(arg), nullptr);
+  std::printf("%-20s %6d %12.4f %12.4f %12.4f %7.2fx %7.2fx %12llu\n", label,
+              procs, bus, sw, fab, bus / sw, bus / fab,
+              static_cast<unsigned long long>(bus_report.collisions));
 }
 
 }  // namespace
@@ -30,27 +47,20 @@ double Run(const platform::Profile& profile, int procs, MediumKind medium,
 int main() {
   using namespace dse;
   const platform::Profile& profile = platform::SunOsSparc();
-  std::printf("== Ablation: shared-bus Ethernet vs switched network (%s) ==\n",
-              profile.id.c_str());
-  std::printf("%-20s %6s %12s %12s %8s %12s\n", "workload", "procs",
-              "bus [s]", "switch [s]", "gain", "collisions");
+  std::printf(
+      "== Ablation: shared bus vs switched vs routed fabric (%s) ==\n",
+      profile.id.c_str());
+  std::printf("%-20s %6s %12s %12s %12s %8s %8s %12s\n", "workload", "procs",
+              "bus [s]", "switch [s]", "fabric [s]", "sw-gain", "fab-gain",
+              "collisions");
 
   for (const int procs : {2, 4, 6, 8, 12}) {
     {
       // Bulk transfers: every worker pulls the whole 7.2 KB solution vector
       // each sweep, so the wire itself carries real load.
       apps::gauss::Config c{.n = 900, .sweeps = 10, .workers = procs};
-      SimReport bus_report;
-      SimReport sw_report;
-      const double bus =
-          Run(profile, procs, MediumKind::kSharedBus, apps::gauss::Register,
-              apps::gauss::kMainTask, apps::gauss::MakeArg(c), &bus_report);
-      const double sw =
-          Run(profile, procs, MediumKind::kSwitched, apps::gauss::Register,
-              apps::gauss::kMainTask, apps::gauss::MakeArg(c), &sw_report);
-      std::printf("%-20s %6d %12.4f %12.4f %7.2fx %12llu\n",
-                  "gauss-seidel N=900", procs, bus, sw, bus / sw,
-                  static_cast<unsigned long long>(bus_report.collisions));
+      Row(profile, procs, "gauss-seidel N=900", apps::gauss::Register,
+          apps::gauss::kMainTask, apps::gauss::MakeArg(c));
     }
     {
       apps::dct::Config c{.width = 128,
@@ -58,32 +68,14 @@ int main() {
                           .block = 4,
                           .keep_fraction = 0.25,
                           .workers = procs};
-      SimReport bus_report;
-      SimReport sw_report;
-      const double bus =
-          Run(profile, procs, MediumKind::kSharedBus, apps::dct::Register,
-              apps::dct::kMainTask, apps::dct::MakeArg(c), &bus_report);
-      const double sw =
-          Run(profile, procs, MediumKind::kSwitched, apps::dct::Register,
-              apps::dct::kMainTask, apps::dct::MakeArg(c), &sw_report);
-      std::printf("%-20s %6d %12.4f %12.4f %7.2fx %12llu\n", "dct-ii 4x4",
-                  procs, bus, sw, bus / sw,
-                  static_cast<unsigned long long>(bus_report.collisions));
+      Row(profile, procs, "dct-ii 4x4", apps::dct::Register,
+          apps::dct::kMainTask, apps::dct::MakeArg(c));
     }
     {
       apps::knight::Config c{
           .board = 5, .start = 0, .target_jobs = 128, .workers = procs};
-      SimReport bus_report;
-      SimReport sw_report;
-      const double bus =
-          Run(profile, procs, MediumKind::kSharedBus, apps::knight::Register,
-              apps::knight::kMainTask, apps::knight::MakeArg(c), &bus_report);
-      const double sw =
-          Run(profile, procs, MediumKind::kSwitched, apps::knight::Register,
-              apps::knight::kMainTask, apps::knight::MakeArg(c), &sw_report);
-      std::printf("%-20s %6d %12.4f %12.4f %7.2fx %12llu\n",
-                  "knight 128 jobs", procs, bus, sw, bus / sw,
-                  static_cast<unsigned long long>(bus_report.collisions));
+      Row(profile, procs, "knight 128 jobs", apps::knight::Register,
+          apps::knight::kMainTask, apps::knight::MakeArg(c));
     }
   }
   std::printf("\n");

@@ -51,6 +51,47 @@ Status WriteCsv(const Figure& figure, const std::string& path) {
 
 namespace {
 
+// Minimal JSON string escape (labels/titles are plain ASCII in practice).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status WriteJson(const Figure& figure, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Unavailable("cannot open '" + path + "'");
+  std::fprintf(f, "{\n  \"id\": \"%s\",\n  \"title\": \"%s\",\n",
+               JsonEscape(figure.id).c_str(), JsonEscape(figure.title).c_str());
+  std::fprintf(f, "  \"xlabel\": \"%s\",\n  \"ylabel\": \"%s\",\n",
+               JsonEscape(figure.xlabel).c_str(),
+               JsonEscape(figure.ylabel).c_str());
+  std::fprintf(f, "  \"x\": [");
+  for (size_t i = 0; i < figure.x.size(); ++i) {
+    std::fprintf(f, "%s%d", i == 0 ? "" : ", ", figure.x[i]);
+  }
+  std::fprintf(f, "],\n  \"series\": [\n");
+  for (size_t s = 0; s < figure.series.size(); ++s) {
+    const Series& ser = figure.series[s];
+    std::fprintf(f, "    {\"label\": \"%s\", \"values\": [",
+                 JsonEscape(ser.label).c_str());
+    for (size_t i = 0; i < ser.values.size(); ++i) {
+      std::fprintf(f, "%s%.6f", i == 0 ? "" : ", ", ser.values[i]);
+    }
+    std::fprintf(f, "]}%s\n", s + 1 == figure.series.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return Status::Ok();
+}
+
+namespace {
+
 // "Figure 12" -> "figure_12".
 std::string CsvName(const std::string& id) {
   std::string name;
@@ -102,10 +143,15 @@ double RunApp(const RunSpec& spec, void (*register_fn)(TaskRegistry&),
               SimReport* report_out) {
   SimOptions opts;
   opts.profile = spec.profile;
+  if (spec.physical_machines > 0) {
+    opts.profile.physical_machines = spec.physical_machines;
+  }
   opts.num_processors = spec.processors;
   opts.read_cache = spec.read_cache;
+  opts.batching = spec.batching;
   opts.organization = spec.organization;
   opts.medium = spec.medium;
+  opts.fabric = spec.fabric;
   SimRuntime rt(opts);
   register_fn(rt.registry());
   SimReport report = rt.Run(main_task, std::move(arg));

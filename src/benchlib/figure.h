@@ -31,6 +31,11 @@ void Print(const Figure& figure);
 // Writes the figure as CSV (header: x,<label>,<label>...).
 Status WriteCsv(const Figure& figure, const std::string& path);
 
+// Writes the figure as JSON:
+//   {"id": ..., "title": ..., "xlabel": ..., "ylabel": ...,
+//    "x": [...], "series": [{"label": ..., "values": [...]}, ...]}
+Status WriteJson(const Figure& figure, const std::string& path);
+
 // Standard entry point for the per-figure binaries: prints the table and,
 // when invoked as `<binary> --csv <dir>`, also writes `<dir>/<id>.csv`.
 int Output(const Figure& figure, int argc, char** argv);
@@ -49,8 +54,14 @@ struct RunSpec {
   platform::Profile profile;
   int processors = 1;
   bool read_cache = false;
+  bool batching = false;
   OrganizationMode organization = OrganizationMode::kUnifiedLibrary;
   MediumKind medium = MediumKind::kSharedBus;
+  // Routed-fabric configuration (MediumKind::kRoutedFabric only).
+  simnet::fabric::FabricOptions fabric;
+  // > 0: override profile.physical_machines (scale-out studies give every
+  // PE its own machine instead of the paper's 6-machine lab).
+  int physical_machines = 0;
 };
 double RunApp(const RunSpec& spec, void (*register_fn)(TaskRegistry&),
               const char* main_task, std::vector<std::uint8_t> arg,

@@ -13,6 +13,7 @@
 #include "sim/channel.h"
 #include "sim/simulator.h"
 #include "simnet/ethernet.h"
+#include "simnet/fabric/fabric.h"
 
 namespace dse {
 namespace {
@@ -32,6 +33,9 @@ struct SimState {
   TaskRegistry* registry = nullptr;
   sim::Simulator sim;
   std::unique_ptr<simnet::Medium> medium;
+  // Non-null view of `medium` when it is the routed fabric (topology events
+  // and per-link stats live on the concrete type).
+  simnet::fabric::RoutedFabricMedium* fabric = nullptr;
   std::vector<std::unique_ptr<SimNode>> nodes;
   // Fault injection (null = lossless wire). The injector's verdicts are a
   // pure function of the plan and each link's frame count, so the same plan
@@ -100,6 +104,10 @@ struct SimState {
   void OnSeverFired(size_t index);
   void OnSeverHealed(size_t index);
   void OnNodeRevive(NodeId node);
+  // Translates fabric link severs/heals (fired inside the medium by frame
+  // count) into the same detection-delayed membership reactions as plan
+  // severs. Polled after deliveries — only a Transmit can fire one.
+  void PollFabricEvents();
   // The converged membership reaction: partitions the live members into
   // reachability components, lets the quorum-holding component evict every
   // unreachable member, and parks quorum-less components. Applies every
@@ -247,6 +255,39 @@ void SimState::OnNodeRevive(NodeId node) {
             });
 }
 
+void SimState::PollFabricEvents() {
+  if (fabric == nullptr || !fabric->has_link_faults()) return;
+  for (const auto& ev : fabric->TakeTopologyEvents()) {
+    if (!nodes[0]->core.replication_on()) continue;
+    if (!ev.heal) {
+      // Same shape as OnSeverFired: traffic is already rerouting (or being
+      // dropped) inside the medium; the membership layer reacts a detection
+      // delay later and evicts whatever became unreachable.
+      sim.Spawn("flink-sever-" + std::to_string(ev.fault_index),
+                [this](sim::Context& ctx) {
+                  ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
+                  ReactToMembership(ctx);
+                });
+    } else {
+      sim.Spawn("flink-heal-" + std::to_string(ev.fault_index),
+                [this](sim::Context& ctx) {
+                  ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
+                  parked.clear();
+                  ReactToMembership(ctx);
+                  if (!options->rejoin) return;
+                  std::vector<NodeId> rejoiners;
+                  for (NodeId nd = 0; nd < static_cast<NodeId>(nodes.size());
+                       ++nd) {
+                    if (members.count(nd) == 0 && !fault->NodeDead(nd)) {
+                      rejoiners.push_back(nd);
+                    }
+                  }
+                  for (NodeId nd : rejoiners) StartRejoin(ctx, nd);
+                });
+    }
+  }
+}
+
 void SimState::ReactToMembership(sim::Context& ctx) {
   // Live members and their reachability components (an edge exists while the
   // pair's link is not severed).
@@ -266,7 +307,8 @@ void SimState::ReactToMembership(sim::Context& ctx) {
       stack.pop_back();
       comp.push_back(cur);
       for (NodeId next : live) {
-        if (seen.count(next) == 0 && !fault->LinkSevered(cur, next)) {
+        if (seen.count(next) == 0 && !fault->LinkSevered(cur, next) &&
+            medium->Reachable(MachineOf(cur), MachineOf(next))) {
           seen.insert(next);
           stack.push_back(next);
         }
@@ -331,7 +373,8 @@ void SimState::StartRejoin(sim::Context& ctx, NodeId node) {
   rn.core.ResetForRejoin();
   NodeId coord = -1;
   for (NodeId m : members) {
-    if (m != node && !fault->NodeDead(m)) {
+    if (m != node && !fault->NodeDead(m) &&
+        medium->Reachable(MachineOf(node), MachineOf(m))) {
       coord = m;
       break;
     }
@@ -376,12 +419,18 @@ void SimState::EnsureXferNudge() {
 void SimState::Forward(NodeId src, NodeId dst, proto::Envelope env,
                        std::uint64_t bytes) {
   SimNode& target = *nodes[static_cast<size_t>(dst)];
+  const proto::MsgType env_type = env.type();
   auto push = [&target, env = std::move(env), bytes]() mutable {
     target.mailbox.Push(SimDelivery{std::move(env), bytes});
   };
   if (MachineOf(src) == MachineOf(dst)) {
     ++loopback;
     sim.After(ProfileOf(src).loopback_latency, std::move(push));
+  } else if (env_type == proto::MsgType::kShutdown &&
+             !medium->Reachable(MachineOf(src), MachineOf(dst))) {
+    // Shutdown is an out-of-band teardown channel (see Deliver): a fabric
+    // partition must not strand a kernel process blocked on its mailbox.
+    sim.After(options->profile.net.propagation, std::move(push));
   } else {
     medium->Transmit(MachineOf(src), MachineOf(dst), bytes, std::move(push));
   }
@@ -418,9 +467,11 @@ void SimState::Deliver(NodeId src, NodeId dst, proto::Envelope env,
       }
     }
     for (SimDelivery& d : due) Forward(src, dst, std::move(d.env), d.bytes);
+    PollFabricEvents();
     return;
   }
   Forward(src, dst, std::move(env), bytes);
+  PollFabricEvents();
 }
 
 // Sends one kernel message, charging the sender's software path cost in the
@@ -858,7 +909,34 @@ SimReport SimRuntime::Run(const std::string& main_name,
       state.medium = std::make_unique<simnet::SwitchedMedium>(
           &state.sim, options_.profile.net, state.MachineCount());
       break;
+    case MediumKind::kRoutedFabric: {
+      simnet::fabric::FabricOptions fopts = options_.fabric;
+      for (const auto& fs : options_.fault_plan.fabric_links) {
+        simnet::fabric::FabricOptions::LinkFault lf;
+        lf.a = fs.a;
+        lf.b = fs.b;
+        lf.after = fs.after;
+        lf.heal = fs.heal;
+        fopts.link_faults.push_back(lf);
+      }
+      auto spec = simnet::fabric::ParseTopologySpec(fopts.topology,
+                                                   state.MachineCount());
+      DSE_CHECK_MSG(spec.ok(), std::string(spec.status().message()).c_str());
+      auto topo = simnet::fabric::Topology::Build(
+          *spec, state.MachineCount(), options_.seed);
+      DSE_CHECK_MSG(topo.ok(), std::string(topo.status().message()).c_str());
+      auto fabric = std::make_unique<simnet::fabric::RoutedFabricMedium>(
+          &state.sim, options_.profile.net, std::move(fopts),
+          std::move(topo).value(), options_.seed);
+      state.fabric = fabric.get();
+      state.medium = std::move(fabric);
+      break;
+    }
   }
+  DSE_CHECK_MSG(options_.fault_plan.fabric_links.empty() ||
+                    state.fabric != nullptr,
+                "fault plan has flink directives but the medium is not the "
+                "routed fabric");
 
   if (options_.fault_plan.enabled()) {
     // A lossy wire with unbounded waits would deadlock the simulation; the
@@ -926,9 +1004,18 @@ SimReport SimRuntime::Run(const std::string& main_name,
   report.wire_frames = net.frames;
   report.wire_bytes = net.wire_bytes;
   report.collisions = net.collisions;
+  // For the single-segment media busy_time/makespan is the medium's
+  // utilization; a fabric sums busy time across many links, so report its
+  // hottest link instead (the serialization bottleneck).
+  sim::SimTime busy_for_util = net.busy_time;
+  if (state.fabric != nullptr) {
+    busy_for_util = 0;
+    for (const auto& use : state.fabric->link_use())
+      busy_for_util = std::max(busy_for_util, use.busy);
+  }
   report.bus_utilization =
       state.main_finished_at > 0
-          ? static_cast<double>(net.busy_time) /
+          ? static_cast<double>(busy_for_util) /
                 static_cast<double>(state.main_finished_at)
           : 0.0;
   for (const auto& node : state.nodes) {
@@ -948,7 +1035,7 @@ SimReport SimRuntime::Run(const std::string& main_name,
       report.histograms[name].Merge(s);
     }
   }
-  report.medium_counters = simnet::MediumStatsToCounters(net);
+  report.medium_counters = simnet::MediumCounters(*state.medium);
   if (state.fault != nullptr) report.fault_counters = state.fault->Counters();
 
   // Final counter samples into the trace (Chrome counter tracks). Stamped at

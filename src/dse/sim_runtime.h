@@ -20,6 +20,7 @@
 #include "dse/trace.h"
 #include "net/fault.h"
 #include "platform/profile.h"
+#include "simnet/fabric/fabric.h"
 
 namespace dse {
 
@@ -33,7 +34,7 @@ enum class OrganizationMode {
   kLegacyTwoProcess,
 };
 
-enum class MediumKind { kSharedBus, kSwitched };
+enum class MediumKind { kSharedBus, kSwitched, kRoutedFabric };
 
 struct SimOptions {
   platform::Profile profile;
@@ -57,6 +58,12 @@ struct SimOptions {
   bool write_combine = false;
   OrganizationMode organization = OrganizationMode::kUnifiedLibrary;
   MediumKind medium = MediumKind::kSharedBus;
+  // Routed-fabric configuration, used only under MediumKind::kRoutedFabric.
+  // The topology spans MachineCount() NICs; per-link bandwidth inherits
+  // profile.net.bandwidth_bps unless overridden. Any fault_plan.fabric_links
+  // entries are handed to the medium (frame-count link severs/heals that
+  // reroute or partition traffic and drive the membership layer).
+  simnet::fabric::FabricOptions fabric;
   std::uint64_t seed = 1;
   // Deterministic fault injection on the simulated interconnect
   // (net/fault.h). Off unless the plan enables at least one fault. With a

@@ -134,6 +134,30 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text) {
         s.heal = static_cast<std::int64_t>(heal);
       }
       plan.severs.push_back(s);
+    } else if (d == "flink") {
+      // flink A B after N [heal M]  (A, B are fabric router ids)
+      if ((tok.size() != 5 && tok.size() != 7) || tok[3] != "after" ||
+          (tok.size() == 7 && tok[5] != "heal")) {
+        return InvalidArgument("fault plan line " + std::to_string(line_no) +
+                               ": expected 'flink A B after N [heal M]'");
+      }
+      FaultPlan::FabricSever s;
+      NodeId a = -1, b = -1;
+      if (Status st = ParseNode(tok[1], &a); !st.ok()) return fail(st);
+      if (Status st = ParseNode(tok[2], &b); !st.ok()) return fail(st);
+      s.a = static_cast<int>(a);
+      s.b = static_cast<int>(b);
+      if (Status st = ParseU64(tok[4], &s.after); !st.ok()) return fail(st);
+      if (s.a == s.b) {
+        return InvalidArgument("fault plan line " + std::to_string(line_no) +
+                               ": cannot sever a router from itself");
+      }
+      if (tok.size() == 7) {
+        std::uint64_t heal = 0;
+        if (Status st = ParseU64(tok[6], &heal); !st.ok()) return fail(st);
+        s.heal = static_cast<std::int64_t>(heal);
+      }
+      plan.fabric_links.push_back(s);
     } else if (d == "kill") {
       // kill X at N [revive M]
       if (tok.size() != 4 && tok.size() != 6) {

@@ -66,9 +66,24 @@ struct FaultPlan {
   std::vector<Sever> severs = {};
   std::vector<Kill> kills = {};
 
+  // Cuts one routed-fabric link (between routers `a` and `b`, not node
+  // endpoints) once the fabric has carried `after` frames; with `heal` >= 0
+  // the link comes back at that fabric frame count. Only meaningful under
+  // the simulator's `--medium fabric`: the FaultInjector itself ignores
+  // these, the RoutedFabricMedium interprets them (traffic reroutes along
+  // surviving paths, or partitions the cluster if none remain).
+  struct FabricSever {
+    int a = -1;  // router id
+    int b = -1;  // router id
+    std::uint64_t after = 0;
+    std::int64_t heal = -1;  // fabric frame count; -1 = never heals
+  };
+  std::vector<FabricSever> fabric_links = {};
+
   bool enabled() const {
     return drop_p > 0 || truncate_p > 0 || dup_p > 0 || delay_p > 0 ||
-           reorder_p > 0 || !severs.empty() || !kills.empty();
+           reorder_p > 0 || !severs.empty() || !kills.empty() ||
+           !fabric_links.empty();
   }
 };
 
@@ -81,6 +96,8 @@ struct FaultPlan {
 //   reorder 0.02
 //   sever 0 1 after 100
 //   sever 0 1 after 100 heal 900
+//   flink 2 3 after 100
+//   flink 2 3 after 100 heal 900
 //   kill 3 at 60
 //   kill 3 at 60 revive 700
 // '#' starts a comment; unknown directives and malformed values are errors.

@@ -6,19 +6,29 @@
 namespace dse::simnet {
 
 std::map<std::string, std::uint64_t> MediumStatsToCounters(
-    const MediumStats& stats) {
+    const MediumStats& stats, const std::string& kind) {
   std::map<std::string, std::uint64_t> out;
-  auto put = [&out](const char* name, std::uint64_t v) {
-    if (v != 0) out[name] = v;
+  auto put = [&out, &kind](const char* name, std::uint64_t v, bool always) {
+    if (always || v != 0) out[kind + "." + name] = v;
   };
-  put("bus.frames", stats.frames);
-  put("bus.fragments", stats.fragments);
-  put("bus.payload_bytes", stats.payload_bytes);
-  put("bus.wire_bytes", stats.wire_bytes);
-  put("bus.collisions", stats.collisions);
-  put("bus.busy_us", static_cast<std::uint64_t>(sim::ToMicros(stats.busy_time)));
-  put("bus.queueing_us",
-      static_cast<std::uint64_t>(sim::ToMicros(stats.queueing_time)));
+  put("frames", stats.frames, true);
+  put("fragments", stats.fragments, false);
+  put("payload_bytes", stats.payload_bytes, false);
+  put("wire_bytes", stats.wire_bytes, false);
+  put("collisions", stats.collisions, false);
+  put("busy_us", static_cast<std::uint64_t>(sim::ToMicros(stats.busy_time)),
+      true);
+  put("queueing_us",
+      static_cast<std::uint64_t>(sim::ToMicros(stats.queueing_time)), true);
+  put("hops", stats.hops, false);
+  put("credit_stalls", stats.credit_stalls, false);
+  put("unroutable_drops", stats.unroutable_drops, false);
+  return out;
+}
+
+std::map<std::string, std::uint64_t> MediumCounters(const Medium& m) {
+  auto out = MediumStatsToCounters(m.stats(), m.kind_name());
+  for (const auto& [k, v] : m.ExtraCounters()) out[k] = v;
   return out;
 }
 

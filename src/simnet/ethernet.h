@@ -39,6 +39,10 @@ struct MediumStats {
   std::uint64_t collisions = 0;
   sim::SimTime busy_time = 0;       // cumulative transmission time
   sim::SimTime queueing_time = 0;   // cumulative wait-for-medium time
+  // Multi-hop fabric extras (zero on single-segment media):
+  std::uint64_t hops = 0;             // router->router traversals, summed
+  std::uint64_t credit_stalls = 0;    // arbitration rounds blocked on credits
+  std::uint64_t unroutable_drops = 0; // frames lost to a partitioned fabric
 };
 
 // Abstract medium: delivers a frame of `payload_bytes` from src to dst and
@@ -55,6 +59,23 @@ class Medium {
                         DeliveryFn on_delivered) = 0;
 
   virtual const MediumStats& stats() const = 0;
+
+  // Counter-prefix / display name for this medium kind.
+  virtual const char* kind_name() const = 0;
+
+  // Whether frames between the two endpoints can currently be delivered.
+  // Single-segment media are always fully connected; a routed fabric may be
+  // partitioned by link severs.
+  virtual bool Reachable(int src_node, int dst_node) const {
+    (void)src_node;
+    (void)dst_node;
+    return true;
+  }
+
+  // Kind-specific counters beyond MediumStats (e.g. per-link fabric stats).
+  virtual std::map<std::string, std::uint64_t> ExtraCounters() const {
+    return {};
+  }
 };
 
 // Shared bus (classic 10BASE Ethernet): one transmission at a time across
@@ -68,6 +89,7 @@ class SharedBusMedium final : public Medium {
                 DeliveryFn on_delivered) override;
 
   const MediumStats& stats() const override { return stats_; }
+  const char* kind_name() const override { return "bus"; }
 
  private:
   sim::Simulator* sim_;
@@ -89,6 +111,7 @@ class SwitchedMedium final : public Medium {
                 DeliveryFn on_delivered) override;
 
   const MediumStats& stats() const override { return stats_; }
+  const char* kind_name() const override { return "switched"; }
 
  private:
   sim::Simulator* sim_;
@@ -97,10 +120,16 @@ class SwitchedMedium final : public Medium {
   MediumStats stats_;
 };
 
-// Flattens medium stats into `bus.*` counters for the SSI metrics registry
-// (time fields are exported in microseconds).
+// Flattens medium stats into `<kind>.*` counters for the SSI metrics
+// registry, e.g. bus.collisions or fabric.queueing_us (time fields are
+// exported in microseconds). frames/busy_us/queueing_us are always emitted;
+// other counters only when nonzero.
 std::map<std::string, std::uint64_t> MediumStatsToCounters(
-    const MediumStats& stats);
+    const MediumStats& stats, const std::string& kind);
+
+// MediumStatsToCounters for `m.stats()` under its own kind prefix, merged
+// with the medium's ExtraCounters().
+std::map<std::string, std::uint64_t> MediumCounters(const Medium& m);
 
 // Transmission time for `payload` bytes under `p`, including per-fragment
 // header overhead (pure function; exposed for tests).

@@ -1,0 +1,375 @@
+#include "simnet/fabric/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dse::simnet::fabric {
+
+namespace {
+
+Status Invalid(const std::string& msg) {
+  return Status(ErrorCode::kInvalidArgument, msg);
+}
+
+// Strict positive-integer parse (no signs, no trailing junk).
+bool ParseInt(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+    if (v > 1000000) return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+TopologySpec AutoTopologySpec(int machines) {
+  TopologySpec spec;
+  int rows = 0;
+  for (int r = static_cast<int>(std::sqrt(static_cast<double>(machines)));
+       r >= 3; --r) {
+    if (machines % r == 0 && machines / r >= 3) {
+      rows = r;
+      break;
+    }
+  }
+  if (machines >= 9 && rows >= 3) {
+    spec.kind = TopologyKind::kTorus;
+    spec.a = rows;
+    spec.b = machines / rows;
+  } else {
+    spec.kind = TopologyKind::kRing;
+    spec.a = std::max(machines, 2);
+  }
+  return spec;
+}
+
+Result<TopologySpec> ParseTopologySpec(const std::string& text,
+                                       int machines) {
+  if (machines < 1) return Invalid("topology needs at least one machine");
+  if (text == "auto") return AutoTopologySpec(machines);
+
+  const size_t colon = text.find(':');
+  const std::string name = text.substr(0, colon);
+  const std::string dims =
+      colon == std::string::npos ? "" : text.substr(colon + 1);
+  const auto bad = [&](const std::string& why) {
+    return Invalid("bad topology '" + text + "': " + why +
+                   " (grammar: ring:N | mesh:AxB | torus:AxB | fattree:K | "
+                   "auto)");
+  };
+
+  TopologySpec spec;
+  if (name == "ring") {
+    spec.kind = TopologyKind::kRing;
+    if (!ParseInt(dims, &spec.a) || spec.a < 2)
+      return bad("ring needs an integer length >= 2");
+  } else if (name == "mesh" || name == "torus") {
+    spec.kind = name == "mesh" ? TopologyKind::kMesh : TopologyKind::kTorus;
+    const size_t x = dims.find('x');
+    if (x == std::string::npos) return bad("expected AxB dimensions");
+    if (!ParseInt(dims.substr(0, x), &spec.a) ||
+        !ParseInt(dims.substr(x + 1), &spec.b) || spec.a < 2 || spec.b < 2)
+      return bad("dimensions must be integers >= 2");
+  } else if (name == "fattree") {
+    spec.kind = TopologyKind::kFatTree;
+    if (!ParseInt(dims, &spec.a) || spec.a < 2 || spec.a % 2 != 0)
+      return bad("fat-tree arity must be an even integer >= 2");
+    const int capacity = spec.a * spec.a * spec.a / 4;
+    if (capacity < machines)
+      return bad("fattree:" + dims + " hosts at most " +
+                 std::to_string(capacity) + " machines, need " +
+                 std::to_string(machines));
+  } else {
+    return bad("unknown topology kind '" + name + "'");
+  }
+  return spec;
+}
+
+std::string ToString(const TopologySpec& spec) {
+  switch (spec.kind) {
+    case TopologyKind::kRing:
+      return "ring:" + std::to_string(spec.a);
+    case TopologyKind::kMesh:
+      return "mesh:" + std::to_string(spec.a) + "x" + std::to_string(spec.b);
+    case TopologyKind::kTorus:
+      return "torus:" + std::to_string(spec.a) + "x" + std::to_string(spec.b);
+    case TopologyKind::kFatTree:
+      return "fattree:" + std::to_string(spec.a);
+  }
+  return "?";
+}
+
+void Topology::AddLink(int from, int to, int dim, bool wrap) {
+  Link l;
+  l.id = static_cast<int>(links_.size());
+  l.from = from;
+  l.to = to;
+  l.dim = dim;
+  l.wrap = wrap;
+  links_.push_back(l);
+  out_links_[static_cast<size_t>(from)].push_back(l.id);
+}
+
+int Topology::AttachRouter(int machine) const {
+  DSE_CHECK(machine >= 0 && machine < machines_);
+  if (spec_.kind == TopologyKind::kFatTree) {
+    return machine / (fattree_k_ / 2);  // edge switches come first
+  }
+  return machine % routers_;
+}
+
+int Topology::NextLink(int vertex, int dst_machine) const {
+  return next_[static_cast<size_t>(vertex) * machines_ + dst_machine];
+}
+
+bool Topology::Reachable(int src_machine, int dst_machine) const {
+  if (src_machine == dst_machine) return true;
+  return NextLink(NicVertex(src_machine), dst_machine) >= 0;
+}
+
+int Topology::HopCount(int src_machine, int dst_machine) const {
+  if (src_machine == dst_machine) return 0;
+  int hops = 0;
+  int vertex = NicVertex(src_machine);
+  for (int steps = 0; steps <= vertices(); ++steps) {
+    const int lid = NextLink(vertex, dst_machine);
+    if (lid < 0) return -1;
+    const Link& l = links_[static_cast<size_t>(lid)];
+    if (!IsNic(l.from) && !IsNic(l.to)) ++hops;
+    vertex = l.to;
+    if (vertex == NicVertex(dst_machine)) return hops;
+  }
+  DSE_CHECK(false);  // routing table contains a cycle
+  return -1;
+}
+
+Result<Topology> Topology::Build(const TopologySpec& spec, int machines,
+                                 std::uint64_t route_seed) {
+  if (machines < 1) return Invalid("topology needs at least one machine");
+  Topology t;
+  t.spec_ = spec;
+  t.machines_ = machines;
+  t.route_seed_ = route_seed;
+
+  switch (spec.kind) {
+    case TopologyKind::kRing:
+      t.routers_ = spec.a;
+      break;
+    case TopologyKind::kMesh:
+    case TopologyKind::kTorus:
+      t.routers_ = spec.a * spec.b;
+      break;
+    case TopologyKind::kFatTree: {
+      const int k = spec.a;
+      t.fattree_k_ = k;
+      t.routers_ = k * (k / 2) * 2 + (k / 2) * (k / 2);
+      break;
+    }
+  }
+  t.out_links_.assign(static_cast<size_t>(t.routers_ + machines), {});
+
+  switch (spec.kind) {
+    case TopologyKind::kRing: {
+      const int n = spec.a;
+      for (int i = 0; i < n; ++i) {
+        const int j = (i + 1) % n;
+        if (j == i) continue;
+        const bool wrap = (i == n - 1) && n >= 3;
+        if (i < j || wrap) {
+          t.AddLink(i, j, /*dim=*/0, wrap);
+          t.AddLink(j, i, /*dim=*/0, wrap);
+        }
+      }
+      break;
+    }
+    case TopologyKind::kMesh:
+    case TopologyKind::kTorus: {
+      const int rows = spec.a, cols = spec.b;
+      const bool torus = spec.kind == TopologyKind::kTorus;
+      const auto id = [cols](int r, int c) { return r * cols + c; };
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c + 1 < cols; ++c) {
+          t.AddLink(id(r, c), id(r, c + 1), /*dim=*/0, false);
+          t.AddLink(id(r, c + 1), id(r, c), /*dim=*/0, false);
+        }
+        if (torus && cols >= 3) {
+          t.AddLink(id(r, cols - 1), id(r, 0), /*dim=*/0, true);
+          t.AddLink(id(r, 0), id(r, cols - 1), /*dim=*/0, true);
+        }
+      }
+      for (int c = 0; c < cols; ++c) {
+        for (int r = 0; r + 1 < rows; ++r) {
+          t.AddLink(id(r, c), id(r + 1, c), /*dim=*/1, false);
+          t.AddLink(id(r + 1, c), id(r, c), /*dim=*/1, false);
+        }
+        if (torus && rows >= 3) {
+          t.AddLink(id(rows - 1, c), id(0, c), /*dim=*/1, true);
+          t.AddLink(id(0, c), id(rows - 1, c), /*dim=*/1, true);
+        }
+      }
+      break;
+    }
+    case TopologyKind::kFatTree: {
+      const int k = spec.a, half = k / 2;
+      const int edges = k * half;          // edge switch ids [0, edges)
+      const int aggs = k * half;           // agg ids [edges, edges + aggs)
+      const auto edge_id = [half](int pod, int i) { return pod * half + i; };
+      const auto agg_id = [edges, half](int pod, int j) {
+        return edges + pod * half + j;
+      };
+      const auto core_id = [edges, aggs, half](int j, int m) {
+        return edges + aggs + j * half + m;
+      };
+      for (int pod = 0; pod < k; ++pod) {
+        for (int i = 0; i < half; ++i) {
+          for (int j = 0; j < half; ++j) {
+            t.AddLink(edge_id(pod, i), agg_id(pod, j), -1, false);
+            t.AddLink(agg_id(pod, j), edge_id(pod, i), -1, false);
+          }
+        }
+        for (int j = 0; j < half; ++j) {
+          for (int m = 0; m < half; ++m) {
+            t.AddLink(agg_id(pod, j), core_id(j, m), -1, false);
+            t.AddLink(core_id(j, m), agg_id(pod, j), -1, false);
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  // NIC attachment: injection (NIC -> router) and ejection (router -> NIC).
+  for (int m = 0; m < machines; ++m) {
+    const int r = t.AttachRouter(m);
+    t.AddLink(t.NicVertex(m), r, -1, false);
+    t.AddLink(r, t.NicVertex(m), -1, false);
+  }
+
+  // Candidate preference order: lowest dimension first (gives dimension-order
+  // routing on mesh/torus), then construction order.
+  for (auto& outs : t.out_links_) {
+    std::sort(outs.begin(), outs.end(), [&t](int x, int y) {
+      const Link& lx = t.links_[static_cast<size_t>(x)];
+      const Link& ly = t.links_[static_cast<size_t>(y)];
+      if (lx.dim != ly.dim) return lx.dim < ly.dim;
+      return lx.id < ly.id;
+    });
+  }
+
+  t.link_dead_.assign(t.links_.size(), 0);
+  t.RebuildRoutes();
+  return t;
+}
+
+void Topology::RebuildRoutes() {
+  const int v_count = vertices();
+  next_.assign(static_cast<size_t>(v_count) * machines_, -1);
+  std::vector<std::int32_t> dist(static_cast<size_t>(v_count));
+  std::deque<int> frontier;
+
+  for (int d = 0; d < machines_; ++d) {
+    // The graph is symmetric and links die in opposed pairs, so a forward
+    // BFS from the destination NIC yields distances *to* it.
+    std::fill(dist.begin(), dist.end(), -1);
+    frontier.clear();
+    dist[static_cast<size_t>(NicVertex(d))] = 0;
+    frontier.push_back(NicVertex(d));
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop_front();
+      for (int lid : out_links_[static_cast<size_t>(v)]) {
+        if (link_dead_[static_cast<size_t>(lid)]) continue;
+        const int to = links_[static_cast<size_t>(lid)].to;
+        if (dist[static_cast<size_t>(to)] < 0) {
+          dist[static_cast<size_t>(to)] = dist[static_cast<size_t>(v)] + 1;
+          frontier.push_back(to);
+        }
+      }
+    }
+
+    for (int v = 0; v < v_count; ++v) {
+      if (v == NicVertex(d) || dist[static_cast<size_t>(v)] < 0) continue;
+      int candidates[8];
+      int n_cand = 0;
+      for (int lid : out_links_[static_cast<size_t>(v)]) {
+        if (link_dead_[static_cast<size_t>(lid)]) continue;
+        const Link& l = links_[static_cast<size_t>(lid)];
+        if (dist[static_cast<size_t>(l.to)] ==
+            dist[static_cast<size_t>(v)] - 1) {
+          if (n_cand < 8) candidates[n_cand++] = lid;
+        }
+      }
+      if (n_cand == 0) continue;
+      int pick = candidates[0];
+      if (spec_.kind == TopologyKind::kFatTree && n_cand > 1) {
+        // Seeded equal-cost spreading across up-links, constant per
+        // (vertex, destination) so replays are exact.
+        Rng r(route_seed_ ^ (static_cast<std::uint64_t>(v) << 20) ^
+              static_cast<std::uint64_t>(d));
+        pick = candidates[r.NextBelow(static_cast<std::uint64_t>(n_cand))];
+      }
+      next_[static_cast<size_t>(v) * machines_ + d] =
+          static_cast<std::int32_t>(pick);
+    }
+  }
+}
+
+bool Topology::HasRouterLink(int ra, int rb) const {
+  for (const Link& l : links_) {
+    if ((l.from == ra && l.to == rb) || (l.from == rb && l.to == ra))
+      return true;
+  }
+  return false;
+}
+
+Status Topology::SeverRouterLink(int ra, int rb) {
+  if (ra < 0 || rb < 0 || ra >= routers_ || rb >= routers_ || ra == rb)
+    return Invalid("fabric link sever: routers must be distinct ids in [0, " +
+                   std::to_string(routers_) + ")");
+  int found = 0;
+  for (const Link& l : links_) {
+    if ((l.from == ra && l.to == rb) || (l.from == rb && l.to == ra)) {
+      if (!link_dead_[static_cast<size_t>(l.id)]) {
+        link_dead_[static_cast<size_t>(l.id)] = 1;
+        ++found;
+      }
+    }
+  }
+  if (found == 0)
+    return Status(ErrorCode::kNotFound,
+                  "no live fabric link between routers " + std::to_string(ra) +
+                      " and " + std::to_string(rb));
+  ++severed_pairs_;
+  RebuildRoutes();
+  return Status::Ok();
+}
+
+Status Topology::HealRouterLink(int ra, int rb) {
+  int found = 0;
+  for (const Link& l : links_) {
+    if ((l.from == ra && l.to == rb) || (l.from == rb && l.to == ra)) {
+      if (link_dead_[static_cast<size_t>(l.id)]) {
+        link_dead_[static_cast<size_t>(l.id)] = 0;
+        ++found;
+      }
+    }
+  }
+  if (found == 0)
+    return Status(ErrorCode::kNotFound,
+                  "no severed fabric link between routers " +
+                      std::to_string(ra) + " and " + std::to_string(rb));
+  --severed_pairs_;
+  RebuildRoutes();
+  return Status::Ok();
+}
+
+}  // namespace dse::simnet::fabric

@@ -1,0 +1,123 @@
+// Fabric topologies and routing tables for the multi-hop interconnect model.
+//
+// A Topology is a directed graph of R routers plus M NIC vertices (one per
+// physical machine). Every graph edge is a directed Link; router<->router
+// pairs always come as two opposed links, and each NIC attaches to exactly
+// one router with an injection + ejection link pair. Routing is table-driven:
+// for every (vertex, destination machine) pair we precompute the outgoing
+// link of a minimal path with deterministic, topology-aware tie-breaking —
+// dimension-order on rings/meshes/tori (lowest dimension first), seeded
+// equal-cost spreading on fat-trees (up-links hashed per flow, emulating
+// D-mod-k style dispersion). Tables are rebuilt wholesale on link sever or
+// heal, so mid-run faults reroute traffic along surviving minimal paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dse::simnet::fabric {
+
+enum class TopologyKind { kRing, kMesh, kTorus, kFatTree };
+
+// Parsed form of the topology grammar:
+//   ring:N  | mesh:AxB | torus:AxB | fattree:K | auto
+// `auto` is resolved against the machine count with AutoTopologySpec.
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kRing;
+  int a = 0;  // ring length, mesh/torus rows, fat-tree arity k (even)
+  int b = 0;  // mesh/torus columns (unused otherwise)
+};
+
+Result<TopologySpec> ParseTopologySpec(const std::string& text,
+                                       int machines);
+std::string ToString(const TopologySpec& spec);
+
+// One directed edge. Router<->router links record the mesh/torus dimension
+// they move along (dim >= 0) and whether they are the wraparound ("dateline")
+// edge of that dimension; NIC and fat-tree links use dim = -1.
+struct Link {
+  int id = -1;
+  int from = -1;  // vertex id
+  int to = -1;    // vertex id
+  int dim = -1;
+  bool wrap = false;
+};
+
+class Topology {
+ public:
+  // Builds the graph and initial routing tables. Fails when the spec cannot
+  // host `machines` NICs (e.g. fattree:K holds at most K^3/4 machines).
+  static Result<Topology> Build(const TopologySpec& spec, int machines,
+                                std::uint64_t route_seed);
+
+  TopologyKind kind() const { return spec_.kind; }
+  const TopologySpec& spec() const { return spec_; }
+  int routers() const { return routers_; }
+  int machines() const { return machines_; }
+  int vertices() const { return routers_ + machines_; }
+  const std::vector<Link>& links() const { return links_; }
+  const std::vector<int>& out_links(int vertex) const {
+    return out_links_[static_cast<size_t>(vertex)];
+  }
+
+  int NicVertex(int machine) const { return routers_ + machine; }
+  bool IsNic(int vertex) const { return vertex >= routers_; }
+  int AttachRouter(int machine) const;
+
+  // Outgoing link id from `vertex` toward machine `dst`; -1 if unreachable.
+  int NextLink(int vertex, int dst_machine) const;
+
+  // Number of router->router links on the current route (NIC hops excluded);
+  // -1 if unreachable. src == dst is 0 hops.
+  int HopCount(int src_machine, int dst_machine) const;
+
+  bool Reachable(int src_machine, int dst_machine) const;
+
+  bool LinkDead(int link_id) const {
+    return link_dead_[static_cast<size_t>(link_id)] != 0;
+  }
+
+  // Severs/heals both directed links between routers `ra` and `rb` and
+  // rebuilds the routing tables. Fails if no such router pair link exists.
+  Status SeverRouterLink(int ra, int rb);
+  Status HealRouterLink(int ra, int rb);
+  int severed_links() const { return severed_pairs_; }
+
+  // True when the topology has a link (dead or alive) between the routers.
+  bool HasRouterLink(int ra, int rb) const;
+
+  // True on topologies whose minimal routes can cross a wraparound link, in
+  // which case the medium must run >= 2 virtual-channel classes (dateline
+  // deadlock avoidance).
+  bool NeedsDateline() const {
+    return spec_.kind == TopologyKind::kRing ||
+           spec_.kind == TopologyKind::kTorus;
+  }
+
+ private:
+  Topology() = default;
+  void AddLink(int from, int to, int dim, bool wrap);
+  void RebuildRoutes();
+
+  TopologySpec spec_;
+  int routers_ = 0;
+  int machines_ = 0;
+  std::uint64_t route_seed_ = 1;
+  std::vector<Link> links_;
+  std::vector<std::vector<int>> out_links_;  // per vertex, sorted (dim, id)
+  std::vector<char> link_dead_;
+  // next_[vertex * machines_ + dst] = outgoing link id, -1 unreachable.
+  std::vector<std::int32_t> next_;
+  int severed_pairs_ = 0;
+  // fat-tree bookkeeping: pod-internal layout for AttachRouter
+  int fattree_k_ = 0;
+};
+
+// Picks a topology for `machines` NICs: a near-square torus when machines
+// >= 4 (rows x cols, rows <= cols, both >= 2), else a ring.
+TopologySpec AutoTopologySpec(int machines);
+
+}  // namespace dse::simnet::fabric

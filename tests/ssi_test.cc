@@ -182,15 +182,22 @@ TEST(SsiStats, PsTableShowsStateAndTask) {
   EXPECT_NE(table.find("worker"), std::string::npos);
 }
 
-TEST(SsiStats, MediumCountersSkipZeroes) {
+TEST(SsiStats, MediumCountersSkipZeroesAndCarryKindPrefix) {
   simnet::MediumStats ms;
   ms.frames = 2;
   ms.wire_bytes = 100;
-  const MetricsSnapshot counters = simnet::MediumStatsToCounters(ms);
+  const MetricsSnapshot counters = simnet::MediumStatsToCounters(ms, "bus");
   EXPECT_EQ(Get(counters, "bus.frames"), 2u);
   EXPECT_EQ(Get(counters, "bus.wire_bytes"), 100u);
   EXPECT_EQ(counters.count("bus.collisions"), 0u);
-  EXPECT_EQ(counters.count("bus.busy_us"), 0u);
+  // frames/busy_us/queueing_us are always reported (satellite: per-medium
+  // utilization must be visible even when zero), rarer counters only when
+  // nonzero.
+  EXPECT_EQ(counters.count("bus.busy_us"), 1u);
+  EXPECT_EQ(counters.count("bus.queueing_us"), 1u);
+  EXPECT_EQ(counters.count("bus.credit_stalls"), 0u);
+  const MetricsSnapshot sw = simnet::MediumStatsToCounters(ms, "switched");
+  EXPECT_EQ(Get(sw, "switched.frames"), 2u);
 }
 
 // --- Cluster-wide stats over the StatsReq/StatsResp protocol ------------------

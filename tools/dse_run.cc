@@ -18,7 +18,21 @@
 //   --prefetch K             sequential read-ahead depth (implies --cache)
 //   --write-combine          buffer small writes, flush at sync points
 //   --legacy                 old two-process DSE organization (sim)
-//   --switched               ideal switched network instead of the bus (sim)
+//   --medium bus|switched|fabric  interconnect model (sim; default bus).
+//                            bus = the paper's shared CSMA/CD Ethernet,
+//                            switched = ideal per-port switch, fabric =
+//                            routed multi-hop fabric (docs/interconnect.md)
+//   --switched               deprecated alias for --medium switched
+//   --topology SPEC          fabric topology: ring:N | mesh:AxB | torus:AxB
+//                            | fattree:K | auto (default auto; requires
+//                            --medium fabric)
+//   --link-bw MBPS           fabric per-link bandwidth in Mb/s (default:
+//                            the platform profile's LAN bandwidth)
+//   --link-lat US            fabric per-hop wire latency in microseconds
+//                            (default 1)
+//   --vc N                   fabric virtual channels per link (default 2;
+//                            ring/torus need >= 2 for dateline deadlock
+//                            avoidance)
 //   --trace FILE             write a Chrome trace-event JSON timeline (sim);
 //                            includes final per-node counter samples
 //   --machines a,b,...       heterogeneous cluster: one platform id per
@@ -197,7 +211,9 @@ int Usage() {
                "usage: dse_run <gauss|dct|othello|knight> [--mode "
                "threaded|sim] [--platform sunos|aix|linux|solaris] "
                "[--procs N] [--cache] [--batch] [--prefetch K] "
-               "[--write-combine] [--legacy] [--switched] "
+               "[--write-combine] [--legacy] "
+               "[--medium bus|switched|fabric] [--topology SPEC] "
+               "[--link-bw MBPS] [--link-lat US] [--vc N] "
                "[--fault-plan FILE] [--rpc-deadline-ms N] "
                "[--replication 0|1] [--restart-tasks] "
                "[--min-quorum N] [--rejoin 0|1] "
@@ -292,7 +308,8 @@ int main(int argc, char** argv) {
       "switched", "trace", "machines",   "stats",     "stats-json",
       "stats-csv", "ps",   "list-tasks", "help",      "batch",
       "prefetch", "write-combine", "fault-plan", "rpc-deadline-ms",
-      "replication", "restart-tasks", "min-quorum", "rejoin"};
+      "replication", "restart-tasks", "min-quorum", "rejoin",
+      "medium", "topology", "link-bw", "link-lat", "vc"};
   known.insert(known.end(), workload.flags.begin(), workload.flags.end());
   flags.RejectUnknown(known);
 
@@ -421,6 +438,86 @@ int main(int argc, char** argv) {
     rejoin = raw == "1";
   }
 
+  // Interconnect medium (sim only): a validated enum, with the old boolean
+  // --switched kept as a deprecated alias.
+  std::string medium_name = flags.Str("medium", "bus");
+  if (flags.Has("medium") && medium_name != "bus" &&
+      medium_name != "switched" && medium_name != "fabric") {
+    std::fprintf(stderr, "--medium must be one of bus|switched|fabric "
+                         "(got '%s')\n",
+                 medium_name.c_str());
+    return 2;
+  }
+  if (flags.Has("switched")) {
+    if (flags.Has("medium") && medium_name != "switched") {
+      std::fprintf(stderr,
+                   "--switched conflicts with --medium %s (drop the "
+                   "deprecated --switched)\n",
+                   medium_name.c_str());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "note: --switched is deprecated; use --medium switched\n");
+    medium_name = "switched";
+  }
+  const bool medium_flag_given = flags.Has("medium") || flags.Has("switched");
+
+  // Fabric knobs: strictly validated and refused outright when the medium
+  // is not the fabric (a silently ignored topology is a lie about the run).
+  const bool fabric_knob_given = flags.Has("topology") ||
+                                 flags.Has("link-bw") ||
+                                 flags.Has("link-lat") || flags.Has("vc");
+  if (fabric_knob_given && medium_name != "fabric") {
+    std::fprintf(stderr,
+                 "--topology/--link-bw/--link-lat/--vc configure the routed "
+                 "fabric; they require --medium fabric\n");
+    return 2;
+  }
+  if (!fault_plan.fabric_links.empty() && medium_name != "fabric") {
+    std::fprintf(stderr,
+                 "--fault-plan has flink directives (fabric link severs); "
+                 "they require --medium fabric\n");
+    return 2;
+  }
+  simnet::fabric::FabricOptions fabric_opts;
+  fabric_opts.topology = flags.Str("topology", "auto");
+  if (flags.Has("link-bw")) {
+    const std::string raw = flags.Str("link-bw", "");
+    char* end = nullptr;
+    const double mbps = std::strtod(raw.c_str(), &end);
+    if (raw.empty() || end == nullptr || *end != '\0' || mbps <= 0) {
+      std::fprintf(stderr, "--link-bw must be a positive Mb/s value "
+                           "(got '%s')\n",
+                   raw.c_str());
+      return 2;
+    }
+    fabric_opts.link_bandwidth_bps = mbps * 1e6;
+  }
+  if (flags.Has("link-lat")) {
+    const std::string raw = flags.Str("link-lat", "");
+    char* end = nullptr;
+    const double us = std::strtod(raw.c_str(), &end);
+    if (raw.empty() || end == nullptr || *end != '\0' || us < 0) {
+      std::fprintf(stderr, "--link-lat must be a microsecond value >= 0 "
+                           "(got '%s')\n",
+                   raw.c_str());
+      return 2;
+    }
+    fabric_opts.link_latency = sim::Micros(us);
+  }
+  if (flags.Has("vc")) {
+    const std::string raw = flags.Str("vc", "");
+    char* end = nullptr;
+    const long parsed = std::strtol(raw.c_str(), &end, 10);
+    if (raw.empty() || end == nullptr || *end != '\0' || parsed < 1 ||
+        parsed > 16) {
+      std::fprintf(stderr, "--vc must be an integer in [1, 16] (got '%s')\n",
+                   raw.c_str());
+      return 2;
+    }
+    fabric_opts.vcs = static_cast<int>(parsed);
+  }
+
   // Static quorum-attainability check: a plan whose *permanent* faults
   // (kills without revive, severs without heal) leave no reachable set of
   // at least quorum size would park the whole cluster forever — every call
@@ -537,6 +634,13 @@ int main(int argc, char** argv) {
 
   const std::string mode = flags.Str("mode", "threaded");
   if (mode == "threaded") {
+    if (medium_flag_given || fabric_knob_given) {
+      std::fprintf(stderr,
+                   "--medium/--switched and the fabric knobs model simulated "
+                   "interconnects; they require --mode sim (the threaded "
+                   "runtime uses the real in-process fabric)\n");
+      return 2;
+    }
     ThreadedRuntime rt(ThreadedOptions{.num_nodes = procs,
                                        .read_cache = cache,
                                        .batching = batching,
@@ -576,7 +680,6 @@ int main(int argc, char** argv) {
     if (flags.Has("legacy")) {
       opts.organization = OrganizationMode::kLegacyTwoProcess;
     }
-    if (flags.Has("switched")) opts.medium = MediumKind::kSwitched;
     const std::string machines = flags.Str("machines", "");
     if (!machines.empty()) {
       size_t pos = 0;
@@ -587,6 +690,114 @@ int main(int argc, char** argv) {
         opts.machine_profiles.push_back(ProfileOrDie(id));
         if (comma == std::string::npos) break;
         pos = comma + 1;
+      }
+    }
+    if (medium_name == "switched") opts.medium = MediumKind::kSwitched;
+    if (medium_name == "fabric") {
+      opts.medium = MediumKind::kRoutedFabric;
+      opts.fabric = fabric_opts;
+      const int machine_count =
+          opts.machine_profiles.empty()
+              ? opts.profile.physical_machines
+              : static_cast<int>(opts.machine_profiles.size());
+      // Validate the topology up front for a friendly error (the runtime
+      // would only DSE_CHECK).
+      auto spec = simnet::fabric::ParseTopologySpec(fabric_opts.topology,
+                                                    machine_count);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "--topology %s: %s\n",
+                     fabric_opts.topology.c_str(),
+                     spec.status().ToString().c_str());
+        return 2;
+      }
+      auto topo = simnet::fabric::Topology::Build(*spec, machine_count,
+                                                  opts.seed);
+      if (!topo.ok()) {
+        std::fprintf(stderr, "--topology %s: %s\n",
+                     fabric_opts.topology.c_str(),
+                     topo.status().ToString().c_str());
+        return 2;
+      }
+      if (topo->NeedsDateline() && fabric_opts.vcs < 2) {
+        std::fprintf(stderr,
+                     "--topology %s needs --vc >= 2: ring/torus wraparound "
+                     "links switch dateline VC classes to stay "
+                     "deadlock-free\n",
+                     simnet::fabric::ToString(*spec).c_str());
+        return 2;
+      }
+      for (const auto& fs : fault_plan.fabric_links) {
+        if (fs.a < 0 || fs.b < 0 || fs.a >= topo->routers() ||
+            fs.b >= topo->routers()) {
+          std::fprintf(stderr,
+                       "--fault-plan flink %d %d: topology %s has routers "
+                       "0..%d\n",
+                       fs.a, fs.b,
+                       simnet::fabric::ToString(*spec).c_str(),
+                       topo->routers() - 1);
+          return 2;
+        }
+        if (!topo->HasRouterLink(fs.a, fs.b)) {
+          std::fprintf(stderr,
+                       "--fault-plan flink %d %d: topology %s has no link "
+                       "between those routers (a typo must not silently run "
+                       "fault-free)\n",
+                       fs.a, fs.b,
+                       simnet::fabric::ToString(*spec).c_str());
+          return 2;
+        }
+      }
+      // Permanent fabric-link severs extend the quorum-attainability check:
+      // if they partition the machines so that no reachable node set can
+      // hold a quorum, the run would park forever — refuse instead.
+      if (replication == 1) {
+        for (const auto& fs : fault_plan.fabric_links) {
+          if (fs.heal < 0) (void)topo->SeverRouterLink(fs.a, fs.b);
+        }
+        std::set<NodeId> perm_dead;
+        for (const auto& kill : fault_plan.kills) {
+          if (kill.node >= 0 && kill.node < procs && kill.revive < 0) {
+            perm_dead.insert(kill.node);
+          }
+        }
+        std::vector<NodeId> alive;
+        for (NodeId nd = 0; nd < procs; ++nd) {
+          if (perm_dead.count(nd) == 0) alive.push_back(nd);
+        }
+        size_t largest = 0;
+        std::set<NodeId> seen;
+        for (NodeId root : alive) {
+          if (seen.count(root) != 0) continue;
+          std::vector<NodeId> stack = {root};
+          seen.insert(root);
+          size_t size = 0;
+          while (!stack.empty()) {
+            const NodeId cur = stack.back();
+            stack.pop_back();
+            ++size;
+            for (NodeId next : alive) {
+              if (seen.count(next) == 0 &&
+                  topo->Reachable(cur % machine_count,
+                                  next % machine_count)) {
+                seen.insert(next);
+                stack.push_back(next);
+              }
+            }
+          }
+          largest = std::max(largest, size);
+        }
+        const int need = min_quorum > 0
+                             ? min_quorum
+                             : static_cast<int>(alive.size()) / 2 + 1;
+        if (static_cast<int>(largest) < need) {
+          std::fprintf(stderr,
+                       "--fault-plan makes the eviction quorum permanently "
+                       "unattainable: its unhealed flink severs partition "
+                       "the fabric so no reachable set of %d members "
+                       "remains\n",
+                       need);
+          return 2;
+        }
       }
     }
     trace::Recorder recorder;
@@ -606,14 +817,14 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "%s | sim %s x%d | %.4f s virtual | %llu msgs (%llu loopback) | "
-        "%llu frames, %llu collisions | bus %.1f%%\n",
+        "%llu frames, %llu collisions | %s %.1f%%\n",
         workload.description.c_str(), opts.profile.id.c_str(), procs,
         report.virtual_seconds,
         static_cast<unsigned long long>(report.messages),
         static_cast<unsigned long long>(report.loopback),
         static_cast<unsigned long long>(report.wire_frames),
         static_cast<unsigned long long>(report.collisions),
-        report.bus_utilization * 100);
+        medium_name.c_str(), report.bus_utilization * 100);
     // Medium counters and injected-fault tallies are both cluster-wide.
     MetricsSnapshot cluster_only = report.medium_counters;
     for (const auto& [name, value] : report.fault_counters) {
