@@ -693,6 +693,32 @@ Result<std::uint64_t> TaskClient::LookupName(const std::string& name) {
   return resp->value;
 }
 
+Result<std::uint64_t> TaskClient::SubmitJob(std::uint32_t tenant,
+                                            const std::string& task_name,
+                                            std::vector<std::uint8_t> arg,
+                                            std::uint32_t gang,
+                                            NodeId locality_hint) {
+  DSE_RETURN_IF_ERROR(FlushWrites());  // the job may read our writes
+  proto::JobSubmitReq req;
+  req.tenant = tenant;
+  req.task_name = task_name;
+  req.arg = std::move(arg);
+  req.gang = gang;
+  req.locality_hint = locality_hint;
+  auto resp = Expect<proto::JobSubmitResp>(
+      rpc_->Call(0, std::move(req), DataPolicy()));
+  if (!resp.ok()) return resp.status();
+  DSE_RETURN_IF_ERROR(ErrorFrom(resp->error, "job submit refused"));
+  return resp->job_id;
+}
+
+Result<std::map<std::string, std::uint64_t>> TaskClient::SchedStat() {
+  auto resp = Expect<proto::SchedStatResp>(
+      rpc_->Call(0, proto::SchedStatReq{}, DataPolicy()));
+  if (!resp.ok()) return resp.status();
+  return std::move(resp->counters);
+}
+
 Result<std::vector<proto::PsEntry>> TaskClient::ClusterPs() {
   std::vector<proto::PsEntry> all;
   for (NodeId n = 0; n < num_nodes(); ++n) {

@@ -111,6 +111,18 @@ class TaskClient {
   Status PublishName(const std::string& name, std::uint64_t value);
   Result<std::uint64_t> LookupName(const std::string& name);
 
+  // Serving front door (docs/scheduling.md): submits a fire-and-forget
+  // gang job to the cluster scheduler on node 0. Returns the job id;
+  // kResourceExhausted when admission shed it, kInvalidArgument for an
+  // unknown task or impossible gang, kFailedPrecondition with no scheduler.
+  Result<std::uint64_t> SubmitJob(std::uint32_t tenant,
+                                  const std::string& task_name,
+                                  std::vector<std::uint8_t> arg,
+                                  std::uint32_t gang, NodeId locality_hint);
+  // The scheduler's counter ledger (sched.* totals, live gauges, derived
+  // latency percentiles) — the drain-polling / bench surface.
+  Result<std::map<std::string, std::uint64_t>> SchedStat();
+
  private:
   int num_nodes() const { return core_->num_nodes(); }
   // Policy for data-plane calls (reads/writes/atomics/alloc/free/spawn and

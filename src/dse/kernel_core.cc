@@ -32,6 +32,7 @@ bool RequestNeedsDedupe(const proto::Envelope& env) {
     case proto::MsgType::kSpawnReq:
     case proto::MsgType::kJoinReq:
     case proto::MsgType::kNamePublish:
+    case proto::MsgType::kJobSubmitReq:
       return true;
     case proto::MsgType::kBatchReq: {
       const auto& b = std::get<proto::BatchReq>(env.body);
@@ -68,6 +69,7 @@ bool EpochFenced(proto::MsgType type) {
     case proto::MsgType::kJoinReq:
     case proto::MsgType::kNamePublish:
     case proto::MsgType::kNameLookup:
+    case proto::MsgType::kJobSubmitReq:
       return true;
     default:
       return false;
@@ -106,6 +108,11 @@ KernelCore::KernelCore(NodeId self, int num_nodes, KernelOptions options)
   quorum_parks_ = metrics_.counter("recovery.quorum_parks");
   xfer_chunks_ = metrics_.counter("gmm.xfer.chunks");
   xfer_bytes_ = metrics_.counter("gmm.xfer.bytes");
+  if (options_.sched.enabled && self_ == 0) {
+    sched_ = std::make_unique<sched::Scheduler>(
+        num_nodes_, options_.sched, &metrics_, options_.now_us,
+        options_.task_idempotent);
+  }
 }
 
 std::uint32_t KernelCore::epoch() const {
@@ -281,6 +288,15 @@ KernelCore::Actions KernelCore::Dispatch(const proto::Envelope& env) {
       }
     }
     DispatchGmm(*serving, env, &actions);
+    // Stamp responses with the membership epoch they were served under.
+    // The receiver's cache-fill path refuses a block whose stamp is not its
+    // current epoch: a response that crosses a failover (served by the old
+    // primary, or replayed from a shadow's ledger after promotion) carries
+    // data the promoted home's empty copyset does not track, so caching it
+    // would leave a copy no future write can invalidate.
+    for (Outgoing& o : actions.out) {
+      if (proto::IsClientResponse(o.env.type())) o.env.epoch = epoch();
+    }
     return actions;
   }
 
@@ -350,6 +366,56 @@ KernelCore::Actions KernelCore::Dispatch(const proto::Envelope& env) {
         actions.out.push_back(Outgoing{src, std::move(reply)});
       }
       // Otherwise the joiner is parked; OnLocalTaskExit answers later.
+      break;
+    }
+
+    case proto::MsgType::kJobSubmitReq: {
+      const auto& req = std::get<proto::JobSubmitReq>(env.body);
+      proto::JobSubmitResp resp;
+      std::vector<sched::Start> starts;
+      if (!sched_) {
+        // Not the scheduler node, or serving is off for this cluster.
+        resp.error =
+            static_cast<std::uint8_t>(ErrorCode::kFailedPrecondition);
+      } else if (options_.has_task && !options_.has_task(req.task_name)) {
+        resp.error = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+      } else {
+        sched::SubmitOutcome outcome = sched_->Submit(req);
+        resp = outcome.resp;
+        starts = std::move(outcome.starts);
+      }
+      proto::Envelope reply;
+      reply.req_id = rid;
+      reply.src_node = self_;
+      reply.body = resp;
+      actions.out.push_back(Outgoing{src, std::move(reply)});
+      ApplyStarts(std::move(starts), &actions);
+      break;
+    }
+
+    case proto::MsgType::kJobStartReq: {
+      // Scheduler -> this host (one-way): run one gang member here.
+      const auto& req = std::get<proto::JobStartReq>(env.body);
+      StartJobMember(req.job_id, req.member, req.task_name, req.arg, src,
+                     &actions);
+      break;
+    }
+
+    case proto::MsgType::kJobDoneReq: {
+      // Host -> scheduler (one-way): a remote gang member finished.
+      const auto& req = std::get<proto::JobDoneReq>(env.body);
+      if (sched_) {
+        ApplyStarts(sched_->OnMemberDone(req.job_id, req.member), &actions);
+      }
+      break;
+    }
+
+    case proto::MsgType::kSchedStatReq: {
+      proto::Envelope reply;
+      reply.req_id = rid;
+      reply.src_node = self_;
+      reply.body = sched_ ? sched_->Stat() : proto::SchedStatResp{};
+      actions.out.push_back(Outgoing{src, std::move(reply)});
       break;
     }
 
@@ -600,7 +666,9 @@ void KernelCore::HandleReplicate(const proto::Envelope& env,
   // or the shadow could apply a mutation the promoted order never saw.
   // Silently ignored (no ack) — the primary retransmits after both sides
   // converge.
-  if (rec.epoch != epoch()) return;
+  if (rec.epoch != epoch()) {
+    return;
+  }
   // A record for a primary whose state is mid-transfer to us is acked (the
   // sender may release its gated client replies) but applied only once the
   // blob installs, in arrival order: the snapshot was taken before any such
@@ -613,8 +681,28 @@ void KernelCore::HandleReplicate(const proto::Envelope& env,
     return;
   }
   if (!shadow.home) {
-    // Shadows replay with coherence off: nobody caches from a shadow, so
-    // there are no copysets to maintain until (if ever) it is promoted.
+    if (epoch() > 0) {
+      // No base state and no transfer open yet. Past the first membership
+      // change every fresh record stream is preceded by a state transfer
+      // (the new primary snapshots before it forwards), but the snapshot's
+      // first chunk and the records leave the sender on different threads
+      // — the eviction path streams chunks from the failure detector's
+      // thread while the service loop forwards records — so a record can
+      // beat chunk 0 here. Applying it to an empty lazily-created home
+      // would be fatal: the install would replace that home with the
+      // snapshot, silently discarding an acked mutation. Stash it instead;
+      // InstallTransfer replays the stash (then the mid-transfer buffer)
+      // on top of the blob, reconstructing exact arrival order.
+      shadow.seen.insert(rec.seq);
+      shadow.seen_order.push_back(rec.seq);
+      shadow.pending_records.push_back(env);
+      ack();
+      return;
+    }
+    // Epoch 0: the stream starts with the primary's first-ever mutation, so
+    // an empty replica is the correct base. Shadows replay with coherence
+    // off: nobody caches from a shadow, so there are no copysets to
+    // maintain until (if ever) it is promoted.
     shadow.home = std::make_unique<gmm::GmmHome>(rec.primary, num_nodes_,
                                                  /*coherence=*/false);
   }
@@ -657,6 +745,11 @@ void KernelCore::RecordShadowResponse(NodeId primary, NodeId dst,
                                       proto::Envelope env) {
   ShadowHome& shadow = shadows_[primary];
   env.src_node = self_;  // after promotion, this node answers the retry
+  // Stamp with the epoch at record time. Promotion always bumps the epoch,
+  // so a replay of this response can never match the receiver's current
+  // epoch — its block data is served to the waiting call but never cached,
+  // because the promoted home's copyset has no record of the reader.
+  env.epoch = epoch();
   const DedupeKey key{dst, env.req_id};
   if (shadow.completed.emplace(key, std::move(env)).second) {
     shadow.completed_order.push_back(key);
@@ -791,6 +884,10 @@ KernelCore::Actions KernelCore::ApplyEviction(NodeId dead,
   processes_.OnNodeEvicted(dead);
   shadows_.erase(dead);  // a shadow routed to another survivor is stale
 
+  // Serving front door: re-place the dead node's orphaned gang members
+  // (idempotent tasks) on the survivors and fail what cannot be re-run.
+  if (sched_) ApplyStarts(sched_->OnNodeDead(dead), &actions);
+
   // Re-replication (docs/recovery.md): restore f = 1 for every home this
   // node serves whose replica the eviction invalidated — freshly promoted
   // homes have no replica yet, and a changed ring successor has none of our
@@ -843,6 +940,7 @@ void KernelCore::ResetForRejoin() {
   in_progress_.clear();
   xfer_out_.clear();
   xfer_in_.clear();
+  xfer_installed_.clear();
   xfer_deferred_.clear();
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -1076,6 +1174,8 @@ void KernelCore::OnAdmitted(NodeId node, bool was_holder, NodeId old_backup,
       StartTransfer(p, new_backup, /*demote=*/false, actions);
     }
   }
+  // Serving front door: the rejoined node's slots are schedulable again.
+  if (sched_) ApplyStarts(sched_->OnNodeAlive(node), actions);
 }
 
 void KernelCore::HandleStateChunk(const proto::Envelope& env,
@@ -1097,8 +1197,19 @@ void KernelCore::HandleStateChunk(const proto::Envelope& env,
   };
   // An xfer_in_ entry flips the node into buffer-don't-apply mode for the
   // primary's live records, so it must only exist for a genuinely active
-  // transfer — never materialize one for a stray chunk.
+  // transfer — never materialize one for a stray chunk. The stray that
+  // matters: a tick-retransmitted chunk of a transfer that ALREADY
+  // installed (its ack raced the retransmission). Re-ack it without
+  // re-opening the transfer, or the stale snapshot would roll back every
+  // record applied since the install.
   auto xit = xfer_in_.find(primary);
+  if (xit == xfer_in_.end()) {
+    const auto done = xfer_installed_.find(primary);
+    if (done != xfer_installed_.end() && done->second == chunk.epoch) {
+      ack(chunk.index);
+      return;
+    }
+  }
   if (chunk.index == 0) {
     if (xit != xfer_in_.end() && xit->second.received > 0 &&
         xit->second.epoch == chunk.epoch) {
@@ -1135,6 +1246,7 @@ void KernelCore::InstallTransfer(NodeId primary, Actions* actions) {
   DSE_CHECK(it != xfer_in_.end());
   IncomingTransfer in = std::move(it->second);
   xfer_in_.erase(it);
+  xfer_installed_[primary] = in.epoch;
   if (primary == self_) {
     // Rejoin handoff: the cluster handed our home back — install and serve.
     DSE_CHECK_MSG(home_.InstallState(in.blob).ok(),
@@ -1143,14 +1255,22 @@ void KernelCore::InstallTransfer(NodeId primary, Actions* actions) {
     return;
   }
   // Fresh replica: a shadow reconstructed from the snapshot, then the live
-  // records that arrived while it streamed, in order. The shadow's dedupe
-  // ledgers survive the install (their seqs are all in blob + buffer).
+  // records that raced or overlapped the stream, in arrival order — first
+  // those that beat the first chunk (stashed in pending_records), then
+  // those buffered mid-transfer. The snapshot was taken before the sender
+  // emitted any of them, so blob + both queues is the full history. The
+  // shadow's dedupe ledgers survive the install (their seqs are all in
+  // blob + queues).
   ShadowHome& shadow = shadows_[primary];
   shadow.home = std::make_unique<gmm::GmmHome>(primary, num_nodes_,
                                                /*coherence=*/false);
   DSE_CHECK_MSG(shadow.home->InstallState(in.blob).ok(),
                 "malformed replica state blob");
-  for (const proto::Envelope& rec_env : in.buffered) {
+  std::vector<proto::Envelope> replay = std::move(shadow.pending_records);
+  shadow.pending_records.clear();
+  replay.insert(replay.end(), std::make_move_iterator(in.buffered.begin()),
+                std::make_move_iterator(in.buffered.end()));
+  for (const proto::Envelope& rec_env : replay) {
     const auto& rec = std::get<proto::ReplicateReq>(rec_env.body);
     auto inner = proto::Decode(rec.inner);
     DSE_CHECK_MSG(inner.ok(), "malformed buffered replication record");
@@ -1252,6 +1372,32 @@ void KernelCore::HandleInvalidate(const proto::Envelope& env,
   actions->out.push_back(Outgoing{env.src_node, std::move(ack)});
 }
 
+void KernelCore::StartJobMember(std::uint64_t job_id, std::uint32_t member,
+                                const std::string& task_name,
+                                std::vector<std::uint8_t> arg, NodeId origin,
+                                Actions* actions) {
+  const Gpid gpid = processes_.Create(task_name);
+  job_tags_[gpid] = JobTag{job_id, member, origin};
+  actions->start.push_back(StartTask{gpid, task_name, std::move(arg)});
+}
+
+void KernelCore::ApplyStarts(std::vector<sched::Start> starts,
+                             Actions* actions) {
+  for (sched::Start& s : starts) {
+    if (s.node == self_) {
+      StartJobMember(s.job_id, s.member, s.task_name, std::move(s.arg),
+                     self_, actions);
+    } else {
+      proto::Envelope env;
+      env.req_id = 0;  // one-way kernel-to-kernel frame
+      env.src_node = self_;
+      env.body = proto::JobStartReq{s.job_id, s.member, s.task_name,
+                                    std::move(s.arg)};
+      actions->out.push_back(Outgoing{s.node, std::move(env)});
+    }
+  }
+}
+
 KernelCore::Actions KernelCore::OnLocalTaskExit(
     Gpid gpid, std::vector<std::uint8_t> result) {
   Actions actions;
@@ -1265,6 +1411,21 @@ KernelCore::Actions KernelCore::OnLocalTaskExit(
     reply.src_node = self_;
     reply.body = std::move(resp);
     actions.out.push_back(Outgoing{node, std::move(reply)});
+  }
+  // A finished gang member reports to its scheduler: locally when the
+  // scheduler lives here, else with a one-way JobDoneReq.
+  if (const auto it = job_tags_.find(gpid); it != job_tags_.end()) {
+    const JobTag tag = it->second;
+    job_tags_.erase(it);
+    if (tag.origin == self_ && sched_) {
+      ApplyStarts(sched_->OnMemberDone(tag.job_id, tag.member), &actions);
+    } else if (tag.origin != self_) {
+      proto::Envelope done;
+      done.req_id = 0;
+      done.src_node = self_;
+      done.body = proto::JobDoneReq{tag.job_id, tag.member};
+      actions.out.push_back(Outgoing{tag.origin, std::move(done)});
+    }
   }
   // Deferred JoinResps answer requests still marked in-progress.
   HarvestResponses(&actions);
@@ -1370,6 +1531,7 @@ MetricsSnapshot KernelCore::StatsSnapshot() const {
   put("gmm.batch.served", g.batches);
   put("gmm.batch.served_items", g.batch_items);
 
+  if (sched_) sched_->AugmentStats(&snap);
   if (options_.augment_stats) options_.augment_stats(&snap);
   return snap;
 }

@@ -41,6 +41,7 @@
 #include "dse/ids.h"
 #include "dse/pm/process_table.h"
 #include "dse/proto/messages.h"
+#include "dse/sched/scheduler.h"
 #include "dse/ssi/services.h"
 
 namespace dse {
@@ -105,6 +106,13 @@ struct KernelOptions {
   // Lets the backend merge transport-level counters (e.g. the endpoint's
   // wire byte counts) into StatsSnapshot(). May be null.
   std::function<void(MetricsSnapshot*)> augment_stats;
+  // Serving front door (docs/scheduling.md): when enabled, node 0 hosts the
+  // multi-tenant job scheduler behind JobSubmitReq/JobStartReq/JobDoneReq.
+  sched::Config sched;
+  // Microsecond clock for the scheduler's latency/utilization accounting:
+  // virtual time on the simulator, steady_clock on the threaded runtime.
+  // Accounting only — never control flow, so determinism is unaffected.
+  std::function<std::uint64_t()> now_us;
 };
 
 struct KernelStats {
@@ -267,6 +275,8 @@ class KernelCore {
   const gmm::GmmHomeStats& gmm_stats() const { return home_.stats(); }
   gmm::GmmHome& home_for_test() { return home_; }
   ssi::SsiServices& ssi_for_test() { return ssi_; }
+  // The serving scheduler, or nullptr (disabled / not the scheduler node).
+  sched::Scheduler* scheduler() { return sched_.get(); }
 
  private:
   // At-most-once cache key: (requester node, req_id).
@@ -275,6 +285,16 @@ class KernelCore {
   // The pre-dedupe request dispatch (the body of Handle).
   Actions Dispatch(const proto::Envelope& env);
   void HandleInvalidate(const proto::Envelope& env, Actions* actions);
+
+  // Turns scheduler start directives into local process starts (self) or
+  // one-way JobStartReq frames (remote hosts).
+  void ApplyStarts(std::vector<sched::Start> starts, Actions* actions);
+  // Creates a local process for one gang member and tags its gpid so exit
+  // routes a completion report back to the scheduler.
+  void StartJobMember(std::uint64_t job_id, std::uint32_t member,
+                      const std::string& task_name,
+                      std::vector<std::uint8_t> arg, NodeId origin,
+                      Actions* actions);
 
   // At-most-once execution: moves responses to in-progress mutating
   // requests into the completed cache so a retried request (same src,
@@ -398,6 +418,15 @@ class KernelCore {
     std::deque<DedupeKey> completed_order;
     std::set<std::uint64_t> seen;  // applied record seqs (re-ack, not re-run)
     std::deque<std::uint64_t> seen_order;
+    // Records that arrived before the state transfer that seeds this shadow
+    // (its first chunk and the records race on separate sender threads).
+    // Acked on arrival, applied right after the blob installs — before the
+    // mid-transfer records buffered in IncomingTransfer — so the replica
+    // replays the exact arrival order. Only populated at epoch > 0: past
+    // the first membership change, every fresh record stream is preceded
+    // by a transfer, so a record with no installed base state means the
+    // blob is still in flight, never that there is no blob at all.
+    std::vector<proto::Envelope> pending_records;
   };
   std::map<NodeId, ShadowHome> shadows_;
   // Promoted shadows now serving a dead primary's key space.
@@ -434,6 +463,17 @@ class KernelCore {
     std::vector<proto::Envelope> buffered;  // ReplicateReq frames
   };
   std::map<NodeId, IncomingTransfer> xfer_in_;
+  // Epoch of the last fully-installed incoming transfer per primary. The
+  // sender retransmits on its tick whenever the ack is merely slow, so a
+  // duplicate chunk 0 can arrive AFTER the install erased xfer_in_. Without
+  // this record the duplicate would re-open the transfer and re-install the
+  // stale snapshot over a shadow that live records have since moved past —
+  // a silent rollback that the next failover promotes (or, multi-chunk, a
+  // shadow wedged in buffer-don't-apply mode forever). Duplicates of an
+  // installed transfer are re-acked and dropped instead. A genuinely new
+  // transfer for the same primary always runs under a bumped epoch (every
+  // start follows a membership change), so epoch equality is the test.
+  std::map<NodeId, std::uint32_t> xfer_installed_;
   // Rejoin: this node's own home is empty until its previous holder streams
   // the state back; requests for it bounce with RetryResp meanwhile.
   bool own_home_pending_ = false;
@@ -448,6 +488,19 @@ class KernelCore {
   Counter* quorum_parks_ = nullptr;
   Counter* xfer_chunks_ = nullptr;
   Counter* xfer_bytes_ = nullptr;
+
+  // --- Serving front door (docs/scheduling.md) ----------------------------
+
+  // Present only on the scheduler node (node 0) with sched.enabled.
+  std::unique_ptr<sched::Scheduler> sched_;
+  // Local gang members: gpid -> which job/member it is and which node's
+  // scheduler wants the completion report.
+  struct JobTag {
+    std::uint64_t job_id = 0;
+    std::uint32_t member = 0;
+    NodeId origin = -1;
+  };
+  std::map<Gpid, JobTag> job_tags_;
 
   KernelStats stats_;
 };

@@ -219,6 +219,17 @@ class HostTask final : public Task {
   Result<std::uint64_t> LookupName(const std::string& name) override {
     return client_.LookupName(name);
   }
+  Result<std::uint64_t> SubmitJob(std::uint32_t tenant,
+                                  const std::string& task_name,
+                                  std::vector<std::uint8_t> arg,
+                                  std::uint32_t gang,
+                                  NodeId locality_hint) override {
+    return client_.SubmitJob(tenant, task_name, std::move(arg), gang,
+                             locality_hint);
+  }
+  Result<std::map<std::string, std::uint64_t>> SchedStat() override {
+    return client_.SchedStat();
+  }
 
  private:
   NodeHost* host_;
@@ -255,6 +266,14 @@ KernelOptions MakeKernelOptions(const NodeHost::Options& options,
   };
   kopts.task_idempotent = [registry](const std::string& name) {
     return registry->IsIdempotent(name);
+  };
+  kopts.sched = options.sched;
+  // Scheduler latency accounting in real microseconds (monotonic).
+  kopts.now_us = [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
   };
   // Endpoint-level byte counts (serialized frames at the fabric boundary)
   // ride along in stats snapshots as a cross-check of the kernel's own
@@ -333,6 +352,7 @@ void NodeHost::HeartbeatLoop() {
   const int timeout_ms = options_.heartbeat_timeout_ms > 0
                              ? options_.heartbeat_timeout_ms
                              : 5 * period_ms;
+  std::int64_t last_tick = NowMs();
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(hb_mu_);
@@ -341,6 +361,27 @@ void NodeHost::HeartbeatLoop() {
       if (hb_stop_) return;
     }
     const std::int64_t now = NowMs();
+    // Pause compensation: time this monitor itself spent descheduled
+    // beyond its period (host overload, a stopped/paused process, a
+    // debugger) is indistinguishable from peer silence — our own pause
+    // also kept us from *hearing* heartbeats that may well have been
+    // sent. Credit the excess back to every unsuspected peer so only
+    // time the monitor was demonstrably running counts toward a timeout.
+    // A genuinely dead peer is still detected: with the monitor ticking
+    // normally the excess is zero and the deadline expires as usual;
+    // under sustained overload detection stretches proportionally
+    // instead of mass-declaring the whole cluster dead on wake-up.
+    const std::int64_t excess = now - last_tick - period_ms;
+    last_tick = now;
+    if (excess > 0) {
+      for (NodeId n = 0; n < core_.num_nodes(); ++n) {
+        const auto i = static_cast<size_t>(n);
+        if (n == self() || peer_dead_[i].load(std::memory_order_relaxed)) {
+          continue;
+        }
+        last_heard_ms_[i].fetch_add(excess, std::memory_order_relaxed);
+      }
+    }
     // Two passes: latch every peer that timed out this tick *before* acting
     // on any of them. A partition severs several links at once; evicting
     // the first silent peer while the others still look reachable would
@@ -354,6 +395,14 @@ void NodeHost::HeartbeatLoop() {
       }
       if (now - last_heard_ms_[i].load(std::memory_order_relaxed) >
           timeout_ms) {
+        if (options_.silence_confirms && !options_.silence_confirms(n)) {
+          // The oracle says the peer is neither killed nor severed: the
+          // silence is scheduler starvation, not death. Reset its clock —
+          // the timeout re-arms and fires for real once the injector
+          // actually takes the peer down.
+          last_heard_ms_[i].store(now, std::memory_order_relaxed);
+          continue;
+        }
         LatchPeerDead(n, "heartbeat timeout");
         newly_silent.push_back(n);
       }
@@ -902,13 +951,19 @@ void NodeHost::ServiceLoop() {
 
     if (proto::IsClientResponse(env.type())) {
       // Cache fills happen on this ordered path before the waiting task can
-      // observe the response — see kernel_core.h.
-      if (auto* rr = std::get_if<proto::ReadResp>(&env.body);
-          rr != nullptr && rr->block_fetch) {
-        core_.CacheInsert(rr->addr, rr->data);
-      } else if (auto* br = std::get_if<proto::BatchResp>(&env.body)) {
-        for (const proto::BatchItemResp& item : br->items) {
-          if (item.block_fetch) core_.CacheInsert(item.addr, item.data);
+      // observe the response — see kernel_core.h. A response stamped with an
+      // older membership epoch (served before a failover, or replayed from a
+      // shadow ledger after promotion) still answers the call, but its block
+      // is not cached: the promoted home's copyset does not track that copy,
+      // so no future write could ever invalidate it.
+      if (env.epoch == core_.epoch()) {
+        if (auto* rr = std::get_if<proto::ReadResp>(&env.body);
+            rr != nullptr && rr->block_fetch) {
+          core_.CacheInsert(rr->addr, rr->data);
+        } else if (auto* br = std::get_if<proto::BatchResp>(&env.body)) {
+          for (const proto::BatchItemResp& item : br->items) {
+            if (item.block_fetch) core_.CacheInsert(item.addr, item.data);
+          }
         }
       }
       Waiter* waiter = nullptr;

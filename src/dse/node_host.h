@@ -49,6 +49,20 @@ class NodeHost {
     // 0 disables the prober; timeout 0 defaults to 5x the period.
     int heartbeat_period_ms = 0;
     int heartbeat_timeout_ms = 0;
+    // Ground-truth liveness oracle (in-process harnesses only). When every
+    // "node" is a thread of one process, OS-scheduler starvation of a
+    // peer's *sender* thread is indistinguishable from real silence to a
+    // monitor that kept running — no monitor-side compensation can tell
+    // them apart, and a false eviction is equivalent to an extra concurrent
+    // node death (outside the f=1-over-time recovery contract). The
+    // harness, however, knows ground truth: the fault injector is the only
+    // thing that can really kill a node or sever a link in-process. When
+    // set, a heartbeat-timeout suspicion of `peer` is latched only if the
+    // oracle confirms it; otherwise the silence is starvation and the
+    // peer's clock resets. Detection of real kills/severs still flows
+    // through the genuine wall-clock timeout — the oracle only filters
+    // false positives, it never fast-paths detection.
+    std::function<bool(NodeId peer)> silence_confirms;
     // Recovery subsystem (see KernelOptions / docs/recovery.md).
     int replication = 0;
     bool restart_tasks = false;
@@ -57,6 +71,8 @@ class NodeHost {
     // may rejoin.
     int min_quorum = 0;
     bool rejoin = true;
+    // Serving front door (see KernelOptions / docs/scheduling.md).
+    sched::Config sched;
     TaskRegistry* registry = nullptr;            // required
     // Receives SSI console lines (only ever called on node 0's host).
     std::function<void(std::string)> console_sink;

@@ -359,6 +359,71 @@ Status Get(ByteReader& r, StateChunkResp* m) {
   return r.ReadU32(&m->index);
 }
 
+void Put(ByteWriter& w, const JobSubmitReq& m) {
+  w.WriteU32(m.tenant);
+  w.WriteString(m.task_name);
+  w.WriteBytes({reinterpret_cast<const char*>(m.arg.data()), m.arg.size()});
+  w.WriteU32(m.gang);
+  w.WriteI32(m.locality_hint);
+}
+Status Get(ByteReader& r, JobSubmitReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU32(&m->tenant));
+  DSE_RETURN_IF_ERROR(r.ReadString(&m->task_name));
+  DSE_RETURN_IF_ERROR(r.ReadBytes(&m->arg));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&m->gang));
+  return r.ReadI32(&m->locality_hint);
+}
+void Put(ByteWriter& w, const JobSubmitResp& m) {
+  w.WriteU64(m.job_id);
+  w.WriteU8(m.error);
+}
+Status Get(ByteReader& r, JobSubmitResp* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->job_id));
+  return r.ReadU8(&m->error);
+}
+void Put(ByteWriter& w, const JobStartReq& m) {
+  w.WriteU64(m.job_id);
+  w.WriteU32(m.member);
+  w.WriteString(m.task_name);
+  w.WriteBytes({reinterpret_cast<const char*>(m.arg.data()), m.arg.size()});
+}
+Status Get(ByteReader& r, JobStartReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->job_id));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&m->member));
+  DSE_RETURN_IF_ERROR(r.ReadString(&m->task_name));
+  return r.ReadBytes(&m->arg);
+}
+void Put(ByteWriter& w, const JobDoneReq& m) {
+  w.WriteU64(m.job_id);
+  w.WriteU32(m.member);
+}
+Status Get(ByteReader& r, JobDoneReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadU64(&m->job_id));
+  return r.ReadU32(&m->member);
+}
+void Put(ByteWriter&, const SchedStatReq&) {}
+Status Get(ByteReader&, SchedStatReq*) { return Status::Ok(); }
+void Put(ByteWriter& w, const SchedStatResp& m) {
+  w.WriteU32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const auto& [name, value] : m.counters) {  // map: sorted, stable wire
+    w.WriteString(name);
+    w.WriteU64(value);
+  }
+}
+Status Get(ByteReader& r, SchedStatResp* m) {
+  std::uint32_t n = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  m->counters.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t value = 0;
+    DSE_RETURN_IF_ERROR(r.ReadString(&name));
+    DSE_RETURN_IF_ERROR(r.ReadU64(&value));
+    m->counters.emplace(std::move(name), value);
+  }
+  return Status::Ok();
+}
+
 template <typename T, MsgType kType>
 struct Tag {
   using type = T;
@@ -413,6 +478,12 @@ std::string_view MsgTypeName(MsgType type) {
     case MsgType::kNodeJoinResp: return "NodeJoinResp";
     case MsgType::kStateChunkReq: return "StateChunkReq";
     case MsgType::kStateChunkResp: return "StateChunkResp";
+    case MsgType::kJobSubmitReq: return "JobSubmitReq";
+    case MsgType::kJobSubmitResp: return "JobSubmitResp";
+    case MsgType::kJobStartReq: return "JobStartReq";
+    case MsgType::kJobDoneReq: return "JobDoneReq";
+    case MsgType::kSchedStatReq: return "SchedStatReq";
+    case MsgType::kSchedStatResp: return "SchedStatResp";
   }
   return "Unknown";
 }
@@ -435,6 +506,8 @@ bool IsClientResponse(MsgType type) {
     case MsgType::kStatsResp:
     case MsgType::kBatchResp:
     case MsgType::kRetryResp:
+    case MsgType::kJobSubmitResp:
+    case MsgType::kSchedStatResp:
       return true;
     default:
       return false;
@@ -543,6 +616,18 @@ Result<Envelope> Decode(const std::vector<std::uint8_t>& payload) {
       return DecodeBody<StateChunkReq>(r, std::move(env));
     case MsgType::kStateChunkResp:
       return DecodeBody<StateChunkResp>(r, std::move(env));
+    case MsgType::kJobSubmitReq:
+      return DecodeBody<JobSubmitReq>(r, std::move(env));
+    case MsgType::kJobSubmitResp:
+      return DecodeBody<JobSubmitResp>(r, std::move(env));
+    case MsgType::kJobStartReq:
+      return DecodeBody<JobStartReq>(r, std::move(env));
+    case MsgType::kJobDoneReq:
+      return DecodeBody<JobDoneReq>(r, std::move(env));
+    case MsgType::kSchedStatReq:
+      return DecodeBody<SchedStatReq>(r, std::move(env));
+    case MsgType::kSchedStatResp:
+      return DecodeBody<SchedStatResp>(r, std::move(env));
   }
   return ProtocolError("unknown message type " + std::to_string(type_raw));
 }

@@ -89,12 +89,23 @@ enum class MsgType : std::uint8_t {
   kNodeJoinResp,
   kStateChunkReq,
   kStateChunkResp,
+  // Serving front door (docs/scheduling.md). A client submits a short job to
+  // the scheduler node (node 0); the scheduler admits/queues/sheds it and,
+  // once placed, fans one JobStartReq per gang member out to the chosen
+  // hosts. Hosts report member completion back with JobDoneReq. SchedStat
+  // exposes the scheduler's counter ledger for drain polling and benches.
+  kJobSubmitReq,
+  kJobSubmitResp,
+  kJobStartReq,
+  kJobDoneReq,
+  kSchedStatReq,
+  kSchedStatResp,
 };
 
 // Highest MsgType value; message types are contiguous from 1, so fixed-size
 // per-type counter tables are indexed by the raw enum value.
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kStateChunkResp);
+    static_cast<std::uint8_t>(MsgType::kSchedStatResp);
 
 std::string_view MsgTypeName(MsgType type);
 
@@ -341,6 +352,46 @@ struct StateChunkResp {
   std::uint32_t index = 0;
 };
 
+// Client -> scheduler (node 0): admit one job of `gang` members of
+// registered task `task_name`. Epoch-fenced and deduped like any client
+// request, so a retried submit after a membership change is admitted at most
+// once. `locality_hint` (>= 0) asks placement to prefer that node when slots
+// are otherwise tied.
+struct JobSubmitReq {
+  std::uint32_t tenant = 0;
+  std::string task_name;
+  std::vector<std::uint8_t> arg;
+  std::uint32_t gang = 1;
+  NodeId locality_hint = -1;
+};
+// Scheduler -> client. `error` is an ErrorCode as u8: 0 = admitted (queued
+// or started), kResourceExhausted = shed by admission control (retry later),
+// kInvalidArgument = the gang can never fit the live cluster.
+struct JobSubmitResp {
+  std::uint64_t job_id = 0;
+  std::uint8_t error = 0;
+};
+// Scheduler -> host (req_id 0, one-way): start gang member `member` of
+// `job_id` here. The receiver creates a local process for `task_name(arg)`
+// and reports completion with JobDoneReq to the sender.
+struct JobStartReq {
+  std::uint64_t job_id = 0;
+  std::uint32_t member = 0;
+  std::string task_name;
+  std::vector<std::uint8_t> arg;
+};
+// Host -> scheduler (req_id 0, one-way): gang member finished.
+struct JobDoneReq {
+  std::uint64_t job_id = 0;
+  std::uint32_t member = 0;
+};
+// Client -> scheduler: snapshot the sched.* counter ledger (admitted,
+// completed, queue depth, ...). Same wire shape as StatsResp.
+struct SchedStatReq {};
+struct SchedStatResp {
+  std::map<std::string, std::uint64_t> counters;
+};
+
 using Body =
     std::variant<ReadReq, ReadResp, WriteReq, WriteAck, AtomicReq, AtomicResp,
                  AllocReq, AllocResp, FreeReq, FreeAck, InvalidateReq,
@@ -350,7 +401,8 @@ using Body =
                  NameLookup, NameResp, LoadReq, LoadResp, StatsReq,
                  StatsResp, BatchReq, BatchResp, Heartbeat, ReplicateReq,
                  ReplicateAck, EvictReq, RetryResp, NodeJoinReq, NodeJoinResp,
-                 StateChunkReq, StateChunkResp>;
+                 StateChunkReq, StateChunkResp, JobSubmitReq, JobSubmitResp,
+                 JobStartReq, JobDoneReq, SchedStatReq, SchedStatResp>;
 
 MsgType TypeOf(const Body& body);
 

@@ -1,0 +1,405 @@
+#include "dse/sched/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace dse::sched {
+namespace {
+
+// Nearest-rank percentile over an unsorted sample copy. p in [0, 100].
+std::uint64_t PercentileUs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const size_t idx = static_cast<size_t>(rank + 0.5);
+  return static_cast<std::uint64_t>(samples[std::min(idx, samples.size() - 1)]);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(int num_nodes, Config config, MetricsRegistry* metrics,
+                     std::function<std::uint64_t()> now_us,
+                     std::function<bool(const std::string&)> task_idempotent)
+    : num_nodes_(num_nodes),
+      config_(config),
+      metrics_(metrics),
+      now_us_(std::move(now_us)),
+      task_idempotent_(std::move(task_idempotent)),
+      used_slots_(num_nodes, 0),
+      alive_(num_nodes, true) {
+  submitted_ = metrics_->counter("sched.submitted");
+  admitted_ = metrics_->counter("sched.admitted");
+  shed_ = metrics_->counter("sched.shed");
+  rejected_ = metrics_->counter("sched.rejected");
+  completed_ = metrics_->counter("sched.completed");
+  failed_ = metrics_->counter("sched.failed");
+  restarts_ = metrics_->counter("sched.restarts");
+  members_started_ = metrics_->counter("sched.members_started");
+  invariant_violations_ = metrics_->counter("sched.invariant_violations");
+  latency_hist_ = metrics_->histogram("sched.job_latency_us");
+}
+
+Scheduler::Tenant& Scheduler::TenantOf(std::uint32_t id) {
+  auto [it, inserted] = tenants_.try_emplace(id);
+  if (inserted) {
+    const std::string prefix = "sched.tenant." + std::to_string(id);
+    it->second.admitted = metrics_->counter(prefix + ".admitted");
+    it->second.shed = metrics_->counter(prefix + ".shed");
+  }
+  return it->second;
+}
+
+int Scheduler::TotalFreeSlots() const {
+  int free = 0;
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (alive_[n]) free += config_.slots_per_node - used_slots_[n];
+  }
+  return free;
+}
+
+std::uint64_t Scheduler::running_jobs() const {
+  std::uint64_t running = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.placed) ++running;
+  }
+  return running;
+}
+
+SubmitOutcome Scheduler::Submit(const proto::JobSubmitReq& req) {
+  SubmitOutcome out;
+  submitted_->Add();
+  Tenant& tenant = TenantOf(req.tenant);
+
+  int alive_nodes = 0;
+  for (NodeId n = 0; n < num_nodes_; ++n) alive_nodes += alive_[n] ? 1 : 0;
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(alive_nodes) *
+      static_cast<std::uint64_t>(config_.slots_per_node);
+
+  if (req.gang == 0 || req.gang > capacity) {
+    // The gang can never fit the live cluster: a caller mistake, not a
+    // transient resource shortage — no point retrying.
+    rejected_->Add();
+    out.resp.error = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+    return out;
+  }
+  if (tenant.queued >= static_cast<std::uint64_t>(config_.queue_cap)) {
+    // Bounded queue: shed instead of letting overload grow latency without
+    // limit. kResourceExhausted tells the client to back off and retry.
+    shed_->Add();
+    tenant.shed->Add();
+    out.resp.error = static_cast<std::uint8_t>(ErrorCode::kResourceExhausted);
+    return out;
+  }
+
+  const std::uint64_t id = next_job_id_++;
+  Job& job = jobs_[id];
+  job.tenant = req.tenant;
+  job.task_name = req.task_name;
+  job.arg = req.arg;
+  job.gang = req.gang;
+  job.hint = req.locality_hint;
+  job.submit_us = now_us_ ? now_us_() : 0;
+  if (!saw_submit_) {
+    saw_submit_ = true;
+    first_submit_us_ = job.submit_us;
+  }
+  queue_.push_back(id);
+  ++tenant.queued;
+  admitted_->Add();
+  tenant.admitted->Add();
+  out.resp.job_id = id;
+
+  TryDispatch(&out.starts);
+  Audit();
+  return out;
+}
+
+NodeId Scheduler::PickNode(const std::vector<int>& free, NodeId hint) const {
+  NodeId best = -1;
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (!alive_[n] || free[n] <= 0) continue;
+    if (best < 0 || free[n] > free[best] ||
+        (free[n] == free[best] && n == hint)) {
+      best = n;
+    }
+  }
+  return best;
+}
+
+bool Scheduler::PlaceGang(std::uint32_t gang, NodeId hint,
+                          std::vector<NodeId>* nodes) {
+  std::vector<int> free(num_nodes_, 0);
+  int total = 0;
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (!alive_[n]) continue;
+    free[n] = config_.slots_per_node - used_slots_[n];
+    total += free[n];
+  }
+  if (total < static_cast<int>(gang)) return false;  // all-or-nothing
+
+  nodes->clear();
+  nodes->reserve(gang);
+  for (std::uint32_t i = 0; i < gang; ++i) {
+    NodeId pick = -1;
+    if (config_.load_aware) {
+      pick = PickNode(free, hint);
+    } else {
+      // Blind round-robin: next live node with a free slot after the cursor.
+      for (int step = 0; step < num_nodes_; ++step) {
+        const NodeId n = static_cast<NodeId>((rr_cursor_ + step) % num_nodes_);
+        if (alive_[n] && free[n] > 0) {
+          pick = n;
+          rr_cursor_ = (n + 1) % num_nodes_;
+          break;
+        }
+      }
+    }
+    DSE_CHECK(pick >= 0);  // guaranteed by the total-slots check above
+    --free[pick];
+    nodes->push_back(pick);
+  }
+  return true;
+}
+
+void Scheduler::StartJob(std::uint64_t id, const std::vector<NodeId>& nodes,
+                         std::vector<Start>* out) {
+  Job& job = jobs_[id];
+  const std::uint64_t now = now_us_ ? now_us_() : 0;
+  job.members.resize(job.gang);
+  for (std::uint32_t m = 0; m < job.gang; ++m) {
+    Member& member = job.members[m];
+    member.node = nodes[m];
+    member.start_us = now;
+    ++used_slots_[member.node];
+    members_started_->Add();
+    out->push_back(Start{member.node, id, m, job.task_name, job.arg});
+  }
+  job.placed = true;
+}
+
+void Scheduler::TryDispatch(std::vector<Start>* out) {
+  // Orphaned members first: they already consumed quota and admission, and
+  // an admitted job's completion promise outranks new work.
+  while (!pending_restarts_.empty()) {
+    const auto [id, m] = pending_restarts_.front();
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {  // job failed/finished since the orphan queued
+      pending_restarts_.pop_front();
+      continue;
+    }
+    std::vector<NodeId> nodes;
+    if (!PlaceGang(1, it->second.hint, &nodes)) break;  // no free slot yet
+    pending_restarts_.pop_front();
+    Member& member = it->second.members[m];
+    member.node = nodes[0];
+    member.start_us = now_us_ ? now_us_() : 0;
+    ++used_slots_[member.node];
+    members_started_->Add();
+    out->push_back(
+        Start{member.node, id, m, it->second.task_name, it->second.arg});
+  }
+
+  // Admission-order scan with per-tenant head-of-line blocking only: a
+  // tenant whose oldest job can't run (quota or no fitting gang) blocks
+  // itself, while other tenants backfill the free slots.
+  std::deque<std::uint64_t> remaining;
+  std::map<std::uint32_t, bool> blocked;
+  for (const std::uint64_t id : queue_) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;  // failed out of the queue earlier
+    Job& job = it->second;
+    if (blocked[job.tenant]) {
+      remaining.push_back(id);
+      continue;
+    }
+    Tenant& tenant = TenantOf(job.tenant);
+    std::vector<NodeId> nodes;
+    if (tenant.running >= static_cast<std::uint64_t>(config_.tenant_quota) ||
+        !PlaceGang(job.gang, job.hint, &nodes)) {
+      blocked[job.tenant] = true;  // preserve FIFO within the tenant
+      remaining.push_back(id);
+      continue;
+    }
+    --tenant.queued;
+    ++tenant.running;
+    StartJob(id, nodes, out);
+  }
+  queue_ = std::move(remaining);
+}
+
+void Scheduler::FinishJob(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  Tenant& tenant = TenantOf(job.tenant);
+  if (tenant.running > 0) --tenant.running;
+  const std::uint64_t now = now_us_ ? now_us_() : 0;
+  last_done_us_ = now;
+  if (job.failed) {
+    // sched.failed was counted when the job was doomed.
+  } else {
+    completed_->Add();
+    const double latency = static_cast<double>(now - job.submit_us);
+    latency_us_.push_back(latency);
+    latency_hist_->Record(latency);
+  }
+  jobs_.erase(it);
+}
+
+std::vector<Start> Scheduler::OnMemberDone(std::uint64_t job_id,
+                                           std::uint32_t member_idx) {
+  std::vector<Start> starts;
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || !it->second.placed ||
+      member_idx >= it->second.members.size()) {
+    return starts;  // late report for a job already failed out
+  }
+  Member& member = it->second.members[member_idx];
+  if (member.done) return starts;  // duplicate report
+  member.done = true;
+  const std::uint64_t now = now_us_ ? now_us_() : 0;
+  if (member.node >= 0 && alive_[member.node]) {
+    if (used_slots_[member.node] > 0) --used_slots_[member.node];
+    if (now > member.start_us) busy_us_ += now - member.start_us;
+  }
+  if (++it->second.done_members == it->second.gang) FinishJob(job_id);
+  TryDispatch(&starts);
+  Audit();
+  return starts;
+}
+
+std::vector<Start> Scheduler::OnNodeDead(NodeId dead) {
+  std::vector<Start> starts;
+  if (dead < 0 || dead >= num_nodes_ || !alive_[dead]) return starts;
+  alive_[dead] = false;
+  used_slots_[dead] = 0;
+
+  // Placed jobs with members on the dead node: idempotent tasks are safe to
+  // re-run, so their orphans queue for restart; anything else makes the job
+  // a (counted-once) failure whose surviving members drain normally.
+  std::vector<std::uint64_t> finished;
+  for (auto& [id, job] : jobs_) {
+    if (!job.placed) continue;
+    const bool idempotent = task_idempotent_ && task_idempotent_(job.task_name);
+    for (std::uint32_t m = 0; m < job.members.size(); ++m) {
+      Member& member = job.members[m];
+      if (member.node != dead || member.done) continue;
+      if (idempotent) {
+        member.node = -1;
+        pending_restarts_.push_back({id, m});
+        restarts_->Add();
+      } else {
+        if (!job.failed) {
+          job.failed = true;
+          failed_->Add();
+        }
+        member.done = true;  // the dead host will never report it
+        ++job.done_members;
+      }
+    }
+    if (job.placed && job.done_members == job.gang) finished.push_back(id);
+  }
+  for (const std::uint64_t id : finished) FinishJob(id);
+
+  // Queued jobs whose gang no longer fits the shrunken cluster can never
+  // run; fail them now rather than leaving them queued forever.
+  int alive_nodes = 0;
+  for (NodeId n = 0; n < num_nodes_; ++n) alive_nodes += alive_[n] ? 1 : 0;
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(alive_nodes) *
+      static_cast<std::uint64_t>(config_.slots_per_node);
+  std::deque<std::uint64_t> survivors;
+  for (const std::uint64_t id : queue_) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    if (it->second.gang > capacity) {
+      Tenant& tenant = TenantOf(it->second.tenant);
+      if (tenant.queued > 0) --tenant.queued;
+      failed_->Add();
+      jobs_.erase(it);
+    } else {
+      survivors.push_back(id);
+    }
+  }
+  queue_ = std::move(survivors);
+
+  TryDispatch(&starts);
+  Audit();
+  return starts;
+}
+
+std::vector<Start> Scheduler::OnNodeAlive(NodeId node) {
+  std::vector<Start> starts;
+  if (node < 0 || node >= num_nodes_ || alive_[node]) return starts;
+  alive_[node] = true;
+  used_slots_[node] = 0;
+  TryDispatch(&starts);
+  Audit();
+  return starts;
+}
+
+proto::SchedStatResp Scheduler::Stat() const {
+  proto::SchedStatResp resp;
+  auto& c = resp.counters;
+  c["sched.submitted"] = submitted_->value();
+  c["sched.admitted"] = admitted_->value();
+  c["sched.shed"] = shed_->value();
+  c["sched.rejected"] = rejected_->value();
+  c["sched.completed"] = completed_->value();
+  c["sched.failed"] = failed_->value();
+  c["sched.restarts"] = restarts_->value();
+  c["sched.members_started"] = members_started_->value();
+  c["sched.invariant_violations"] = invariant_violations_->value();
+  c["sched.queue_depth"] = queue_.size();
+  c["sched.running_jobs"] = running_jobs();
+  c["sched.latency_p50_us"] = PercentileUs(latency_us_, 50.0);
+  c["sched.latency_p99_us"] = PercentileUs(latency_us_, 99.0);
+  c["sched.latency_max_us"] = PercentileUs(latency_us_, 100.0);
+  c["sched.busy_us"] = busy_us_;
+  c["sched.span_us"] =
+      last_done_us_ > first_submit_us_ ? last_done_us_ - first_submit_us_ : 0;
+  c["sched.slots_total"] = static_cast<std::uint64_t>(num_nodes_) *
+                           static_cast<std::uint64_t>(config_.slots_per_node);
+  return resp;
+}
+
+void Scheduler::AugmentStats(MetricsSnapshot* out) const {
+  if (!queue_.empty()) (*out)["sched.queue_depth"] = queue_.size();
+  const std::uint64_t running = running_jobs();
+  if (running != 0) (*out)["sched.running_jobs"] = running;
+}
+
+void Scheduler::Audit() {
+  bool ok = true;
+  // Quota: no tenant ever has more concurrently running jobs than allowed.
+  for (const auto& [id, tenant] : tenants_) {
+    if (tenant.running > static_cast<std::uint64_t>(config_.tenant_quota)) {
+      ok = false;
+    }
+  }
+  // Slot ledger: bounded per node, zero on dead nodes, and consistent with
+  // the set of placed-but-unfinished members.
+  std::vector<int> expected(num_nodes_, 0);
+  for (const auto& [id, job] : jobs_) {
+    if (!job.placed) continue;
+    for (const Member& member : job.members) {
+      if (!member.done && member.node >= 0 && alive_[member.node]) {
+        ++expected[member.node];
+      }
+    }
+  }
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (used_slots_[n] < 0 || used_slots_[n] > config_.slots_per_node) {
+      ok = false;
+    }
+    if (!alive_[n] && used_slots_[n] != 0) ok = false;
+    if (used_slots_[n] != expected[n]) ok = false;
+  }
+  if (!ok) invariant_violations_->Add();
+}
+
+}  // namespace dse::sched

@@ -1,0 +1,182 @@
+// Serving front door: the multi-tenant job scheduler (docs/scheduling.md).
+//
+// One Scheduler lives inside the KernelCore of node 0 when sched::Config
+// enables it. Clients submit short jobs over JobSubmitReq; the scheduler
+// performs admission control (per-tenant bounded queues — overflow is shed
+// with a typed kResourceExhausted instead of collapsing), enforces a
+// per-tenant concurrent-running quota, performs all-or-nothing gang
+// placement (a multi-member job either gets every slot it needs or stays
+// queued — no partial reservations, hence no deadlock between competing
+// gangs), and picks hosts with load-aware placement (most free slots wins,
+// ties broken by the submitter's locality hint, then lowest node id) or
+// plain round-robin when load awareness is off.
+//
+// The scheduler is transport-free and entirely deterministic: every state
+// transition is driven by a message delivered to the kernel (submit, member
+// done, eviction, admission), so on the simulator the whole serving schedule
+// is bit-for-bit replayable. Timestamps come from an injected now_us clock
+// (virtual time on the simulator, steady_clock on the threaded runtime) and
+// feed latency/utilization accounting only — never control flow.
+//
+// Counters live in the node's MetricsRegistry under sched.* and flow into
+// the normal StatsReq/StatsResp introspection path; SchedStatReq serves a
+// richer ledger (live gauges plus derived p50/p99) for benches and drain
+// polling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "dse/ids.h"
+#include "dse/proto/messages.h"
+
+namespace dse::sched {
+
+struct Config {
+  // Off by default: the scheduler costs a job ledger on node 0 and most
+  // workloads (the paper's apps) do their own spawn placement.
+  bool enabled = false;
+  // Concurrent gang members one node hosts; cluster capacity is
+  // slots_per_node * live nodes.
+  int slots_per_node = 8;
+  // Max concurrently *running* jobs per tenant (the quota invariant).
+  int tenant_quota = 4;
+  // Max *queued* jobs per tenant; a submit beyond this is shed with
+  // kResourceExhausted (bounded queues — overload degrades by shedding).
+  int queue_cap = 64;
+  // Most-free-slots placement; off = blind round-robin (the baseline the
+  // bench compares against).
+  bool load_aware = true;
+};
+
+// One gang-member start directive. The kernel turns these into a local
+// process start (node == self) or a one-way JobStartReq.
+struct Start {
+  NodeId node = -1;
+  std::uint64_t job_id = 0;
+  std::uint32_t member = 0;
+  std::string task_name;
+  std::vector<std::uint8_t> arg;
+};
+
+struct SubmitOutcome {
+  proto::JobSubmitResp resp;
+  std::vector<Start> starts;
+};
+
+class Scheduler {
+ public:
+  Scheduler(int num_nodes, Config config, MetricsRegistry* metrics,
+            std::function<std::uint64_t()> now_us,
+            std::function<bool(const std::string&)> task_idempotent);
+
+  // Admission + dispatch for one submit. Never blocks: the job is admitted
+  // (possibly started immediately), queued, or shed/rejected in the reply.
+  SubmitOutcome Submit(const proto::JobSubmitReq& req);
+
+  // A gang member finished; frees its slot and may dispatch queued work.
+  std::vector<Start> OnMemberDone(std::uint64_t job_id, std::uint32_t member);
+
+  // Membership change hooks (mirroring ApplyEviction / OnAdmitted).
+  // OnNodeDead re-queues the dead node's idempotent members for restart and
+  // fails non-idempotent jobs; both may dispatch onto the survivors.
+  std::vector<Start> OnNodeDead(NodeId dead);
+  std::vector<Start> OnNodeAlive(NodeId node);
+
+  // Counter ledger served over SchedStatReq: registry totals plus live
+  // gauges (queue depth, running) and derived latency percentiles.
+  proto::SchedStatResp Stat() const;
+
+  // Live gauges merged into the node's StatsSnapshot().
+  void AugmentStats(MetricsSnapshot* out) const;
+
+  // Introspection for tests.
+  std::uint64_t queue_depth() const { return queue_.size(); }
+  std::uint64_t running_jobs() const;
+  std::uint64_t invariant_violations() const {
+    return invariant_violations_->value();
+  }
+
+ private:
+  struct Member {
+    NodeId node = -1;
+    bool done = false;
+    std::uint64_t start_us = 0;
+  };
+  struct Job {
+    std::uint32_t tenant = 0;
+    std::string task_name;
+    std::vector<std::uint8_t> arg;
+    std::uint32_t gang = 1;
+    NodeId hint = -1;
+    std::uint64_t submit_us = 0;
+    std::vector<Member> members;  // sized once placed
+    std::uint32_t done_members = 0;
+    bool placed = false;
+    bool failed = false;
+  };
+  struct Tenant {
+    std::uint64_t queued = 0;
+    std::uint64_t running = 0;  // placed, not yet fully done
+    Counter* admitted = nullptr;
+    Counter* shed = nullptr;
+  };
+
+  Tenant& TenantOf(std::uint32_t id);
+  // Picks `gang` slots across live nodes, all-or-nothing. Returns false
+  // (and assigns nothing) when the free slots don't cover the gang.
+  bool PlaceGang(std::uint32_t gang, NodeId hint, std::vector<NodeId>* nodes);
+  NodeId PickNode(const std::vector<int>& free, NodeId hint) const;
+  // Drains pending restarts then the admission queue onto free slots,
+  // appending start directives. Preserves per-tenant FIFO: a tenant whose
+  // head job can't run blocks only itself.
+  void TryDispatch(std::vector<Start>* out);
+  void StartJob(std::uint64_t id, const std::vector<NodeId>& nodes,
+                std::vector<Start>* out);
+  void FinishJob(std::uint64_t id);
+  int TotalFreeSlots() const;
+  // Post-transition self-check; failures bump sched.invariant_violations
+  // (the bench/CI gate) instead of crashing the serving path.
+  void Audit();
+
+  const int num_nodes_;
+  const Config config_;
+  MetricsRegistry* const metrics_;
+  const std::function<std::uint64_t()> now_us_;
+  const std::function<bool(const std::string&)> task_idempotent_;
+
+  std::uint64_t next_job_id_ = 1;
+  std::map<std::uint64_t, Job> jobs_;
+  std::deque<std::uint64_t> queue_;  // admitted, unplaced, admission order
+  // Members orphaned by an eviction, re-placed before new queue work.
+  std::deque<std::pair<std::uint64_t, std::uint32_t>> pending_restarts_;
+  std::map<std::uint32_t, Tenant> tenants_;
+  std::vector<int> used_slots_;
+  std::vector<bool> alive_;
+  int rr_cursor_ = 0;
+
+  // Latency/utilization ledger (accounting only; never control flow).
+  std::vector<double> latency_us_;
+  std::uint64_t busy_us_ = 0;
+  std::uint64_t first_submit_us_ = 0;
+  std::uint64_t last_done_us_ = 0;
+  bool saw_submit_ = false;
+
+  Counter* submitted_ = nullptr;
+  Counter* admitted_ = nullptr;
+  Counter* shed_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* completed_ = nullptr;
+  Counter* failed_ = nullptr;
+  Counter* restarts_ = nullptr;
+  Counter* members_started_ = nullptr;
+  Counter* invariant_violations_ = nullptr;
+  Histogram* latency_hist_ = nullptr;
+};
+
+}  // namespace dse::sched

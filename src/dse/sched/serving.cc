@@ -1,0 +1,231 @@
+#include "dse/sched/serving.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "dse/task.h"
+
+namespace dse::sched {
+namespace {
+
+// Runtime-aware pacing: virtual Compute time on the simulator (charged from
+// the platform cost model — deterministic), a real sleep on the threaded
+// runtime (where Compute is a no-op by design).
+void Burn(Task& t, bool threaded, std::uint64_t us,
+          std::uint32_t work_units_per_us) {
+  if (threaded) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  } else {
+    t.Compute(static_cast<double>(us) *
+              static_cast<double>(work_units_per_us));
+  }
+}
+
+// Deterministic per-tenant stream (LCG; integer-only, no libm).
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+};
+
+struct JobArg {
+  bool threaded = false;
+  std::uint32_t service_us = 0;
+  std::uint32_t work_units_per_us = 20;
+};
+
+std::vector<std::uint8_t> EncodeJobArg(const JobArg& a) {
+  ByteWriter w(16);
+  w.WriteU8(a.threaded ? 1 : 0);
+  w.WriteU32(a.service_us);
+  w.WriteU32(a.work_units_per_us);
+  return w.TakeBuffer();
+}
+
+JobArg DecodeJobArg(const std::vector<std::uint8_t>& b) {
+  ByteReader r(b);
+  JobArg a;
+  std::uint8_t threaded = 0;
+  DSE_CHECK_OK(r.ReadU8(&threaded));
+  a.threaded = threaded != 0;
+  DSE_CHECK_OK(r.ReadU32(&a.service_us));
+  DSE_CHECK_OK(r.ReadU32(&a.work_units_per_us));
+  return a;
+}
+
+void PutConfig(ByteWriter& w, const ServingConfig& cfg) {
+  w.WriteU8(cfg.threaded ? 1 : 0);
+  w.WriteU32(cfg.tenants);
+  w.WriteU32(cfg.jobs_per_tenant);
+  w.WriteU32(cfg.gap_us);
+  w.WriteU32(cfg.service_us);
+  w.WriteU32(cfg.work_units_per_us);
+  w.WriteU32(cfg.gang);
+  w.WriteU32(cfg.gang_every);
+  w.WriteU64(cfg.seed);
+}
+
+Status GetConfig(ByteReader& r, ServingConfig* cfg) {
+  std::uint8_t threaded = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU8(&threaded));
+  cfg->threaded = threaded != 0;
+  DSE_RETURN_IF_ERROR(r.ReadU32(&cfg->tenants));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&cfg->jobs_per_tenant));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&cfg->gap_us));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&cfg->service_us));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&cfg->work_units_per_us));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&cfg->gang));
+  DSE_RETURN_IF_ERROR(r.ReadU32(&cfg->gang_every));
+  return r.ReadU64(&cfg->seed);
+}
+
+// One gang member: burn the configured service time.
+void JobBody(Task& t) {
+  const JobArg a = DecodeJobArg(t.arg());
+  Burn(t, a.threaded, a.service_us, a.work_units_per_us);
+}
+
+// One synthetic tenant: open-loop submit stream. Never joins a job — the
+// drain happens cluster-side via SchedStat.
+void TenantBody(Task& t) {
+  ByteReader r(t.arg());
+  ServingConfig cfg;
+  DSE_CHECK_OK(GetConfig(r, &cfg));
+  std::uint32_t tenant_id = 0;
+  DSE_CHECK_OK(r.ReadU32(&tenant_id));
+
+  JobArg job;
+  job.threaded = cfg.threaded;
+  job.service_us = cfg.service_us;
+  job.work_units_per_us = cfg.work_units_per_us;
+  const std::vector<std::uint8_t> job_arg = EncodeJobArg(job);
+
+  Lcg rng{cfg.seed * 2654435761ULL + tenant_id + 1};
+  std::uint64_t ok = 0, shed = 0, other = 0;
+  for (std::uint32_t i = 0; i < cfg.jobs_per_tenant; ++i) {
+    const bool gang_job =
+        cfg.gang_every != 0 && cfg.gang > 1 &&
+        (i % cfg.gang_every) == cfg.gang_every - 1;
+    const std::uint32_t gang = gang_job ? cfg.gang : 1;
+    auto id = t.SubmitJob(tenant_id, "sched.job", job_arg, gang,
+                          /*locality_hint=*/-1);
+    if (id.ok()) {
+      ++ok;
+    } else if (id.status().code() == ErrorCode::kResourceExhausted) {
+      ++shed;  // admission shed us: open loop keeps offering anyway
+    } else {
+      ++other;
+    }
+    // Jittered open-loop cadence: mean gap_us, uniform in [gap/2, 3*gap/2].
+    const std::uint64_t gap =
+        cfg.gap_us / 2 + rng.Next() % (static_cast<std::uint64_t>(cfg.gap_us) + 1);
+    Burn(t, cfg.threaded, gap, cfg.work_units_per_us);
+  }
+  ByteWriter w(24);
+  w.WriteU64(ok);
+  w.WriteU64(shed);
+  w.WriteU64(other);
+  t.SetResult(w.TakeBuffer());
+}
+
+// The driver: fan tenants out, join them, drain the scheduler, report.
+void ServingMainBody(Task& t) {
+  ByteReader r(t.arg());
+  ServingConfig cfg;
+  DSE_CHECK_OK(GetConfig(r, &cfg));
+
+  std::vector<Gpid> tenants;
+  tenants.reserve(cfg.tenants);
+  for (std::uint32_t i = 0; i < cfg.tenants; ++i) {
+    ByteWriter w(48);
+    PutConfig(w, cfg);
+    w.WriteU32(i);
+    // Pin generators round-robin so the submit sources are spread (and the
+    // sim schedule is independent of spawn's own round-robin cursor).
+    auto gpid = t.Spawn("sched.tenant", w.TakeBuffer(),
+                        static_cast<NodeId>(i % t.num_nodes()));
+    DSE_CHECK_OK(gpid.status());
+    tenants.push_back(*gpid);
+  }
+
+  std::uint64_t ok = 0, shed = 0, other = 0;
+  for (const Gpid g : tenants) {
+    auto res = t.Join(g);
+    DSE_CHECK_OK(res.status());
+    ByteReader rr(*res);
+    std::uint64_t v = 0;
+    DSE_CHECK_OK(rr.ReadU64(&v)); ok += v;
+    DSE_CHECK_OK(rr.ReadU64(&v)); shed += v;
+    DSE_CHECK_OK(rr.ReadU64(&v)); other += v;
+  }
+
+  // Drain: every admitted job must complete or fail. Bounded poll so a bug
+  // surfaces as an incomplete ledger instead of a hang.
+  std::map<std::string, std::uint64_t> stat;
+  for (int poll = 0; poll < 200000; ++poll) {
+    auto s = t.SchedStat();
+    DSE_CHECK_OK(s.status());
+    stat = std::move(*s);
+    if (stat["sched.admitted"] ==
+        stat["sched.completed"] + stat["sched.failed"]) {
+      break;
+    }
+    Burn(t, cfg.threaded, 500, cfg.work_units_per_us);
+  }
+
+  stat["workload.submit_ok"] = ok;
+  stat["workload.submit_shed"] = shed;
+  stat["workload.submit_other"] = other;
+  ByteWriter w(256);
+  w.WriteU32(static_cast<std::uint32_t>(stat.size()));
+  for (const auto& [name, value] : stat) {
+    w.WriteString(name);
+    w.WriteU64(value);
+  }
+  t.SetResult(w.TakeBuffer());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeServingConfig(const ServingConfig& cfg) {
+  ByteWriter w(48);
+  PutConfig(w, cfg);
+  return w.TakeBuffer();
+}
+
+Result<ServingConfig> DecodeServingConfig(const std::vector<std::uint8_t>& b) {
+  ByteReader r(b);
+  ServingConfig cfg;
+  DSE_RETURN_IF_ERROR(GetConfig(r, &cfg));
+  return cfg;
+}
+
+Result<std::map<std::string, std::uint64_t>> DecodeServingResult(
+    const std::vector<std::uint8_t>& b) {
+  ByteReader r(b);
+  std::map<std::string, std::uint64_t> out;
+  std::uint32_t n = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU32(&n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t value = 0;
+    DSE_RETURN_IF_ERROR(r.ReadString(&name));
+    DSE_RETURN_IF_ERROR(r.ReadU64(&value));
+    out.emplace(std::move(name), value);
+  }
+  return out;
+}
+
+void RegisterServingTasks(TaskRegistry* registry) {
+  // Jobs are pure service-time burns: safe to restart after an eviction.
+  registry->RegisterIdempotent("sched.job", JobBody);
+  registry->Register("sched.tenant", TenantBody);
+  registry->Register("sched.serving_main", ServingMainBody);
+}
+
+}  // namespace dse::sched

@@ -1,0 +1,64 @@
+// Serving workload for the scheduler front door (docs/scheduling.md).
+//
+// Three registered tasks model a multi-tenant serving deployment:
+//   * "sched.job"     — one short job (gang member): burns a configured
+//                       service time. Registered idempotent, so the
+//                       recovery subsystem may restart orphans.
+//   * "sched.tenant"  — one synthetic tenant: an OPEN-LOOP generator that
+//                       submits jobs on a seeded jittered cadence and never
+//                       waits for completions — offered load is independent
+//                       of cluster state, exactly what overloads a bounded
+//                       queue.
+//   * "sched.serving_main" — the driver: spawns the tenants round-robin
+//                       across the cluster, joins them, drains the
+//                       scheduler by polling SchedStat until every admitted
+//                       job completed or failed, and returns the final
+//                       ledger as its result bytes.
+//
+// Pacing is runtime-aware via ServingConfig::threaded: on the simulator
+// gaps and service burn as virtual Compute time (deterministic, replayable);
+// on the threaded runtime they are real sleeps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dse/registry.h"
+
+namespace dse::sched {
+
+struct ServingConfig {
+  // Pace with real sleeps (threaded runtime) instead of virtual Compute
+  // time (simulator).
+  bool threaded = false;
+  std::uint32_t tenants = 4;
+  std::uint32_t jobs_per_tenant = 100;
+  // Mean inter-submit gap per tenant, jittered +/-50% by a seeded LCG.
+  std::uint32_t gap_us = 1000;
+  // Per-member service time of one job.
+  std::uint32_t service_us = 2000;
+  // Compute-units-per-microsecond conversion for virtual pacing; 20 matches
+  // the default platform profile (50 ns per work unit).
+  std::uint32_t work_units_per_us = 20;
+  // Every gang_every-th job (per tenant) asks for `gang` members; the rest
+  // are singletons. gang_every == 0 disables gang jobs.
+  std::uint32_t gang = 1;
+  std::uint32_t gang_every = 0;
+  std::uint64_t seed = 1;
+};
+
+std::vector<std::uint8_t> EncodeServingConfig(const ServingConfig& cfg);
+Result<ServingConfig> DecodeServingConfig(const std::vector<std::uint8_t>& b);
+
+// Decodes the counter map "sched.serving_main" returns as its result bytes
+// (final SchedStat ledger plus workload-side tallies).
+Result<std::map<std::string, std::uint64_t>> DecodeServingResult(
+    const std::vector<std::uint8_t>& b);
+
+// Registers the three serving tasks in `registry`.
+void RegisterServingTasks(TaskRegistry* registry);
+
+}  // namespace dse::sched

@@ -746,6 +746,17 @@ class SimTask final : public Task {
   Result<std::uint64_t> LookupName(const std::string& name) override {
     return client_.LookupName(name);
   }
+  Result<std::uint64_t> SubmitJob(std::uint32_t tenant,
+                                  const std::string& task_name,
+                                  std::vector<std::uint8_t> arg,
+                                  std::uint32_t gang,
+                                  NodeId locality_hint) override {
+    return client_.SubmitJob(tenant, task_name, std::move(arg), gang,
+                             locality_hint);
+  }
+  Result<std::map<std::string, std::uint64_t>> SchedStat() override {
+    return client_.SchedStat();
+  }
 
  private:
   SimNode* node_;
@@ -840,12 +851,17 @@ void KernelLoop(sim::Context& ctx, SimState& state, SimNode& node) {
     }
 
     if (proto::IsClientResponse(d.env.type())) {
-      if (auto* rr = std::get_if<proto::ReadResp>(&d.env.body);
-          rr != nullptr && rr->block_fetch) {
-        node.core.CacheInsert(rr->addr, rr->data);
-      } else if (auto* br = std::get_if<proto::BatchResp>(&d.env.body)) {
-        for (const proto::BatchItemResp& item : br->items) {
-          if (item.block_fetch) node.core.CacheInsert(item.addr, item.data);
+      // Epoch-gated cache fill — same rule as the threaded host: a block
+      // served under an older membership epoch is delivered to the waiting
+      // call but never cached (no live copyset tracks that copy).
+      if (d.env.epoch == node.core.epoch()) {
+        if (auto* rr = std::get_if<proto::ReadResp>(&d.env.body);
+            rr != nullptr && rr->block_fetch) {
+          node.core.CacheInsert(rr->addr, rr->data);
+        } else if (auto* br = std::get_if<proto::BatchResp>(&d.env.body)) {
+          for (const proto::BatchItemResp& item : br->items) {
+            if (item.block_fetch) node.core.CacheInsert(item.addr, item.data);
+          }
         }
       }
       const auto it = node.pending.find(d.env.req_id);
@@ -966,6 +982,12 @@ SimReport SimRuntime::Run(const std::string& main_name,
     };
     kopts.task_idempotent = [this](const std::string& name) {
       return registry_.IsIdempotent(name);
+    };
+    kopts.sched = options_.sched;
+    // Scheduler latency accounting in virtual microseconds. `state` outlives
+    // every node (both live in this Run frame).
+    kopts.now_us = [&state] {
+      return static_cast<std::uint64_t>(sim::ToMicros(state.sim.Now()));
     };
     state.nodes.push_back(
         std::make_unique<SimNode>(i, n, std::move(kopts), &state));

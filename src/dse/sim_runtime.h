@@ -94,6 +94,10 @@ struct SimOptions {
   // threaded runtime uses.
   int min_quorum = 0;
   bool rejoin = true;
+  // Serving front door (docs/scheduling.md): when enabled node 0 hosts the
+  // multi-tenant job scheduler. Timestamps come from virtual time, so the
+  // whole serving schedule is bit-for-bit replayable.
+  sched::Config sched;
   // Optional execution tracing (not owned; may be null). Events carry
   // virtual timestamps; see dse/trace.h for export formats.
   trace::Recorder* trace = nullptr;

@@ -101,6 +101,29 @@ class Task {
   virtual Status PublishName(const std::string& name, std::uint64_t value) = 0;
   // Resolves a published name; kNotFound until someone publishes it.
   virtual Result<std::uint64_t> LookupName(const std::string& name) = 0;
+  // --- Serving front door (docs/scheduling.md) -----------------------------
+  // Submits a fire-and-forget job of `gang` members of registered task
+  // `task_name` to the cluster scheduler (node 0). Non-blocking beyond the
+  // submit round trip: the scheduler places/queues the job and the caller
+  // polls SchedStat() (or just exits) instead of joining it. Returns the
+  // job id; kResourceExhausted when admission shed it (back off and retry),
+  // kInvalidArgument for an unknown task or a gang the cluster can never
+  // fit, kFailedPrecondition when no scheduler is running. Default
+  // implementation for Task stubs outside the two runtimes.
+  virtual Result<std::uint64_t> SubmitJob(std::uint32_t /*tenant*/,
+                                          const std::string& /*task_name*/,
+                                          std::vector<std::uint8_t> /*arg*/,
+                                          std::uint32_t /*gang*/ = 1,
+                                          NodeId /*locality_hint*/ = -1) {
+    return FailedPrecondition("no scheduler in this runtime");
+  }
+  // The scheduler's counter ledger (sched.* totals plus live gauges and
+  // derived latency percentiles). A workload driver drains by polling until
+  // sched.admitted == sched.completed + sched.failed.
+  virtual Result<std::map<std::string, std::uint64_t>> SchedStat() {
+    return FailedPrecondition("no scheduler in this runtime");
+  }
+
   // Blocking lookup convenience: retries until the name appears (the
   // rendezvous idiom; non-virtual, built on LookupName).
   std::uint64_t WaitForName(const std::string& name) {

@@ -47,10 +47,23 @@ ThreadedRuntime::ThreadedRuntime(ThreadedOptions options)
         : options_.heartbeat_period_ms == 0 && faulty ? 50
                                                       : 0;
     hopts.heartbeat_timeout_ms = options_.heartbeat_timeout_ms;
+    if (faulty && options_.liveness_oracle) {
+      net::FaultInjector* fault = fault_.get();
+      // The silence is real if the peer is dead, the link is cut — or WE
+      // are dead: a killed node's threads keep running but hear nobody, and
+      // confirming all of its suspicions makes it park on the quorum check
+      // (matching a real network-dead node) instead of locally evicting
+      // live peers from its now-divergent view of the membership.
+      hopts.silence_confirms = [fault, i](NodeId peer) {
+        return fault->NodeDead(i) || fault->NodeDead(peer) ||
+               fault->LinkSevered(i, peer);
+      };
+    }
     hopts.replication = options_.replication;
     hopts.restart_tasks = options_.restart_tasks;
     hopts.min_quorum = options_.min_quorum;
     hopts.rejoin = options_.rejoin;
+    hopts.sched = options_.sched;
     hopts.registry = &registry_;
     if (i == 0) {
       hopts.console_sink = [this](std::string line) {

@@ -46,6 +46,14 @@ struct ThreadedOptions {
   // negative = force off; positive = period in ms.
   int heartbeat_period_ms = 0;
   int heartbeat_timeout_ms = 0;
+  // Liveness oracle (docs/fault_model.md): before latching a
+  // heartbeat-timeout suspicion, ask the fault injector whether the peer is
+  // really killed or severed; unconfirmed silence (an OS-starved sender
+  // thread — every "node" here is a thread of one process) resets the
+  // timer instead of manufacturing a false eviction. Detection of real
+  // faults keeps its genuine wall-clock latency. Off = raw timeouts, the
+  // semantics a multi-process deployment would have.
+  bool liveness_oracle = true;
   // Recovery subsystem (docs/recovery.md): 0 = no replication (PR 3
   // semantics — a dead node's state is lost), 1 = each GMM home is
   // replicated to its ring successor and evictions fail over to it.
@@ -57,6 +65,9 @@ struct ThreadedOptions {
   // whether evicted nodes may rejoin the cluster.
   int min_quorum = 0;
   bool rejoin = true;
+  // Serving front door (docs/scheduling.md): when enabled node 0 hosts the
+  // multi-tenant job scheduler behind JobSubmitReq.
+  sched::Config sched;
 };
 
 class ThreadedRuntime {

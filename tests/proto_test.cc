@@ -258,6 +258,72 @@ TEST(Proto, EmptyStateChunkRoundTrip) {
   EXPECT_TRUE(std::get<StateChunkReq>(out.body).data.empty());
 }
 
+// The serving front door's job frames: every field survives the wire,
+// including the -1 "no preference" locality hint and an empty payload.
+TEST(Proto, JobSubmitRoundTrip) {
+  JobSubmitReq req;
+  req.tenant = 5;
+  req.task_name = "sched.tenant";
+  req.arg = {0xDE, 0xAD, 0xBE, 0xEF};
+  req.gang = 3;
+  req.locality_hint = 2;
+  const auto out = RoundTrip(Env(req));
+  const auto& m = std::get<JobSubmitReq>(out.body);
+  EXPECT_EQ(m.tenant, 5u);
+  EXPECT_EQ(m.task_name, "sched.tenant");
+  EXPECT_EQ(m.arg, (std::vector<std::uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+  EXPECT_EQ(m.gang, 3u);
+  EXPECT_EQ(m.locality_hint, 2);
+
+  JobSubmitReq hintless;
+  hintless.task_name = "x";
+  const auto out2 = RoundTrip(Env(hintless));
+  EXPECT_EQ(std::get<JobSubmitReq>(out2.body).locality_hint, -1);
+  EXPECT_TRUE(std::get<JobSubmitReq>(out2.body).arg.empty());
+
+  const auto resp = RoundTrip(Env(JobSubmitResp{0x1234567890ABCDEFull, 5}));
+  const auto& r = std::get<JobSubmitResp>(resp.body);
+  EXPECT_EQ(r.job_id, 0x1234567890ABCDEFull);
+  EXPECT_EQ(r.error, 5);
+  EXPECT_TRUE(IsClientResponse(MsgType::kJobSubmitResp));
+}
+
+TEST(Proto, JobStartDoneRoundTrip) {
+  // Both directions of the scheduler<->host leg are one-way (req_id 0).
+  JobStartReq start;
+  start.job_id = 42;
+  start.member = 7;
+  start.task_name = "sched.tenant";
+  start.arg = std::vector<std::uint8_t>(256, 0x11);
+  const auto out = RoundTrip(Env(start, /*req_id=*/0));
+  const auto& m = std::get<JobStartReq>(out.body);
+  EXPECT_EQ(m.job_id, 42u);
+  EXPECT_EQ(m.member, 7u);
+  EXPECT_EQ(m.task_name, "sched.tenant");
+  EXPECT_EQ(m.arg.size(), 256u);
+  EXPECT_EQ(m.arg[128], 0x11);
+
+  const auto done = RoundTrip(Env(JobDoneReq{42, 7}, /*req_id=*/0));
+  EXPECT_EQ(std::get<JobDoneReq>(done.body).job_id, 42u);
+  EXPECT_EQ(std::get<JobDoneReq>(done.body).member, 7u);
+  EXPECT_FALSE(IsClientResponse(MsgType::kJobStartReq));
+  EXPECT_FALSE(IsClientResponse(MsgType::kJobDoneReq));
+}
+
+TEST(Proto, SchedStatRoundTrip) {
+  RoundTrip(Env(SchedStatReq{}));
+  SchedStatResp resp;
+  resp.counters = {{"sched.admitted", 12},
+                   {"sched.completed", 10},
+                   {"sched.tenant.0.admitted", 6}};
+  const auto out = RoundTrip(Env(resp));
+  const auto& m = std::get<SchedStatResp>(out.body);
+  EXPECT_EQ(m.counters.size(), 3u);
+  EXPECT_EQ(m.counters.at("sched.admitted"), 12u);
+  EXPECT_EQ(m.counters.at("sched.tenant.0.admitted"), 6u);
+  EXPECT_TRUE(IsClientResponse(MsgType::kSchedStatResp));
+}
+
 // Every prefix of the new frames' encodings must decode to a clean error —
 // the fault injector truncates frames at arbitrary byte counts and the
 // recovery path feeds survivors whatever arrives.
@@ -272,8 +338,23 @@ TEST(Proto, MembershipFramesRejectEveryTruncation) {
   resp.node = 2;
   resp.epoch = 5;
   resp.alive = {1, 0, 1};
-  const std::vector<Body> bodies = {NodeJoinReq{1}, resp, chunk,
-                                    StateChunkResp{1, 2}};
+  JobSubmitReq submit;
+  submit.tenant = 3;
+  submit.task_name = "sched.tenant";
+  submit.arg = {1, 2, 3, 4};
+  submit.gang = 2;
+  submit.locality_hint = 1;
+  JobStartReq start;
+  start.job_id = 11;
+  start.member = 1;
+  start.task_name = "sched.tenant";
+  start.arg = {1, 2, 3, 4};
+  SchedStatResp stat;
+  stat.counters = {{"sched.admitted", 4}, {"sched.completed", 3}};
+  const std::vector<Body> bodies = {
+      NodeJoinReq{1},     resp,           chunk, StateChunkResp{1, 2},
+      submit,             JobSubmitResp{11, 0},  start,
+      JobDoneReq{11, 1},  SchedStatReq{}, stat};
   for (const Body& body : bodies) {
     const auto bytes = Encode(Env(body, /*req_id=*/0));
     for (size_t cut = 0; cut < bytes.size(); ++cut) {
@@ -301,8 +382,20 @@ TEST(Proto, MembershipFramesSurviveByteFlipFuzz) {
   resp.node = 1;
   resp.epoch = 2;
   resp.alive = {1, 1, 1, 0};
-  const std::vector<Body> bodies = {NodeJoinReq{2}, resp, chunk,
-                                    StateChunkResp{0, 2}};
+  JobSubmitReq submit;
+  submit.tenant = 1;
+  submit.task_name = "sched.tenant";
+  submit.arg = std::vector<std::uint8_t>(48, 0x5A);
+  submit.gang = 4;
+  JobStartReq start;
+  start.job_id = 7;
+  start.task_name = "sched.tenant";
+  start.arg = std::vector<std::uint8_t>(48, 0x5A);
+  SchedStatResp stat;
+  stat.counters = {{"sched.admitted", 9}, {"sched.queue_depth", 2}};
+  const std::vector<Body> bodies = {
+      NodeJoinReq{2}, resp,  chunk, StateChunkResp{0, 2},
+      submit,         start, stat};
   Rng rng(0xC0FFEE);
   for (const Body& body : bodies) {
     const auto clean = Encode(Env(body, /*req_id=*/0));
@@ -343,7 +436,10 @@ TEST_P(ProtoAllTypes, EncodedSizeIsStable) {
       BatchReq{}, BatchResp{}, Heartbeat{},
       ReplicateReq{1, 9, 2, {5, 5}}, ReplicateAck{9}, EvictReq{2, 3},
       RetryResp{3, 2}, NodeJoinReq{1}, NodeJoinResp{1, 4, {1, 1, 0}},
-      StateChunkReq{0, 4, 1, 2, {7, 7, 7}}, StateChunkResp{0, 1}};
+      StateChunkReq{0, 4, 1, 2, {7, 7, 7}}, StateChunkResp{0, 1},
+      JobSubmitReq{1, "sched.tenant", {2, 2}, 2, 3}, JobSubmitResp{9, 5},
+      JobStartReq{9, 1, "sched.tenant", {2, 2}}, JobDoneReq{9, 1},
+      SchedStatReq{}, SchedStatResp{{{"sched.admitted", 4}}}};
   ASSERT_EQ(bodies.size(), std::variant_size_v<Body>);
   const auto& body = bodies[static_cast<size_t>(GetParam())];
   const Envelope env = Env(body);
@@ -351,7 +447,7 @@ TEST_P(ProtoAllTypes, EncodedSizeIsStable) {
   RoundTrip(env);
 }
 
-INSTANTIATE_TEST_SUITE_P(EveryType, ProtoAllTypes, ::testing::Range(0, 44));
+INSTANTIATE_TEST_SUITE_P(EveryType, ProtoAllTypes, ::testing::Range(0, 50));
 
 }  // namespace
 }  // namespace dse::proto

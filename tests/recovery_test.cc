@@ -13,7 +13,22 @@
 //   * end-to-end on the SimRuntime: the same kill schedule under
 //     replication replays bit-identically across runs,
 //   * replication = 0 keeps the PR 3 degradation contract: calls to the
-//     dead node fail kUnavailable, nothing fails over.
+//     dead node fail kUnavailable, nothing fails over,
+//   * the serving front door (docs/scheduling.md): a worker death with
+//     jobs queued and running re-places orphaned gang members on the
+//     survivors, and a retried JobSubmitReq is admitted exactly once
+//     through the at-most-once cache.
+//
+// Scheduling discipline: these tests run under an arbitrary parallel ctest
+// load, so nothing here times a wall-clock window. Kills that must land
+// "while X holds" are condition-triggered (a watcher thread observes the
+// precondition via counters or task-side atomics, then calls KillNode);
+// waits are poll-until-condition loops with generous deadlines; and the
+// liveness oracle (ThreadedOptions::liveness_oracle) pins suspicion to
+// injector ground truth, so CPU starvation of a heartbeat thread can delay
+// detection but never manufacture a false eviction. Frame-scheduled kills
+// remain only where the workload's own traffic pumps the injector, which
+// makes them load-independent.
 //
 // The acceptance program is the red-black Gauss-Seidel sweep of
 // fault_injection_test.cc with one decisive difference: the array is homed
@@ -34,6 +49,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "dse/collections.h"
+#include "dse/sched/serving.h"
 #include "dse/sim_runtime.h"
 #include "dse/threaded_runtime.h"
 #include "net/fault.h"
@@ -161,6 +177,8 @@ void RegisterGaussOnDoomed(TaskRegistry& registry) {
     for (int i = 0; i < kCells; ++i) {
       if (std::memcmp(&got[static_cast<size_t>(i)],
                       &want[static_cast<size_t>(i)], 8) != 0) {
+        EXPECT_EQ(got[static_cast<size_t>(i)], want[static_cast<size_t>(i)])
+            << "cell " << i;
         ++mismatches;
       }
     }
@@ -246,6 +264,8 @@ void RegisterGaussHomedOn(TaskRegistry& registry, NodeId home,
     for (int i = 0; i < kCells; ++i) {
       if (std::memcmp(&got[static_cast<size_t>(i)],
                       &want[static_cast<size_t>(i)], 8) != 0) {
+        EXPECT_EQ(got[static_cast<size_t>(i)], want[static_cast<size_t>(i)])
+            << "cell " << i;
         ++mismatches;
       }
     }
@@ -269,6 +289,12 @@ FaultPlan KillPlan(std::uint64_t at) {
   return plan;
 }
 
+// A frame count no run ever reaches: keeps the injector installed (KillNode
+// needs one) while guaranteeing the scheduled kill never fires on its own —
+// the test body triggers the real one with KillNode once its precondition
+// provably holds.
+constexpr std::uint64_t kNeverFires = ~0ull;
+
 // --- Threaded runtime -------------------------------------------------------
 
 ThreadedOptions RecoveryThreadedOptions(std::uint64_t kill_at) {
@@ -278,7 +304,14 @@ ThreadedOptions RecoveryThreadedOptions(std::uint64_t kill_at) {
   o.rpc_deadline_ms = 60;
   o.rpc_max_attempts = 10;
   o.rpc_backoff_base_ms = 1;
-  o.heartbeat_period_ms = 20;  // timeout defaults to 5x = 100 ms
+  // Frequent heartbeats keep the latch responsive; the liveness oracle
+  // (ThreadedOptions::liveness_oracle, on by default) makes the window safe
+  // at any load — unconfirmed silence (a CPU-starved sender thread) resets
+  // the timer instead of manufacturing a false eviction, which would be an
+  // extra concurrent node death outside the f=1-over-time contract these
+  // tests verify.
+  o.heartbeat_period_ms = 20;
+  o.heartbeat_timeout_ms = 400;
   o.replication = 1;
   return o;
 }
@@ -315,10 +348,18 @@ TEST(RecoveryThreaded, ReplicationOffDegradesToUnavailable) {
     ASSERT_TRUE(addr.ok());
     const std::int64_t v = 7;
     ASSERT_TRUE(t.Write(*addr, &v, sizeof(v)).ok());
-    // Let heartbeats pump the injector past the kill and the silence past
-    // the liveness timeout.
-    std::this_thread::sleep_for(std::chrono::milliseconds(700));
-    const Status s = t.Write(*addr, &v, sizeof(v));
+    // Poll instead of timing the prober: writes keep succeeding until the
+    // kill fires (the write traffic itself pumps the injector) and the
+    // silence outlasts the liveness timeout — whenever that happens under
+    // the current machine load.
+    Status s = Status::Ok();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      s = t.Write(*addr, &v, sizeof(v));
+      if (!s.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
     ByteWriter w;
     w.WriteI64(s.code() == ErrorCode::kUnavailable ? 0 : 1);
     t.SetResult(w.TakeBuffer());
@@ -333,35 +374,39 @@ TEST(RecoveryThreaded, ReplicationOffDegradesToUnavailable) {
 // home grants it to the next waiter instead of wedging the cluster on an
 // unlock that can never arrive.
 TEST(RecoveryThreaded, LockHeldByDeadNodeReleasesOnEviction) {
-  ThreadedOptions o = RecoveryThreadedOptions(250);
+  ThreadedOptions o = RecoveryThreadedOptions(kNeverFires);
   ThreadedRuntime rt(o);
 
-  // Holder (pinned to the doomed node): takes the lock, signals via the
-  // flag, sleeps through its own death. Its eventual Unlock is a one-way
-  // post the injector discards — exactly the lost-unlock the eviction path
-  // must compensate for. No blocking calls after the kill, so the task
-  // thread drains cleanly.
-  rt.registry().Register("holder", [](Task& t) {
-    ByteReader r(t.arg().data(), t.arg().size());
-    std::uint64_t flag = 0;
-    ASSERT_TRUE(r.ReadU64(&flag).ok());
+  std::atomic<bool> lock_held{false};
+  std::atomic<bool> killed{false};
+
+  // Holder (pinned to the doomed node): takes the lock, signals the test
+  // body, then idles until the kill has provably fired. Its eventual
+  // Unlock is a one-way post the injector discards — exactly the
+  // lost-unlock the eviction path must compensate for. No blocking calls
+  // after the kill, so the task thread drains cleanly.
+  rt.registry().Register("holder", [&lock_held, &killed](Task& t) {
     ASSERT_TRUE(t.Lock(1).ok());
-    ASSERT_TRUE(t.AtomicFetchAdd(flag, 1).ok());
-    std::this_thread::sleep_for(std::chrono::milliseconds(2500));
-    (void)t.Unlock(1);  // dropped: the node is long dead
+    lock_held.store(true);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!killed.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    (void)t.Unlock(1);  // dropped: the node is dead by now
   });
 
-  rt.registry().Register("main", [](Task& t) {
-    auto flag = t.AllocOnNode(8, 1);
-    ASSERT_TRUE(flag.ok());
-    t.WriteValue<std::int64_t>(*flag, 0);
-    ByteWriter arg;
-    arg.WriteU64(*flag);
-    auto gpid = t.Spawn("holder", arg.TakeBuffer(), kDoomed);
+  rt.registry().Register("main", [&killed](Task& t) {
+    auto gpid = t.Spawn("holder", {}, kDoomed);
     ASSERT_TRUE(gpid.ok());
-    while (t.ReadValue<std::int64_t>(*flag) == 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Contend only once the holder is certainly dead while holding: the
+    // grant below can then only come from the eviction's compensation.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!killed.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
+    ASSERT_TRUE(killed.load()) << "kill never fired";
     const auto start = std::chrono::steady_clock::now();
     const Status s = t.Lock(1);
     const auto elapsed_ms =
@@ -378,7 +423,18 @@ TEST(RecoveryThreaded, LockHeldByDeadNodeReleasesOnEviction) {
     t.SetResult(w.TakeBuffer());
   });
 
+  std::thread watcher([&rt, &lock_held, &killed] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!lock_held.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    rt.KillNode(kDoomed);
+    killed.store(true);
+  });
+
   EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  watcher.join();
   EXPECT_TRUE(rt.NodeKilled(kDoomed));
   EXPECT_GE(SumCounter(rt.ClusterStats(), "recovery.evictions"), 1u);
 }
@@ -387,21 +443,36 @@ TEST(RecoveryThreaded, LockHeldByDeadNodeReleasesOnEviction) {
 // dead participant's share for the parked episode and every later one —
 // without assuming anything about nodes that never entered the barrier.
 TEST(RecoveryThreaded, BarrierCompletesAfterMemberEviction) {
-  ThreadedOptions o = RecoveryThreadedOptions(250);
+  ThreadedOptions o = RecoveryThreadedOptions(kNeverFires);
   ThreadedRuntime rt(o);
 
+  std::atomic<bool> episode1_done{false};
+  std::atomic<bool> killed{false};
+
   // Partner (on the doomed node) joins episode 1 — making it a member —
-  // then sleeps through its death and never enters episode 2.
-  rt.registry().Register("partner", [](Task& t) {
+  // then idles through its death and never enters episode 2.
+  rt.registry().Register("partner", [&killed](Task& t) {
     ASSERT_TRUE(t.Barrier(8, 2).ok());
-    std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!killed.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
   });
 
-  rt.registry().Register("main", [](Task& t) {
+  rt.registry().Register("main", [&episode1_done, &killed](Task& t) {
     auto gpid = t.Spawn("partner", {}, kDoomed);
     ASSERT_TRUE(gpid.ok());
     ASSERT_TRUE(t.Barrier(8, 2).ok());  // episode 1: both alive
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    episode1_done.store(true);
+    // Enter episode 2 only once the partner is certainly dead, so the
+    // completion below can only come from the eviction's forgiveness.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!killed.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(killed.load()) << "kill never fired";
     const auto start = std::chrono::steady_clock::now();
     const Status s = t.Barrier(8, 2);  // episode 2: partner is dead
     const auto elapsed_ms =
@@ -415,7 +486,19 @@ TEST(RecoveryThreaded, BarrierCompletesAfterMemberEviction) {
     t.SetResult(w.TakeBuffer());
   });
 
+  std::thread watcher([&rt, &episode1_done, &killed] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!episode1_done.load() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    rt.KillNode(kDoomed);
+    killed.store(true);
+  });
+
   EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  watcher.join();
   EXPECT_TRUE(rt.NodeKilled(kDoomed));
 }
 
@@ -423,16 +506,32 @@ TEST(RecoveryThreaded, BarrierCompletesAfterMemberEviction) {
 // process state is not replicated, and silently losing a join would be
 // worse than failing it.
 TEST(RecoveryThreaded, JoinOfTaskOnDeadNodeFailsUnavailable) {
-  ThreadedOptions o = RecoveryThreadedOptions(150);
+  ThreadedOptions o = RecoveryThreadedOptions(kNeverFires);
   ThreadedRuntime rt(o);
 
-  rt.registry().Register("sleeper", [](Task&) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  std::atomic<bool> spawned{false};
+  std::atomic<bool> killed{false};
+
+  // The sleeper idles until its node is certainly dead, so it can never
+  // have delivered a result the join could legitimately return.
+  rt.registry().Register("sleeper", [&killed](Task&) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!killed.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
   });
 
-  rt.registry().Register("main", [](Task& t) {
+  rt.registry().Register("main", [&spawned, &killed](Task& t) {
     auto gpid = t.Spawn("sleeper", {}, kDoomed);
     ASSERT_TRUE(gpid.ok());
+    spawned.store(true);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!killed.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(killed.load()) << "kill never fired";
     const auto joined = t.Join(*gpid);
     ByteWriter w;
     w.WriteI64(!joined.ok() &&
@@ -442,7 +541,18 @@ TEST(RecoveryThreaded, JoinOfTaskOnDeadNodeFailsUnavailable) {
     t.SetResult(w.TakeBuffer());
   });
 
+  std::thread watcher([&rt, &spawned, &killed] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!spawned.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    rt.KillNode(kDoomed);
+    killed.store(true);
+  });
+
   EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  watcher.join();
   EXPECT_TRUE(rt.NodeKilled(kDoomed));
 }
 
@@ -450,25 +560,37 @@ TEST(RecoveryThreaded, JoinOfTaskOnDeadNodeFailsUnavailable) {
 // re-spawned from the client's spawn ledger on the node now serving the
 // dead host's ring slot, and the join returns its (recomputed) result.
 TEST(RecoveryThreaded, IdempotentTaskRestartsOnSurvivor) {
-  ThreadedOptions o = RecoveryThreadedOptions(150);
+  ThreadedOptions o = RecoveryThreadedOptions(kNeverFires);
   o.restart_tasks = true;
   ThreadedRuntime rt(o);
 
-  rt.registry().RegisterIdempotent("slow_square", [](Task& t) {
+  std::atomic<bool> spawned{false};
+  std::atomic<bool> killed{false};
+
+  // The original copy (on the doomed node) blocks until the kill has
+  // fired, so its result can never be the one the join returns; the
+  // restarted copy on the survivor sees `killed` already set and answers
+  // immediately.
+  rt.registry().RegisterIdempotent("slow_square", [&killed](Task& t) {
     ByteReader r(t.arg().data(), t.arg().size());
     std::int64_t x = 0;
     ASSERT_TRUE(r.ReadI64(&x).ok());
-    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!killed.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
     ByteWriter w;
     w.WriteI64(x * x);
     t.SetResult(w.TakeBuffer());
   });
 
-  rt.registry().Register("main", [](Task& t) {
+  rt.registry().Register("main", [&spawned](Task& t) {
     ByteWriter arg;
     arg.WriteI64(7);
     auto gpid = t.Spawn("slow_square", arg.TakeBuffer(), kDoomed);
     ASSERT_TRUE(gpid.ok());
+    spawned.store(true);
     const auto joined = t.Join(*gpid);
     ASSERT_TRUE(joined.ok()) << joined.status().ToString();
     ByteReader r(joined->data(), joined->size());
@@ -479,7 +601,18 @@ TEST(RecoveryThreaded, IdempotentTaskRestartsOnSurvivor) {
     t.SetResult(w.TakeBuffer());
   });
 
+  std::thread watcher([&rt, &spawned, &killed] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!spawned.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    rt.KillNode(kDoomed);
+    killed.store(true);
+  });
+
   EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  watcher.join();
   EXPECT_TRUE(rt.NodeKilled(kDoomed));
   EXPECT_GE(SumCounter(rt.ClusterStats(), "recovery.restarts"), 1u);
 }
@@ -563,13 +696,23 @@ TEST(RecoveryThreaded, TwoSequentialDeathsWithReReplicationBetween) {
   o.fault_plan.seed = 21;
   o.fault_plan.kills.push_back({kFirstDead, 300});
   o.rpc_deadline_ms = 60;
-  o.rpc_max_attempts = 10;
+  // The per-call retry budget must outlast the liveness window below: a
+  // call to the dying node keeps retrying until the eviction sweep fails
+  // it over, so attempts * deadline (+ backoffs) > heartbeat_timeout_ms or
+  // the call times out before failover can rescue it.
+  o.rpc_max_attempts = 40;
   o.rpc_backoff_base_ms = 1;
-  // Wider than the other recovery tests: two real deaths plus a parallel
-  // test load must not add starvation-induced false suspicions on top (a
-  // false eviction of the streaming node mid-transfer makes the second
-  // death concurrent with the first — outside the f=1-over-time contract).
-  o.heartbeat_period_ms = 60;
+  // This is the longest-running threaded scenario (two real deaths with a
+  // state transfer between), so it exposes the largest window for a loaded
+  // machine to starve heartbeat threads — and a false suspicion here is
+  // worse than elsewhere: a false eviction of the live node mid-transfer
+  // makes the second death effectively concurrent with the first, outside
+  // the f=1-over-time contract, and the image never reconverges. The
+  // liveness oracle (on by default) is what makes the standard window safe
+  // at any load: only injector-confirmed kills latch, so starved sender
+  // threads can never masquerade as a concurrent death.
+  o.heartbeat_period_ms = 20;
+  o.heartbeat_timeout_ms = 400;
   o.replication = 1;
   ThreadedRuntime rt(o);
 
@@ -579,12 +722,24 @@ TEST(RecoveryThreaded, TwoSequentialDeathsWithReReplicationBetween) {
 
   // The second death is condition-gated, not scheduled: it must not fire
   // until the new primary reports the re-replication complete (killing
-  // earlier would legitimately lose the un-rebuilt replica).
+  // earlier would legitimately lose the un-rebuilt replica). The gate reads
+  // node 3's OWN counter, not the cluster sum: the first eviction starts
+  // TWO streams — node 3 re-replicates the promoted home-2 to node 0 (the
+  // one that must finish) and node 1 re-replicates home-1, whose backup
+  // just died, to node 3. The sender bumps recovery.rereplications on
+  // completion, so the cluster sum hits 1 when EITHER stream lands; gating
+  // on it can kill node 3 mid-transfer — a second death before f = 1 is
+  // restored, which the contract does not cover (and which then correctly
+  // degrades to kUnavailable instead of the serial answer).
   std::thread watcher([&rt, &second_kill_done] {
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(30);
-    while (std::chrono::steady_clock::now() < deadline &&
-           SumCounter(rt.ClusterStats(), "recovery.rereplications") < 1) {
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto s = rt.ClusterStats();
+      if (static_cast<size_t>(kSecondDead) < s.size() &&
+          Get(s[kSecondDead], "recovery.rereplications") >= 1) {
+        break;
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
     rt.KillNode(kSecondDead);
@@ -620,6 +775,7 @@ TEST(RecoveryThreaded, SeveredMinorityParksInsteadOfForking) {
   o.rpc_max_attempts = 10;
   o.rpc_backoff_base_ms = 1;
   o.heartbeat_period_ms = 20;
+  o.heartbeat_timeout_ms = 400;  // oracle-guarded (see options above)
   o.replication = 1;
   ThreadedRuntime rt(o);
 
@@ -674,6 +830,7 @@ TEST(RecoveryThreaded, SymmetricPartitionParksAndResumesAfterHeal) {
   o.rpc_max_attempts = 10;
   o.rpc_backoff_base_ms = 1;
   o.heartbeat_period_ms = 20;
+  o.heartbeat_timeout_ms = 400;  // oracle-guarded (see options above)
   o.replication = 1;
   ThreadedRuntime rt(o);
 
@@ -711,6 +868,7 @@ TEST(RecoveryThreaded, EvictedNodeRejoinsAndServesAgain) {
   o.rpc_max_attempts = 10;
   o.rpc_backoff_base_ms = 1;
   o.heartbeat_period_ms = 20;
+  o.heartbeat_timeout_ms = 400;  // oracle-guarded (see options above)
   o.replication = 1;
   ThreadedRuntime rt(o);
 
@@ -992,6 +1150,290 @@ TEST(RecoverySim, ChaosSoakMatchesFaultFreeBitForBit) {
     EXPECT_EQ(a.node_stats, b.node_stats) << "seed " << seed;
     EXPECT_EQ(a.messages, b.messages) << "seed " << seed;
   }
+}
+
+// --- Serving front door under faults ----------------------------------------
+
+// A worker dies while the cluster is saturated: every node — including the
+// doomed one — holds live gang members and more jobs sit queued behind
+// them. The scheduler must re-place the orphaned members on the survivors
+// (gangs atomically), drain the queue onto the shrunken cluster, and end
+// with a balanced ledger: every admitted job completed, none failed (all
+// members are idempotent), zero invariant violations.
+TEST(RecoveryThreaded, SchedulerRedrivesJobsOffKilledWorker) {
+  ThreadedOptions o = RecoveryThreadedOptions(kNeverFires);
+  o.sched.enabled = true;
+  o.sched.slots_per_node = 2;  // cluster capacity 8, then 6 after the kill
+  o.sched.tenant_quota = 8;
+  o.sched.queue_cap = 64;
+  ThreadedRuntime rt(o);
+
+  std::atomic<bool> killed{false};
+
+  // Every member parks until the kill has fired: members running on the
+  // doomed node can therefore never report done (their JobDoneReq is
+  // dropped with the node), while their restarted copies — and everything
+  // queued — complete immediately afterwards.
+  rt.registry().RegisterIdempotent("hold_job", [&killed](Task&) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!killed.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  rt.registry().Register("main", [](Task& t) {
+    // 10 jobs, 12 members (two are 2-member gangs): fills all 8 slots and
+    // queues the rest.
+    int submit_ok = 0;
+    for (int i = 0; i < 10; ++i) {
+      const std::uint32_t gang = (i == 2 || i == 7) ? 2 : 1;
+      auto id = t.SubmitJob(static_cast<std::uint32_t>(i % 2), "hold_job",
+                            {}, gang);
+      if (id.ok()) ++submit_ok;
+    }
+    // Drain: poll the ledger until every admitted job resolved, however
+    // long the eviction and the re-placements take.
+    bool drained = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!drained && std::chrono::steady_clock::now() < deadline) {
+      auto stat = t.SchedStat();
+      if (stat.ok()) {
+        const auto admitted = (*stat)["sched.admitted"];
+        const auto resolved =
+            (*stat)["sched.completed"] + (*stat)["sched.failed"];
+        drained = admitted > 0 && admitted == resolved;
+      }
+      if (!drained) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    ByteWriter w;
+    w.WriteI64(drained && submit_ok == 10 ? 0 : 1);
+    t.SetResult(w.TakeBuffer());
+  });
+
+  // Kill only once the cluster is saturated: with all 8 slots occupied the
+  // doomed node is certainly hosting members mid-flight.
+  std::thread watcher([&rt, &killed] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto stats = rt.ClusterStats();
+      if (!stats.empty() && Get(stats[0], "sched.members_started") >= 8) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    rt.KillNode(kDoomed);
+    killed.store(true);
+  });
+
+  EXPECT_EQ(ResultI64(rt.RunMain("main")), 0);
+  watcher.join();
+  EXPECT_TRUE(rt.NodeKilled(kDoomed));
+
+  const auto stats = rt.ClusterStats();
+  // The doomed node held two members when it died; both were re-placed.
+  EXPECT_GE(Get(stats[0], "sched.restarts"), 2u);
+  EXPECT_EQ(Get(stats[0], "sched.failed"), 0u);
+  EXPECT_EQ(Get(stats[0], "sched.admitted"), Get(stats[0], "sched.completed"));
+  EXPECT_EQ(Get(stats[0], "sched.invariant_violations"), 0u);
+  EXPECT_GE(SumCounter(stats, "recovery.evictions"), 1u);
+}
+
+// The serving workload on the simulator with a mid-stream worker death and
+// revival, plus link delays tuned to push some JobSubmitResps past the RPC
+// deadline. The client retries the SAME req_id, so the at-most-once cache
+// must replay the remembered admission instead of admitting a duplicate:
+// exactly-once shows as workload.submit_ok == sched.admitted. The epoch
+// fence (PR 5 membership semantics) is live throughout — the eviction and
+// the rejoin each bump the epoch under replication, and submits from a
+// lagging client bounce and retry rather than landing on a stale view.
+// After the rejoin, an 8-member gang — exactly the full cluster's slot
+// capacity — proves the scheduler serves the returned node again: the gang
+// cannot even be admitted against the shrunken 3-node capacity.
+// Deterministic, so the whole episode replays bit-for-bit.
+//
+// The driver is bespoke (not "sched.serving_main") for one load-bearing
+// reason: under link delays a one-way JobDoneReq can sit in a delay queue
+// of a link that has gone quiet, and nothing retries a one-way. The drain
+// therefore PUMPS every wire link — one remote read per non-scheduler node
+// per poll — so held frames age out and the ledger can balance.
+TEST(RecoverySim, SchedulerServingSurvivesKillExactlyOnce) {
+  SimOptions opts = SelfHealingSimOptions();
+  opts.sched.enabled = true;
+  opts.sched.slots_per_node = 2;
+  opts.sched.tenant_quota = 8;
+  opts.sched.queue_cap = 64;
+  opts.fault_plan.kills.push_back({3, 400, 2200});
+  opts.fault_plan.delay_p = 0.05;
+  opts.fault_plan.delay_frames = 60;
+  SimRuntime rt(opts);
+  sched::RegisterServingTasks(&rt.registry());
+
+  // The post-rejoin acceptance job: argument-free so the test can submit
+  // it directly, idempotent so an eviction could restart it.
+  rt.registry().RegisterIdempotent("post_job",
+                                   [](Task& t) { t.Compute(2000 * 20); });
+
+  rt.registry().Register("serving_chaos_main", [](Task& t) {
+    auto cfg_or = sched::DecodeServingConfig(t.arg());
+    ASSERT_TRUE(cfg_or.ok());
+    const sched::ServingConfig cfg = *cfg_or;
+
+    // One word homed on every non-scheduler node: reading them each poll
+    // pumps both directions of every wire link touching node 0.
+    std::vector<std::uint64_t> words;
+    for (NodeId n = 1; n < t.num_nodes(); ++n) {
+      auto a = t.AllocOnNode(8, n);
+      ASSERT_TRUE(a.ok());
+      t.WriteValue<std::int64_t>(*a, 1);
+      words.push_back(*a);
+    }
+
+    std::vector<Gpid> tenants;
+    for (std::uint32_t i = 0; i < cfg.tenants; ++i) {
+      std::vector<std::uint8_t> arg = sched::EncodeServingConfig(cfg);
+      ByteWriter idw(4);
+      idw.WriteU32(i);
+      const std::vector<std::uint8_t> id_bytes = idw.TakeBuffer();
+      arg.insert(arg.end(), id_bytes.begin(), id_bytes.end());
+      auto gpid = t.Spawn("sched.tenant", std::move(arg),
+                          static_cast<NodeId>(i % t.num_nodes()));
+      ASSERT_TRUE(gpid.ok());
+      tenants.push_back(*gpid);
+    }
+    std::uint64_t ok = 0, shed = 0, other = 0;
+    for (const Gpid g : tenants) {
+      auto res = t.Join(g);
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      ByteReader rr(res->data(), res->size());
+      std::uint64_t v = 0;
+      ASSERT_TRUE(rr.ReadU64(&v).ok());
+      ok += v;
+      ASSERT_TRUE(rr.ReadU64(&v).ok());
+      shed += v;
+      ASSERT_TRUE(rr.ReadU64(&v).ok());
+      other += v;
+    }
+
+    const auto pump = [&t, &words] {
+      for (const std::uint64_t a : words) {
+        (void)t.ReadValue<std::int64_t>(a);
+      }
+      t.Compute(500 * 20);  // 500 us of virtual think time per poll
+    };
+    const auto balanced = [&t]() -> bool {
+      auto s = t.SchedStat();
+      if (!s.ok()) return false;
+      return (*s)["sched.admitted"] ==
+             (*s)["sched.completed"] + (*s)["sched.failed"];
+    };
+
+    bool drained = false;
+    for (int poll = 0; poll < 20000 && !drained; ++poll) {
+      drained = balanced();
+      if (!drained) pump();
+    }
+
+    // The pump keeps frames flowing until the plan's revive threshold is
+    // crossed and the node rejoins (ClusterStats legitimately errors while
+    // the node is still down — keep pumping).
+    bool rejoined = false;
+    for (int poll = 0; poll < 20000 && !rejoined; ++poll) {
+      auto stats = t.ClusterStats();
+      if (stats.ok()) {
+        std::uint64_t rejoins = 0;
+        for (const auto& snap : *stats) {
+          const auto it = snap.find("recovery.rejoins");
+          if (it != snap.end()) rejoins += it->second;
+        }
+        rejoined = rejoins >= 1;
+      }
+      if (!rejoined) pump();
+    }
+
+    // Full-capacity gang: 8 members over 2 slots x 4 nodes fits only if
+    // the scheduler counts the rejoined node alive again (against 3 nodes
+    // it is rejected as never-fitting).
+    std::uint64_t post_ok = 0;
+    auto gang_id = t.SubmitJob(0, "post_job", {}, 8);
+    if (gang_id.ok()) ++post_ok;
+    bool post_drained = false;
+    for (int poll = 0; poll < 20000 && !post_drained; ++poll) {
+      post_drained = balanced();
+      if (!post_drained) pump();
+    }
+
+    auto s = t.SchedStat();
+    ASSERT_TRUE(s.ok());
+    auto stat = *s;
+    stat["workload.submit_ok"] = ok;
+    stat["workload.submit_shed"] = shed;
+    stat["workload.submit_other"] = other;
+    stat["workload.drained"] = drained ? 1 : 0;
+    stat["workload.rejoined"] = rejoined ? 1 : 0;
+    stat["workload.post_gang_ok"] = post_ok;
+    stat["workload.post_drained"] = post_drained ? 1 : 0;
+    ByteWriter w(512);
+    w.WriteU32(static_cast<std::uint32_t>(stat.size()));
+    for (const auto& [name, value] : stat) {
+      w.WriteString(name);
+      w.WriteU64(value);
+    }
+    t.SetResult(w.TakeBuffer());
+  });
+
+  sched::ServingConfig cfg;
+  cfg.threaded = false;
+  cfg.tenants = 2;  // pinned to nodes 0 and 1 — never the doomed node
+  cfg.jobs_per_tenant = 30;
+  cfg.gap_us = 2500;
+  cfg.service_us = 4000;
+  cfg.gang = 2;
+  cfg.gang_every = 4;
+  cfg.seed = 7;
+  const std::vector<std::uint8_t> arg = sched::EncodeServingConfig(cfg);
+
+  const SimReport a = rt.Run("serving_chaos_main", arg);
+  const SimReport b = rt.Run("serving_chaos_main", arg);
+
+  auto decoded = sched::DecodeServingResult(a.main_result);
+  ASSERT_TRUE(decoded.ok());
+  const auto& m = *decoded;
+  const auto v = [&m](const char* key) {
+    const auto it = m.find(key);
+    return it == m.end() ? std::uint64_t{0} : it->second;
+  };
+  EXPECT_EQ(v("workload.drained"), 1u);
+  EXPECT_EQ(v("workload.rejoined"), 1u);
+  EXPECT_EQ(v("workload.post_gang_ok"), 1u);
+  EXPECT_EQ(v("workload.post_drained"), 1u);
+  // Balanced ledger across the death: every admitted job resolved, and
+  // none failed — orphaned idempotent members restart instead.
+  EXPECT_EQ(v("sched.admitted"), v("sched.completed") + v("sched.failed"));
+  EXPECT_EQ(v("sched.failed"), 0u);
+  EXPECT_GE(v("sched.restarts"), 1u);
+  EXPECT_EQ(v("sched.invariant_violations"), 0u);
+  // Exactly-once admission: each successful submit is exactly one job
+  // (the workload's 60 submits plus the post-rejoin gang).
+  EXPECT_EQ(v("workload.submit_ok") + v("workload.post_gang_ok"),
+            v("sched.admitted"));
+  // The delays really exercised the retry/dedupe path.
+  EXPECT_GE(SumCounter(a.node_stats, "rpc.dedupe.replays") +
+                SumCounter(a.node_stats, "rpc.dedupe.drops"),
+            1u);
+  EXPECT_GE(SumCounter(a.node_stats, "recovery.evictions"), 1u);
+  EXPECT_GE(SumCounter(a.node_stats, "recovery.rejoins"), 1u);
+
+  // Bit-for-bit replay of the full faulted serving episode.
+  EXPECT_EQ(a.virtual_seconds, b.virtual_seconds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.main_result, b.main_result);
+  EXPECT_EQ(a.node_stats, b.node_stats);
+  EXPECT_EQ(a.fault_counters, b.fault_counters);
 }
 
 }  // namespace

@@ -1,0 +1,636 @@
+// Property-style suite for the serving front door (docs/scheduling.md).
+//
+// The scheduler is transport-free, so most cases drive sched::Scheduler
+// directly through a deterministic harness with a fake clock and a seeded
+// SplitMix64 op stream, checking the serving invariants at every step:
+// no tenant above its running quota, gang placement atomic, per-tenant
+// FIFO, every admitted job eventually completes, sheds typed, slots never
+// oversubscribed, zero internal invariant violations. The closing cases run
+// the full serving workload end-to-end: bit-for-bit determinism across two
+// simulator runs and a threaded-runtime smoke.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "dse/sched/scheduler.h"
+#include "dse/sched/serving.h"
+#include "dse/sim_runtime.h"
+#include "dse/threaded_runtime.h"
+
+namespace dse::sched {
+namespace {
+
+constexpr auto kShedCode =
+    static_cast<std::uint8_t>(ErrorCode::kResourceExhausted);
+constexpr auto kRejectCode =
+    static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+
+// Drives a Scheduler the way the kernel does — applying every Start it
+// returns to a mirror of the cluster — while independently re-checking the
+// serving invariants from the outside.
+class Harness {
+ public:
+  Harness(int nodes, Config config, bool idempotent_tasks = true)
+      : nodes_(nodes),
+        config_(config),
+        sched_(nodes, config, &metrics_, [this] { return now_; },
+               [idempotent_tasks](const std::string&) {
+                 return idempotent_tasks;
+               }),
+        node_load_(nodes, 0),
+        node_alive_(nodes, true) {}
+
+  Scheduler& sched() { return sched_; }
+  void Tick(std::uint64_t us = 100) { now_ += us; }
+
+  // Submits one job; on admission records it for FIFO/quota tracking.
+  proto::JobSubmitResp Submit(std::uint32_t tenant, std::uint32_t gang = 1,
+                              NodeId hint = -1) {
+    proto::JobSubmitReq req;
+    req.tenant = tenant;
+    req.task_name = "prop.job";
+    req.gang = gang;
+    req.locality_hint = hint;
+    SubmitOutcome out = sched_.Submit(req);
+    if (out.resp.error == 0) {
+      gang_of_[out.resp.job_id] = gang;
+      tenant_of_[out.resp.job_id] = tenant;
+      admit_order_[tenant].push_back(out.resp.job_id);
+    }
+    Absorb(out.starts);
+    return out.resp;
+  }
+
+  // Completes the oldest outstanding member (global FIFO across nodes) —
+  // a simple deterministic stand-in for task exit order.
+  bool FinishOne() {
+    while (!running_.empty()) {
+      const auto [job, member, node] = running_.front();
+      running_.pop_front();
+      // Skip members that an eviction already force-resolved.
+      if (finished_members_.count({job, member}) != 0) continue;
+      finished_members_.insert({job, member});
+      if (node_alive_[node]) {
+        EXPECT_GT(node_load_[node], 0);
+        --node_load_[node];
+      }
+      if (++done_of_[job] == gang_of_[job]) CompleteJob(job);
+      Absorb(sched_.OnMemberDone(job, member));
+      return true;
+    }
+    return false;
+  }
+
+  void KillNode(NodeId node) {
+    node_alive_[node] = false;
+    node_load_[node] = 0;
+    kills_seen_ = true;
+    // Members on the dead node never report done; the scheduler either
+    // restarts them (idempotent) or fails the job. Drop them from the
+    // mirror so FinishOne doesn't report them.
+    std::deque<std::tuple<std::uint64_t, std::uint32_t, NodeId>> live;
+    for (const auto& entry : running_) {
+      if (std::get<2>(entry) != node) live.push_back(entry);
+    }
+    running_ = std::move(live);
+    Absorb(sched_.OnNodeDead(node));
+  }
+
+  void ReviveNode(NodeId node) {
+    node_alive_[node] = true;
+    Absorb(sched_.OnNodeAlive(node));
+  }
+
+  void DrainAll() {
+    while (FinishOne()) {
+    }
+  }
+
+  std::uint64_t Stat(const char* key) {
+    auto counters = sched_.Stat().counters;
+    return counters.count(key) != 0 ? counters[key] : 0;
+  }
+
+  // Raw registry counter (per-tenant counters live here, not in Stat()).
+  std::uint64_t RegistryValue(const std::string& name) {
+    return metrics_.counter(name)->value();
+  }
+
+  // --- externally tracked state for the property checks ---
+  // First-start order per tenant (FIFO witness).
+  const std::vector<std::uint64_t>& start_order(std::uint32_t tenant) {
+    return start_order_[tenant];
+  }
+  const std::vector<std::uint64_t>& admit_order(std::uint32_t tenant) {
+    return admit_order_[tenant];
+  }
+  const std::map<NodeId, int>& starts_per_node() const {
+    return starts_per_node_;
+  }
+  const std::vector<NodeId>& start_node_sequence() const {
+    return start_node_sequence_;
+  }
+  int max_tenant_running(std::uint32_t tenant) const {
+    const auto it = max_running_.find(tenant);
+    return it == max_running_.end() ? 0 : it->second;
+  }
+  int max_node_load() const { return max_node_load_; }
+  size_t outstanding() const { return running_.size(); }
+
+ private:
+  void CompleteJob(std::uint64_t job) {
+    const std::uint32_t tenant = tenant_of_[job];
+    --tenant_running_[tenant];
+  }
+
+  void Absorb(const std::vector<Start>& starts) {
+    // Group by job to check gang atomicity: every start batch must contain
+    // each started job's full remaining member complement exactly once.
+    std::set<std::uint64_t> jobs_in_batch;
+    for (const Start& s : starts) {
+      ASSERT_GE(s.node, 0);
+      ASSERT_LT(s.node, nodes_);
+      EXPECT_TRUE(node_alive_[s.node])
+          << "start directed at dead node " << s.node;
+      running_.emplace_back(s.job_id, s.member, s.node);
+      ++node_load_[s.node];
+      max_node_load_ = std::max(max_node_load_, node_load_[s.node]);
+      EXPECT_LE(node_load_[s.node], config_.slots_per_node)
+          << "node " << s.node << " oversubscribed";
+      ++starts_per_node_[s.node];
+      start_node_sequence_.push_back(s.node);
+      if (first_start_.insert(s.job_id).second) {
+        const std::uint32_t tenant = tenant_of_[s.job_id];
+        start_order_[tenant].push_back(s.job_id);
+        const int now_running = ++tenant_running_[tenant];
+        max_running_[tenant] =
+            std::max(max_running_[tenant], now_running);
+        // After a kill the mirror can't see force-failed members finish, so
+        // its running count drifts; the scheduler's own Audit() still
+        // enforces the quota there (asserted via invariant_violations == 0).
+        if (!kills_seen_) {
+          EXPECT_LE(now_running, config_.tenant_quota)
+              << "tenant " << tenant << " above quota";
+        }
+      }
+      jobs_in_batch.insert(s.job_id);
+    }
+    // Atomicity: a job first seen in this batch must have ALL its members
+    // in this batch (no partial gang ever leaves the scheduler).
+    for (const std::uint64_t job : jobs_in_batch) {
+      std::uint32_t members_here = 0;
+      for (const Start& s : starts) {
+        if (s.job_id == job) ++members_here;
+      }
+      if (restarted_jobs_.count(job) == 0 && members_here > 0) {
+        const bool fresh = started_members_.count(job) == 0;
+        if (fresh) {
+          EXPECT_EQ(members_here, gang_of_[job])
+              << "gang for job " << job << " started partially";
+        } else {
+          restarted_jobs_.insert(job);  // eviction restart: partial is fine
+        }
+      }
+      started_members_[job] += members_here;
+    }
+    EXPECT_EQ(sched_.invariant_violations(), 0u);
+  }
+
+  const int nodes_;
+  const Config config_;
+  MetricsRegistry metrics_;
+  std::uint64_t now_ = 0;
+  Scheduler sched_;
+
+  std::deque<std::tuple<std::uint64_t, std::uint32_t, NodeId>> running_;
+  std::set<std::pair<std::uint64_t, std::uint32_t>> finished_members_;
+  std::map<std::uint64_t, std::uint32_t> gang_of_;
+  std::map<std::uint64_t, std::uint32_t> tenant_of_;
+  std::map<std::uint64_t, std::uint32_t> done_of_;
+  std::map<std::uint64_t, std::uint32_t> started_members_;
+  std::set<std::uint64_t> first_start_;
+  std::set<std::uint64_t> restarted_jobs_;
+  std::map<std::uint32_t, std::vector<std::uint64_t>> start_order_;
+  std::map<std::uint32_t, std::vector<std::uint64_t>> admit_order_;
+  std::map<std::uint32_t, int> tenant_running_;
+  std::map<std::uint32_t, int> max_running_;
+  std::map<NodeId, int> starts_per_node_;
+  std::vector<NodeId> start_node_sequence_;
+  std::vector<int> node_load_;
+  std::vector<bool> node_alive_;
+  int max_node_load_ = 0;
+  bool kills_seen_ = false;
+};
+
+Config SmallConfig() {
+  Config c;
+  c.enabled = true;
+  c.slots_per_node = 2;
+  c.tenant_quota = 2;
+  c.queue_cap = 4;
+  return c;
+}
+
+// 1. The per-tenant running quota holds at every step of a random schedule.
+TEST(SchedulerProperty, QuotaNeverExceeded) {
+  Harness h(4, SmallConfig());
+  Rng rng(11);
+  for (int op = 0; op < 400; ++op) {
+    if (rng.NextBelow(2) == 0) {
+      h.Submit(static_cast<std::uint32_t>(rng.NextBelow(3)));
+    } else {
+      h.FinishOne();
+    }
+    h.Tick();
+  }
+  h.DrainAll();
+  for (std::uint32_t t = 0; t < 3; ++t) {
+    EXPECT_LE(h.max_tenant_running(t), SmallConfig().tenant_quota);
+  }
+  EXPECT_EQ(h.Stat("sched.invariant_violations"), 0u);
+}
+
+// 2. Gangs place atomically: every fresh start batch carries the whole gang.
+TEST(SchedulerProperty, GangPlacementIsAtomic) {
+  Config c = SmallConfig();
+  c.tenant_quota = 8;
+  Harness h(4, c);  // 8 slots total
+  Rng rng(12);
+  for (int op = 0; op < 300; ++op) {
+    if (rng.NextBelow(2) == 0) {
+      const auto gang = static_cast<std::uint32_t>(1 + rng.NextBelow(4));
+      h.Submit(0, gang);
+    } else {
+      h.FinishOne();
+    }
+    h.Tick();
+  }
+  h.DrainAll();  // Absorb() checked atomicity on every batch
+  EXPECT_EQ(h.Stat("sched.admitted"),
+            h.Stat("sched.completed") + h.Stat("sched.failed"));
+}
+
+// 3. Two gangs that each fit but together exceed capacity never deadlock:
+// no partial reservation means the loser stays whole in the queue.
+TEST(SchedulerProperty, CompetingGangsDoNotDeadlock) {
+  Config c = SmallConfig();
+  c.tenant_quota = 4;
+  Harness h(2, c);  // 4 slots
+  EXPECT_EQ(h.Submit(0, 3).error, 0);  // placed: 3 of 4 slots
+  EXPECT_EQ(h.Submit(1, 3).error, 0);  // queued whole: only 1 slot free
+  EXPECT_EQ(h.Submit(0, 1).error, 0);  // 1-wide backfills the last slot
+  EXPECT_EQ(h.outstanding(), 4u);      // 3 + 1 running, gang 2 intact
+  h.DrainAll();
+  EXPECT_EQ(h.Stat("sched.completed"), 3u);
+  EXPECT_EQ(h.Stat("sched.invariant_violations"), 0u);
+}
+
+// 4. FIFO within a tenant: jobs start in admission order.
+TEST(SchedulerProperty, FifoWithinTenant) {
+  Harness h(4, SmallConfig());
+  Rng rng(13);
+  for (int op = 0; op < 300; ++op) {
+    if (rng.NextBelow(3) < 2) {
+      h.Submit(static_cast<std::uint32_t>(rng.NextBelow(2)));
+    } else {
+      h.FinishOne();
+    }
+    h.Tick();
+  }
+  h.DrainAll();
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    EXPECT_EQ(h.start_order(t), h.admit_order(t))
+        << "tenant " << t << " started out of admission order";
+  }
+}
+
+// 5. Every admitted job eventually completes once the cluster drains.
+TEST(SchedulerProperty, EveryAdmittedJobCompletes) {
+  Harness h(3, SmallConfig());
+  Rng rng(14);
+  for (int op = 0; op < 500; ++op) {
+    if (rng.NextBelow(2) == 0) {
+      h.Submit(static_cast<std::uint32_t>(rng.NextBelow(4)),
+               static_cast<std::uint32_t>(1 + rng.NextBelow(2)));
+    } else {
+      h.FinishOne();
+    }
+    h.Tick();
+  }
+  h.DrainAll();
+  EXPECT_GT(h.Stat("sched.admitted"), 0u);
+  EXPECT_EQ(h.Stat("sched.completed"), h.Stat("sched.admitted"));
+  EXPECT_EQ(h.Stat("sched.queue_depth"), 0u);
+  EXPECT_EQ(h.Stat("sched.running_jobs"), 0u);
+}
+
+// 6. Queue overflow sheds with the typed kResourceExhausted, and the shed
+// job leaves no trace in the ledger beyond the shed counter.
+TEST(SchedulerProperty, OverflowShedsTyped) {
+  Config c = SmallConfig();  // quota 2, queue cap 4, 8 slots on 4 nodes
+  Harness h(4, c);
+  // Tenant 0: 2 run (quota), 4 queue, the rest shed.
+  int shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto resp = h.Submit(0);
+    if (resp.error != 0) {
+      EXPECT_EQ(resp.error, kShedCode);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(shed, 4);
+  EXPECT_EQ(h.Stat("sched.shed"), 4u);
+  EXPECT_EQ(h.RegistryValue("sched.tenant.0.shed"), 4u);
+  // Another tenant is unaffected by tenant 0's full queue.
+  EXPECT_EQ(h.Submit(1).error, 0);
+  h.DrainAll();
+  EXPECT_EQ(h.Stat("sched.admitted"), 7u);
+  EXPECT_EQ(h.Stat("sched.completed"), 7u);
+}
+
+// 7. A gang wider than the whole cluster is rejected up front (typed),
+// not queued forever.
+TEST(SchedulerProperty, OversizedGangRejected) {
+  Harness h(2, SmallConfig());  // 4 slots total
+  EXPECT_EQ(h.Submit(0, 5).error, kRejectCode);
+  EXPECT_EQ(h.Submit(0, 0).error, kRejectCode);
+  EXPECT_EQ(h.Stat("sched.rejected"), 2u);
+  EXPECT_EQ(h.Stat("sched.admitted"), 0u);
+}
+
+// 8. No node ever runs more members than it has slots, under pressure.
+TEST(SchedulerProperty, SlotsNeverOversubscribed) {
+  Config c = SmallConfig();
+  c.tenant_quota = 100;
+  c.queue_cap = 100;
+  Harness h(3, c);  // 6 slots
+  Rng rng(15);
+  for (int op = 0; op < 600; ++op) {
+    if (rng.NextBelow(3) < 2) {
+      h.Submit(0, static_cast<std::uint32_t>(1 + rng.NextBelow(3)));
+    } else {
+      h.FinishOne();
+    }
+  }
+  h.DrainAll();
+  EXPECT_LE(h.max_node_load(), c.slots_per_node);  // Absorb also asserts
+  EXPECT_EQ(h.Stat("sched.invariant_violations"), 0u);
+}
+
+// 9. Load-aware placement spreads singleton jobs evenly over an idle
+// cluster instead of piling onto one node.
+TEST(SchedulerProperty, LoadAwarePlacementSpreads) {
+  Config c = SmallConfig();
+  c.tenant_quota = 8;
+  Harness h(4, c);
+  for (int i = 0; i < 8; ++i) h.Submit(0);
+  int lo = 1 << 30, hi = 0;
+  for (const auto& [node, count] : h.starts_per_node()) {
+    lo = std::min(lo, count);
+    hi = std::max(hi, count);
+  }
+  EXPECT_EQ(h.starts_per_node().size(), 4u);
+  EXPECT_LE(hi - lo, 1);
+  h.DrainAll();
+}
+
+// 10. The locality hint breaks free-slot ties.
+TEST(SchedulerProperty, LocalityHintBreaksTies) {
+  Config c = SmallConfig();
+  Harness h(4, c);
+  const auto resp = h.Submit(0, 1, /*hint=*/2);
+  EXPECT_EQ(resp.error, 0);
+  EXPECT_EQ(h.start_node_sequence().front(), 2);
+  h.DrainAll();
+}
+
+// 11. Round-robin mode really is round-robin.
+TEST(SchedulerProperty, RoundRobinPlacement) {
+  Config c = SmallConfig();
+  c.load_aware = false;
+  c.tenant_quota = 8;
+  Harness h(4, c);
+  for (int i = 0; i < 8; ++i) h.Submit(0);
+  const std::vector<NodeId> expect = {0, 1, 2, 3, 0, 1, 2, 3};
+  EXPECT_EQ(h.start_node_sequence(), expect);
+  h.DrainAll();
+}
+
+// 12. Killing a node re-places its idempotent members on the survivors and
+// the ledger still drains completely.
+TEST(SchedulerProperty, NodeDeathRestartsIdempotentMembers) {
+  Config c = SmallConfig();
+  c.tenant_quota = 6;
+  Harness h(3, c, /*idempotent_tasks=*/true);  // 6 slots
+  for (int i = 0; i < 6; ++i) h.Submit(0);
+  EXPECT_EQ(h.outstanding(), 6u);
+  h.KillNode(2);
+  h.DrainAll();
+  EXPECT_GE(h.Stat("sched.restarts"), 2u);  // node 2 hosted 2 members
+  EXPECT_EQ(h.Stat("sched.failed"), 0u);
+  EXPECT_EQ(h.Stat("sched.completed"), 6u);
+  EXPECT_EQ(h.Stat("sched.invariant_violations"), 0u);
+}
+
+// 13. Killing a node fails non-idempotent jobs exactly once; the rest of
+// the cluster keeps serving and the ledger still balances.
+TEST(SchedulerProperty, NodeDeathFailsNonIdempotentJobsOnce) {
+  Config c = SmallConfig();
+  c.tenant_quota = 6;
+  Harness h(3, c, /*idempotent_tasks=*/false);
+  for (int i = 0; i < 6; ++i) h.Submit(0);
+  h.KillNode(1);
+  h.DrainAll();
+  EXPECT_EQ(h.Stat("sched.restarts"), 0u);
+  EXPECT_EQ(h.Stat("sched.failed"), 2u);  // the 2 members node 1 hosted
+  EXPECT_EQ(h.Stat("sched.completed") + h.Stat("sched.failed"),
+            h.Stat("sched.admitted"));
+  EXPECT_EQ(h.Stat("sched.invariant_violations"), 0u);
+}
+
+// 14. A queued gang that no longer fits the shrunken cluster fails at
+// eviction time instead of clogging the queue forever.
+TEST(SchedulerProperty, QueuedGangExceedingShrunkenCapacityFails) {
+  Config c = SmallConfig();
+  c.tenant_quota = 8;
+  Harness h(2, c);                     // 4 slots
+  EXPECT_EQ(h.Submit(0, 4).error, 0);  // fills the cluster
+  EXPECT_EQ(h.Submit(1, 4).error, 0);  // queued: fits a 2-node cluster
+  h.KillNode(1);  // capacity now 2: the queued gang-4 can never fit again
+  h.DrainAll();
+  // The queued gang fails at eviction; the running gang's two orphaned
+  // members restart (idempotent) once the survivors free slots.
+  EXPECT_EQ(h.Stat("sched.failed"), 1u);
+  EXPECT_EQ(h.Stat("sched.completed"), 1u);
+  EXPECT_GE(h.Stat("sched.restarts"), 2u);
+  EXPECT_EQ(h.Stat("sched.admitted"),
+            h.Stat("sched.completed") + h.Stat("sched.failed"));
+}
+
+// 15. A node that rejoins is eligible for placement again.
+TEST(SchedulerProperty, RejoinedNodeServesAgain) {
+  Config c = SmallConfig();
+  c.tenant_quota = 8;
+  Harness h(2, c, /*idempotent_tasks=*/true);
+  h.KillNode(1);
+  for (int i = 0; i < 2; ++i) h.Submit(0);
+  EXPECT_EQ(h.Submit(0, 3).error, kRejectCode);  // 1 live node => 2 slots
+  h.ReviveNode(1);
+  EXPECT_EQ(h.Submit(0, 3).error, 0);  // fits again across both nodes
+  h.DrainAll();
+  EXPECT_EQ(h.Stat("sched.completed"), h.Stat("sched.admitted"));
+  EXPECT_EQ(h.Stat("sched.invariant_violations"), 0u);
+}
+
+// 16. The same seeded op schedule replays bit-for-bit: identical start
+// sequences and an identical final ledger.
+TEST(SchedulerProperty, DeterministicReplay) {
+  auto run = [](std::uint64_t seed) {
+    Config c = SmallConfig();
+    c.tenant_quota = 4;
+    Harness h(4, c);
+    Rng rng(seed);
+    for (int op = 0; op < 500; ++op) {
+      const auto roll = rng.NextBelow(10);
+      if (roll < 5) {
+        h.Submit(static_cast<std::uint32_t>(rng.NextBelow(3)),
+                 static_cast<std::uint32_t>(1 + rng.NextBelow(3)),
+                 static_cast<NodeId>(rng.NextBelow(4)));
+      } else if (roll < 9) {
+        h.FinishOne();
+      }
+      h.Tick(rng.NextBelow(50) + 1);
+    }
+    h.DrainAll();
+    return std::make_pair(h.start_node_sequence(),
+                          h.sched().Stat().counters);
+  };
+  const auto a = run(99);
+  const auto b = run(99);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto other = run(100);
+  EXPECT_NE(a.first, other.first);  // the seed actually matters
+}
+
+// 17. Randomized sweep over many seeds with kills and rejoins folded in:
+// the ledger always balances and the invariants never trip.
+TEST(SchedulerProperty, RandomScheduleInvariantSweep) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Config c = SmallConfig();
+    c.tenant_quota = 5;
+    Harness h(4, c, /*idempotent_tasks=*/(seed % 2) == 0);
+    Rng rng(seed * 7919);
+    std::vector<bool> alive(4, true);
+    for (int op = 0; op < 400; ++op) {
+      const auto roll = rng.NextBelow(20);
+      if (roll < 10) {
+        h.Submit(static_cast<std::uint32_t>(rng.NextBelow(3)),
+                 static_cast<std::uint32_t>(1 + rng.NextBelow(2)));
+      } else if (roll < 18) {
+        h.FinishOne();
+      } else if (roll == 18) {
+        // Kill a random live non-coordinator node (keep >= 1 alive).
+        const NodeId victim = static_cast<NodeId>(1 + rng.NextBelow(3));
+        int live = 0;
+        for (const bool a : alive) live += a ? 1 : 0;
+        if (alive[victim] && live > 1) {
+          alive[victim] = false;
+          h.KillNode(victim);
+        }
+      } else {
+        const NodeId node = static_cast<NodeId>(1 + rng.NextBelow(3));
+        if (!alive[node]) {
+          alive[node] = true;
+          h.ReviveNode(node);
+        }
+      }
+      h.Tick();
+    }
+    h.DrainAll();
+    EXPECT_EQ(h.Stat("sched.admitted"),
+              h.Stat("sched.completed") + h.Stat("sched.failed"))
+        << "seed " << seed;
+    EXPECT_EQ(h.Stat("sched.invariant_violations"), 0u) << "seed " << seed;
+  }
+}
+
+// 18. End-to-end on the simulator: the full serving workload is bit-for-bit
+// deterministic — two runs yield identical result bytes and virtual time.
+TEST(SchedulerServing, SimulatorRunsAreBitForBitDeterministic) {
+  auto run = [] {
+    SimOptions opts;
+    opts.num_processors = 4;
+    opts.sched.enabled = true;
+    opts.sched.slots_per_node = 4;
+    opts.sched.tenant_quota = 4;
+    opts.sched.queue_cap = 16;
+    SimRuntime rt(opts);
+    RegisterServingTasks(&rt.registry());
+    ServingConfig wl;
+    wl.tenants = 3;
+    wl.jobs_per_tenant = 40;
+    wl.gap_us = 500;
+    wl.service_us = 1500;
+    wl.gang = 3;
+    wl.gang_every = 4;
+    SimReport report = rt.Run("sched.serving_main", EncodeServingConfig(wl));
+    return std::make_pair(report.virtual_seconds, report.main_result);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);  // byte-identical ledger
+
+  auto ledger = DecodeServingResult(a.second);
+  ASSERT_TRUE(ledger.ok());
+  EXPECT_EQ((*ledger)["sched.admitted"],
+            (*ledger)["sched.completed"] + (*ledger)["sched.failed"]);
+  EXPECT_EQ((*ledger)["sched.invariant_violations"], 0u);
+  EXPECT_GT((*ledger)["sched.completed"], 0u);
+}
+
+// 19. End-to-end on the threaded runtime: the same workload drains cleanly
+// and the sched.* counters surface through the normal stats snapshot.
+TEST(SchedulerServing, ThreadedRuntimeServesAndDrains) {
+  ThreadedOptions opts;
+  opts.num_nodes = 3;
+  opts.sched.enabled = true;
+  opts.sched.slots_per_node = 4;
+  opts.sched.tenant_quota = 4;
+  opts.sched.queue_cap = 16;
+  ThreadedRuntime rt(opts);
+  RegisterServingTasks(&rt.registry());
+  ServingConfig wl;
+  wl.threaded = true;
+  wl.tenants = 2;
+  wl.jobs_per_tenant = 25;
+  wl.gap_us = 400;
+  wl.service_us = 800;
+  wl.gang = 2;
+  wl.gang_every = 5;
+  const auto result =
+      rt.RunMain("sched.serving_main", EncodeServingConfig(wl));
+  auto ledger = DecodeServingResult(result);
+  ASSERT_TRUE(ledger.ok());
+  EXPECT_EQ((*ledger)["sched.submitted"], 50u);
+  EXPECT_EQ((*ledger)["sched.admitted"],
+            (*ledger)["sched.completed"] + (*ledger)["sched.failed"]);
+  EXPECT_EQ((*ledger)["sched.failed"], 0u);
+  EXPECT_EQ((*ledger)["sched.invariant_violations"], 0u);
+  // The registry counters surface in the node-0 stats snapshot too.
+  const auto stats = rt.ClusterStats();
+  ASSERT_FALSE(stats.empty());
+  EXPECT_GT(stats[0].count("sched.admitted"), 0u);
+  EXPECT_EQ(stats[0].at("sched.admitted"), (*ledger)["sched.admitted"]);
+}
+
+}  // namespace
+}  // namespace dse::sched

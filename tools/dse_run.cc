@@ -7,6 +7,15 @@
 //   dse_run dct     --image 128 --block 8 --keep 0.25 --procs 4 --mode sim
 //   dse_run othello --depth 6 --procs 8  --mode sim --platform aix
 //   dse_run knight  --jobs 32 --procs 6  --mode sim --legacy
+//   dse_run serving --tenants 8 --jobs 500 --gap-us 800 --mode sim
+//
+// The serving app (docs/scheduling.md) runs the multi-tenant job-scheduler
+// front door under open-loop traffic and prints the scheduler's final
+// ledger (admitted/shed/completed, p50/p99 job latency, utilization).
+// Its knobs: --tenants N --jobs N (per tenant) --gap-us N --service-us N
+// --gang N --gang-every N --seed N, plus scheduler sizing --slots N
+// --quota N --queue-cap N and --round-robin to disable load-aware
+// placement.
 //
 // Common flags:
 //   --mode threaded|sim      (default threaded)
@@ -76,6 +85,7 @@
 #include "apps/knight/knight.h"
 #include "apps/othello/othello.h"
 #include "common/bytes.h"
+#include "dse/sched/serving.h"
 #include "dse/sim_runtime.h"
 #include "net/fault.h"
 #include "dse/ssi/stats.h"
@@ -155,6 +165,11 @@ struct Workload {
   std::vector<std::string> flags;  // app-specific flag names
 };
 
+// RegisterServingTasks takes a pointer; Workload wants a reference fn.
+void RegisterServing(TaskRegistry& registry) {
+  sched::RegisterServingTasks(&registry);
+}
+
 Workload BuildWorkload(const std::string& app, const Flags& flags,
                        int procs) {
   if (app == "gauss") {
@@ -201,14 +216,67 @@ Workload BuildWorkload(const std::string& app, const Flags& flags,
                 std::to_string(c.target_jobs),
             {"board", "start", "jobs"}};
   }
-  std::fprintf(stderr, "unknown app '%s' (gauss|dct|othello|knight)\n",
+  if (app == "serving") {
+    sched::ServingConfig c;
+    // Pacing must match the runtime: virtual Compute time on the simulator,
+    // real sleeps on the threaded runtime.
+    c.threaded = flags.Str("mode", "threaded") == "threaded";
+    c.tenants = static_cast<std::uint32_t>(flags.Int("tenants", 4));
+    c.jobs_per_tenant = static_cast<std::uint32_t>(flags.Int("jobs", 250));
+    c.gap_us = static_cast<std::uint32_t>(flags.Int("gap-us", 1000));
+    c.service_us = static_cast<std::uint32_t>(flags.Int("service-us", 2000));
+    c.gang = static_cast<std::uint32_t>(flags.Int("gang", 4));
+    c.gang_every = static_cast<std::uint32_t>(flags.Int("gang-every", 0));
+    c.seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
+    return {RegisterServing, "sched.serving_main",
+            sched::EncodeServingConfig(c),
+            "serving tenants=" + std::to_string(c.tenants) + " jobs=" +
+                std::to_string(c.jobs_per_tenant) + " gap=" +
+                std::to_string(c.gap_us) + "us",
+            {"tenants", "jobs", "gap-us", "service-us", "gang", "gang-every",
+             "seed", "slots", "quota", "queue-cap", "round-robin"}};
+  }
+  std::fprintf(stderr,
+               "unknown app '%s' (gauss|dct|othello|knight|serving)\n",
                app.c_str());
   std::exit(2);
 }
 
+// Prints the serving app's final ledger (its main task returns the
+// scheduler counter map as its result bytes).
+void PrintServingLedger(const std::vector<std::uint8_t>& result) {
+  auto ledger = sched::DecodeServingResult(result);
+  if (!ledger.ok()) {
+    std::fprintf(stderr, "serving result decode failed: %s\n",
+                 ledger.status().ToString().c_str());
+    return;
+  }
+  auto at = [&ledger](const char* key) -> unsigned long long {
+    const auto it = ledger->find(key);
+    return it == ledger->end() ? 0ULL : it->second;
+  };
+  std::printf(
+      "serving: submitted %llu admitted %llu shed %llu completed %llu "
+      "failed %llu restarts %llu violations %llu\n",
+      at("sched.submitted"), at("sched.admitted"), at("sched.shed"),
+      at("sched.completed"), at("sched.failed"), at("sched.restarts"),
+      at("sched.invariant_violations"));
+  std::printf(
+      "serving: latency p50 %llu us, p99 %llu us, max %llu us | "
+      "utilization %.1f%% (busy %llu us over %llu us x %llu slots)\n",
+      at("sched.latency_p50_us"), at("sched.latency_p99_us"),
+      at("sched.latency_max_us"),
+      at("sched.span_us") == 0 || at("sched.slots_total") == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(at("sched.busy_us")) /
+                (static_cast<double>(at("sched.span_us")) *
+                 static_cast<double>(at("sched.slots_total"))),
+      at("sched.busy_us"), at("sched.span_us"), at("sched.slots_total"));
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: dse_run <gauss|dct|othello|knight> [--mode "
+               "usage: dse_run <gauss|dct|othello|knight|serving> [--mode "
                "threaded|sim] [--platform sunos|aix|linux|solaris] "
                "[--procs N] [--cache] [--batch] [--prefetch K] "
                "[--write-combine] [--legacy] "
@@ -438,6 +506,23 @@ int main(int argc, char** argv) {
     rejoin = raw == "1";
   }
 
+  // Scheduler sizing (serving app only; docs/scheduling.md). The flags are
+  // app-specific so RejectUnknown already refused them for other apps.
+  sched::Config sched_cfg;
+  if (app == "serving") {
+    sched_cfg.enabled = true;
+    sched_cfg.slots_per_node = flags.Int("slots", 8);
+    sched_cfg.tenant_quota = flags.Int("quota", 4);
+    sched_cfg.queue_cap = flags.Int("queue-cap", 64);
+    sched_cfg.load_aware = !flags.Has("round-robin");
+    if (sched_cfg.slots_per_node < 1 || sched_cfg.tenant_quota < 1 ||
+        sched_cfg.queue_cap < 1) {
+      std::fprintf(stderr,
+                   "--slots/--quota/--queue-cap must all be >= 1\n");
+      return 2;
+    }
+  }
+
   // Interconnect medium (sim only): a validated enum, with the old boolean
   // --switched kept as a deprecated alias.
   std::string medium_name = flags.Str("medium", "bus");
@@ -651,12 +736,14 @@ int main(int argc, char** argv) {
                                        .replication = replication,
                                        .restart_tasks = restart_tasks,
                                        .min_quorum = min_quorum,
-                                       .rejoin = rejoin});
+                                       .rejoin = rejoin,
+                                       .sched = sched_cfg});
     workload.register_fn(rt.registry());
     const auto result = rt.RunMain(workload.main_task, workload.arg);
     std::printf("%s | threaded %d nodes | %.1f ms wall | result %zu bytes\n",
                 workload.description.c_str(), procs,
                 rt.last_run_seconds() * 1e3, result.size());
+    if (app == "serving") PrintServingLedger(result);
     // The injector's tallies are cluster-wide (one injector serves every
     // link), so they join the stats view beside the per-node counters.
     return EmitIntrospection(flags, rt.ClusterStats(),
@@ -677,6 +764,7 @@ int main(int argc, char** argv) {
     opts.restart_tasks = restart_tasks;
     opts.min_quorum = min_quorum;
     opts.rejoin = rejoin;
+    opts.sched = sched_cfg;
     if (flags.Has("legacy")) {
       opts.organization = OrganizationMode::kLegacyTwoProcess;
     }
@@ -825,6 +913,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(report.wire_frames),
         static_cast<unsigned long long>(report.collisions),
         medium_name.c_str(), report.bus_utilization * 100);
+    if (app == "serving") PrintServingLedger(report.main_result);
     // Medium counters and injected-fault tallies are both cluster-wide.
     MetricsSnapshot cluster_only = report.medium_counters;
     for (const auto& [name, value] : report.fault_counters) {
