@@ -108,6 +108,9 @@ KernelCore::KernelCore(NodeId self, int num_nodes, KernelOptions options)
   quorum_parks_ = metrics_.counter("recovery.quorum_parks");
   xfer_chunks_ = metrics_.counter("gmm.xfer.chunks");
   xfer_bytes_ = metrics_.counter("gmm.xfer.bytes");
+  drains_ = metrics_.counter("recovery.drains");
+  handoff_chunks_ = metrics_.counter("recovery.handoff.chunks");
+  handoff_bytes_ = metrics_.counter("recovery.handoff.bytes");
   if (options_.sched.enabled && self_ == 0) {
     sched_ = std::make_unique<sched::Scheduler>(
         num_nodes_, options_.sched, &metrics_, options_.now_us,
@@ -185,6 +188,16 @@ KernelCore::Actions KernelCore::Handle(const proto::Envelope& env) {
     case proto::MsgType::kStateChunkResp: {
       Actions actions;
       if (replication_on()) HandleStateChunkAck(env, &actions);
+      return actions;
+    }
+    case proto::MsgType::kDrainReq: {
+      Actions actions;
+      if (replication_on()) HandleDrainReq(env, &actions);
+      return actions;
+    }
+    case proto::MsgType::kDrainResp: {
+      Actions actions;
+      if (replication_on()) HandleDrainResp(env, &actions);
       return actions;
     }
     default:
@@ -774,9 +787,11 @@ KernelCore::Actions KernelCore::ApplyEviction(NodeId dead,
                                               std::uint32_t new_epoch) {
   Actions actions;
   NodeId old_backup = -1;
+  std::uint32_t old_epoch = 0;
   {
     std::lock_guard<std::mutex> lock(route_mu_);
     old_backup = home_map_.BackupOf(self_);
+    old_epoch = home_map_.epoch();
     if (!home_map_.Evict(dead, new_epoch)) return actions;  // already gone
   }
   evictions_->Add();
@@ -810,6 +825,41 @@ KernelCore::Actions KernelCore::ApplyEviction(NodeId dead,
   // valid under the new view as it was under the old.
   RestampPendingRecords();
 
+  // A state transfer in flight FROM the dead node dies with it. When it was
+  // re-seeding a replica this node already holds (a drain handoff cut short
+  // by the source's death), the records acked-and-buffered during the copy
+  // exist nowhere else: the aborted blob can no longer carry them, and they
+  // were deliberately not applied to the pre-existing shadow. Replay them
+  // onto that shadow now — before the promotion below — or a mid-drain
+  // death would lose acked writes. With no prior shadow the buffered
+  // records have no base state (the standard double-fault window) and the
+  // entry is simply dropped.
+  for (auto it = xfer_in_.begin(); it != xfer_in_.end();) {
+    if (it->second.from != dead) {
+      ++it;
+      continue;
+    }
+    const NodeId primary = it->first;
+    const auto sit = shadows_.find(primary);
+    if (sit != shadows_.end() && sit->second.home) {
+      for (const proto::Envelope& rec_env : it->second.buffered) {
+        const auto& rec = std::get<proto::ReplicateReq>(rec_env.body);
+        auto inner = proto::Decode(rec.inner);
+        DSE_CHECK_MSG(inner.ok(), "malformed buffered replication record");
+        Actions shadow_out;
+        const bool handled =
+            DispatchGmm(*sit->second.home, inner.value(), &shadow_out);
+        DSE_CHECK_MSG(handled, "non-GMM buffered replication record");
+        for (auto& o : shadow_out.out) {
+          if (o.env.req_id != 0 && proto::IsClientResponse(o.env.type())) {
+            RecordShadowResponse(primary, o.dst, std::move(o.env));
+          }
+        }
+      }
+    }
+    it = xfer_in_.erase(it);
+  }
+
   // The dead node may have been mid-handoff back to us as a rejoiner's
   // previous holder — that can't be us — or mid-handoff *from* us: if we
   // were streaming a home back to `dead` (it rejoined and died again before
@@ -840,12 +890,38 @@ KernelCore::Actions KernelCore::ApplyEviction(NodeId dead,
     }
     if (!routed_here) continue;
     const auto sit = shadows_.find(p);
-    if (sit == shadows_.end()) continue;  // no replica: home unavailable
+    if (sit == shadows_.end()) {
+      // Not one replication record ever arrived for p. Before the first
+      // membership change this node has been p's ring backup since boot,
+      // so that absence is PROOF the home never acked a mutation (every
+      // acked reply is gated on this backup's record ack): an empty home
+      // IS its exact state, and promoting one loses nothing — unacked
+      // in-flight writes re-drive against it through the normal retry
+      // path. Past the first epoch the same absence can mean an
+      // interrupted re-replication chain (the double-fault window), so
+      // the home stays unavailable rather than silently serving zeros.
+      if (old_epoch == 0) {
+        auto empty = std::make_unique<gmm::GmmHome>(p, num_nodes_,
+                                                    /*coherence=*/false);
+        empty->set_coherence(options_.read_cache);
+        promoted_[p] = std::move(empty);
+        promotions_->Add();
+        freshly_promoted.push_back(p);
+      }
+      continue;  // no replica: home unavailable
+    }
     ShadowHome& shadow = sit->second;
     if (shadow.home) {
       shadow.home->set_coherence(options_.read_cache);
       promoted_[p] = std::move(shadow.home);
-      promotions_->Add();
+      // A drain-seeded shadow's adoption is the planned cutover, not a
+      // failover: it is complete by construction (snapshot + every record
+      // forwarded since), so it counts under recovery.drains.
+      if (shadow.drain_ready) {
+        drains_->Add();
+      } else {
+        promotions_->Add();
+      }
       freshly_promoted.push_back(p);
       for (auto& [key, resp] : shadow.completed) {
         if (completed_.emplace(key, std::move(resp)).second) {
@@ -883,6 +959,9 @@ KernelCore::Actions KernelCore::ApplyEviction(NodeId dead,
   // Joiners parked in our table waiting from the dead node get dropped.
   processes_.OnNodeEvicted(dead);
   shadows_.erase(dead);  // a shadow routed to another survivor is stale
+  // The eviction completes (or supersedes) any drain of the dead node.
+  draining_.erase(dead);
+  drain_ready_.erase(dead);
 
   // Serving front door: re-place the dead node's orphaned gang members
   // (idempotent tasks) on the survivors and fail what cannot be re-run.
@@ -942,6 +1021,8 @@ void KernelCore::ResetForRejoin() {
   xfer_in_.clear();
   xfer_installed_.clear();
   xfer_deferred_.clear();
+  draining_.clear();
+  drain_ready_.clear();
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     cache_.clear();
@@ -950,7 +1031,7 @@ void KernelCore::ResetForRejoin() {
 }
 
 void KernelCore::StartTransfer(NodeId primary, NodeId target, bool demote,
-                               Actions* actions) {
+                               Actions* actions, bool drain) {
   if (target == self_ || target < 0) return;
   gmm::GmmHome* source = ServingHome(primary);
   gmm::GmmHome empty_home(primary, num_nodes_, false);
@@ -966,10 +1047,13 @@ void KernelCore::StartTransfer(NodeId primary, NodeId target, bool demote,
   if (source->pending_block_count() > 0) {
     // Mid-invalidation-round homes cannot snapshot; retry from the
     // transfer tick once the round drains.
-    for (const auto& d : xfer_deferred_) {
-      if (d.primary == primary) return;  // already queued
+    for (auto& d : xfer_deferred_) {
+      if (d.primary == primary) {
+        d.drain = d.drain || drain;
+        return;  // already queued
+      }
     }
-    xfer_deferred_.push_back(DeferredTransfer{primary, target, demote});
+    xfer_deferred_.push_back(DeferredTransfer{primary, target, demote, drain});
     return;
   }
   OutgoingTransfer xfer;
@@ -985,6 +1069,7 @@ void KernelCore::StartTransfer(NodeId primary, NodeId target, bool demote,
   if (xfer.total == 0) xfer.total = 1;
   xfer.next = 0;
   xfer.demote = demote;
+  xfer.drain = drain;
   if (demote) {
     // Rejoin handoff: stop serving immediately — the returned owner is the
     // primary again; requests bounce until it has the state installed.
@@ -1011,6 +1096,10 @@ void KernelCore::SendChunk(NodeId primary, Actions* actions) {
   }
   xfer_chunks_->Add();
   xfer_bytes_->Add(chunk.data.size());
+  if (xfer.drain) {
+    handoff_chunks_->Add();
+    handoff_bytes_->Add(chunk.data.size());
+  }
   proto::Envelope env;
   env.req_id = 0;
   env.src_node = self_;
@@ -1027,14 +1116,116 @@ KernelCore::Actions KernelCore::TickTransfers() {
   std::vector<DeferredTransfer> ready;
   ready.swap(xfer_deferred_);
   for (const DeferredTransfer& d : ready) {
-    StartTransfer(d.primary, d.target, d.demote, &actions);
+    StartTransfer(d.primary, d.target, d.demote, &actions, d.drain);
   }
   // Resend the in-flight chunk of every active transfer (lost chunk or lost
   // ack: receivers re-ack duplicates, so this is idempotent).
   for (const auto& [primary, xfer] : xfer_out_) {
     SendChunk(primary, &actions);
   }
+  // Draining, fully handed off, and hosting no resident tasks: report
+  // cutover readiness to the coordinator. Re-sent every tick (the one-way
+  // frame may be lost); the coordinator's drain_ready_ insert is
+  // idempotent. The resident-task gate mirrors the scheduler quiesce on
+  // the cutover side: a drain waits out everything still running here —
+  // cutting over under a live task would zombify it (unlike a kill, a
+  // drain drops no frames, so the zombie's completion would later hit a
+  // process table that no longer knows it).
+  if (draining_.count(self_) > 0 && transfers_idle() &&
+      processes_.running_count() == 0) {
+    NodeId coord = -1;
+    std::uint32_t e = 0;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      coord = home_map_.Coordinator();
+      e = home_map_.epoch();
+    }
+    if (coord == self_) {
+      drain_ready_.insert(self_);  // coordinator draining itself
+    } else if (coord >= 0) {
+      proto::Envelope env;
+      env.req_id = 0;
+      env.src_node = self_;
+      env.epoch = e;
+      env.body = proto::DrainResp{self_, e};
+      actions.out.push_back(Outgoing{coord, std::move(env)});
+    }
+  }
   return actions;
+}
+
+void KernelCore::HandleDrainReq(const proto::Envelope& env, Actions* actions) {
+  const auto& req = std::get<proto::DrainReq>(env.body);
+  const NodeId node = req.node;
+  if (node < 0 || node >= num_nodes_) return;
+  if (!NodeAlive(node)) return;  // already evicted: stale drain
+  if (!draining_.insert(node).second) return;  // duplicate broadcast
+  // The scheduler node stops placing new gang members there; running ones
+  // are waited out (counted under sched.drained_jobs), never shed.
+  if (sched_) sched_->OnNodeDraining(node);
+  if (node == self_) {
+    StartDrainHandoff(actions);
+  }
+  if (CoordinatorView() == self_) {
+    actions->console.push_back("[drain] node " + std::to_string(node) +
+                               " draining: handoff started");
+  }
+}
+
+void KernelCore::HandleDrainResp(const proto::Envelope& env, Actions* actions) {
+  const auto& resp = std::get<proto::DrainResp>(env.body);
+  const NodeId node = resp.node;
+  if (node < 0 || node >= num_nodes_) return;
+  // A stale epoch means a real failover interleaved with the drain; the
+  // readiness claim no longer describes the current membership.
+  if (resp.epoch != epoch()) return;
+  if (draining_.count(node) == 0) return;
+  if (drain_ready_.insert(node).second) {
+    actions->console.push_back("[drain] node " + std::to_string(node) +
+                               " handoff complete: ready for cutover");
+  }
+}
+
+void KernelCore::StartDrainHandoff(Actions* actions) {
+  NodeId backup = -1;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    backup = home_map_.BackupOf(self_);
+  }
+  if (backup < 0) {
+    draining_.erase(self_);  // last node standing: nowhere to hand off
+    return;
+  }
+  // Tag (rather than restart) a transfer already streaming to the backup:
+  // a same-epoch restart would trip the receiver's duplicate-chunk-0
+  // detection and wedge the handoff.
+  const auto mark_or_start = [&](NodeId p) {
+    if (const auto it = xfer_out_.find(p);
+        it != xfer_out_.end() && it->second.target == backup &&
+        !it->second.demote) {
+      it->second.drain = true;
+      return;
+    }
+    for (auto& d : xfer_deferred_) {
+      if (d.primary == p && d.target == backup && !d.demote) {
+        d.drain = true;
+        return;
+      }
+    }
+    StartTransfer(p, backup, /*demote=*/false, actions, /*drain=*/true);
+  };
+  if (!own_home_pending_) mark_or_start(self_);
+  for (const auto& [p, phome] : promoted_) mark_or_start(p);
+}
+
+bool KernelCore::DrainCutoverReady(NodeId node) const {
+  if (draining_.count(node) == 0 || drain_ready_.count(node) == 0) {
+    return false;
+  }
+  // Scheduler quiescence (scheduler node only): running gang members are
+  // waited out so the planned eviction never orphans or restarts work.
+  if (sched_ && !sched_->NodeQuiesced(node)) return false;
+  return true;
 }
 
 void KernelCore::HandleNodeJoinReq(const proto::Envelope& env,
@@ -1137,6 +1328,10 @@ void KernelCore::OnAdmitted(NodeId node, bool was_holder, NodeId old_backup,
   // serving copy; the handoff re-seeds replication from scratch.
   shadows_.erase(node);
   xfer_in_.erase(node);
+  // A rejoining node starts a clean lifecycle: any stale drain marking
+  // (e.g. the drain that led to its planned eviction) is gone.
+  draining_.erase(node);
+  drain_ready_.erase(node);
   if (was_holder && promoted_.count(node) > 0) {
     // Hand the home back to its owner over the transfer machinery; on
     // completion we keep the snapshot as the returned primary's new shadow
@@ -1219,6 +1414,7 @@ void KernelCore::HandleStateChunk(const proto::Envelope& env,
     xit = xfer_in_.insert_or_assign(primary, IncomingTransfer{}).first;
     xit->second.epoch = chunk.epoch;
     xit->second.total = chunk.total;
+    xit->second.from = env.src_node;
   } else {
     if (xit == xfer_in_.end()) return;  // stray chunk, no active transfer
     IncomingTransfer& in = xit->second;
@@ -1266,6 +1462,10 @@ void KernelCore::InstallTransfer(NodeId primary, Actions* actions) {
                                                /*coherence=*/false);
   DSE_CHECK_MSG(shadow.home->InstallState(in.blob).ok(),
                 "malformed replica state blob");
+  // A snapshot streamed by a still-alive draining sender is the planned
+  // handoff: adopting this shadow later is lossless by construction, so the
+  // adoption counts as recovery.drains instead of recovery.promotions.
+  shadow.drain_ready = in.from >= 0 && draining_.count(in.from) > 0;
   std::vector<proto::Envelope> replay = std::move(shadow.pending_records);
   shadow.pending_records.clear();
   replay.insert(replay.end(), std::make_move_iterator(in.buffered.begin()),
@@ -1299,7 +1499,11 @@ void KernelCore::InstallTransfer(NodeId primary, Actions* actions) {
   if (routed_here) {
     shadow.home->set_coherence(options_.read_cache);
     promoted_[primary] = std::move(shadow.home);
-    promotions_->Add();
+    if (shadow.drain_ready) {
+      drains_->Add();
+    } else {
+      promotions_->Add();
+    }
     for (auto& [key, resp] : shadow.completed) {
       if (completed_.emplace(key, std::move(resp)).second) {
         completed_order_.push_back(key);
@@ -1497,6 +1701,7 @@ MetricsSnapshot KernelCore::StatsSnapshot() const {
   put("dsm.cache_misses", stats_.cache_misses);
   put("dsm.cache_invalidated", stats_.cache_invalidated);
   put("ssi.names_published", ssi_.name_count());
+  put("recovery.draining_nodes", draining_.size());
 
   // Home-side GMM counters; a promoted shadow's activity counts toward the
   // node serving it.

@@ -213,6 +213,17 @@ class KernelCore {
     return xfer_out_.empty() && xfer_deferred_.empty();
   }
 
+  // --- Planned drain (docs/recovery.md) -----------------------------------
+
+  // True once a DrainReq for `node` has been observed here (cleared by the
+  // eviction that completes the drain, or by the node's re-admission).
+  bool NodeDraining(NodeId node) const { return draining_.count(node) > 0; }
+  // Coordinator-side cutover test: the draining node reported its handoff
+  // complete (DrainResp under the current epoch) and the serving scheduler
+  // (when hosted here) has no unfinished gang member there. The caller then
+  // evicts the node under a bumped epoch — a lossless, planned eviction.
+  bool DrainCutoverReady(NodeId node) const;
+
   // Handles one inbound server-side message (requests, InvalidateReq/Ack,
   // ConsoleOut, Shutdown). Must not be called with client responses.
   Actions Handle(const proto::Envelope& env);
@@ -336,6 +347,20 @@ class KernelCore {
   void HandleNodeJoinResp(const proto::Envelope& env, Actions* actions);
   void HandleStateChunk(const proto::Envelope& env, Actions* actions);
   void HandleStateChunkAck(const proto::Envelope& env, Actions* actions);
+  // Planned drain (docs/recovery.md): every member marks the node draining
+  // (the scheduler node also stops placing work there); the drained node
+  // itself starts the proactive handoff.
+  void HandleDrainReq(const proto::Envelope& env, Actions* actions);
+  // Coordinator side: records the draining node's handoff-complete report.
+  void HandleDrainResp(const proto::Envelope& env, Actions* actions);
+  // The draining node: stream every home it serves to its ring successor
+  // while *continuing to serve* (demote=false) — mutations acked during the
+  // copy are forwarded as normal replication records, which the receiver
+  // buffers and replays on top of the snapshot. An already in-flight
+  // transfer of the same home to the same target is tagged rather than
+  // restarted (a same-epoch restart would trip the receiver's duplicate-
+  // chunk-0 detection).
+  void StartDrainHandoff(Actions* actions);
   // Local side effects of node's re-admission on every member: drop the
   // stale routing cache and shadow, hand a held home back to its returned
   // owner, and re-replicate to a changed ring successor.
@@ -345,7 +370,7 @@ class KernelCore {
   // the home serving `primary` to `target`. `demote`: on completion the
   // sender stops serving and keeps the state as a shadow (rejoin handoff).
   void StartTransfer(NodeId primary, NodeId target, bool demote,
-                     Actions* actions);
+                     Actions* actions, bool drain = false);
   // Emits the current chunk of an outgoing transfer.
   void SendChunk(NodeId primary, Actions* actions);
   // Applies a fully received transfer blob (own home for a rejoining node,
@@ -427,6 +452,11 @@ class KernelCore {
     // by a transfer, so a record with no installed base state means the
     // blob is still in flight, never that there is no blob at all.
     std::vector<proto::Envelope> pending_records;
+    // Seeded by a planned drain handoff (a snapshot streamed by a still-
+    // alive, still-serving primary): the later adoption of this shadow is
+    // counted as recovery.drains, not recovery.promotions — the eviction
+    // that completes the drain loses nothing by construction.
+    bool drain_ready = false;
   };
   std::map<NodeId, ShadowHome> shadows_;
   // Promoted shadows now serving a dead primary's key space.
@@ -443,6 +473,7 @@ class KernelCore {
     std::uint32_t next = 0;   // index of the chunk currently in flight
     std::uint32_t total = 0;
     bool demote = false;      // rejoin handoff: keep the state as a shadow
+    bool drain = false;       // planned drain handoff (recovery.handoff.*)
   };
   std::map<NodeId, OutgoingTransfer> xfer_out_;
   // Transfer starts deferred behind an in-flight invalidation round.
@@ -450,6 +481,7 @@ class KernelCore {
     NodeId primary = -1;
     NodeId target = -1;
     bool demote = false;
+    bool drain = false;
   };
   std::vector<DeferredTransfer> xfer_deferred_;
   // Incoming transfer reassembly, keyed by the natural primary. Live
@@ -461,6 +493,11 @@ class KernelCore {
     std::vector<std::uint8_t> blob;   // chunks received so far, concatenated
     std::uint32_t received = 0;
     std::vector<proto::Envelope> buffered;  // ReplicateReq frames
+    // Sender (captured at chunk 0). If the sender dies mid-transfer, the
+    // buffered records must be replayed onto the pre-existing shadow before
+    // promotion (ApplyEviction) — they were acked, and the aborted blob can
+    // no longer carry them.
+    NodeId from = -1;
   };
   std::map<NodeId, IncomingTransfer> xfer_in_;
   // Epoch of the last fully-installed incoming transfer per primary. The
@@ -478,6 +515,13 @@ class KernelCore {
   // the state back; requests for it bounce with RetryResp meanwhile.
   bool own_home_pending_ = false;
 
+  // Planned drain (docs/recovery.md). Every member mirrors the draining set
+  // from the DrainReq broadcast; drain_ready_ is coordinator-side only (the
+  // draining nodes whose handoff-complete DrainResp has arrived). Both are
+  // cleared by the eviction that completes the drain or by re-admission.
+  std::set<NodeId> draining_;
+  std::set<NodeId> drain_ready_;
+
   Counter* repl_forwards_ = nullptr;
   Counter* evictions_ = nullptr;
   Counter* promotions_ = nullptr;
@@ -488,6 +532,12 @@ class KernelCore {
   Counter* quorum_parks_ = nullptr;
   Counter* xfer_chunks_ = nullptr;
   Counter* xfer_bytes_ = nullptr;
+  // Planned-drain ledger: homes adopted over the drain handoff (the planned
+  // counterpart of recovery.promotions) and the handoff's share of the state
+  // transfer traffic.
+  Counter* drains_ = nullptr;
+  Counter* handoff_chunks_ = nullptr;
+  Counter* handoff_bytes_ = nullptr;
 
   // --- Serving front door (docs/scheduling.md) ----------------------------
 

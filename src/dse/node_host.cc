@@ -296,7 +296,8 @@ NodeHost::NodeHost(net::Endpoint* endpoint, int num_nodes, Options options)
       core_(endpoint->self(), num_nodes,
             MakeKernelOptions(options_, options_.registry, endpoint)),
       last_heard_ms_(static_cast<size_t>(num_nodes)),
-      peer_dead_(static_cast<size_t>(num_nodes)) {
+      peer_dead_(static_cast<size_t>(num_nodes)),
+      drain_initiated_(static_cast<size_t>(num_nodes)) {
   DSE_CHECK(options_.registry != nullptr);
   rpc_timeouts_ = core_.metrics().counter("rpc.timeout");
   rpc_retries_ = core_.metrics().counter("rpc.retry");
@@ -446,6 +447,31 @@ void NodeHost::HeartbeatLoop() {
         }
       }
     }
+    // Planned drain duties (coordinator): fire drain triggers from the
+    // harness oracle, and once a draining peer reports cutover-ready (and
+    // the scheduler here, if any, has no member left on it), evict it under
+    // a bumped epoch — the lossless, planned eviction. The evicted node
+    // rejoins via the re-announce path above.
+    if (core_.replication_on() && core_.CoordinatorView() == self()) {
+      for (NodeId d = 0; d < core_.num_nodes(); ++d) {
+        if (d == self() || !core_.NodeAlive(d)) continue;
+        bool draining = false;
+        bool ready = false;
+        {
+          std::lock_guard<std::mutex> lock(core_mu_);
+          draining = core_.NodeDraining(d);
+          ready = core_.DrainCutoverReady(d);
+        }
+        if (ready) {
+          EvictPeer(d, core_.epoch() + 1, "drain cutover");
+        } else if (!draining && options_.drain_requested &&
+                   options_.drain_requested(d) &&
+                   !drain_initiated_[static_cast<size_t>(d)].exchange(
+                       true, std::memory_order_relaxed)) {
+          AdminDrain(d);
+        }
+      }
+    }
     // Self-healing: retransmission tick for in-flight state transfers.
     if (core_.replication_on()) {
       KernelCore::Actions actions;
@@ -455,6 +481,29 @@ void NodeHost::HeartbeatLoop() {
       }
       Perform(std::move(actions));
     }
+  }
+}
+
+void NodeHost::AdminDrain(NodeId node) {
+  if (!core_.replication_on()) return;
+  if (node < 0 || node >= core_.num_nodes() || !core_.NodeAlive(node)) return;
+  proto::Envelope env;
+  env.req_id = 0;
+  env.src_node = self();
+  env.epoch = core_.epoch();
+  env.body = proto::DrainReq{node, core_.epoch()};
+  // Apply locally first (marks the node draining; the scheduler here stops
+  // placing on it), then broadcast so every member — the target included —
+  // converges on the same view.
+  KernelCore::Actions actions;
+  {
+    std::lock_guard<std::mutex> lock(core_mu_);
+    actions = core_.Handle(env);
+  }
+  Perform(std::move(actions));
+  for (NodeId n = 0; n < core_.num_nodes(); ++n) {
+    if (n == self() || !core_.NodeAlive(n)) continue;
+    (void)SendEnvelope(n, env);
   }
 }
 
@@ -805,6 +854,8 @@ Status NodeHost::SendEnvelope(NodeId dst, const proto::Envelope& env) {
       case proto::MsgType::kNodeJoinResp:
       case proto::MsgType::kStateChunkReq:
       case proto::MsgType::kStateChunkResp:
+      case proto::MsgType::kDrainReq:
+      case proto::MsgType::kDrainResp:
         break;
       default:
         return Unavailable("node " + std::to_string(dst) + " is dead");

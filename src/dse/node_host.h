@@ -63,6 +63,11 @@ class NodeHost {
     // through the genuine wall-clock timeout — the oracle only filters
     // false positives, it never fast-paths detection.
     std::function<bool(NodeId peer)> silence_confirms;
+    // Planned drain trigger (fault-plan `drain N after M` wiring): polled by
+    // the coordinator's heartbeat tick; a true answer for a live peer starts
+    // that peer's graceful drain (once per host — the latch below). Tests
+    // and tools may instead call AdminDrain directly.
+    std::function<bool(NodeId peer)> drain_requested;
     // Recovery subsystem (see KernelOptions / docs/recovery.md).
     int replication = 0;
     bool restart_tasks = false;
@@ -119,6 +124,19 @@ class NodeHost {
 
   // True once the liveness prober declared `node` dead.
   bool PeerDead(NodeId node) const;
+
+  // Planned drain admin verb (docs/recovery.md): broadcasts DrainReq{node}
+  // to every live member (the target included) and applies it locally. The
+  // drained node hands its homes off to its backup while still serving; the
+  // coordinator's heartbeat tick evicts it once the handoff completes and
+  // the scheduler is quiesced, and the node then rejoins on the normal
+  // re-announce path. No-op with replication off or for a dead/invalid node.
+  void AdminDrain(NodeId node);
+  // True while `node` is marked draining in this host's kernel view.
+  bool NodeDraining(NodeId node) {
+    std::lock_guard<std::mutex> lock(core_mu_);
+    return core_.NodeDraining(node);
+  }
 
   // Node currently serving `natural`'s homes: identity while replication is
   // off or the node lives, the promoted backup after an eviction.
@@ -227,6 +245,10 @@ class NodeHost {
   // ResetForRejoin when the coordinator's re-announce retriggers us).
   std::atomic<bool> parked_{false};
   std::atomic<bool> joining_{false};
+  // One-shot latch per peer for the drain_requested oracle: the injector's
+  // answer stays true after the node drained and rejoined, so without the
+  // latch the coordinator would drain it again forever.
+  std::vector<std::atomic<bool>> drain_initiated_;
   std::thread heartbeat_;
   std::mutex hb_mu_;
   std::condition_variable hb_cv_;

@@ -423,6 +423,22 @@ Status Get(ByteReader& r, SchedStatResp* m) {
   }
   return Status::Ok();
 }
+void Put(ByteWriter& w, const DrainReq& m) {
+  w.WriteI32(m.node);
+  w.WriteU32(m.epoch);
+}
+Status Get(ByteReader& r, DrainReq* m) {
+  DSE_RETURN_IF_ERROR(r.ReadI32(&m->node));
+  return r.ReadU32(&m->epoch);
+}
+void Put(ByteWriter& w, const DrainResp& m) {
+  w.WriteI32(m.node);
+  w.WriteU32(m.epoch);
+}
+Status Get(ByteReader& r, DrainResp* m) {
+  DSE_RETURN_IF_ERROR(r.ReadI32(&m->node));
+  return r.ReadU32(&m->epoch);
+}
 
 template <typename T, MsgType kType>
 struct Tag {
@@ -484,6 +500,8 @@ std::string_view MsgTypeName(MsgType type) {
     case MsgType::kJobDoneReq: return "JobDoneReq";
     case MsgType::kSchedStatReq: return "SchedStatReq";
     case MsgType::kSchedStatResp: return "SchedStatResp";
+    case MsgType::kDrainReq: return "DrainReq";
+    case MsgType::kDrainResp: return "DrainResp";
   }
   return "Unknown";
 }
@@ -628,6 +646,9 @@ Result<Envelope> Decode(const std::vector<std::uint8_t>& payload) {
       return DecodeBody<SchedStatReq>(r, std::move(env));
     case MsgType::kSchedStatResp:
       return DecodeBody<SchedStatResp>(r, std::move(env));
+    case MsgType::kDrainReq: return DecodeBody<DrainReq>(r, std::move(env));
+    case MsgType::kDrainResp:
+      return DecodeBody<DrainResp>(r, std::move(env));
   }
   return ProtocolError("unknown message type " + std::to_string(type_raw));
 }

@@ -100,12 +100,21 @@ enum class MsgType : std::uint8_t {
   kJobDoneReq,
   kSchedStatReq,
   kSchedStatResp,
+  // Planned node lifecycle (docs/recovery.md). DrainReq puts a node into the
+  // draining membership state: the scheduler stops placing jobs there and the
+  // node proactively hands its homes and shadows to its backup over the state
+  // transfer machinery while still alive and serving. DrainResp is the
+  // drained node's cutover-ready signal back to the coordinator, which then
+  // evicts it under a bumped epoch — losslessly, since the successor already
+  // holds everything.
+  kDrainReq,
+  kDrainResp,
 };
 
 // Highest MsgType value; message types are contiguous from 1, so fixed-size
 // per-type counter tables are indexed by the raw enum value.
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kSchedStatResp);
+    static_cast<std::uint8_t>(MsgType::kDrainResp);
 
 std::string_view MsgTypeName(MsgType type);
 
@@ -392,6 +401,23 @@ struct SchedStatResp {
   std::map<std::string, std::uint64_t> counters;
 };
 
+// Coordinator -> everyone incl. the target (req_id 0, one-way): `node` is
+// draining. Receivers stop placing work there; the target starts handing its
+// homes and shadows to its ring successor. Idempotent; stamped with the epoch
+// the drain was requested under.
+struct DrainReq {
+  NodeId node = -1;
+  std::uint32_t epoch = 0;
+};
+// Draining node -> coordinator (req_id 0, one-way): every home and shadow is
+// handed off and acknowledged — cutover (the planned eviction) may proceed.
+// Re-sent each transfer tick until the eviction lands, so a lost frame only
+// delays the cutover.
+struct DrainResp {
+  NodeId node = -1;
+  std::uint32_t epoch = 0;
+};
+
 using Body =
     std::variant<ReadReq, ReadResp, WriteReq, WriteAck, AtomicReq, AtomicResp,
                  AllocReq, AllocResp, FreeReq, FreeAck, InvalidateReq,
@@ -402,7 +428,8 @@ using Body =
                  StatsResp, BatchReq, BatchResp, Heartbeat, ReplicateReq,
                  ReplicateAck, EvictReq, RetryResp, NodeJoinReq, NodeJoinResp,
                  StateChunkReq, StateChunkResp, JobSubmitReq, JobSubmitResp,
-                 JobStartReq, JobDoneReq, SchedStatReq, SchedStatResp>;
+                 JobStartReq, JobDoneReq, SchedStatReq, SchedStatResp,
+                 DrainReq, DrainResp>;
 
 MsgType TypeOf(const Body& body);
 

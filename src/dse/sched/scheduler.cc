@@ -29,7 +29,8 @@ Scheduler::Scheduler(int num_nodes, Config config, MetricsRegistry* metrics,
       now_us_(std::move(now_us)),
       task_idempotent_(std::move(task_idempotent)),
       used_slots_(num_nodes, 0),
-      alive_(num_nodes, true) {
+      alive_(num_nodes, true),
+      draining_(num_nodes, false) {
   submitted_ = metrics_->counter("sched.submitted");
   admitted_ = metrics_->counter("sched.admitted");
   shed_ = metrics_->counter("sched.shed");
@@ -37,6 +38,7 @@ Scheduler::Scheduler(int num_nodes, Config config, MetricsRegistry* metrics,
   completed_ = metrics_->counter("sched.completed");
   failed_ = metrics_->counter("sched.failed");
   restarts_ = metrics_->counter("sched.restarts");
+  drained_jobs_ = metrics_->counter("sched.drained_jobs");
   members_started_ = metrics_->counter("sched.members_started");
   invariant_violations_ = metrics_->counter("sched.invariant_violations");
   latency_hist_ = metrics_->histogram("sched.job_latency_us");
@@ -121,7 +123,7 @@ SubmitOutcome Scheduler::Submit(const proto::JobSubmitReq& req) {
 NodeId Scheduler::PickNode(const std::vector<int>& free, NodeId hint) const {
   NodeId best = -1;
   for (NodeId n = 0; n < num_nodes_; ++n) {
-    if (!alive_[n] || free[n] <= 0) continue;
+    if (!alive_[n] || draining_[n] || free[n] <= 0) continue;
     if (best < 0 || free[n] > free[best] ||
         (free[n] == free[best] && n == hint)) {
       best = n;
@@ -135,7 +137,7 @@ bool Scheduler::PlaceGang(std::uint32_t gang, NodeId hint,
   std::vector<int> free(num_nodes_, 0);
   int total = 0;
   for (NodeId n = 0; n < num_nodes_; ++n) {
-    if (!alive_[n]) continue;
+    if (!alive_[n] || draining_[n]) continue;  // draining: no new placements
     free[n] = config_.slots_per_node - used_slots_[n];
     total += free[n];
   }
@@ -151,7 +153,7 @@ bool Scheduler::PlaceGang(std::uint32_t gang, NodeId hint,
       // Blind round-robin: next live node with a free slot after the cursor.
       for (int step = 0; step < num_nodes_; ++step) {
         const NodeId n = static_cast<NodeId>((rr_cursor_ + step) % num_nodes_);
-        if (alive_[n] && free[n] > 0) {
+        if (alive_[n] && !draining_[n] && free[n] > 0) {
           pick = n;
           rr_cursor_ = (n + 1) % num_nodes_;
           break;
@@ -272,10 +274,42 @@ std::vector<Start> Scheduler::OnMemberDone(std::uint64_t job_id,
   return starts;
 }
 
+void Scheduler::OnNodeDraining(NodeId node) {
+  if (node < 0 || node >= num_nodes_ || !alive_[node] || draining_[node]) {
+    return;
+  }
+  draining_[node] = true;
+  // Jobs being waited out: placed, with at least one unfinished member on
+  // the draining node. Each counts once, at drain start.
+  std::uint64_t waited = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (!job.placed) continue;
+    for (const Member& member : job.members) {
+      if (member.node == node && !member.done) {
+        ++waited;
+        break;
+      }
+    }
+  }
+  drained_jobs_->Add(waited);
+}
+
+bool Scheduler::NodeQuiesced(NodeId node) const {
+  if (node < 0 || node >= num_nodes_) return true;
+  for (const auto& [id, job] : jobs_) {
+    if (!job.placed) continue;
+    for (const Member& member : job.members) {
+      if (member.node == node && !member.done) return false;
+    }
+  }
+  return true;
+}
+
 std::vector<Start> Scheduler::OnNodeDead(NodeId dead) {
   std::vector<Start> starts;
   if (dead < 0 || dead >= num_nodes_ || !alive_[dead]) return starts;
   alive_[dead] = false;
+  draining_[dead] = false;
   used_slots_[dead] = 0;
 
   // Placed jobs with members on the dead node: idempotent tasks are safe to
@@ -336,6 +370,7 @@ std::vector<Start> Scheduler::OnNodeAlive(NodeId node) {
   std::vector<Start> starts;
   if (node < 0 || node >= num_nodes_ || alive_[node]) return starts;
   alive_[node] = true;
+  draining_[node] = false;
   used_slots_[node] = 0;
   TryDispatch(&starts);
   Audit();
@@ -352,6 +387,7 @@ proto::SchedStatResp Scheduler::Stat() const {
   c["sched.completed"] = completed_->value();
   c["sched.failed"] = failed_->value();
   c["sched.restarts"] = restarts_->value();
+  c["sched.drained_jobs"] = drained_jobs_->value();
   c["sched.members_started"] = members_started_->value();
   c["sched.invariant_violations"] = invariant_violations_->value();
   c["sched.queue_depth"] = queue_.size();

@@ -88,6 +88,16 @@ class Scheduler {
   std::vector<Start> OnNodeDead(NodeId dead);
   std::vector<Start> OnNodeAlive(NodeId node);
 
+  // Planned drain (docs/recovery.md): stop placing new members on `node`
+  // and count the jobs being waited out there (sched.drained_jobs). Unlike
+  // OnNodeDead nothing is restarted or failed — running members finish and
+  // report normally; admission capacity is unchanged so work queues instead
+  // of being shed during the (transient) drain window.
+  void OnNodeDraining(NodeId node);
+  // True when no placed job still has an unfinished member on `node` — the
+  // drain's scheduler-side cutover condition.
+  bool NodeQuiesced(NodeId node) const;
+
   // Counter ledger served over SchedStatReq: registry totals plus live
   // gauges (queue depth, running) and derived latency percentiles.
   proto::SchedStatResp Stat() const;
@@ -158,6 +168,7 @@ class Scheduler {
   std::map<std::uint32_t, Tenant> tenants_;
   std::vector<int> used_slots_;
   std::vector<bool> alive_;
+  std::vector<bool> draining_;  // alive but not accepting placements
   int rr_cursor_ = 0;
 
   // Latency/utilization ledger (accounting only; never control flow).
@@ -174,6 +185,7 @@ class Scheduler {
   Counter* completed_ = nullptr;
   Counter* failed_ = nullptr;
   Counter* restarts_ = nullptr;
+  Counter* drained_jobs_ = nullptr;
   Counter* members_started_ = nullptr;
   Counter* invariant_violations_ = nullptr;
   Histogram* latency_hist_ = nullptr;

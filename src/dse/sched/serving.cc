@@ -68,6 +68,7 @@ void PutConfig(ByteWriter& w, const ServingConfig& cfg) {
   w.WriteU32(cfg.gang);
   w.WriteU32(cfg.gang_every);
   w.WriteU64(cfg.seed);
+  w.WriteU8(cfg.pin_tenants ? 1 : 0);
 }
 
 Status GetConfig(ByteReader& r, ServingConfig* cfg) {
@@ -81,7 +82,11 @@ Status GetConfig(ByteReader& r, ServingConfig* cfg) {
   DSE_RETURN_IF_ERROR(r.ReadU32(&cfg->work_units_per_us));
   DSE_RETURN_IF_ERROR(r.ReadU32(&cfg->gang));
   DSE_RETURN_IF_ERROR(r.ReadU32(&cfg->gang_every));
-  return r.ReadU64(&cfg->seed);
+  DSE_RETURN_IF_ERROR(r.ReadU64(&cfg->seed));
+  std::uint8_t pin = 0;
+  DSE_RETURN_IF_ERROR(r.ReadU8(&pin));
+  cfg->pin_tenants = pin != 0;
+  return Status::Ok();
 }
 
 // One gang member: burn the configured service time.
@@ -146,9 +151,13 @@ void ServingMainBody(Task& t) {
     PutConfig(w, cfg);
     w.WriteU32(i);
     // Pin generators round-robin so the submit sources are spread (and the
-    // sim schedule is independent of spawn's own round-robin cursor).
-    auto gpid = t.Spawn("sched.tenant", w.TakeBuffer(),
-                        static_cast<NodeId>(i % t.num_nodes()));
+    // sim schedule is independent of spawn's own round-robin cursor) —
+    // except under maintenance, where they all live on node 0 so a drain
+    // never has to wait on a resident generator.
+    const NodeId pin = cfg.pin_tenants
+                           ? NodeId{0}
+                           : static_cast<NodeId>(i % t.num_nodes());
+    auto gpid = t.Spawn("sched.tenant", w.TakeBuffer(), pin);
     DSE_CHECK_OK(gpid.status());
     tenants.push_back(*gpid);
   }

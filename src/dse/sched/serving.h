@@ -48,6 +48,12 @@ struct ServingConfig {
   std::uint32_t gang = 1;
   std::uint32_t gang_every = 0;
   std::uint64_t seed = 1;
+  // Pin every tenant generator to node 0 instead of spreading them
+  // round-robin. Maintenance runs (rolling restarts, planned drains) need
+  // this: a drain hands off a node's GMM homes and waits out its scheduler
+  // jobs, but it does not migrate resident user tasks, so long-lived
+  // drivers must live on the undrainable bootstrap node (docs/recovery.md).
+  bool pin_tenants = false;
 };
 
 std::vector<std::uint8_t> EncodeServingConfig(const ServingConfig& cfg);

@@ -85,6 +85,8 @@ struct SimState {
 
   // Recovery: kills already reacted to (a kill schedule fires exactly once).
   std::set<NodeId> deaths_handled;
+  // Planned drains already reacted to (one flag per plan drain entry).
+  std::set<size_t> drains_handled;
   // Self-healing membership bookkeeping. `members` is the sim's converged
   // membership ground truth (what a quorum-holding coordinator would have
   // committed); `parked` holds nodes currently quorum-parked so each park
@@ -101,6 +103,18 @@ struct SimState {
   // each reaction is scheduled kSimDetectionDelayMs of virtual time later.
   void NoteDeaths();
   void OnNodeDeath(NodeId dead);
+  // A plan `drain` schedule fired: run the planned-maintenance cycle a
+  // detection delay later.
+  void OnNodeDrain(NodeId node);
+  // One full planned-maintenance cycle for `node` (docs/recovery.md): mark
+  // every member's view draining (the target starts handing its homes off to
+  // its backup while still serving), keep the target's transfers ticking
+  // until the coordinator observes cutover readiness, apply the planned
+  // eviction on every survivor in one step, and re-admit the node through
+  // the normal rejoin path. A node killed mid-drain drops out of the cycle
+  // here and the regular failover reaction (NoteDeaths -> ReactToMembership)
+  // takes over, replaying buffered acked writes at the backup.
+  void RunDrainCycle(sim::Context& ctx, NodeId node);
   void OnSeverFired(size_t index);
   void OnSeverHealed(size_t index);
   void OnNodeRevive(NodeId node);
@@ -185,6 +199,16 @@ void SimState::NoteDeaths() {
       OnNodeRevive(kill.node);
     }
   }
+  // Planned drains ("drain N after M"): each schedule fires exactly once.
+  for (size_t i = 0; i < plan.drains.size(); ++i) {
+    const net::FaultPlan::Drain& dr = plan.drains[i];
+    if (dr.node < 0 || dr.node >= static_cast<NodeId>(nodes.size()) ||
+        drains_handled.count(i) != 0 || !fault->NodeDraining(dr.node)) {
+      continue;
+    }
+    drains_handled.insert(i);
+    OnNodeDrain(dr.node);
+  }
 }
 
 void SimState::OnNodeDeath(NodeId dead) {
@@ -208,6 +232,77 @@ void SimState::OnNodeDeath(NodeId dead) {
               ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
               ReactToMembership(ctx);
             });
+}
+
+void SimState::OnNodeDrain(NodeId node) {
+  if (!nodes[0]->core.replication_on()) return;  // drain needs a backup
+  sim.Spawn("drain-" + std::to_string(node),
+            [this, node](sim::Context& ctx) {
+              ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
+              RunDrainCycle(ctx, node);
+            });
+}
+
+void SimState::RunDrainCycle(sim::Context& ctx, NodeId node) {
+  if (members.count(node) == 0) return;  // already evicted: stale drain
+  if (fault != nullptr && fault->NodeDead(node)) return;
+  // Deliver the DrainReq on every member core directly (converged modeling,
+  // same shape as ReactToMembership — the real runtimes broadcast and repair
+  // lost copies via re-announce). Each core marks the node draining; the
+  // target itself starts the planned handoff toward its backup.
+  for (NodeId m : members) {
+    SimNode& mn = *nodes[static_cast<size_t>(m)];
+    proto::Envelope env;
+    env.req_id = 0;
+    env.src_node = *members.begin();  // nominal sender: the coordinator
+    env.epoch = mn.core.epoch();
+    env.body = proto::DrainReq{node, mn.core.epoch()};
+    PerformActions(ctx, *this, mn, mn.core.Handle(env));
+  }
+  EnsureXferNudge();
+  // Watch for cutover readiness in virtual time. The idle tick on the
+  // draining node is what emits its DrainResp (the xfer nudge skips idle
+  // cores, so the watch must tick it explicitly).
+  for (;;) {
+    ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
+    if (main_finished_at != 0) return;  // workload done: cluster tearing down
+    if (fault != nullptr && fault->NodeDead(node)) return;  // killed mid-drain
+    if (members.count(node) == 0) return;  // lost to a concurrent eviction
+    SimNode& dn = *nodes[static_cast<size_t>(node)];
+    PerformActions(ctx, *this, dn, dn.core.TickTransfers());
+    NodeId coord = -1;
+    for (NodeId m : members) {
+      if (m != node && (fault == nullptr || !fault->NodeDead(m))) {
+        coord = m;
+        break;
+      }
+    }
+    if (coord < 0) return;  // nobody left to run the cutover
+    if (nodes[static_cast<size_t>(coord)]->core.DrainCutoverReady(node)) {
+      break;
+    }
+  }
+  // Planned cutover: every survivor applies the eviction in one step (same
+  // staging as ReactToMembership, so no survivor sees another's
+  // re-replication chunks from a stale epoch), then the node rejoins with a
+  // clean slate over PR 5's admission path.
+  std::vector<std::pair<SimNode*, KernelCore::Actions>> staged;
+  for (NodeId m : members) {
+    if (m == node) continue;
+    if (fault != nullptr && fault->NodeDead(m)) continue;
+    SimNode& mn = *nodes[static_cast<size_t>(m)];
+    if (!mn.core.NodeAlive(node)) continue;
+    staged.emplace_back(&mn, mn.core.ApplyEviction(node, mn.core.epoch() + 1));
+  }
+  for (auto& [sn, actions] : staged) {
+    PerformActions(ctx, *this, *sn, std::move(actions));
+  }
+  members.erase(node);
+  EnsureXferNudge();
+  if (!options->rejoin) return;
+  ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
+  if (main_finished_at != 0) return;
+  StartRejoin(ctx, node);
 }
 
 void SimState::OnSeverFired(size_t index) {
@@ -373,7 +468,7 @@ void SimState::StartRejoin(sim::Context& ctx, NodeId node) {
   rn.core.ResetForRejoin();
   NodeId coord = -1;
   for (NodeId m : members) {
-    if (m != node && !fault->NodeDead(m) &&
+    if (m != node && (fault == nullptr || !fault->NodeDead(m)) &&
         medium->Reachable(MachineOf(node), MachineOf(m))) {
       coord = m;
       break;
@@ -405,7 +500,7 @@ void SimState::EnsureXferNudge() {
       bool any = false;
       for (auto& entry : nodes) {
         SimNode& node = *entry;
-        if (fault->NodeDead(node.core.self())) continue;
+        if (fault != nullptr && fault->NodeDead(node.core.self())) continue;
         if (node.core.transfers_idle()) continue;
         any = true;
         PerformActions(ctx, *this, node, node.core.TickTransfers());
@@ -1001,6 +1096,42 @@ SimReport SimRuntime::Run(const std::string& main_name,
                     [&state, node](sim::Context& ctx) {
                       KernelLoop(ctx, state, *node);
                     });
+  }
+
+  // Rolling-restart maintenance driver (docs/recovery.md): drain, restart
+  // and rejoin every node except node 0 in sequence while the main task
+  // keeps running. Each cycle waits for the restarted node to be fully
+  // re-admitted (own home handed back, all transfers drained) before the
+  // next begins, so exactly one node is ever out of the serving set.
+  if (options_.rolling) {
+    DSE_CHECK_MSG(options_.replication > 0 && options_.rejoin,
+                  "rolling restarts require replication and rejoin");
+    state.sim.Spawn("rolling-restart", [&state](sim::Context& ctx) {
+      // Let the cluster come up and the workload start before the first
+      // drain.
+      ctx.Sleep(sim::Millis(10 * recovery::kSimDetectionDelayMs));
+      const NodeId count = static_cast<NodeId>(state.nodes.size());
+      for (NodeId d = 1; d < count; ++d) {
+        if (state.main_finished_at != 0) return;
+        state.RunDrainCycle(ctx, d);
+        for (;;) {
+          ctx.Sleep(sim::Millis(recovery::kSimDetectionDelayMs));
+          if (state.main_finished_at != 0) return;
+          if (state.members.count(d) == 0) continue;  // rejoin still pending
+          SimNode& dn = *state.nodes[static_cast<size_t>(d)];
+          bool idle = true;
+          for (const auto& entry : state.nodes) {
+            if (!entry->core.transfers_idle()) {
+              idle = false;
+              break;
+            }
+          }
+          if (idle && dn.core.NodeAlive(d) && !dn.core.own_home_pending()) {
+            break;
+          }
+        }
+      }
+    });
   }
 
   // Bootstrap the main DSE process on node 0.

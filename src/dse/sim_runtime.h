@@ -98,6 +98,11 @@ struct SimOptions {
   // multi-tenant job scheduler. Timestamps come from virtual time, so the
   // whole serving schedule is bit-for-bit replayable.
   sched::Config sched;
+  // Rolling-restart maintenance driver (docs/recovery.md): drain, restart
+  // and rejoin every node except node 0 in sequence while the main task
+  // (typically a serving loop) keeps running. Exactly one node is ever out
+  // of the serving set at a time. Requires replication = 1 and rejoin.
+  bool rolling = false;
   // Optional execution tracing (not owned; may be null). Events carry
   // virtual timestamps; see dse/trace.h for export formats.
   trace::Recorder* trace = nullptr;

@@ -59,6 +59,14 @@ ThreadedRuntime::ThreadedRuntime(ThreadedOptions options)
                fault->LinkSevered(i, peer);
       };
     }
+    if (faulty && !options_.fault_plan.drains.empty()) {
+      net::FaultInjector* fault = fault_.get();
+      // Planned-drain trigger: the coordinator's heartbeat tick polls this
+      // and runs the graceful drain once the schedule fires.
+      hopts.drain_requested = [fault](NodeId peer) {
+        return fault->NodeDraining(peer);
+      };
+    }
     hopts.replication = options_.replication;
     hopts.restart_tasks = options_.restart_tasks;
     hopts.min_quorum = options_.min_quorum;
@@ -147,6 +155,14 @@ bool ThreadedRuntime::NodeKilled(NodeId node) const {
 void ThreadedRuntime::KillNode(NodeId node) {
   DSE_CHECK_MSG(fault_ != nullptr, "KillNode requires an active fault plan");
   fault_->KillNow(node);
+}
+
+void ThreadedRuntime::DrainNode(NodeId node) {
+  hosts_[0]->AdminDrain(node);
+}
+
+bool ThreadedRuntime::NodeDraining(NodeId node) {
+  return hosts_[0]->NodeDraining(node);
 }
 
 std::map<std::string, RunningStats> ThreadedRuntime::ClusterHistograms()

@@ -116,6 +116,14 @@ class ThreadedRuntime {
   // re-replication complete.
   void KillNode(NodeId node);
 
+  // Starts a graceful drain of `node` through node 0's admin verb
+  // (docs/recovery.md). The cutover (planned eviction + rejoin) is driven
+  // by the coordinator's heartbeat tick, so the prober must be active
+  // (a fault plan, or heartbeat_period_ms > 0) for the drain to complete.
+  void DrainNode(NodeId node);
+  // True while node 0's membership view marks `node` draining.
+  bool NodeDraining(NodeId node);
+
  private:
   struct Fabric;
   ThreadedOptions options_;

@@ -181,6 +181,16 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text) {
         k.revive = static_cast<std::int64_t>(revive);
       }
       plan.kills.push_back(k);
+    } else if (d == "drain") {
+      // drain X after N
+      if (tok.size() != 4 || tok[2] != "after") {
+        return InvalidArgument("fault plan line " + std::to_string(line_no) +
+                               ": expected 'drain X after N'");
+      }
+      FaultPlan::Drain dr;
+      if (Status st = ParseNode(tok[1], &dr.node); !st.ok()) return fail(st);
+      if (Status st = ParseU64(tok[3], &dr.after); !st.ok()) return fail(st);
+      plan.drains.push_back(dr);
     } else {
       return InvalidArgument("fault plan line " + std::to_string(line_no) +
                              ": unknown directive '" + d + "'");
@@ -239,6 +249,20 @@ FaultAction FaultInjector::OnSend(NodeId src, NodeId dst,
       dead_.erase(k.node);
     }
   }
+  // Drain schedules fire on the global frame count too, but drop nothing:
+  // the membership layer polls NodeDraining() and runs the handoff protocol.
+  if (drain_fired_.size() != plan_.drains.size()) {
+    drain_fired_.assign(plan_.drains.size(), 0);
+  }
+  for (size_t i = 0; i < plan_.drains.size(); ++i) {
+    const FaultPlan::Drain& dr = plan_.drains[i];
+    if (!drain_fired_[i] && total_frames_ >= dr.after) {
+      drain_fired_[i] = 1;
+      ++drains_fired_;
+      draining_.insert(dr.node);
+    }
+  }
+
   if (dead_.count(src) > 0 || dead_.count(dst) > 0) {
     ++dead_drops_;
     return FaultAction{false, false, -1, 0};
@@ -299,6 +323,11 @@ bool FaultInjector::NodeDead(NodeId node) const {
   return dead_.count(node) > 0;
 }
 
+bool FaultInjector::NodeDraining(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_.count(node) > 0;
+}
+
 bool FaultInjector::LinkSevered(NodeId a, NodeId b) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto pair_key = std::make_pair(std::min(a, b), std::max(a, b));
@@ -340,6 +369,7 @@ MetricsSnapshot FaultInjector::Counters() const {
   put("fault.injected.sever_drop", severed_drops_);
   put("fault.injected.dead_drop", dead_drops_);
   put("fault.killed_nodes", kills_fired_);
+  put("fault.drained_nodes", drains_fired_);
   return snap;
 }
 

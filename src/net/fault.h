@@ -63,8 +63,18 @@ struct FaultPlan {
     std::uint64_t at = 0;
     std::int64_t revive = -1;  // global frame count; -1 = stays dead
   };
+  // Planned maintenance: once the injector has seen `after` frames in total,
+  // `node` is asked to drain (graceful handoff + eviction + rejoin). Unlike a
+  // kill, the injector drops nothing — the drain protocol itself takes the
+  // node out of and back into the ring; the injector only fires the trigger
+  // deterministically.
+  struct Drain {
+    NodeId node = -1;
+    std::uint64_t after = 0;
+  };
   std::vector<Sever> severs = {};
   std::vector<Kill> kills = {};
+  std::vector<Drain> drains = {};
 
   // Cuts one routed-fabric link (between routers `a` and `b`, not node
   // endpoints) once the fabric has carried `after` frames; with `heal` >= 0
@@ -83,7 +93,7 @@ struct FaultPlan {
   bool enabled() const {
     return drop_p > 0 || truncate_p > 0 || dup_p > 0 || delay_p > 0 ||
            reorder_p > 0 || !severs.empty() || !kills.empty() ||
-           !fabric_links.empty();
+           !drains.empty() || !fabric_links.empty();
   }
 };
 
@@ -100,6 +110,7 @@ struct FaultPlan {
 //   flink 2 3 after 100 heal 900
 //   kill 3 at 60
 //   kill 3 at 60 revive 700
+//   drain 2 after 400
 // '#' starts a comment; unknown directives and malformed values are errors.
 Result<FaultPlan> ParseFaultPlan(const std::string& text);
 
@@ -125,6 +136,10 @@ class FaultInjector {
 
   // True once a kill schedule has triggered for `node`.
   bool NodeDead(NodeId node) const;
+
+  // True once a drain schedule has triggered for `node`. The membership
+  // layer polls this (like kill revives) to start the graceful handoff.
+  bool NodeDraining(NodeId node) const;
 
   // True while the pair (a, b) is severed (the cut fired and has not healed).
   bool LinkSevered(NodeId a, NodeId b) const;
@@ -154,8 +169,11 @@ class FaultInjector {
   // Combined frame count per unordered pair (sever thresholds).
   std::map<std::pair<NodeId, NodeId>, std::uint64_t> pair_frames_;
   std::set<NodeId> dead_;
+  std::set<NodeId> draining_;
   std::vector<char> kill_fired_;    // one flag per plan kill entry
   std::vector<char> kill_revived_;  // one flag per plan kill entry
+  std::vector<char> drain_fired_;   // one flag per plan drain entry
+  std::uint64_t drains_fired_ = 0;
   std::uint64_t kills_fired_ = 0;   // kill events ever fired (revives don't
                                     // decrement — it counts deaths, not dead)
 

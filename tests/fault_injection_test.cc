@@ -66,7 +66,8 @@ TEST(FaultPlanParse, FullGrammar) {
       "reorder 0.02\n"
       "\n"
       "sever 0 1 after 100\n"
-      "kill 3 at 60\n");
+      "kill 3 at 60\n"
+      "drain 2 after 250\n");
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(plan->seed, 42u);
   EXPECT_DOUBLE_EQ(plan->drop_p, 0.05);
@@ -82,6 +83,9 @@ TEST(FaultPlanParse, FullGrammar) {
   ASSERT_EQ(plan->kills.size(), 1u);
   EXPECT_EQ(plan->kills[0].node, 3);
   EXPECT_EQ(plan->kills[0].at, 60u);
+  ASSERT_EQ(plan->drains.size(), 1u);
+  EXPECT_EQ(plan->drains[0].node, 2);
+  EXPECT_EQ(plan->drains[0].after, 250u);
   EXPECT_TRUE(plan->enabled());
 }
 
@@ -103,6 +107,10 @@ TEST(FaultPlanParse, RejectsMalformedInput) {
       "sever 0 1 100\n",         // missing 'after'
       "sever 0 0 after 5\n",     // self-sever
       "kill 3 60\n",             // missing 'at'
+      "drain 3 100\n",           // missing 'after'
+      "drain 3 after\n",         // missing frame count
+      "drain 3 after soon\n",    // bad integer
+      "drain after 5\n",         // missing node
       "seed nope\n",             // bad integer
   };
   for (const char* text : bad) {

@@ -324,6 +324,30 @@ TEST(Proto, SchedStatRoundTrip) {
   EXPECT_TRUE(IsClientResponse(MsgType::kSchedStatResp));
 }
 
+// The planned-maintenance admin verbs (docs/recovery.md): both directions
+// are one-way control frames carrying the target node and the epoch the
+// sender observed.
+TEST(Proto, DrainRoundTrip) {
+  const auto req = RoundTrip(Env(DrainReq{2, 7}, /*req_id=*/0));
+  EXPECT_EQ(std::get<DrainReq>(req.body).node, 2);
+  EXPECT_EQ(std::get<DrainReq>(req.body).epoch, 7u);
+
+  const auto resp = RoundTrip(Env(DrainResp{2, 7}, /*req_id=*/0));
+  EXPECT_EQ(std::get<DrainResp>(resp.body).node, 2);
+  EXPECT_EQ(std::get<DrainResp>(resp.body).epoch, 7u);
+
+  // Defaults survive too (a drain of an unresolved target is still a frame).
+  const auto blank = RoundTrip(Env(DrainReq{}, /*req_id=*/0));
+  EXPECT_EQ(std::get<DrainReq>(blank.body).node, -1);
+  EXPECT_EQ(std::get<DrainReq>(blank.body).epoch, 0u);
+
+  // Control frames, not client responses: they must never release an RPC.
+  EXPECT_FALSE(IsClientResponse(MsgType::kDrainReq));
+  EXPECT_FALSE(IsClientResponse(MsgType::kDrainResp));
+  EXPECT_EQ(MsgTypeName(MsgType::kDrainReq), "DrainReq");
+  EXPECT_EQ(MsgTypeName(MsgType::kDrainResp), "DrainResp");
+}
+
 // Every prefix of the new frames' encodings must decode to a clean error —
 // the fault injector truncates frames at arbitrary byte counts and the
 // recovery path feeds survivors whatever arrives.
@@ -354,7 +378,8 @@ TEST(Proto, MembershipFramesRejectEveryTruncation) {
   const std::vector<Body> bodies = {
       NodeJoinReq{1},     resp,           chunk, StateChunkResp{1, 2},
       submit,             JobSubmitResp{11, 0},  start,
-      JobDoneReq{11, 1},  SchedStatReq{}, stat};
+      JobDoneReq{11, 1},  SchedStatReq{}, stat,  DrainReq{2, 6},
+      DrainResp{2, 6}};
   for (const Body& body : bodies) {
     const auto bytes = Encode(Env(body, /*req_id=*/0));
     for (size_t cut = 0; cut < bytes.size(); ++cut) {
@@ -394,8 +419,9 @@ TEST(Proto, MembershipFramesSurviveByteFlipFuzz) {
   SchedStatResp stat;
   stat.counters = {{"sched.admitted", 9}, {"sched.queue_depth", 2}};
   const std::vector<Body> bodies = {
-      NodeJoinReq{2}, resp,  chunk, StateChunkResp{0, 2},
-      submit,         start, stat};
+      NodeJoinReq{2}, resp,  chunk,         StateChunkResp{0, 2},
+      submit,         start, stat,          DrainReq{3, 2},
+      DrainResp{3, 2}};
   Rng rng(0xC0FFEE);
   for (const Body& body : bodies) {
     const auto clean = Encode(Env(body, /*req_id=*/0));
@@ -439,7 +465,8 @@ TEST_P(ProtoAllTypes, EncodedSizeIsStable) {
       StateChunkReq{0, 4, 1, 2, {7, 7, 7}}, StateChunkResp{0, 1},
       JobSubmitReq{1, "sched.tenant", {2, 2}, 2, 3}, JobSubmitResp{9, 5},
       JobStartReq{9, 1, "sched.tenant", {2, 2}}, JobDoneReq{9, 1},
-      SchedStatReq{}, SchedStatResp{{{"sched.admitted", 4}}}};
+      SchedStatReq{}, SchedStatResp{{{"sched.admitted", 4}}},
+      DrainReq{2, 5}, DrainResp{2, 5}};
   ASSERT_EQ(bodies.size(), std::variant_size_v<Body>);
   const auto& body = bodies[static_cast<size_t>(GetParam())];
   const Envelope env = Env(body);
@@ -447,7 +474,7 @@ TEST_P(ProtoAllTypes, EncodedSizeIsStable) {
   RoundTrip(env);
 }
 
-INSTANTIATE_TEST_SUITE_P(EveryType, ProtoAllTypes, ::testing::Range(0, 50));
+INSTANTIATE_TEST_SUITE_P(EveryType, ProtoAllTypes, ::testing::Range(0, 52));
 
 }  // namespace
 }  // namespace dse::proto

@@ -91,6 +91,35 @@ TEST(StatsSchema, AsymmetricSnapshotsRenderIdenticalNameSets) {
   ExpectSameSchema(per_node, cluster_only);
 }
 
+// The planned-maintenance counter family (docs/recovery.md): the drain
+// ledger lives on different nodes (the backup counts recovery.drains, the
+// source counts the handoff volume, the scheduler node counts drained
+// jobs, and recovery.draining_nodes is a gauge that only the members'
+// snapshots carry while a drain is in flight). The schema contract must
+// hold for exactly this asymmetric shape.
+TEST(StatsSchema, DrainCountersRenderIdenticalNameSets) {
+  std::vector<MetricsSnapshot> per_node(4);
+  per_node[0]["sched.drained_jobs"] = 2;
+  per_node[0]["recovery.draining_nodes"] = 1;
+  per_node[1]["recovery.handoff.chunks"] = 3;
+  per_node[1]["recovery.handoff.bytes"] = 24576;
+  per_node[2]["recovery.drains"] = 1;
+  per_node[3]["recovery.draining_nodes"] = 1;
+  MetricsSnapshot cluster_only;
+  cluster_only["fault.drained_nodes"] = 1;
+
+  ExpectSameSchema(per_node, cluster_only);
+
+  const std::set<std::string> names =
+      JsonCounterNames(ssi::StatsToJson(per_node, cluster_only));
+  for (const char* required :
+       {"recovery.drains", "recovery.handoff.chunks",
+        "recovery.handoff.bytes", "recovery.draining_nodes",
+        "sched.drained_jobs", "fault.drained_nodes"}) {
+    EXPECT_TRUE(names.count(required) > 0) << "missing " << required;
+  }
+}
+
 // End-to-end: after a real serving run the sched.* family (global ledger
 // and per-tenant counters) flows through both exports with identical name
 // sets.

@@ -65,6 +65,10 @@
 //                            --replication 1)
 //   --rejoin 0|1             whether evicted nodes may rejoin the cluster
 //                            (default 1; requires --replication 1)
+//   --rolling                rolling-restart maintenance (sim only): drain,
+//                            restart and rejoin every node except node 0 in
+//                            sequence while the workload runs (requires
+//                            --replication 1 and --rejoin 1)
 //
 // SSI introspection (the cluster answering like one machine):
 //   --stats                  per-node + cluster counter table after the run
@@ -228,6 +232,10 @@ Workload BuildWorkload(const std::string& app, const Flags& flags,
     c.gang = static_cast<std::uint32_t>(flags.Int("gang", 4));
     c.gang_every = static_cast<std::uint32_t>(flags.Int("gang-every", 0));
     c.seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
+    // Under rolling maintenance the long-lived tenant generators must live
+    // on the undrainable bootstrap node: a drain hands off GMM homes and
+    // waits out scheduler jobs but does not migrate resident user tasks.
+    c.pin_tenants = flags.Has("rolling");
     return {RegisterServing, "sched.serving_main",
             sched::EncodeServingConfig(c),
             "serving tenants=" + std::to_string(c.tenants) + " jobs=" +
@@ -284,7 +292,7 @@ int Usage() {
                "[--link-bw MBPS] [--link-lat US] [--vc N] "
                "[--fault-plan FILE] [--rpc-deadline-ms N] "
                "[--replication 0|1] [--restart-tasks] "
-               "[--min-quorum N] [--rejoin 0|1] "
+               "[--min-quorum N] [--rejoin 0|1] [--rolling] "
                "[--stats] [--stats-json [FILE]] [--stats-csv [FILE]] "
                "[--ps] [--list-tasks] [app flags]\n");
   return 2;
@@ -376,7 +384,7 @@ int main(int argc, char** argv) {
       "switched", "trace", "machines",   "stats",     "stats-json",
       "stats-csv", "ps",   "list-tasks", "help",      "batch",
       "prefetch", "write-combine", "fault-plan", "rpc-deadline-ms",
-      "replication", "restart-tasks", "min-quorum", "rejoin",
+      "replication", "restart-tasks", "min-quorum", "rejoin", "rolling",
       "medium", "topology", "link-bw", "link-lat", "vc"};
   known.insert(known.end(), workload.flags.begin(), workload.flags.end());
   flags.RejectUnknown(known);
@@ -681,6 +689,66 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Planned drains (docs/recovery.md): validated up front. A drain that can
+  // never run its cutover would spin the maintenance cycle forever, so every
+  // impossible schedule fails loudly here instead.
+  if (!fault_plan.drains.empty()) {
+    if (replication != 1) {
+      std::fprintf(stderr,
+                   "--fault-plan has drain directives; they require "
+                   "--replication 1: without replication there is no backup "
+                   "to hand a draining node's homes to\n");
+      return 2;
+    }
+    for (const auto& dr : fault_plan.drains) {
+      if (dr.node < 0 || dr.node >= procs) {
+        std::fprintf(stderr,
+                     "--fault-plan drains unknown node %d: this run has "
+                     "nodes 0..%d\n",
+                     dr.node, procs - 1);
+        return 2;
+      }
+      if (dr.node == 0) {
+        std::fprintf(stderr,
+                     "--fault-plan drains node 0: the bootstrap coordinator "
+                     "(and scheduler host) cannot be drained\n");
+        return 2;
+      }
+      for (const auto& kill : fault_plan.kills) {
+        if (kill.node == dr.node && kill.at <= dr.after) {
+          std::fprintf(stderr,
+                       "--fault-plan drains node %d after %llu frames but "
+                       "kills it at %llu: a dead node cannot drain (schedule "
+                       "the kill after the drain to model a mid-drain "
+                       "crash)\n",
+                       dr.node,
+                       static_cast<unsigned long long>(dr.after),
+                       static_cast<unsigned long long>(kill.at));
+          return 2;
+        }
+      }
+      // The planned cutover is an eviction: the members left behind must
+      // still be able to commit it.
+      int perm_dead = 0;
+      for (const auto& kill : fault_plan.kills) {
+        if (kill.node >= 0 && kill.node < procs && kill.revive < 0 &&
+            kill.node != dr.node) {
+          ++perm_dead;
+        }
+      }
+      const int survivors = procs - perm_dead - 1;
+      const int need = min_quorum > 0 ? min_quorum : procs / 2 + 1;
+      if (survivors < need) {
+        std::fprintf(stderr,
+                     "--fault-plan drain of node %d would break quorum: the "
+                     "planned eviction leaves %d member(s) but committing it "
+                     "needs %d\n",
+                     dr.node, survivors, need);
+        return 2;
+      }
+    }
+  }
+
   // A kill schedule interacts with cluster membership: refuse plans that
   // leave no survivor, and narrate the coordinator succession so a log
   // reader knows which node announces each eviction.
@@ -718,6 +786,33 @@ int main(int argc, char** argv) {
   }
 
   const std::string mode = flags.Str("mode", "threaded");
+
+  // Rolling-restart maintenance (docs/recovery.md): the simulator's driver
+  // drains, restarts and rejoins every node except node 0 in sequence while
+  // the workload runs.
+  const bool rolling = flags.Has("rolling");
+  if (rolling) {
+    if (mode != "sim") {
+      std::fprintf(stderr,
+                   "--rolling drives the simulator's rolling-restart "
+                   "maintenance cycle; it requires --mode sim\n");
+      return 2;
+    }
+    if (replication != 1) {
+      std::fprintf(stderr,
+                   "--rolling requires --replication 1: a rolling restart "
+                   "hands each node's homes to its backup before the "
+                   "restart\n");
+      return 2;
+    }
+    if (!rejoin) {
+      std::fprintf(stderr,
+                   "--rolling requires --rejoin 1: a restarted node must be "
+                   "able to re-enter the membership\n");
+      return 2;
+    }
+  }
+
   if (mode == "threaded") {
     if (medium_flag_given || fabric_knob_given) {
       std::fprintf(stderr,
@@ -765,6 +860,7 @@ int main(int argc, char** argv) {
     opts.min_quorum = min_quorum;
     opts.rejoin = rejoin;
     opts.sched = sched_cfg;
+    opts.rolling = rolling;
     if (flags.Has("legacy")) {
       opts.organization = OrganizationMode::kLegacyTwoProcess;
     }
